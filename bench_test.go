@@ -1,0 +1,147 @@
+package lbtrust
+
+import (
+	"fmt"
+	"testing"
+
+	"lbtrust/internal/bench"
+	"lbtrust/internal/core"
+)
+
+// ---- Figure 2: execution time vs number of authenticated messages ----------
+//
+// The paper's single data figure: alice exports N messages to bob, each
+// signed on export and verified on import, for Plaintext, HMAC-SHA1 and
+// 1024-bit RSA. The expected shape — linear growth, RSA >> HMAC >=
+// Plaintext — is checked in EXPERIMENTS.md against cmd/lbtrust-bench
+// output; these benchmarks expose the same workload to `go test -bench`.
+
+func benchmarkFigure2(b *testing.B, scheme core.Scheme, messages int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d, err := bench.RunFigure2Point(scheme, messages)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(d.Microseconds())/float64(messages), "us/msg")
+	}
+}
+
+func BenchmarkFigure2Plaintext(b *testing.B) {
+	for _, n := range []int{100, 500, 1000} {
+		b.Run(fmt.Sprintf("msgs=%d", n), func(b *testing.B) {
+			benchmarkFigure2(b, core.SchemePlaintext, n)
+		})
+	}
+}
+
+func BenchmarkFigure2HMAC(b *testing.B) {
+	for _, n := range []int{100, 500, 1000} {
+		b.Run(fmt.Sprintf("msgs=%d", n), func(b *testing.B) {
+			benchmarkFigure2(b, core.SchemeHMAC, n)
+		})
+	}
+}
+
+func BenchmarkFigure2RSA(b *testing.B) {
+	for _, n := range []int{100, 500, 1000} {
+		b.Run(fmt.Sprintf("msgs=%d", n), func(b *testing.B) {
+			benchmarkFigure2(b, core.SchemeRSA, n)
+		})
+	}
+}
+
+// ---- Ablation A1: semi-naive vs naive fixpoint ------------------------------
+
+func BenchmarkAblationSeminaive(b *testing.B) {
+	for _, n := range []int{50, 100} {
+		b.Run(fmt.Sprintf("chain=%d/seminaive", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := bench.RunTC(n, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("chain=%d/naive", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := bench.RunTC(n, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Ablation A2: incremental insertion vs full recomputation ---------------
+
+func BenchmarkAblationIncremental(b *testing.B) {
+	const base, inserts = 200, 20
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bench.RunIncremental(base, inserts, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bench.RunIncremental(base, inserts, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- Ablation A3: meta-constraint checking overhead -------------------------
+
+func BenchmarkAblationMetaConstraint(b *testing.B) {
+	const rules = 100
+	b.Run("without", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bench.RunMetaConstraintLoad(rules, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("with", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bench.RunMetaConstraintLoad(rules, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- Ablation A5: magic sets vs full bottom-up (goal-directed query) --------
+
+func BenchmarkAblationMagicSets(b *testing.B) {
+	const chain = 300
+	b.Run("magic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := bench.RunGoalDirected(chain, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := bench.RunGoalDirected(chain, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- Ablation A6: SeNDlog reachability scaling ------------------------------
+
+func BenchmarkSeNDlogReachability(b *testing.B) {
+	for _, n := range []int{4, 8} {
+		b.Run(fmt.Sprintf("ring=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.RunSeNDlogReachability(n, core.SchemePlaintext); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,151 @@
+// Command lbtrust-bench regenerates the paper's evaluation. It prints the
+// Figure 2 series (execution time vs number of messages for RSA, HMAC and
+// Plaintext authentication) and the ablation experiments indexed in
+// DESIGN.md, as plain-text tables.
+//
+// Usage:
+//
+//	lbtrust-bench -experiment fig2 -max 10000 -step 1000
+//	lbtrust-bench -experiment ablations
+//	lbtrust-bench -experiment all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lbtrust/internal/bench"
+	"lbtrust/internal/core"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment to run: fig2, ablations, all")
+	maxMsgs := flag.Int("max", 10000, "fig2: maximum number of messages")
+	step := flag.Int("step", 1000, "fig2: message count step")
+	flag.Parse()
+
+	switch *experiment {
+	case "fig2":
+		runFigure2(*maxMsgs, *step)
+	case "ablations":
+		runAblations()
+	case "all":
+		runFigure2(*maxMsgs, *step)
+		runAblations()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+func runFigure2(maxMsgs, step int) {
+	fmt.Println("== Figure 2: Execution Time over Number of Messages ==")
+	fmt.Println("(paper: Section 6; two principals exchange authenticated facts;")
+	fmt.Println(" expected shape: linear; RSA >> HMAC >= Plaintext)")
+	fmt.Println()
+	var counts []int
+	for n := 0; n <= maxMsgs; n += step {
+		if n == 0 {
+			counts = append(counts, 1) // zero-message runs carry no signal
+			continue
+		}
+		counts = append(counts, n)
+	}
+	schemes := []core.Scheme{core.SchemePlaintext, core.SchemeHMAC, core.SchemeRSA}
+	results := map[core.Scheme]*bench.Figure2Series{}
+	for _, sc := range schemes {
+		s, err := bench.RunFigure2(sc, counts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure 2 (%s): %v\n", sc, err)
+			os.Exit(1)
+		}
+		results[sc] = s
+	}
+	fmt.Printf("%12s %14s %14s %14s\n", "messages", "plaintext(s)", "hmac(s)", "rsa(s)")
+	for i, n := range counts {
+		fmt.Printf("%12d %14.4f %14.4f %14.4f\n", n,
+			results[core.SchemePlaintext].Points[i].Duration.Seconds(),
+			results[core.SchemeHMAC].Points[i].Duration.Seconds(),
+			results[core.SchemeRSA].Points[i].Duration.Seconds())
+	}
+	last := len(counts) - 1
+	fmt.Println()
+	fmt.Printf("slope check at %d messages: rsa/plaintext = %.1fx, rsa/hmac = %.1fx, hmac/plaintext = %.2fx\n",
+		counts[last],
+		ratio(results[core.SchemeRSA].Points[last].Duration.Seconds(), results[core.SchemePlaintext].Points[last].Duration.Seconds()),
+		ratio(results[core.SchemeRSA].Points[last].Duration.Seconds(), results[core.SchemeHMAC].Points[last].Duration.Seconds()),
+		ratio(results[core.SchemeHMAC].Points[last].Duration.Seconds(), results[core.SchemePlaintext].Points[last].Duration.Seconds()))
+	fmt.Println()
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func runAblations() {
+	fmt.Println("== Ablation A1: semi-naive vs naive fixpoint (transitive closure) ==")
+	fmt.Printf("%10s %14s %14s %10s\n", "chain", "seminaive(s)", "naive(s)", "paths")
+	for _, n := range []int{50, 100, 200} {
+		semi, paths, err := bench.RunTC(n, false)
+		check(err)
+		naive, _, err := bench.RunTC(n, true)
+		check(err)
+		fmt.Printf("%10d %14.4f %14.4f %10d\n", n, semi.Seconds(), naive.Seconds(), paths)
+	}
+	fmt.Println()
+
+	fmt.Println("== Ablation A2: incremental insertion vs full recomputation ==")
+	fmt.Printf("%10s %10s %16s %14s\n", "base", "inserts", "incremental(s)", "recompute(s)")
+	for _, in := range []int{10, 20, 40} {
+		inc, err := bench.RunIncremental(200, in, true)
+		check(err)
+		full, err := bench.RunIncremental(200, in, false)
+		check(err)
+		fmt.Printf("%10d %10d %16.4f %14.4f\n", 200, in, inc.Seconds(), full.Seconds())
+	}
+	fmt.Println()
+
+	fmt.Println("== Ablation A3: meta-constraint checking overhead (rule loads) ==")
+	fmt.Printf("%10s %14s %12s\n", "rules", "without(s)", "with(s)")
+	for _, n := range []int{50, 100, 200} {
+		without, err := bench.RunMetaConstraintLoad(n, false)
+		check(err)
+		with, err := bench.RunMetaConstraintLoad(n, true)
+		check(err)
+		fmt.Printf("%10d %14.4f %12.4f\n", n, without.Seconds(), with.Seconds())
+	}
+	fmt.Println()
+
+	fmt.Println("== Ablation A5: magic sets vs full bottom-up (goal-directed query) ==")
+	fmt.Printf("%10s %12s %10s %10s\n", "chain", "magic(s)", "full(s)", "answers")
+	for _, n := range []int{100, 200, 400} {
+		magic, answers, err := bench.RunGoalDirected(n, true)
+		check(err)
+		full, _, err := bench.RunGoalDirected(n, false)
+		check(err)
+		fmt.Printf("%10d %12.4f %10.4f %10d\n", n, magic.Seconds(), full.Seconds(), answers)
+	}
+	fmt.Println()
+
+	fmt.Println("== Ablation A6: SeNDlog authenticated reachability (ring) ==")
+	fmt.Printf("%10s %14s %12s\n", "nodes", "plaintext(s)", "hmac(s)")
+	for _, n := range []int{4, 6, 8} {
+		plain, err := bench.RunSeNDlogReachability(n, core.SchemePlaintext)
+		check(err)
+		hmac, err := bench.RunSeNDlogReachability(n, core.SchemeHMAC)
+		check(err)
+		fmt.Printf("%10d %14.4f %12.4f\n", n, plain.Seconds(), hmac.Seconds())
+	}
+	fmt.Println()
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

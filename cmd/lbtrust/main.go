@@ -1,0 +1,65 @@
+// Command lbtrust loads an LBTrust program into a workspace, runs it to
+// fixpoint, and answers queries or dumps predicates.
+//
+//	lbtrust -principal alice -query 'path(a, X)' program.lb
+//	lbtrust -principal alice -dump path program.lb
+//	lbtrust -principal alice -rules program.lb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lbtrust"
+)
+
+func main() {
+	principal := flag.String("principal", "me", "local principal name (binds the me keyword)")
+	query := flag.String("query", "", "atom to query after loading, e.g. 'path(a, X)'")
+	dump := flag.String("dump", "", "predicate to dump after loading")
+	rules := flag.Bool("rules", false, "list active rules after loading")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lbtrust [-principal P] [-query ATOM | -dump PRED | -rules] program.lb")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ws := lbtrust.NewWorkspace(*principal)
+	if err := ws.LoadProgram(string(src)); err != nil {
+		fmt.Fprintf(os.Stderr, "load: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *query != "":
+		rows, err := ws.Query(*query)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "query: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range rows {
+			fmt.Println(r.String())
+		}
+		fmt.Fprintf(os.Stderr, "%d row(s)\n", len(rows))
+	case *dump != "":
+		for _, r := range ws.Facts(*dump) {
+			fmt.Printf("%s%s\n", *dump, r.String())
+		}
+	case *rules:
+		for _, c := range ws.ActiveRules() {
+			fmt.Println(string(c.Canonical()))
+		}
+	default:
+		// Summary: predicate cardinalities.
+		for _, d := range ws.Decls() {
+			fmt.Printf("%s/%d: %d tuple(s)\n", d.Name, d.Arity, ws.Count(d.Name))
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d active rule(s)\n", len(ws.ActiveRules()))
+	}
+}

@@ -1,0 +1,78 @@
+// Delegation example (paper Sections 4.2 and 4.2.2): restricted
+// delegation with depth bounds, and D1LP threshold structures — a bank
+// accepts a customer's credit when three credit bureaus concur.
+//
+//	go run ./examples/delegation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lbtrust"
+)
+
+func main() {
+	sys := lbtrust.NewSystem()
+	names := []string{"bank", "b1", "b2", "b3", "broker", "subbroker"}
+	ps := map[string]*lbtrust.Principal{}
+	for _, n := range names {
+		p, err := sys.AddPrincipal(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ps[n] = p
+	}
+
+	// --- Threshold structure: creditOK requires 3-of-n bureaus ---------
+	if err := lbtrust.ApplyD1LP(ps["bank"], `delegates creditOK to threshold(3, creditBureau)`); err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range []string{"b1", "b2", "b3"} {
+		if err := ps["bank"].JoinGroup(b, "creditBureau"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	vote := func(bureau string) {
+		if err := ps[bureau].Say("bank", `creditOK(carol).`); err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Sync(); err != nil {
+			log.Fatal(err)
+		}
+		rows, _ := ps["bank"].Query(`creditOK(carol)`)
+		fmt.Printf("after %s's vote: creditOK(carol) = %v\n", bureau, len(rows) > 0)
+	}
+	vote("b1")
+	vote("b2")
+	vote("b3")
+
+	// --- Depth-restricted delegation chain ------------------------------
+	fmt.Println("\ndepth-restricted delegation: bank -> broker (depth 1) -> subbroker")
+	for _, n := range []string{"bank", "broker", "subbroker"} {
+		if err := ps[n].EnableDelegation(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := lbtrust.ApplyD1LP(ps["bank"], `delegates rating^1 to broker`); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Sync(); err != nil {
+		log.Fatal(err)
+	}
+	// broker may delegate once more (consuming the bound)...
+	if err := lbtrust.ApplyD1LP(ps["broker"], `delegates rating to subbroker`); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Sync(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("broker delegated rating to subbroker: allowed (bound 1 -> 0)")
+	// ...but subbroker is at depth 0 and may not continue the chain.
+	err := lbtrust.ApplyD1LP(ps["subbroker"], `delegates rating to b1`)
+	if err != nil {
+		fmt.Printf("subbroker re-delegation rejected: %v\n", err)
+	} else {
+		log.Fatal("depth bound was not enforced")
+	}
+}

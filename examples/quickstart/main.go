@@ -1,0 +1,65 @@
+// Quickstart: two principals exchange an RSA-authenticated statement.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lbtrust"
+)
+
+func main() {
+	sys := lbtrust.NewSystem()
+	alice, err := sys.AddPrincipal("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob, err := sys.AddPrincipal("bob")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Establish RSA identities and switch both ends to signed messages.
+	for _, name := range []string{"alice", "bob"} {
+		if err := sys.EstablishRSA(name); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, p := range []*lbtrust.Principal{alice, bob} {
+		if err := p.UseScheme(lbtrust.SchemeRSA); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// bob trusts what is said to him (the paper's says1 rule), and holds
+	// some local data.
+	if err := bob.TrustAll(); err != nil {
+		log.Fatal(err)
+	}
+	if err := bob.LoadProgram(`temperature(office, 21). temperature(lab, 17).`); err != nil {
+		log.Fatal(err)
+	}
+
+	// alice exports a *rule* to bob: Binder-style rule communication. The
+	// rule runs in bob's context over bob's data.
+	if err := alice.Say("bob", `cold(Room) <- temperature(Room, T), T < 19.`); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Sync(); err != nil {
+		log.Fatal(err)
+	}
+
+	rows, err := bob.Query(`cold(Room)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bob evaluated alice's rule; cold rooms:")
+	for _, r := range rows {
+		fmt.Printf("  cold%s\n", r)
+	}
+
+	// Show the authenticated channel state.
+	fmt.Printf("bob imported %d signed statement(s) from alice\n", bob.Count("import"))
+}

@@ -1,0 +1,293 @@
+// Package bench contains the workload generators and measurement harness
+// that regenerate the paper's evaluation (Figure 2) and the ablation
+// experiments listed in DESIGN.md. The cmd/lbtrust-bench tool prints the
+// same series the paper reports; bench_test.go wraps the same harness in
+// testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"lbtrust/internal/core"
+	"lbtrust/internal/datalog"
+	"lbtrust/internal/sendlog"
+	"lbtrust/internal/workspace"
+)
+
+// Figure2Point is one x/y point of Figure 2: execution time for a run
+// exchanging Messages authenticated messages between alice and bob.
+type Figure2Point struct {
+	Messages int
+	Duration time.Duration
+}
+
+// Figure2Series is one curve of Figure 2 (one authentication scheme).
+type Figure2Series struct {
+	Scheme core.Scheme
+	Points []Figure2Point
+}
+
+// Figure2Setup prepares the two-principal system of the paper's micro
+// benchmark (Section 6): alice and bob on one node, keys established, the
+// given scheme active on both, bob trusting alice's statements.
+func Figure2Setup(scheme core.Scheme) (*core.System, *core.Principal, *core.Principal, error) {
+	sys := core.NewSystem()
+	alice, err := sys.AddPrincipal("alice")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	bob, err := sys.AddPrincipal("bob")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	switch scheme {
+	case core.SchemeRSA:
+		if err := sys.EstablishRSA("alice"); err != nil {
+			return nil, nil, nil, err
+		}
+		if err := sys.EstablishRSA("bob"); err != nil {
+			return nil, nil, nil, err
+		}
+	case core.SchemeHMAC:
+		if err := sys.EstablishSharedSecret("alice", "bob"); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	for _, p := range []*core.Principal{alice, bob} {
+		if err := p.UseScheme(scheme); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	if err := bob.TrustAll(); err != nil {
+		return nil, nil, nil, err
+	}
+	return sys, alice, bob, nil
+}
+
+// Messages generates n distinct message facts, the paper's export/import
+// workload.
+func Messages(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("msg(%d).", i)
+	}
+	return out
+}
+
+// RunFigure2Point executes one run: alice says n messages to bob, the
+// runtime ships them, bob verifies and imports them. Each message incurs
+// one signature generation at alice and one verification at bob, matching
+// the paper's description. It returns the execution time and verifies that
+// all messages arrived.
+func RunFigure2Point(scheme core.Scheme, n int) (time.Duration, error) {
+	sys, alice, bob, err := Figure2Setup(scheme)
+	if err != nil {
+		return 0, err
+	}
+	msgs := Messages(n)
+	start := time.Now()
+	if err := alice.SayAll("bob", msgs); err != nil {
+		return 0, err
+	}
+	if err := sys.Sync(); err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	if got := bob.Count("msg"); got != n {
+		return 0, fmt.Errorf("bench: bob imported %d of %d messages", got, n)
+	}
+	return elapsed, nil
+}
+
+// RunFigure2 sweeps message counts for one scheme.
+func RunFigure2(scheme core.Scheme, counts []int) (*Figure2Series, error) {
+	s := &Figure2Series{Scheme: scheme}
+	for _, n := range counts {
+		d, err := RunFigure2Point(scheme, n)
+		if err != nil {
+			return nil, fmt.Errorf("bench: scheme %s, %d messages: %w", scheme, n, err)
+		}
+		s.Points = append(s.Points, Figure2Point{Messages: n, Duration: d})
+	}
+	return s, nil
+}
+
+// ---- ablation workloads -----------------------------------------------------
+
+// ChainEdges generates a length-n chain graph for transitive closure.
+func ChainEdges(n int) []datalog.Tuple {
+	out := make([]datalog.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, datalog.Tuple{
+			datalog.Sym(fmt.Sprintf("v%d", i)),
+			datalog.Sym(fmt.Sprintf("v%d", i+1)),
+		})
+	}
+	return out
+}
+
+// TCProgram is the transitive-closure workload used by the engine
+// ablations.
+const TCProgram = `
+path(X,Y) <- edge(X,Y).
+path(X,Z) <- path(X,Y), edge(Y,Z).
+`
+
+// RunTC evaluates transitive closure over a chain of n edges, naive or
+// semi-naive (ablation A1). It returns the evaluation time and the number
+// of derived paths.
+func RunTC(n int, naive bool) (time.Duration, int, error) {
+	prog := datalog.MustParseProgram(TCProgram)
+	db := datalog.NewDatabase()
+	edge := db.Rel("edge", 2)
+	for _, t := range ChainEdges(n) {
+		edge.Insert(t)
+	}
+	ev := datalog.NewEvaluator(db, datalog.NewBuiltinSet())
+	ev.Naive = naive
+	if err := ev.SetRules(prog.Rules); err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	if err := ev.Run(); err != nil {
+		return 0, 0, err
+	}
+	elapsed := time.Since(start)
+	rel, _ := db.Get("path")
+	return elapsed, rel.Len(), nil
+}
+
+// RunIncremental measures inserting extra edges one at a time into an
+// evaluated chain, either with semi-naive deltas or by re-running full
+// evaluation after each insert (ablation A2).
+func RunIncremental(base, inserts int, incremental bool) (time.Duration, error) {
+	prog := datalog.MustParseProgram(TCProgram)
+	db := datalog.NewDatabase()
+	edge := db.Rel("edge", 2)
+	for _, t := range ChainEdges(base) {
+		edge.Insert(t)
+	}
+	ev := datalog.NewEvaluator(db, datalog.NewBuiltinSet())
+	if err := ev.SetRules(prog.Rules); err != nil {
+		return 0, err
+	}
+	if err := ev.Run(); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < inserts; i++ {
+		t := datalog.Tuple{
+			datalog.Sym(fmt.Sprintf("w%d", i)),
+			datalog.Sym(fmt.Sprintf("v%d", i%base)),
+		}
+		edge.Insert(t)
+		if incremental {
+			if err := ev.RunDelta(map[string][]datalog.Tuple{"edge": {t}}); err != nil {
+				return 0, err
+			}
+		} else {
+			if err := ev.Run(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return time.Since(start), nil
+}
+
+// RunMetaConstraintLoad measures adding n rules to a workspace with or
+// without the Section 3.3 owner/access meta-constraint installed
+// (ablation A3).
+func RunMetaConstraintLoad(n int, withConstraint bool) (time.Duration, error) {
+	w := workspace.New("alice")
+	if withConstraint {
+		if err := w.LoadProgram(`
+			mcr: owner([| A <- P(T2*), A*. |], U) -> access(U,P,read).
+		`); err != nil {
+			return 0, err
+		}
+		if err := w.Update(func(tx *workspace.Tx) error {
+			for i := 0; i < n; i++ {
+				if err := tx.Assert(fmt.Sprintf("access(alice, src%d, read)", i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	err := w.Update(func(tx *workspace.Tx) error {
+		for i := 0; i < n; i++ {
+			if err := tx.AddRuleSrc(fmt.Sprintf("out%d(X) <- src%d(X)", i, i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return time.Since(start), err
+}
+
+// RunGoalDirected measures answering path(v0, X) on a chain, either with
+// the magic-sets rewrite (goal-directed, ablation A5 / paper §7) or by
+// full bottom-up evaluation of the all-pairs closure.
+func RunGoalDirected(n int, magic bool) (time.Duration, int, error) {
+	prog := datalog.MustParseProgram(TCProgram)
+	db := datalog.NewDatabase()
+	edge := db.Rel("edge", 2)
+	for _, t := range ChainEdges(n) {
+		edge.Insert(t)
+	}
+	query := &datalog.Atom{Pred: "path", Args: []datalog.Term{
+		datalog.Const{Val: datalog.Sym("v0")}, datalog.Var("X"),
+	}}
+	start := time.Now()
+	var answers []datalog.Tuple
+	var err error
+	if magic {
+		answers, err = datalog.QueryWithMagic(db, prog.Rules, query, datalog.NewBuiltinSet())
+	} else {
+		ev := datalog.NewEvaluator(db, datalog.NewBuiltinSet())
+		if err = ev.SetRules(prog.Rules); err == nil {
+			if err = ev.Run(); err == nil {
+				answers, err = ev.Query(query)
+			}
+		}
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), len(answers), nil
+}
+
+// RunSeNDlogReachability builds a ring of n nodes and runs the
+// authenticated reachability protocol (ablation A6 / Section 5.2 scaling).
+func RunSeNDlogReachability(n int, scheme core.Scheme) (time.Duration, error) {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("n%d", i)
+	}
+	nw, err := sendlog.NewNetwork(names, scheme)
+	if err != nil {
+		return 0, err
+	}
+	for i := range names {
+		if err := nw.AddLink(names[i], names[(i+1)%n]); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	if err := nw.RunReachability(); err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	ok, err := nw.Reachable(names[0], names[n/2])
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("bench: ring reachability incomplete")
+	}
+	return elapsed, nil
+}

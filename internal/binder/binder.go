@@ -1,0 +1,154 @@
+// Package binder implements the Binder trust-management language
+// (DeTreville 2002) on top of LBTrust, the first case study of Section 5
+// of the paper. Binder is Datalog plus the says construct and
+// communication across contexts; each principal's context is an LBTrust
+// workspace, and "bob says p(...)" body literals compile to says patterns
+// over quoted code, exactly as the paper's bex1' shows.
+package binder
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Compile translates Binder surface syntax into LBTrust source. The
+// transformation rewrites every body literal of the form
+//
+//	bob says access(P,O,read)
+//
+// into
+//
+//	says(bob, me, [| access(P,O,read) |])
+//
+// Heads and other literals pass through unchanged; Binder's ":-" arrow is
+// already accepted by the LBTrust parser.
+func Compile(src string) (string, error) {
+	var out strings.Builder
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '"': // string literal: copy verbatim
+			j := i + 1
+			for j < n && src[j] != '"' {
+				if src[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= n {
+				return "", fmt.Errorf("binder: unterminated string literal")
+			}
+			out.WriteString(src[i : j+1])
+			i = j + 1
+		case c == '%' || (c == '/' && i+1 < n && src[i+1] == '/'): // comment
+			j := i
+			for j < n && src[j] != '\n' {
+				j++
+			}
+			out.WriteString(src[i:j])
+			i = j
+		case isWordStart(c):
+			word, j := scanWord(src, i)
+			// Lookahead: word "says" atom?
+			k := skipSpace(src, j)
+			if w2, k2 := scanWord(src, k); w2 == "says" {
+				atomStart := skipSpace(src, k2)
+				atomEnd, err := scanAtom(src, atomStart)
+				if err != nil {
+					return "", fmt.Errorf("binder: after %q says: %w", word, err)
+				}
+				fmt.Fprintf(&out, "says(%s, me, [| %s |])", word, src[atomStart:atomEnd])
+				i = atomEnd
+				continue
+			}
+			out.WriteString(word)
+			i = j
+		default:
+			out.WriteByte(c)
+			i++
+		}
+	}
+	return out.String(), nil
+}
+
+func isWordStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isWordPart(c byte) bool {
+	return isWordStart(c) || (c >= '0' && c <= '9')
+}
+
+// scanWord reads an identifier (with qualified colon segments) starting at
+// i; returns the word and the index after it. Returns "" when i does not
+// start a word.
+func scanWord(src string, i int) (string, int) {
+	if i >= len(src) || !isWordStart(src[i]) {
+		return "", i
+	}
+	j := i + 1
+	for j < len(src) {
+		if isWordPart(src[j]) {
+			j++
+			continue
+		}
+		if src[j] == ':' && j+1 < len(src) && isWordPart(src[j+1]) && src[j+1] != '_' {
+			j += 2
+			continue
+		}
+		break
+	}
+	return src[i:j], j
+}
+
+func skipSpace(src string, i int) int {
+	for i < len(src) && (src[i] == ' ' || src[i] == '\t' || src[i] == '\n' || src[i] == '\r') {
+		i++
+	}
+	return i
+}
+
+// scanAtom reads a predicate application pred(args...) with balanced
+// parentheses starting at i and returns the index after it.
+func scanAtom(src string, i int) (int, error) {
+	_, j := scanWord(src, i)
+	if j == i {
+		return 0, fmt.Errorf("expected a predicate at %q", tail(src, i))
+	}
+	j = skipSpace(src, j)
+	if j >= len(src) || src[j] != '(' {
+		return 0, fmt.Errorf("expected '(' after predicate at %q", tail(src, i))
+	}
+	depth := 0
+	for j < len(src) {
+		switch src[j] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				return j + 1, nil
+			}
+		case '"':
+			j++
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\\' {
+					j++
+				}
+				j++
+			}
+		}
+		j++
+	}
+	return 0, fmt.Errorf("unbalanced parentheses at %q", tail(src, i))
+}
+
+func tail(src string, i int) string {
+	end := i + 24
+	if end > len(src) {
+		end = len(src)
+	}
+	return src[i:end]
+}

@@ -1,0 +1,127 @@
+package binder
+
+import (
+	"strings"
+	"testing"
+
+	"lbtrust/internal/core"
+)
+
+func TestCompileSaysRewrite(t *testing.T) {
+	got, err := Compile(`access(P,O,read) :- bob says access(P,O,read).`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	want := `access(P,O,read) :- says(bob, me, [| access(P,O,read) |]).`
+	if got != want {
+		t.Errorf("compiled = %q, want %q", got, want)
+	}
+}
+
+func TestCompileLeavesPlainRulesAlone(t *testing.T) {
+	src := `b1: access(P,O,read) :- good(P).`
+	got, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if got != src {
+		t.Errorf("compiled = %q, want unchanged", got)
+	}
+}
+
+func TestCompileStringsAndComments(t *testing.T) {
+	src := `p("bob says hi"). % bob says nothing here
+q(X) :- alice says r(X).`
+	got, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if !strings.Contains(got, `p("bob says hi")`) {
+		t.Error("string literal must not be rewritten")
+	}
+	if !strings.Contains(got, "% bob says nothing here") {
+		t.Error("comment must not be rewritten")
+	}
+	if !strings.Contains(got, `says(alice, me, [| r(X) |])`) {
+		t.Error("says literal should be rewritten")
+	}
+}
+
+func TestCompileVariablePrincipal(t *testing.T) {
+	got, err := Compile(`reach(D) :- W says reach(D).`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if !strings.Contains(got, `says(W, me, [| reach(D) |])`) {
+		t.Errorf("variable principal should compile: %q", got)
+	}
+}
+
+func TestCompileNestedParens(t *testing.T) {
+	got, err := Compile(`ok :- bob says f(g(X), "a)b").`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if !strings.Contains(got, `[| f(g(X), "a)b") |]`) {
+		t.Errorf("nested parens mishandled: %q", got)
+	}
+}
+
+// TestPaperSection22 runs the paper's b1/b2 example end to end: alice
+// grants read access to good principals and to anyone bob vouches for.
+func TestPaperSection22(t *testing.T) {
+	sys := core.NewSystem()
+	aliceP, err := sys.AddPrincipal("alice")
+	if err != nil {
+		t.Fatalf("alice: %v", err)
+	}
+	bobP, err := sys.AddPrincipal("bob")
+	if err != nil {
+		t.Fatalf("bob: %v", err)
+	}
+	if err := sys.EstablishRSA("alice"); err != nil {
+		t.Fatalf("rsa: %v", err)
+	}
+	if err := sys.EstablishRSA("bob"); err != nil {
+		t.Fatalf("rsa: %v", err)
+	}
+	if err := aliceP.UseScheme(core.SchemeRSA); err != nil {
+		t.Fatalf("scheme: %v", err)
+	}
+	if err := bobP.UseScheme(core.SchemeRSA); err != nil {
+		t.Fatalf("scheme: %v", err)
+	}
+
+	alice := NewContext(aliceP)
+	bob := NewContext(bobP)
+	// The paper's b1 leaves O unconstrained ("any object"), which is not
+	// range-restricted; grounding over the object table expresses the same
+	// policy safely.
+	err = alice.Load(`
+		b1: access(P,O,read) :- good(P), object(O).
+		b2: access(P,O,read) :- bob says access(P,O,read).
+		good(carol).
+		object(file1).
+	`)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	// carol is good: b1 grants.
+	if n, _ := alice.Query(`access(carol, O, read)`); n == 0 {
+		t.Error("b1 should grant carol access")
+	}
+	// bob vouches for dave with a signed certificate.
+	if err := bob.Say("alice", `access(dave, file1, read).`); err != nil {
+		t.Fatalf("bob say: %v", err)
+	}
+	if err := sys.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if n, _ := alice.Query(`access(dave, file1, read)`); n != 1 {
+		t.Error("b2 should grant dave access via bob's certificate")
+	}
+	// eve has no certificate.
+	if n, _ := alice.Query(`access(eve, file1, read)`); n != 0 {
+		t.Error("eve must not have access")
+	}
+}

@@ -1,0 +1,44 @@
+package binder
+
+import (
+	"lbtrust/internal/core"
+)
+
+// Context is a Binder context: a principal's workspace accepting Binder
+// surface syntax. The paper maps Binder contexts to LogicBlox workspaces
+// (Section 5.1).
+type Context struct {
+	p *core.Principal
+}
+
+// NewContext wraps an LBTrust principal as a Binder context.
+func NewContext(p *core.Principal) *Context { return &Context{p: p} }
+
+// Principal returns the underlying LBTrust principal.
+func (c *Context) Principal() *core.Principal { return c.p }
+
+// Load compiles and installs a Binder program into the context.
+func (c *Context) Load(binderSrc string) error {
+	lb, err := Compile(binderSrc)
+	if err != nil {
+		return err
+	}
+	return c.p.LoadProgram(lb)
+}
+
+// Say exports a Binder statement (a fact or rule) to another context,
+// signed by the active authentication scheme: Binder's certificate
+// issuance.
+func (c *Context) Say(to, clause string) error {
+	lb, err := Compile(clause)
+	if err != nil {
+		return err
+	}
+	return c.p.Say(to, lb)
+}
+
+// Query evaluates an atom pattern in the context.
+func (c *Context) Query(src string) (int, error) {
+	rows, err := c.p.Query(src)
+	return len(rows), err
+}

@@ -1,0 +1,158 @@
+// Package core implements LBTrust itself: the security constructs of
+// Section 4 of the paper (authentication via says, authenticated
+// communication with reconfigurable schemes, authorization, speaks-for and
+// restricted delegation, thresholds) composed from the Datalog, meta, and
+// crypto substrates. The constructs are genuine rule sets in the LBTrust
+// language, loaded into per-principal workspaces; Go code only wires
+// workspaces, key stores, and the distribution runtime together.
+package core
+
+// BaseProgram is installed in every principal's workspace: the says
+// predicate (says0 of Section 4.1), the partitioned export relation (exp0)
+// and the import rule (exp2), which are shared by all authentication
+// schemes. The paper's says1 rule (activate anything said to me) is NOT
+// included: composed with delegation it would activate every sender's
+// statements, so it is the opt-in TrustAllProgram instead; Binder-style
+// policies reference says(U, me, ...) explicitly.
+const BaseProgram = `
+says0: says(U1,U2,R) -> prin(U1), prin(U2), rule(R).
+so0: saysOut(U2,R) -> prin(U2), rule(R).
+exp0: export[U1](U2,R,S) -> prin(U1), prin(U2), rule(R), string(S).
+imp0: import[U1](U2,R,S) -> prin(U1), prin(U2), rule(R), string(S).
+exp2: says(U,me,R) <- import[me](U,R,S).
+`
+
+// TrustAllProgram is the paper's says1 rule: every rule said to the local
+// principal becomes active. It expresses an open, fully trusting context.
+const TrustAllProgram = `
+says1: active(R) <- says(_, me, R).
+`
+
+// Scheme selects how says is authenticated on the wire (Section 4.1.2 of
+// the paper). Schemes are rule sets; switching schemes swaps two clauses
+// (the export signer and the import verifier) and leaves every policy that
+// uses says untouched.
+type Scheme string
+
+// The three schemes of the paper's evaluation (Figure 2).
+const (
+	// SchemePlaintext appends no signature: cleartext principal headers.
+	SchemePlaintext Scheme = "plaintext"
+	// SchemeHMAC signs each rule with a 160-bit HMAC-SHA1 tag under a
+	// pairwise shared secret.
+	SchemeHMAC Scheme = "hmac"
+	// SchemeRSA signs each rule with a 1024-bit RSA signature.
+	SchemeRSA Scheme = "rsa"
+)
+
+// schemeDef carries the signer rules and verifier constraint of a scheme.
+// Each scheme signs two outbound relations: says(me,U2,R) statements and
+// saysOut(U2,R) statements. saysOut is outbound-only — it never derives
+// from incoming says — which lets reply rules (for example the Section 9
+// threshold variant, whose vote aggregation reads says) remain
+// stratifiable.
+type schemeDef struct {
+	signer    string // exp1 variant over says
+	signerOut string // exp1b variant over saysOut
+	verifier  string // exp3 variant (a constraint)
+}
+
+var schemes = map[Scheme]schemeDef{
+	// exp1''/exp3'': no signature beyond the cleartext header.
+	SchemePlaintext: {
+		signer:    `exp1: export[U2](me,R,S) <- says(me,U2,R), U2 != me, S = "plain".`,
+		signerOut: `exp1b: export[U2](me,R,S) <- saysOut(U2,R), U2 != me, S = "plain".`,
+		verifier:  `exp3: says(U,me,R) -> U = me; import[me](U,R,S).`,
+	},
+	// exp1'/exp3' of Section 4.1.2.
+	SchemeHMAC: {
+		signer:    `exp1: export[U2](me,R,S) <- says(me,U2,R), U2 != me, sharedsecret(me,U2,K), hmacsign(R,K,S).`,
+		signerOut: `exp1b: export[U2](me,R,S) <- saysOut(U2,R), U2 != me, sharedsecret(me,U2,K), hmacsign(R,K,S).`,
+		verifier:  `exp3: says(U,me,R) -> U = me; import[me](U,R,S), sharedsecret(me,U,K), hmacverify(R,S,K).`,
+	},
+	// exp1/exp3 of Section 4.1.1.
+	SchemeRSA: {
+		signer:    `exp1: export[U2](me,R,S) <- says(me,U2,R), U2 != me, rsasign(R,S,K), rsaprivkey(me,K).`,
+		signerOut: `exp1b: export[U2](me,R,S) <- saysOut(U2,R), U2 != me, rsasign(R,S,K), rsaprivkey(me,K).`,
+		verifier:  `exp3: says(U,me,R) -> U = me; import[me](U,R,S), rsapubkey(U,K), rsaverify(R,S,K).`,
+	},
+}
+
+// DelegationProgram implements Section 4.2: the delegates predicate with
+// generated speaks-for rules (del0/del1), and delegation depth restriction
+// (dd0-dd4).
+//
+// The paper's dd2/dd3 as printed do not propagate inferred depths across
+// contexts (the receiving principal's rules never match facts whose first
+// argument is the sender). We implement the stated semantics: a declared
+// depth is communicated to the delegatee (dd2x), each further delegation
+// decrements the received bound (dd3), and a zero bound forbids delegation
+// (dd4, verbatim from the paper). See DESIGN.md.
+const DelegationProgram = `
+del0: delegates(U1,U2,P) -> prin(U1), prin(U2), predicate(P).
+del1: active([| active(R) <- says(U2, me, R), R = [| P(T*) <- A*. |]. |]) <-
+	delegates(me, U2, P).
+
+dd0: delDepth(U1,U2,P,N) -> prin(U1), prin(U2), predicate(P), int[64](N).
+dd1: inferredDelDepth(U1,U2,P,N) -> prin(U1), prin(U2), predicate(P), int[64](N).
+dd2: inferredDelDepth(me,U,P,N) <- delDepth(me,U,P,N).
+dd2x: says(me,U,[| inferredDelDepth(me,U,P,N). |]) <- delDepth(me,U,P,N).
+dd3: says(me,U3,[| inferredDelDepth(me,U3,P,N-1). |]) <-
+	inferredDelDepth(_,me,P,N), delegates(me,U3,P), N > 0.
+dd4: inferredDelDepth(_,me,P,0) -> !delegates(me,_,P).
+ddAct: active(R) <- says(U, me, R), R = [| inferredDelDepth(U, me, P, N). |].
+ddPred: predicate(P) <- inferredDelDepth(_,_,P,_).
+`
+
+// WidthProgram restricts delegation width (Section 4.2.1): only principals
+// in the named group may appear in the delegation chain. The paper leaves
+// the meta-rules to the reader ("Similar meta-rules can be formulated");
+// these follow the same propagation shape as depth.
+const WidthProgram = `
+dw0: delWidth(U1,U2,P,G) -> prin(U1), prin(U2), predicate(P).
+dw1: inferredDelWidth(U1,U2,P,G) -> prin(U1), prin(U2), predicate(P).
+dw2: inferredDelWidth(me,U,P,G) <- delWidth(me,U,P,G).
+dw2x: says(me,U,[| inferredDelWidth(me,U,P,G). |]) <- delWidth(me,U,P,G).
+dw3: says(me,U3,[| inferredDelWidth(me,U3,P,G). |]) <-
+	inferredDelWidth(_,me,P,G), delegates(me,U3,P).
+dw4: inferredDelWidth(_,me,P,G), delegates(me,U,P) -> pringroup(U,G).
+dwAct: active(R) <- says(U, me, R), R = [| inferredDelWidth(U, me, P, G). |].
+dwPred: predicate(P) <- inferredDelWidth(_,_,P,_).
+`
+
+// AuthorizationProgram installs the Section 4.1 read/write authorization
+// meta-constraints: rules said to me may only read predicates their sender
+// may read and only write predicates their sender may write. Facts are
+// rules with heads, so saying a fact requires mayWrite on its predicate.
+const AuthorizationProgram = `
+ar1: says(U, me, [| A <- P(T*), A*. |]) -> U = me; mayRead(U,P).
+ar2: says(U, me, [| P(T*) <- A*. |]) -> U = me; mayWrite(U,P).
+`
+
+// PullProgram converts top-down "pull" requests into two pushes
+// (Section 5.1, pull0/pull1). Our pull1 answers a request with the
+// requested rule when it is present in the local active table, which keeps
+// the generated response safe; see DESIGN.md for the deviation note.
+const PullProgram = `
+pull0: says(me,X,[| request(R). |]) <- active([| A <- says(X,me,R), A*. |]), X != me.
+pull1: says(me,X,R) <- says(X,me,[| request(R). |]), active(R).
+`
+
+// ThresholdTemplate is the Section 4.2.2 unweighted threshold structure:
+// an operation is authorized when at least K of the principals in a group
+// concur. Instantiated per predicate by d1lp.Threshold.
+const ThresholdTemplate = `
+wd1: %[1]s(C) <- lbThresholdCount:%[1]s(C,N), N >= %[2]d.
+wd2: lbThresholdCount:%[1]s(C,N) <- agg<<N = count(U)>>
+	pringroup(U, %[3]s),
+	says(U, me, [| %[1]s(C). |]).
+`
+
+// WeightedThresholdTemplate generalizes to weighted delegation: principals
+// carry reliability weights and the total must reach the threshold.
+const WeightedThresholdTemplate = `
+wt1: %[1]s(C) <- lbThresholdWeight:%[1]s(C,N), N >= %[2]d.
+wt2: lbThresholdWeight:%[1]s(C,N) <- agg<<N = total(W)>>
+	reliability(U, W),
+	says(U, me, [| %[1]s(C). |]).
+`

@@ -1,0 +1,359 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"lbtrust/internal/datalog"
+	"lbtrust/internal/dist"
+	"lbtrust/internal/lbcrypto"
+	"lbtrust/internal/workspace"
+)
+
+// System is a set of LBTrust principals wired to a distribution runtime.
+// Each principal owns a workspace (its Binder-style context) and a key
+// store holding its private material plus peers' public material. By
+// default all principals share one in-memory node, matching the paper's
+// single-host evaluation; AddNode places principals on further (possibly
+// TCP-connected) nodes.
+type System struct {
+	mu         sync.Mutex
+	runtime    *dist.Runtime
+	network    *dist.MemNetwork
+	defaultNd  *dist.Node
+	principals map[string]*Principal
+	order      []string
+}
+
+// Principal is one LBTrust context: a workspace plus cryptographic
+// identity.
+type Principal struct {
+	name   string
+	sys    *System
+	ws     *workspace.Workspace
+	keys   *lbcrypto.KeyStore
+	scheme Scheme
+
+	schemeRules []datalog.Code // current exp1/exp1b, for reconfiguration
+}
+
+// NewSystem creates a system with a single in-memory node.
+func NewSystem() *System {
+	s := &System{
+		runtime:    dist.NewRuntime(),
+		network:    dist.NewMemNetwork(),
+		principals: map[string]*Principal{},
+	}
+	s.defaultNd = s.runtime.AddNode("local", s.network.Endpoint("local"))
+	// Export shipments arrive in the receiver's import relation (exp2
+	// reads import), keeping outbound derivation acyclic with inbound
+	// consumption.
+	s.runtime.SetDeliveryMap("export", "import")
+	return s
+}
+
+// Runtime exposes the distribution runtime.
+func (s *System) Runtime() *dist.Runtime { return s.runtime }
+
+// Network exposes the in-memory network (for transfer statistics).
+func (s *System) Network() *dist.MemNetwork { return s.network }
+
+// AddNode registers an additional in-memory node; principals can be placed
+// on it via AddPrincipalOn.
+func (s *System) AddNode(name string) *dist.Node {
+	return s.runtime.AddNode(name, s.network.Endpoint(name))
+}
+
+// AddPrincipal creates a principal on the default node with the plaintext
+// scheme.
+func (s *System) AddPrincipal(name string) (*Principal, error) {
+	return s.AddPrincipalOn(name, s.defaultNd)
+}
+
+// AddPrincipalOn creates a principal hosted on the given node. The base
+// program (says/export/import) is installed and prin facts are exchanged
+// with all existing principals.
+func (s *System) AddPrincipalOn(name string, node *dist.Node) (*Principal, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.principals[name]; ok {
+		return nil, fmt.Errorf("core: principal %s already exists", name)
+	}
+	p := &Principal{
+		name:   name,
+		sys:    s,
+		ws:     workspace.New(name),
+		keys:   lbcrypto.NewKeyStore(),
+		scheme: SchemePlaintext,
+	}
+	lbcrypto.Register(p.ws.Builtins(), p.keys)
+	if err := p.ws.LoadProgram(BaseProgram); err != nil {
+		return nil, fmt.Errorf("core: base program: %w", err)
+	}
+	if err := p.installScheme(SchemePlaintext); err != nil {
+		return nil, err
+	}
+	// Exchange prin facts with every existing principal.
+	names := append([]string{name}, s.order...)
+	sort.Strings(names)
+	if err := p.ws.Update(func(tx *workspace.Tx) error {
+		for _, n := range names {
+			if err := tx.Assert(fmt.Sprintf("prin(%s)", n)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, other := range s.principals {
+		if err := other.ws.Update(func(tx *workspace.Tx) error {
+			return tx.Assert(fmt.Sprintf("prin(%s)", name))
+		}); err != nil {
+			return nil, err
+		}
+	}
+	s.principals[name] = p
+	s.order = append(s.order, name)
+	node.AddPrincipal(p.ws)
+	return p, nil
+}
+
+// Principal returns a principal by name.
+func (s *System) Principal(name string) (*Principal, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.principals[name]
+	return p, ok
+}
+
+// Principals returns all principal names in creation order.
+func (s *System) Principals() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string{}, s.order...)
+}
+
+// EstablishRSA generates (or reuses) the principal's RSA identity and
+// distributes the public key to every other principal: the rsapubkey facts
+// and key material peers need to verify its signatures.
+func (s *System) EstablishRSA(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.principals[name]
+	if !ok {
+		return fmt.Errorf("core: unknown principal %s", name)
+	}
+	if err := p.keys.GenerateRSA(name); err != nil {
+		return err
+	}
+	key, _ := p.keys.RSAKey(name)
+	if err := p.ws.Update(func(tx *workspace.Tx) error {
+		if err := tx.Assert(fmt.Sprintf("rsaprivkey(me, %s)", lbcrypto.PrivHandle(name))); err != nil {
+			return err
+		}
+		return tx.Assert(fmt.Sprintf("rsapubkey(%s, %s)", name, lbcrypto.PubHandle(name)))
+	}); err != nil {
+		return err
+	}
+	for _, other := range s.principals {
+		if other == p {
+			continue
+		}
+		other.keys.ImportRSAPublic(name, &key.PublicKey)
+		if err := other.ws.Update(func(tx *workspace.Tx) error {
+			return tx.Assert(fmt.Sprintf("rsapubkey(%s, %s)", name, lbcrypto.PubHandle(name)))
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EstablishSharedSecret creates a symmetric secret between two principals
+// and records the sharedsecret facts on both sides (the HMAC scheme's key
+// distribution, Section 4.1.2).
+func (s *System) EstablishSharedSecret(a, b string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pa, ok := s.principals[a]
+	if !ok {
+		return fmt.Errorf("core: unknown principal %s", a)
+	}
+	pb, ok := s.principals[b]
+	if !ok {
+		return fmt.Errorf("core: unknown principal %s", b)
+	}
+	if err := pa.keys.GenerateShared(a, b); err != nil {
+		return err
+	}
+	secret, _ := pa.keys.Shared(a, b)
+	pb.keys.SetShared(a, b, secret)
+	handle := lbcrypto.SharedHandle(a, b)
+	for _, pair := range [][2]*Principal{{pa, pb}, {pb, pa}} {
+		self, peer := pair[0], pair[1]
+		if err := self.ws.Update(func(tx *workspace.Tx) error {
+			return tx.Assert(fmt.Sprintf("sharedsecret(me, %s, %s)", peer.name, handle))
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync pumps the distribution runtime until no more tuples move (multi-hop
+// protocols need one round per hop).
+func (s *System) Sync() error { return s.runtime.Sync(1000) }
+
+// ---- principal methods -----------------------------------------------------
+
+// Name returns the principal's name.
+func (p *Principal) Name() string { return p.name }
+
+// Workspace exposes the underlying workspace.
+func (p *Principal) Workspace() *workspace.Workspace { return p.ws }
+
+// Keys exposes the principal's key store.
+func (p *Principal) Keys() *lbcrypto.KeyStore { return p.keys }
+
+// Scheme returns the current authentication scheme.
+func (p *Principal) Scheme() Scheme { return p.scheme }
+
+// TrustAll installs the paper's says1 rule: every rule said to this
+// principal becomes active. Appropriate for benign environments; selective
+// alternatives are speaks-for and delegation.
+func (p *Principal) TrustAll() error { return p.ws.LoadProgram(TrustAllProgram) }
+
+// ForgetCommunication retracts all received export and asserted says base
+// facts, clearing the communication history. Used when reconfiguring the
+// authentication scheme on a receiver: history signed under the old scheme
+// no longer verifies; the sender's swapped signer re-signs and re-ships it.
+func (p *Principal) ForgetCommunication() error {
+	// Collect outside the transaction: the workspace lock is held inside.
+	history := map[string][]datalog.Tuple{}
+	for _, pred := range []string{"export", "import", "says", "saysOut"} {
+		history[pred] = p.ws.BaseFacts(pred)
+	}
+	return p.ws.Update(func(tx *workspace.Tx) error {
+		for pred, tuples := range history {
+			for _, t := range tuples {
+				if err := tx.RetractTuple(pred, t); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// UseScheme reconfigures the authentication scheme by swapping the signer
+// rule (exp1) and verifier constraint (exp3) — the two-clause change the
+// paper highlights in Section 4.1.2. Policies using says are untouched.
+func (p *Principal) UseScheme(sc Scheme) error {
+	if _, ok := schemes[sc]; !ok {
+		return fmt.Errorf("core: unknown scheme %q", sc)
+	}
+	if sc == p.scheme {
+		return nil
+	}
+	return p.ws.Update(func(tx *workspace.Tx) error {
+		for _, code := range p.schemeRules {
+			if err := tx.RemoveRule(code); err != nil {
+				return err
+			}
+		}
+		tx.RemoveConstraint("exp3")
+		if err := p.installSchemeTx(tx, sc); err != nil {
+			return err
+		}
+		return nil
+	})
+}
+
+func (p *Principal) installScheme(sc Scheme) error {
+	return p.ws.Update(func(tx *workspace.Tx) error { return p.installSchemeTx(tx, sc) })
+}
+
+func (p *Principal) installSchemeTx(tx *workspace.Tx, sc Scheme) error {
+	def := schemes[sc]
+	p.schemeRules = nil
+	for _, src := range []string{def.signer, def.signerOut} {
+		signer, err := datalog.ParseClause(src)
+		if err != nil {
+			return fmt.Errorf("core: scheme %s signer: %w", sc, err)
+		}
+		if err := tx.AddRule(signer); err != nil {
+			return err
+		}
+		// Track the installed signers' codes for later removal. The code
+		// value is me-specialized inside the workspace, so recompute it
+		// the same way.
+		p.schemeRules = append(p.schemeRules, workspace.SpecializeCode(signer, datalog.Sym(p.name)))
+	}
+	if err := tx.AddConstraintSrc(def.verifier); err != nil {
+		return err
+	}
+	p.scheme = sc
+	return nil
+}
+
+// LoadProgram installs an LBTrust program into the principal's context.
+func (p *Principal) LoadProgram(src string) error { return p.ws.LoadProgram(src) }
+
+// Say asserts says(me, to, [| clause |]): the principal states a rule or
+// fact to another principal. The active scheme signs and exports it on the
+// next Sync.
+func (p *Principal) Say(to string, clause string) error {
+	r, err := datalog.ParseClause(clause)
+	if err != nil {
+		return err
+	}
+	return p.ws.Update(func(tx *workspace.Tx) error {
+		return tx.AssertAtom(&datalog.Atom{
+			Pred: "says",
+			Args: []datalog.Term{
+				datalog.Const{Val: datalog.Me},
+				datalog.Const{Val: datalog.Sym(to)},
+				datalog.Quote{Pat: r},
+			},
+		})
+	})
+}
+
+// SayAll asserts many clauses to the same destination in one transaction,
+// which the Figure 2 benchmark uses to batch message workloads.
+func (p *Principal) SayAll(to string, clauses []string) error {
+	rules := make([]*datalog.Rule, len(clauses))
+	for i, c := range clauses {
+		r, err := datalog.ParseClause(c)
+		if err != nil {
+			return err
+		}
+		rules[i] = r
+	}
+	return p.ws.Update(func(tx *workspace.Tx) error {
+		for _, r := range rules {
+			if err := tx.AssertAtom(&datalog.Atom{
+				Pred: "says",
+				Args: []datalog.Term{
+					datalog.Const{Val: datalog.Me},
+					datalog.Const{Val: datalog.Sym(to)},
+					datalog.Quote{Pat: r},
+				},
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Query evaluates an atom pattern in the principal's context.
+func (p *Principal) Query(src string) ([]datalog.Tuple, error) { return p.ws.Query(src) }
+
+// Count returns the number of tuples of a predicate.
+func (p *Principal) Count(pred string) int { return p.ws.Count(pred) }
+
+// Update opens a transaction on the principal's workspace.
+func (p *Principal) Update(fn func(tx *workspace.Tx) error) error { return p.ws.Update(fn) }

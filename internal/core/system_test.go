@@ -1,0 +1,457 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lbtrust/internal/datalog"
+	"lbtrust/internal/workspace"
+)
+
+// twoPrincipals builds alice and bob on one node with the given scheme and
+// whatever key material it needs.
+func twoPrincipals(t *testing.T, scheme Scheme) (*System, *Principal, *Principal) {
+	t.Helper()
+	sys := NewSystem()
+	alice, err := sys.AddPrincipal("alice")
+	if err != nil {
+		t.Fatalf("alice: %v", err)
+	}
+	bob, err := sys.AddPrincipal("bob")
+	if err != nil {
+		t.Fatalf("bob: %v", err)
+	}
+	switch scheme {
+	case SchemeRSA:
+		if err := sys.EstablishRSA("alice"); err != nil {
+			t.Fatalf("rsa alice: %v", err)
+		}
+		if err := sys.EstablishRSA("bob"); err != nil {
+			t.Fatalf("rsa bob: %v", err)
+		}
+	case SchemeHMAC:
+		if err := sys.EstablishSharedSecret("alice", "bob"); err != nil {
+			t.Fatalf("shared secret: %v", err)
+		}
+	}
+	for _, p := range []*Principal{alice, bob} {
+		if err := p.UseScheme(scheme); err != nil {
+			t.Fatalf("scheme %s for %s: %v", scheme, p.Name(), err)
+		}
+	}
+	return sys, alice, bob
+}
+
+func testSchemeRoundTrip(t *testing.T, scheme Scheme) {
+	sys, alice, bob := twoPrincipals(t, scheme)
+	if err := bob.TrustAll(); err != nil {
+		t.Fatalf("trust: %v", err)
+	}
+	// alice tells bob a fact; bob's says1 activates it.
+	if err := alice.Say("bob", `greeting(hello).`); err != nil {
+		t.Fatalf("say: %v", err)
+	}
+	if err := sys.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	got, err := bob.Query(`greeting(X)`)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(got) != 1 || got[0][0].Key() != datalog.Sym("hello").Key() {
+		t.Errorf("bob's greeting = %v, want [hello] (scheme %s)", got, scheme)
+	}
+	// The says fact at bob must record alice as the source.
+	says, _ := bob.Query(`says(alice, me, R)`)
+	if len(says) != 1 {
+		t.Errorf("bob has %d says facts from alice, want 1", len(says))
+	}
+}
+
+func TestPlaintextRoundTrip(t *testing.T) { testSchemeRoundTrip(t, SchemePlaintext) }
+func TestHMACRoundTrip(t *testing.T)      { testSchemeRoundTrip(t, SchemeHMAC) }
+func TestRSARoundTrip(t *testing.T)       { testSchemeRoundTrip(t, SchemeRSA) }
+
+func TestRuleExportBinderStyle(t *testing.T) {
+	// Binder's defining capability: exporting a rule, not just facts.
+	sys, alice, bob := twoPrincipals(t, SchemeRSA)
+	if err := bob.TrustAll(); err != nil {
+		t.Fatalf("trust: %v", err)
+	}
+	if err := bob.LoadProgram(`data(1). data(2).`); err != nil {
+		t.Fatalf("bob data: %v", err)
+	}
+	if err := alice.Say("bob", `doubled(X) <- data(X).`); err != nil {
+		t.Fatalf("say rule: %v", err)
+	}
+	if err := sys.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if got, _ := bob.Query(`doubled(X)`); len(got) != 2 {
+		t.Errorf("bob derived %d doubled facts, want 2 (imported rule should run)", len(got))
+	}
+}
+
+func TestForgedExportRejected(t *testing.T) {
+	sys, _, bob := twoPrincipals(t, SchemeRSA)
+	// Inject a forged import tuple directly into bob's context: exp2 would
+	// derive says(alice,bob,...), but exp3 must reject it since the
+	// signature does not verify.
+	forged := datalog.NewCode(datalog.MustParseClause(`evil(1).`))
+	err := bob.Update(func(tx *workspace.Tx) error {
+		return tx.AssertTuple("import", datalog.Tuple{
+			datalog.Sym("bob"), datalog.Sym("alice"), forged, datalog.String(strings.Repeat("00", 128)),
+		})
+	})
+	if err == nil {
+		t.Fatal("forged export should violate exp3")
+	}
+	if !strings.Contains(err.Error(), "exp3") {
+		t.Errorf("violation should cite exp3, got %v", err)
+	}
+	if err := sys.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if got, _ := bob.Query(`evil(X)`); len(got) != 0 {
+		t.Error("forged fact must not activate")
+	}
+}
+
+func TestWrongKeySignatureRejected(t *testing.T) {
+	// carol signs with her own key but claims to be alice.
+	sys, _, bob := twoPrincipals(t, SchemeRSA)
+	carol, err := sys.AddPrincipal("carol")
+	if err != nil {
+		t.Fatalf("carol: %v", err)
+	}
+	if err := sys.EstablishRSA("carol"); err != nil {
+		t.Fatalf("rsa carol: %v", err)
+	}
+	if err := carol.UseScheme(SchemeRSA); err != nil {
+		t.Fatalf("scheme: %v", err)
+	}
+	// Sign a rule with carol's key.
+	code := datalog.NewCode(datalog.MustParseClause(`imposter(1).`))
+	priv, _ := carol.Keys().RSAKey("carol")
+	sig, err := carol.Keys().SignRSA(code, priv)
+	if err != nil {
+		t.Fatalf("sign: %v", err)
+	}
+	// Inject into bob as if from alice.
+	err = bob.Update(func(tx *workspace.Tx) error {
+		return tx.AssertTuple("import", datalog.Tuple{
+			datalog.Sym("bob"), datalog.Sym("alice"), code, datalog.String(sig),
+		})
+	})
+	if err == nil {
+		t.Fatal("signature under the wrong principal's key must be rejected")
+	}
+}
+
+func TestSchemeReconfiguration(t *testing.T) {
+	// The paper's headline: changing schemes swaps two clauses and leaves
+	// policies untouched. The receiver drops history signed under the old
+	// scheme; the sender's new signer re-signs it, so after one Sync the
+	// history reappears under the new scheme.
+	sys, alice, bob := twoPrincipals(t, SchemePlaintext)
+	if err := bob.TrustAll(); err != nil {
+		t.Fatalf("trust: %v", err)
+	}
+	if err := alice.Say("bob", `m(1).`); err != nil {
+		t.Fatalf("say: %v", err)
+	}
+	if err := sys.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if got, _ := bob.Query(`m(1)`); len(got) != 1 {
+		t.Fatal("plaintext message lost")
+	}
+	// Upgrade both ends to HMAC.
+	if err := sys.EstablishSharedSecret("alice", "bob"); err != nil {
+		t.Fatalf("secret: %v", err)
+	}
+	if err := bob.ForgetCommunication(); err != nil {
+		t.Fatalf("forget: %v", err)
+	}
+	if err := bob.UseScheme(SchemeHMAC); err != nil {
+		t.Fatalf("bob hmac: %v", err)
+	}
+	if err := alice.UseScheme(SchemeHMAC); err != nil {
+		t.Fatalf("alice hmac: %v", err)
+	}
+	if err := alice.Say("bob", `m(2).`); err != nil {
+		t.Fatalf("say 2: %v", err)
+	}
+	if err := sys.Sync(); err != nil {
+		t.Fatalf("sync 2: %v", err)
+	}
+	// m(1) was re-signed under HMAC and re-shipped; m(2) is new traffic.
+	if got, _ := bob.Query(`m(1)`); len(got) != 1 {
+		t.Error("re-signed history should reappear after reconfiguration")
+	}
+	if got, _ := bob.Query(`m(2)`); len(got) != 1 {
+		t.Error("HMAC message lost after reconfiguration")
+	}
+	if alice.Scheme() != SchemeHMAC || bob.Scheme() != SchemeHMAC {
+		t.Error("scheme not recorded")
+	}
+}
+
+func TestDelegationAcrossContexts(t *testing.T) {
+	// alice delegates credit to bob; bob's says about credit are accepted,
+	// carol's are not.
+	sys, alice, bob := twoPrincipals(t, SchemePlaintext)
+	carol, err := sys.AddPrincipal("carol")
+	if err != nil {
+		t.Fatalf("carol: %v", err)
+	}
+	if err := alice.EnableDelegation(); err != nil {
+		t.Fatalf("enable delegation: %v", err)
+	}
+	if err := alice.Delegate("bob", "credit"); err != nil {
+		t.Fatalf("delegate: %v", err)
+	}
+	if err := bob.Say("alice", `credit(carol).`); err != nil {
+		t.Fatalf("bob say: %v", err)
+	}
+	if err := carol.Say("alice", `blacklisted(bob).`); err != nil {
+		t.Fatalf("carol say: %v", err)
+	}
+	if err := sys.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if got, _ := alice.Query(`credit(carol)`); len(got) != 1 {
+		t.Error("delegated credit fact should hold at alice")
+	}
+	if got, _ := alice.Query(`blacklisted(bob)`); len(got) != 0 {
+		t.Error("carol is not a delegate; her statement must not activate")
+	}
+}
+
+func TestDelegationDepthChain(t *testing.T) {
+	// alice -> bob with depth 1: bob may delegate to carol (consuming the
+	// bound), carol may not delegate further.
+	sys, alice, bob := twoPrincipals(t, SchemePlaintext)
+	carol, err := sys.AddPrincipal("carol")
+	if err != nil {
+		t.Fatalf("carol: %v", err)
+	}
+	dave, err := sys.AddPrincipal("dave")
+	if err != nil {
+		t.Fatalf("dave: %v", err)
+	}
+	_ = dave
+	for _, p := range []*Principal{alice, bob, carol} {
+		if err := p.EnableDelegation(); err != nil {
+			t.Fatalf("enable %s: %v", p.Name(), err)
+		}
+	}
+	if err := alice.Delegate("bob", "credit"); err != nil {
+		t.Fatalf("alice delegate: %v", err)
+	}
+	if err := alice.SetDelegationDepth("bob", "credit", 1); err != nil {
+		t.Fatalf("depth: %v", err)
+	}
+	if err := sys.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	// bob received inferredDelDepth(alice,bob,credit,1).
+	if got, _ := bob.Query(`inferredDelDepth(alice, me, credit, N)`); len(got) != 1 {
+		t.Fatalf("bob's inferred depth facts = %v, want 1", got)
+	}
+	// bob delegates to carol: allowed (1 > 0), carol receives bound 0.
+	if err := bob.Delegate("carol", "credit"); err != nil {
+		t.Fatalf("bob delegate: %v", err)
+	}
+	if err := sys.Sync(); err != nil {
+		t.Fatalf("sync 2: %v", err)
+	}
+	if got, _ := carol.Query(`inferredDelDepth(bob, me, credit, 0)`); len(got) != 1 {
+		t.Fatal("carol should hold a zero bound")
+	}
+	// carol delegating further violates dd4.
+	err = carol.Delegate("dave", "credit")
+	if err == nil {
+		t.Fatal("carol's delegation should violate the depth bound")
+	}
+	if !strings.Contains(err.Error(), "dd4") {
+		t.Errorf("violation should cite dd4, got %v", err)
+	}
+}
+
+func TestNonConformingDelegationDetectedLate(t *testing.T) {
+	// Section 4.2.1's "interesting case": a delegation exists before the
+	// depth restriction arrives; the propagated zero bound then flags the
+	// violating principal.
+	sys, alice, bob := twoPrincipals(t, SchemePlaintext)
+	carol, err := sys.AddPrincipal("carol")
+	if err != nil {
+		t.Fatalf("carol: %v", err)
+	}
+	_ = carol
+	for _, p := range []*Principal{alice, bob} {
+		if err := p.EnableDelegation(); err != nil {
+			t.Fatalf("enable %s: %v", p.Name(), err)
+		}
+	}
+	// bob already delegates credit to carol.
+	if err := bob.Delegate("carol", "credit"); err != nil {
+		t.Fatalf("bob delegate: %v", err)
+	}
+	// alice now delegates to bob with depth 0: bob must not delegate, but
+	// he already does. The violation surfaces at bob when the inferred
+	// bound arrives.
+	if err := alice.Delegate("bob", "credit"); err != nil {
+		t.Fatalf("alice delegate: %v", err)
+	}
+	if err := alice.SetDelegationDepth("bob", "credit", 0); err != nil {
+		t.Fatalf("depth: %v", err)
+	}
+	_ = sys.Sync() // the rejection is recorded, not fatal
+	node, _ := sys.Runtime().Node("local")
+	found := false
+	for _, rej := range node.Rejected() {
+		if rej.Target == "bob" && strings.Contains(rej.Err.Error(), "dd4") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("bob's non-conforming delegation should be rejected by dd4 on arrival of the bound")
+	}
+}
+
+func TestDelegationWidth(t *testing.T) {
+	sys, alice, bob := twoPrincipals(t, SchemePlaintext)
+	if _, err := sys.AddPrincipal("carol"); err != nil {
+		t.Fatalf("carol: %v", err)
+	}
+	for _, p := range []*Principal{alice, bob} {
+		if err := p.EnableDelegation(); err != nil {
+			t.Fatalf("enable: %v", err)
+		}
+		if err := p.EnableDelegationWidth(); err != nil {
+			t.Fatalf("enable width: %v", err)
+		}
+	}
+	// Chain restricted to group trusted; bob is in it, carol is not.
+	if err := bob.JoinGroup("bob", "trusted"); err != nil {
+		t.Fatalf("group: %v", err)
+	}
+	if err := alice.Delegate("bob", "credit"); err != nil {
+		t.Fatalf("delegate: %v", err)
+	}
+	if err := alice.SetDelegationWidth("bob", "credit", "trusted"); err != nil {
+		t.Fatalf("width: %v", err)
+	}
+	if err := sys.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	// bob delegating to carol violates dw4 (carol not in trusted) at bob.
+	err := bob.Delegate("carol", "credit")
+	if err == nil {
+		t.Fatal("delegation outside the width group must fail")
+	}
+	if !strings.Contains(err.Error(), "dw4") {
+		t.Errorf("violation should cite dw4, got %v", err)
+	}
+}
+
+func TestAuthorizationMayReadWrite(t *testing.T) {
+	sys, alice, bob := twoPrincipals(t, SchemePlaintext)
+	if err := bob.TrustAll(); err != nil {
+		t.Fatalf("trust: %v", err)
+	}
+	if err := bob.EnableAuthorization(); err != nil {
+		t.Fatalf("enable auth: %v", err)
+	}
+	if err := bob.GrantWrite("alice", "news"); err != nil {
+		t.Fatalf("grant: %v", err)
+	}
+	// alice may write news: accepted.
+	if err := alice.Say("bob", `news(sunny).`); err != nil {
+		t.Fatalf("say: %v", err)
+	}
+	if err := sys.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if got, _ := bob.Query(`news(sunny)`); len(got) != 1 {
+		t.Error("authorized write should land")
+	}
+	// alice may not write gossip: rejected at bob.
+	if err := alice.Say("bob", `gossip(juicy).`); err != nil {
+		t.Fatalf("say 2: %v", err)
+	}
+	_ = sys.Sync()
+	if got, _ := bob.Query(`gossip(juicy)`); len(got) != 0 {
+		t.Error("unauthorized write must be rejected")
+	}
+	node, _ := sys.Runtime().Node("local")
+	if len(node.Rejected()) == 0 {
+		t.Error("the rejection should be recorded")
+	}
+}
+
+func TestPullRequestResponse(t *testing.T) {
+	// pull0/pull1: alice's rule imports bob's data; the request/response
+	// pushes replace the top-down pull.
+	sys, alice, bob := twoPrincipals(t, SchemePlaintext)
+	if err := alice.EnablePull(); err != nil {
+		t.Fatalf("alice pull: %v", err)
+	}
+	if err := bob.EnablePull(); err != nil {
+		t.Fatalf("bob pull: %v", err)
+	}
+	// bob holds status(ok) as an active fact (his knowledge base).
+	if err := bob.Update(func(tx *workspace.Tx) error {
+		return tx.AddRuleSrc(`status(ok).`)
+	}); err != nil {
+		t.Fatalf("bob fact: %v", err)
+	}
+	// alice runs a rule that imports status(ok) from bob.
+	if err := alice.Update(func(tx *workspace.Tx) error {
+		return tx.AddRuleSrc(`healthy(bob) <- says(bob, me, [| status(ok). |]).`)
+	}); err != nil {
+		t.Fatalf("alice rule: %v", err)
+	}
+	if err := sys.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if got, _ := alice.Query(`healthy(bob)`); len(got) != 1 {
+		t.Error("pull rewrite should fetch bob's status and derive healthy(bob)")
+	}
+}
+
+func TestManyMessages(t *testing.T) {
+	// A miniature of the Figure 2 workload: N messages exported and
+	// imported with signatures.
+	sys, alice, bob := twoPrincipals(t, SchemeHMAC)
+	if err := bob.TrustAll(); err != nil {
+		t.Fatalf("trust: %v", err)
+	}
+	const n = 50
+	msgs := make([]string, n)
+	for i := range msgs {
+		msgs[i] = "msg(" + itoa(i) + ")."
+	}
+	if err := alice.SayAll("bob", msgs); err != nil {
+		t.Fatalf("say all: %v", err)
+	}
+	if err := sys.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if got := bob.Count("msg"); got != n {
+		t.Errorf("bob has %d msg facts, want %d", got, n)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

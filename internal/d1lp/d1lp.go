@@ -1,0 +1,99 @@
+// Package d1lp implements the Delegation Logic (D1LP, Li/Grosof/Feigenbaum)
+// constructs that the paper draws on (Section 4.2): restricted delegation
+// with depth bounds, width restrictions, and threshold structures, plus a
+// small statement syntax in D1LP style:
+//
+//	delegates credit to bob
+//	delegates credit^2 to bob               (depth-restricted)
+//	delegates credit to threshold(3, creditBureau)
+//	delegates credit to weighted(10)
+//
+// Statements compile onto the core delegation rule sets; thresholds
+// instantiate the Section 4.2.2 count/total aggregation templates.
+package d1lp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lbtrust/internal/core"
+)
+
+// InstallThreshold instantiates the unweighted k-of-n threshold structure
+// (paper wd0-wd2): pred(C) holds when at least k principals of the group
+// say pred(C).
+func InstallThreshold(p *core.Principal, pred string, k int, group string) error {
+	if k <= 0 {
+		return fmt.Errorf("d1lp: threshold must be positive, got %d", k)
+	}
+	return p.LoadProgram(fmt.Sprintf(core.ThresholdTemplate, pred, k, group))
+}
+
+// InstallWeightedThreshold instantiates the weighted variant: principals
+// carry reliability weights (the reliability relation) and the total
+// weight of concurring principals must reach min.
+func InstallWeightedThreshold(p *core.Principal, pred string, min int) error {
+	if min <= 0 {
+		return fmt.Errorf("d1lp: weighted threshold must be positive, got %d", min)
+	}
+	return p.LoadProgram(fmt.Sprintf(core.WeightedThresholdTemplate, pred, min))
+}
+
+// Apply parses and executes one D1LP-style delegation statement in the
+// principal's context.
+func Apply(p *core.Principal, stmt string) error {
+	fields := strings.Fields(strings.TrimSuffix(strings.TrimSpace(stmt), "."))
+	if len(fields) < 4 || fields[0] != "delegates" || fields[2] != "to" {
+		return fmt.Errorf("d1lp: want \"delegates <pred>[^depth] to <target>\", got %q", stmt)
+	}
+	// The target may contain spaces, e.g. threshold(3, creditBureau).
+	predPart, target := fields[1], strings.Join(fields[3:], "")
+
+	pred := predPart
+	depth := -1
+	if i := strings.IndexByte(predPart, '^'); i >= 0 {
+		pred = predPart[:i]
+		n, err := strconv.Atoi(predPart[i+1:])
+		if err != nil || n < 0 {
+			return fmt.Errorf("d1lp: bad depth in %q", predPart)
+		}
+		depth = n
+	}
+	if pred == "" {
+		return fmt.Errorf("d1lp: empty predicate in %q", stmt)
+	}
+
+	switch {
+	case strings.HasPrefix(target, "threshold(") && strings.HasSuffix(target, ")"):
+		args := strings.Split(target[len("threshold("):len(target)-1], ",")
+		if len(args) != 2 {
+			return fmt.Errorf("d1lp: threshold wants (k, group), got %q", target)
+		}
+		k, err := strconv.Atoi(strings.TrimSpace(args[0]))
+		if err != nil {
+			return fmt.Errorf("d1lp: bad threshold count in %q", target)
+		}
+		if depth >= 0 {
+			return fmt.Errorf("d1lp: depth bounds do not apply to threshold structures")
+		}
+		return InstallThreshold(p, pred, k, strings.TrimSpace(args[1]))
+	case strings.HasPrefix(target, "weighted(") && strings.HasSuffix(target, ")"):
+		minW, err := strconv.Atoi(strings.TrimSpace(target[len("weighted(") : len(target)-1]))
+		if err != nil {
+			return fmt.Errorf("d1lp: bad weight bound in %q", target)
+		}
+		if depth >= 0 {
+			return fmt.Errorf("d1lp: depth bounds do not apply to threshold structures")
+		}
+		return InstallWeightedThreshold(p, pred, minW)
+	default:
+		if err := p.Delegate(target, pred); err != nil {
+			return err
+		}
+		if depth >= 0 {
+			return p.SetDelegationDepth(target, pred, depth)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,137 @@
+package d1lp
+
+import (
+	"strings"
+	"testing"
+
+	"lbtrust/internal/core"
+)
+
+func system(t *testing.T, names ...string) (*core.System, map[string]*core.Principal) {
+	t.Helper()
+	sys := core.NewSystem()
+	ps := map[string]*core.Principal{}
+	for _, n := range names {
+		p, err := sys.AddPrincipal(n)
+		if err != nil {
+			t.Fatalf("principal %s: %v", n, err)
+		}
+		ps[n] = p
+	}
+	return sys, ps
+}
+
+func TestApplySimpleDelegation(t *testing.T) {
+	sys, ps := system(t, "alice", "bob")
+	if err := ps["alice"].EnableDelegation(); err != nil {
+		t.Fatalf("enable: %v", err)
+	}
+	if err := Apply(ps["alice"], `delegates credit to bob`); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if err := ps["bob"].Say("alice", `credit(carol).`); err != nil {
+		t.Fatalf("say: %v", err)
+	}
+	if err := sys.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if got, _ := ps["alice"].Query(`credit(carol)`); len(got) != 1 {
+		t.Error("delegation should accept bob's credit statement")
+	}
+}
+
+func TestApplyDepthBound(t *testing.T) {
+	sys, ps := system(t, "alice", "bob", "carol")
+	for _, n := range []string{"alice", "bob"} {
+		if err := ps[n].EnableDelegation(); err != nil {
+			t.Fatalf("enable %s: %v", n, err)
+		}
+	}
+	if err := Apply(ps["alice"], `delegates credit^0 to bob`); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if err := sys.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	// bob received a zero bound: delegating further must fail.
+	err := Apply(ps["bob"], `delegates credit to carol`)
+	if err == nil || !strings.Contains(err.Error(), "dd4") {
+		t.Errorf("depth-0 delegatee delegating should violate dd4, got %v", err)
+	}
+}
+
+func TestApplyThreshold(t *testing.T) {
+	sys, ps := system(t, "bank", "b1", "b2", "b3")
+	if err := Apply(ps["bank"], `delegates creditOK to threshold(3, creditBureau)`); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	for _, b := range []string{"b1", "b2", "b3"} {
+		if err := ps["bank"].JoinGroup(b, "creditBureau"); err != nil {
+			t.Fatalf("group: %v", err)
+		}
+	}
+	for i, b := range []string{"b1", "b2"} {
+		if err := ps[b].Say("bank", `creditOK(carol).`); err != nil {
+			t.Fatalf("say %d: %v", i, err)
+		}
+	}
+	if err := sys.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if got, _ := ps["bank"].Query(`creditOK(carol)`); len(got) != 0 {
+		t.Error("2 of 3 bureaus must not pass the threshold")
+	}
+	if err := ps["b3"].Say("bank", `creditOK(carol).`); err != nil {
+		t.Fatalf("say b3: %v", err)
+	}
+	if err := sys.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if got, _ := ps["bank"].Query(`creditOK(carol)`); len(got) != 1 {
+		t.Error("3 of 3 bureaus should pass the threshold")
+	}
+}
+
+func TestApplyWeightedThreshold(t *testing.T) {
+	sys, ps := system(t, "bank", "b1", "b2")
+	if err := Apply(ps["bank"], `delegates creditOK to weighted(10)`); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if err := ps["bank"].LoadProgram(`reliability(b1, 6). reliability(b2, 5).`); err != nil {
+		t.Fatalf("reliability: %v", err)
+	}
+	if err := ps["b1"].Say("bank", `creditOK(dave).`); err != nil {
+		t.Fatalf("say: %v", err)
+	}
+	if err := sys.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if got, _ := ps["bank"].Query(`creditOK(dave)`); len(got) != 0 {
+		t.Error("weight 6 must not reach bound 10")
+	}
+	if err := ps["b2"].Say("bank", `creditOK(dave).`); err != nil {
+		t.Fatalf("say: %v", err)
+	}
+	if err := sys.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if got, _ := ps["bank"].Query(`creditOK(dave)`); len(got) != 1 {
+		t.Error("combined weight 11 should reach bound 10")
+	}
+}
+
+func TestApplyParseErrors(t *testing.T) {
+	_, ps := system(t, "alice")
+	for _, bad := range []string{
+		"",
+		"delegates to bob",
+		"delegates credit bob",
+		"delegates credit^x to bob",
+		"delegates credit^2 to threshold(3, g)",
+		"delegates credit to threshold(x, g)",
+	} {
+		if err := Apply(ps["alice"], bad); err == nil {
+			t.Errorf("Apply(%q) should fail", bad)
+		}
+	}
+}

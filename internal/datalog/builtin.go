@@ -1,0 +1,141 @@
+package datalog
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnbound is returned by a built-in that requires more of its arguments
+// to be bound. Rules that trip this at runtime are join-order or safety
+// bugs; the safety checker prevents most of them statically.
+var ErrUnbound = errors.New("datalog: insufficient bound arguments for built-in")
+
+// Builtin is an externally defined predicate, such as a comparison or one
+// of the cryptographic primitives that the paper imports as
+// "application-defined libraries of custom predicates" (Section 3).
+type Builtin struct {
+	Name  string
+	Arity int
+	// NeedBound lists argument positions that must be bound before the
+	// built-in can run; remaining positions may be bound by it. Nil means
+	// all arguments must be bound. The join planner uses this to schedule
+	// binding built-ins such as rsasign as soon as their inputs are
+	// available.
+	NeedBound []int
+	// Eval receives argument values with nil at unbound positions and
+	// returns all consistent full bindings. A bound-only builtin returns
+	// zero or one row equal to its input.
+	Eval func(args []Value) ([]Tuple, error)
+}
+
+// BuiltinSet is a registry of built-in predicates.
+type BuiltinSet struct {
+	m map[string]*Builtin
+}
+
+// NewBuiltinSet returns a registry preloaded with the base built-ins:
+// comparisons (=, !=, <, <=, >, >=) and type tests (int, string, bool,
+// float, uint treated as int).
+func NewBuiltinSet() *BuiltinSet {
+	s := &BuiltinSet{m: map[string]*Builtin{}}
+	for _, b := range baseBuiltins() {
+		s.Register(b)
+	}
+	return s
+}
+
+// Register adds or replaces a built-in.
+func (s *BuiltinSet) Register(b *Builtin) { s.m[b.Name] = b }
+
+// Get looks up a built-in by name.
+func (s *BuiltinSet) Get(name string) (*Builtin, bool) {
+	b, ok := s.m[name]
+	return b, ok
+}
+
+// Has reports whether name is a registered built-in.
+func (s *BuiltinSet) Has(name string) bool { _, ok := s.m[name]; return ok }
+
+// Clone copies the registry; used when specializing per-principal contexts.
+func (s *BuiltinSet) Clone() *BuiltinSet {
+	c := &BuiltinSet{m: make(map[string]*Builtin, len(s.m))}
+	for k, v := range s.m {
+		c.m[k] = v
+	}
+	return c
+}
+
+func baseBuiltins() []*Builtin {
+	cmp := func(name string, ok func(c int) bool) *Builtin {
+		return &Builtin{
+			Name:  name,
+			Arity: 2,
+			Eval: func(args []Value) ([]Tuple, error) {
+				if args[0] == nil || args[1] == nil {
+					return nil, fmt.Errorf("%w: %s", ErrUnbound, name)
+				}
+				if ok(CompareValues(args[0], args[1])) {
+					return []Tuple{{args[0], args[1]}}, nil
+				}
+				return nil, nil
+			},
+		}
+	}
+	kindTest := func(name string, k Kind) *Builtin {
+		return &Builtin{
+			Name:  name,
+			Arity: 1,
+			Eval: func(args []Value) ([]Tuple, error) {
+				if args[0] == nil {
+					return nil, fmt.Errorf("%w: %s", ErrUnbound, name)
+				}
+				if args[0].Kind() == k {
+					return []Tuple{{args[0]}}, nil
+				}
+				return nil, nil
+			},
+		}
+	}
+	eq := &Builtin{
+		Name:  "=",
+		Arity: 2,
+		Eval: func(args []Value) ([]Tuple, error) {
+			switch {
+			case args[0] != nil && args[1] != nil:
+				if ValueEqual(args[0], args[1]) {
+					return []Tuple{{args[0], args[1]}}, nil
+				}
+				return nil, nil
+			case args[0] != nil:
+				return []Tuple{{args[0], args[0]}}, nil
+			case args[1] != nil:
+				return []Tuple{{args[1], args[1]}}, nil
+			}
+			return nil, fmt.Errorf("%w: =", ErrUnbound)
+		},
+	}
+	return []*Builtin{
+		eq,
+		cmp("!=", func(c int) bool { return c != 0 }),
+		cmp("<", func(c int) bool { return c < 0 }),
+		cmp("<=", func(c int) bool { return c <= 0 }),
+		cmp(">", func(c int) bool { return c > 0 }),
+		cmp(">=", func(c int) bool { return c >= 0 }),
+		kindTest("int", KindInt),
+		kindTest("uint", KindInt),
+		kindTest("string", KindString),
+		kindTest("float", KindInt),
+	}
+}
+
+// bindingBuiltins names built-ins that can bind previously unbound
+// variables, which the safety checker treats as binding occurrences. The
+// cryptographic layer extends this set via RegisterBinding.
+var bindingBuiltins = map[string]bool{"=": true}
+
+// RegisterBinding marks a built-in as able to bind output arguments, for
+// the purposes of safety analysis.
+func RegisterBinding(name string) { bindingBuiltins[name] = true }
+
+// IsBindingBuiltin reports whether the named built-in can bind outputs.
+func IsBindingBuiltin(name string) bool { return bindingBuiltins[name] }

@@ -1,0 +1,358 @@
+package datalog
+
+import (
+	"fmt"
+)
+
+// EvalGroundTerm evaluates a term under an empty environment, as used for
+// the arguments of asserted facts. Quote terms become code values. It
+// reports whether the term was ground.
+func EvalGroundTerm(t Term) (Value, bool, error) { return evalTerm(t, newEnv()) }
+
+// env is a backtrackable variable binding environment used during joins.
+type env struct {
+	vals  map[string]Value
+	trail []string
+}
+
+func newEnv() *env { return &env{vals: map[string]Value{}} }
+
+func (e *env) get(name string) (Value, bool) {
+	v, ok := e.vals[name]
+	return v, ok
+}
+
+// bind sets name to v, or checks consistency if already bound. It reports
+// whether the binding is consistent.
+func (e *env) bind(name string, v Value) bool {
+	if old, ok := e.vals[name]; ok {
+		return ValueEqual(old, v)
+	}
+	e.vals[name] = v
+	e.trail = append(e.trail, name)
+	return true
+}
+
+func (e *env) mark() int { return len(e.trail) }
+
+func (e *env) undo(mark int) {
+	for i := len(e.trail) - 1; i >= mark; i-- {
+		delete(e.vals, e.trail[i])
+	}
+	e.trail = e.trail[:mark]
+}
+
+// evalTerm evaluates a term under the environment. It returns the value and
+// whether the term is ground. Quote terms instantiate their template with
+// the current bindings and are always ground (remaining variables become
+// variables of the generated clause, per the paper's meta-rules del1 and
+// pull0).
+func evalTerm(t Term, e *env) (Value, bool, error) {
+	switch t := t.(type) {
+	case Var:
+		if t.IsBlank() {
+			return nil, false, nil
+		}
+		v, ok := e.get(string(t))
+		return v, ok, nil
+	case Const:
+		return t.Val, true, nil
+	case Quote:
+		inst, err := instantiateTemplate(t.Pat, e)
+		if err != nil {
+			return nil, false, err
+		}
+		return NewCode(inst), true, nil
+	case Arith:
+		lv, lok, err := evalTerm(t.L, e)
+		if err != nil {
+			return nil, false, err
+		}
+		rv, rok, err := evalTerm(t.R, e)
+		if err != nil {
+			return nil, false, err
+		}
+		if !lok || !rok {
+			return nil, false, nil
+		}
+		li, lIsInt := lv.(Int)
+		ri, rIsInt := rv.(Int)
+		if !lIsInt || !rIsInt {
+			return nil, false, fmt.Errorf("arithmetic on non-integers %s %c %s", lv.String(), t.Op, rv.String())
+		}
+		switch t.Op {
+		case '+':
+			return Int(li + ri), true, nil
+		case '-':
+			return Int(li - ri), true, nil
+		case '*':
+			return Int(li * ri), true, nil
+		case '/':
+			if ri == 0 {
+				return nil, false, fmt.Errorf("division by zero")
+			}
+			return Int(li / ri), true, nil
+		}
+		return nil, false, fmt.Errorf("unknown arithmetic operator %c", t.Op)
+	case TermPart:
+		v, ok, err := evalTerm(t.Arg, e)
+		if err != nil || !ok {
+			return nil, ok, err
+		}
+		return PartRef{Pred: t.Pred, Arg: v}, true, nil
+	case StarVar:
+		return nil, false, fmt.Errorf("starred metavariable %s outside quoted code", t.String())
+	}
+	return nil, false, fmt.Errorf("unknown term type %T", t)
+}
+
+// matchTerm unifies a term with a value, extending the environment. It
+// reports whether the match succeeds.
+func matchTerm(t Term, v Value, e *env) (bool, error) {
+	switch t := t.(type) {
+	case Var:
+		if t.IsBlank() {
+			return true, nil
+		}
+		return e.bind(string(t), v), nil
+	case Const:
+		return ValueEqual(t.Val, v), nil
+	case Quote:
+		inst, err := instantiateTemplate(t.Pat, e)
+		if err != nil {
+			return false, err
+		}
+		return ValueEqual(NewCode(inst), v), nil
+	case Arith:
+		av, ok, err := evalTerm(t, e)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, fmt.Errorf("unbound arithmetic term %s in match position", t.String())
+		}
+		return ValueEqual(av, v), nil
+	case TermPart:
+		pr, ok := v.(PartRef)
+		if !ok || pr.Pred != t.Pred {
+			return false, nil
+		}
+		return matchTerm(t.Arg, pr.Arg, e)
+	case StarVar:
+		return false, fmt.Errorf("starred metavariable %s outside quoted code", t.String())
+	}
+	return false, fmt.Errorf("unknown term type %T", t)
+}
+
+// instantiateTemplate substitutes the environment's bindings into a quoted
+// clause template, producing a concrete clause. Unbound variables remain
+// variables of the generated clause. Metavariable functors bound to symbols
+// become concrete functors.
+func instantiateTemplate(pat *Rule, e *env) (*Rule, error) {
+	out := pat.Clone()
+	var substAtom func(a *Atom) error
+	var substTerm func(t Term) (Term, error)
+
+	substTerm = func(t Term) (Term, error) {
+		switch t := t.(type) {
+		case Var:
+			if t.IsBlank() {
+				return t, nil
+			}
+			if v, ok := e.get(string(t)); ok {
+				return Const{Val: v}, nil
+			}
+			return t, nil
+		case Const:
+			return t, nil
+		case StarVar:
+			return t, nil
+		case Quote:
+			inner, err := instantiateTemplate(t.Pat, e)
+			if err != nil {
+				return nil, err
+			}
+			return Quote{Pat: inner}, nil
+		case Arith:
+			l, err := substTerm(t.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := substTerm(t.R)
+			if err != nil {
+				return nil, err
+			}
+			// Fold when ground, so generated rules carry plain constants
+			// (the paper's dd3 generates inferredDelDepth(...,N-1) facts).
+			folded := Arith{Op: t.Op, L: l, R: r}
+			if v, ok, err := evalTerm(folded, newEnv()); err == nil && ok {
+				return Const{Val: v}, nil
+			}
+			return folded, nil
+		case TermPart:
+			a, err := substTerm(t.Arg)
+			if err != nil {
+				return nil, err
+			}
+			return TermPart{Pred: t.Pred, Arg: a}, nil
+		}
+		return nil, fmt.Errorf("unknown term type %T", t)
+	}
+
+	substAtom = func(a *Atom) error {
+		if a.PredVar != "" {
+			if v, ok := e.get(a.PredVar); ok {
+				s, isSym := v.(Sym)
+				if !isSym {
+					return fmt.Errorf("metavariable functor %s bound to non-symbol %s", a.PredVar, v.String())
+				}
+				a.Pred, a.PredVar = string(s), ""
+			}
+		}
+		if a.Part != nil {
+			p, err := substTerm(a.Part)
+			if err != nil {
+				return err
+			}
+			a.Part = p
+		}
+		for i, t := range a.Args {
+			nt, err := substTerm(t)
+			if err != nil {
+				return err
+			}
+			a.Args[i] = nt
+		}
+		return nil
+	}
+
+	for i := range out.Heads {
+		if err := substAtom(&out.Heads[i]); err != nil {
+			return nil, err
+		}
+	}
+	for i := range out.Body {
+		if err := substAtom(&out.Body[i].Atom); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// planBody orders body literals for joining: the forced literal (if any)
+// first, then greedily preferring fully bound negations and built-ins,
+// schedulable binding built-ins, and positive literals with the most bound
+// argument positions.
+func planBody(body []Literal, builtins *BuiltinSet, forced int) ([]int, error) {
+	n := len(body)
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	bound := map[string]bool{}
+
+	varsOf := func(a *Atom) map[string]bool {
+		vs := map[string]bool{}
+		for _, t := range a.AllArgs() {
+			collectTopVars(t, vs)
+		}
+		return vs
+	}
+	markBound := func(a *Atom) {
+		for v := range varsOf(a) {
+			bound[v] = true
+		}
+	}
+	termBound := func(t Term) bool {
+		vs := map[string]bool{}
+		collectTopVars(t, vs)
+		for v := range vs {
+			if !bound[v] {
+				return false
+			}
+		}
+		return true
+	}
+	// builtinReady reports whether a built-in literal's required input
+	// positions are fully bound. For "=", one side must be bound and the
+	// other must be a plain variable (equality binds variables; it does not
+	// invert arithmetic).
+	builtinReady := func(lit *Literal) bool {
+		args := lit.Atom.AllArgs()
+		if lit.Atom.Pred == "=" && len(args) == 2 {
+			_, lVar := args[0].(Var)
+			_, rVar := args[1].(Var)
+			return (termBound(args[0]) && (termBound(args[1]) || rVar)) ||
+				(termBound(args[1]) && (termBound(args[0]) || lVar))
+		}
+		b, ok := builtins.Get(lit.Atom.Pred)
+		if !ok || b.NeedBound == nil {
+			return false
+		}
+		for _, i := range b.NeedBound {
+			if i >= len(args) || !termBound(args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	if forced >= 0 {
+		order = append(order, forced)
+		used[forced] = true
+		markBound(&body[forced].Atom)
+	}
+
+	for len(order) < n {
+		best, bestScore := -1, -1
+		for j := 0; j < n; j++ {
+			if used[j] {
+				continue
+			}
+			lit := body[j]
+			vs := varsOf(&lit.Atom)
+			unboundCount := 0
+			for v := range vs {
+				if !bound[v] {
+					unboundCount++
+				}
+			}
+			isBuiltin := builtins.Has(lit.Atom.Pred)
+			score := -1
+			switch {
+			case lit.Negated && unboundCount == 0:
+				score = 95
+			case isBuiltin && unboundCount == 0:
+				score = 90
+			case isBuiltin && !lit.Negated && builtinReady(&lit):
+				score = 70
+			case !isBuiltin && !lit.Negated:
+				boundArgs := 0
+				args := lit.Atom.AllArgs()
+				for _, t := range args {
+					tvs := map[string]bool{}
+					collectTopVars(t, tvs)
+					allBound := true
+					for v := range tvs {
+						if !bound[v] {
+							allBound = false
+							break
+						}
+					}
+					if allBound {
+						boundArgs++
+					}
+				}
+				score = 10 + boundArgs
+			}
+			if score > bestScore {
+				best, bestScore = j, score
+			}
+		}
+		if best < 0 || bestScore < 0 {
+			return nil, fmt.Errorf("cannot order body literals (unbound negation or built-in?)")
+		}
+		order = append(order, best)
+		used[best] = true
+		markBound(&body[best].Atom)
+	}
+	return order, nil
+}

@@ -1,0 +1,247 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MagicSets rewrites a positive Datalog program for goal-directed
+// evaluation of a query atom, implementing the classic magic-sets
+// transformation (Bancilhon/Maier/Sagiv/Ullman 1986) that Section 7 of the
+// paper proposes for bridging top-down access-control evaluation with
+// bottom-up execution.
+//
+// The query's constant positions form the initial adornment; adornments
+// propagate through rule bodies left to right. The transformation returns
+// the rewritten rules (adorned rules guarded by magic predicates, magic
+// seed included) and the adorned query atom to evaluate against the
+// result. Only positive, non-aggregating rules are supported; callers fall
+// back to full evaluation otherwise.
+func MagicSets(rules []*Rule, query *Atom, builtins *BuiltinSet) ([]*Rule, *Atom, error) {
+	idb := map[string]bool{}
+	rulesByPred := map[string][]*Rule{}
+	for _, r := range rules {
+		for _, r1 := range r.SplitHeads() {
+			if r1.Agg != nil {
+				return nil, nil, fmt.Errorf("datalog: magic sets does not support aggregation")
+			}
+			for _, l := range r1.Body {
+				if l.Negated {
+					return nil, nil, fmt.Errorf("datalog: magic sets does not support negation")
+				}
+			}
+			h := r1.Heads[0].Pred
+			idb[h] = true
+			rulesByPred[h] = append(rulesByPred[h], r1)
+		}
+	}
+	if !idb[query.Pred] {
+		// Query over a base predicate needs no rewriting.
+		return rules, query, nil
+	}
+
+	qa := adornmentOf(query)
+	var out []*Rule
+	seen := map[string]bool{}
+	queue := []adornJob{{query.Pred, qa}}
+
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		key := j.pred + "#" + j.ad
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		for _, r := range rulesByPred[j.pred] {
+			adorned, more, err := adornRule(r, j.ad, idb, builtins)
+			if err != nil {
+				return nil, nil, err
+			}
+			out = append(out, adorned...)
+			queue = append(queue, more...)
+		}
+	}
+	// Magic seed: the query's bound arguments.
+	seedArgs := boundArgs(query.AllArgs(), qa)
+	out = append(out, &Rule{
+		Label: "magic-seed",
+		Heads: []Atom{{Pred: magicName(query.Pred, qa), Args: seedArgs}},
+	})
+	adornedQuery := *query
+	adornedQuery.Pred = adornedName(query.Pred, qa)
+	adornedQuery.Part = nil
+	adornedQuery.Args = query.AllArgs()
+	return out, &adornedQuery, nil
+}
+
+// adornmentOf marks constant argument positions bound.
+func adornmentOf(a *Atom) string {
+	var b strings.Builder
+	for _, t := range a.AllArgs() {
+		if isBoundTerm(t, map[string]bool{}) {
+			b.WriteByte('b')
+		} else {
+			b.WriteByte('f')
+		}
+	}
+	return b.String()
+}
+
+func isBoundTerm(t Term, bound map[string]bool) bool {
+	switch t := t.(type) {
+	case Const:
+		return true
+	case Var:
+		return !t.IsBlank() && bound[string(t)]
+	case Arith:
+		return isBoundTerm(t.L, bound) && isBoundTerm(t.R, bound)
+	case TermPart:
+		return isBoundTerm(t.Arg, bound)
+	case Quote:
+		return true
+	}
+	return false
+}
+
+func adornedName(pred, ad string) string { return pred + "#" + ad }
+func magicName(pred, ad string) string   { return "magic:" + pred + "#" + ad }
+
+// boundArgs selects the arguments at bound adornment positions.
+func boundArgs(args []Term, ad string) []Term {
+	var out []Term
+	for i, c := range ad {
+		if c == 'b' && i < len(args) {
+			out = append(out, args[i])
+		}
+	}
+	return out
+}
+
+// adornJob is a predicate/adornment pair awaiting rewriting.
+type adornJob struct {
+	pred string
+	ad   string
+}
+
+// adornRule rewrites one rule under a head adornment: the head becomes the
+// adorned predicate guarded by its magic predicate; IDB body literals
+// become adorned calls and contribute magic rules.
+func adornRule(r *Rule, headAd string, idb map[string]bool, builtins *BuiltinSet) ([]*Rule, []adornJob, error) {
+	head := r.Heads[0]
+	headArgs := head.AllArgs()
+	if len(headAd) != len(headArgs) {
+		return nil, nil, fmt.Errorf("datalog: adornment %s does not fit %s/%d", headAd, head.Pred, len(headArgs))
+	}
+	bound := map[string]bool{}
+	for i, c := range headAd {
+		if c == 'b' {
+			collectTopVars(headArgs[i], bound)
+		}
+	}
+
+	magicGuard := Literal{Atom: Atom{Pred: magicName(head.Pred, headAd), Args: boundArgs(headArgs, headAd)}}
+	newBody := []Literal{magicGuard}
+	var magicRules []*Rule
+	var jobs []adornJob
+
+	// Left-to-right sideways information passing.
+	for _, lit := range r.Body {
+		name := lit.Atom.Pred
+		if builtins != nil && builtins.Has(name) {
+			newBody = append(newBody, lit)
+			for _, t := range lit.Atom.AllArgs() {
+				collectTopVars(t, bound)
+			}
+			continue
+		}
+		if !idb[name] {
+			newBody = append(newBody, lit)
+			for _, t := range lit.Atom.AllArgs() {
+				collectTopVars(t, bound)
+			}
+			continue
+		}
+		// IDB literal: adorn by current bindings.
+		args := lit.Atom.AllArgs()
+		var ad strings.Builder
+		for _, t := range args {
+			if isBoundTerm(t, bound) {
+				ad.WriteByte('b')
+			} else {
+				ad.WriteByte('f')
+			}
+		}
+		adStr := ad.String()
+		// Magic rule: the bound arguments of this call are demanded
+		// whenever the preceding body prefix is satisfiable.
+		if strings.Contains(adStr, "b") {
+			magicRules = append(magicRules, &Rule{
+				Label: "magic:" + r.Label,
+				Heads: []Atom{{Pred: magicName(name, adStr), Args: boundArgs(args, adStr)}},
+				Body:  append([]Literal{}, newBody...),
+			})
+		} else {
+			// No bindings flow: demand everything via an unguarded magic
+			// fact is useless; seed with the full prefix anyway.
+			magicRules = append(magicRules, &Rule{
+				Label: "magic:" + r.Label,
+				Heads: []Atom{{Pred: magicName(name, adStr), Args: nil}},
+				Body:  append([]Literal{}, newBody...),
+			})
+		}
+		jobs = append(jobs, adornJob{name, adStr})
+		adLit := lit
+		adLit.Atom.Pred = adornedName(name, adStr)
+		adLit.Atom.Part = nil
+		adLit.Atom.Args = args
+		newBody = append(newBody, adLit)
+		for _, t := range args {
+			collectTopVars(t, bound)
+		}
+	}
+
+	adornedHead := head
+	adornedHead.Pred = adornedName(head.Pred, headAd)
+	adornedHead.Part = nil
+	adornedHead.Args = headArgs
+	adorned := &Rule{Label: r.Label + "#" + headAd, Heads: []Atom{adornedHead}, Body: newBody}
+	return append(magicRules, adorned), jobs, nil
+}
+
+// QueryWithMagic evaluates a query goal-directed: the program is rewritten
+// with magic sets, evaluated on a scratch copy of the extensional data,
+// and the adorned answers are returned. The source database is not
+// modified.
+func QueryWithMagic(db *Database, rules []*Rule, query *Atom, builtins *BuiltinSet) ([]Tuple, error) {
+	rewritten, adorned, err := MagicSets(rules, query, builtins)
+	if err != nil {
+		return nil, err
+	}
+	idb := map[string]bool{}
+	for _, r := range rewritten {
+		for i := range r.Heads {
+			idb[r.Heads[i].Pred] = true
+		}
+	}
+	scratch := NewDatabase()
+	for _, name := range db.Names() {
+		if idb[name] {
+			continue
+		}
+		rel, _ := db.Get(name)
+		dst := scratch.Rel(name, rel.Arity)
+		rel.Each(func(t Tuple) bool {
+			dst.Insert(t)
+			return true
+		})
+	}
+	ev := NewEvaluator(scratch, builtins)
+	if err := ev.SetRules(rewritten); err != nil {
+		return nil, err
+	}
+	if err := ev.Run(); err != nil {
+		return nil, err
+	}
+	return ev.Query(adorned)
+}

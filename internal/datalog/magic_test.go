@@ -1,0 +1,277 @@
+package datalog
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func tcDatabase(n int) (*Database, []*Rule) {
+	db := NewDatabase()
+	edge := db.Rel("edge", 2)
+	for i := 0; i < n; i++ {
+		edge.Insert(Tuple{Sym(fmt.Sprintf("v%d", i)), Sym(fmt.Sprintf("v%d", i+1))})
+	}
+	prog := MustParseProgram(`
+		path(X,Y) <- edge(X,Y).
+		path(X,Z) <- path(X,Y), edge(Y,Z).
+	`)
+	return db, prog.Rules
+}
+
+func TestMagicSetsGoalDirectedTC(t *testing.T) {
+	db, rules := tcDatabase(20)
+	q := &Atom{Pred: "path", Args: []Term{Const{Val: Sym("v0")}, Var("X")}}
+	got, err := QueryWithMagic(db, rules, q, NewBuiltinSet())
+	if err != nil {
+		t.Fatalf("magic query: %v", err)
+	}
+	if len(got) != 20 {
+		t.Errorf("path(v0, X) returned %d answers, want 20", len(got))
+	}
+	// The source database must be untouched (no path relation).
+	if _, ok := db.Get("path"); ok {
+		t.Error("magic evaluation must not write into the source database")
+	}
+}
+
+func TestMagicSetsMatchesFullEvaluation(t *testing.T) {
+	db, rules := tcDatabase(12)
+	// Full evaluation for reference.
+	full := NewEvaluator(db.Clone(), NewBuiltinSet())
+	if err := full.SetRules(rules); err != nil {
+		t.Fatalf("set rules: %v", err)
+	}
+	if err := full.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i := 0; i < 12; i++ {
+		q := &Atom{Pred: "path", Args: []Term{Const{Val: Sym(fmt.Sprintf("v%d", i))}, Var("X")}}
+		want, err := full.Query(q)
+		if err != nil {
+			t.Fatalf("full query: %v", err)
+		}
+		got, err := QueryWithMagic(db, rules, q, NewBuiltinSet())
+		if err != nil {
+			t.Fatalf("magic query: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Errorf("path(v%d, X): magic %d answers, full %d", i, len(got), len(want))
+		}
+	}
+}
+
+func TestMagicSetsBoundSecondArgument(t *testing.T) {
+	db, rules := tcDatabase(15)
+	q := &Atom{Pred: "path", Args: []Term{Var("X"), Const{Val: Sym("v15")}}}
+	got, err := QueryWithMagic(db, rules, q, NewBuiltinSet())
+	if err != nil {
+		t.Fatalf("magic query: %v", err)
+	}
+	if len(got) != 15 {
+		t.Errorf("path(X, v15) returned %d answers, want 15", len(got))
+	}
+}
+
+func TestMagicSetsTouchesFewerFacts(t *testing.T) {
+	// Goal-directed evaluation of one source on a long chain must derive
+	// far fewer paths than the quadratic all-pairs closure.
+	const n = 60
+	db, rules := tcDatabase(n)
+	rewritten, adorned, err := MagicSets(rules, &Atom{
+		Pred: "path",
+		Args: []Term{Const{Val: Sym(fmt.Sprintf("v%d", n-3))}, Var("X")},
+	}, NewBuiltinSet())
+	if err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	scratch := NewDatabase()
+	rel, _ := db.Get("edge")
+	dst := scratch.Rel("edge", 2)
+	rel.Each(func(tp Tuple) bool { dst.Insert(tp); return true })
+	ev := NewEvaluator(scratch, NewBuiltinSet())
+	if err := ev.SetRules(rewritten); err != nil {
+		t.Fatalf("set rules: %v", err)
+	}
+	if err := ev.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	answers, err := ev.Query(adorned)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(answers) != 3 {
+		t.Fatalf("answers = %d, want 3", len(answers))
+	}
+	derived := scratch.TupleCount() - n // minus the edges
+	allPairs := n * (n + 1) / 2
+	if derived >= allPairs/2 {
+		t.Errorf("magic evaluation derived %d tuples; all-pairs closure would be %d", derived, allPairs)
+	}
+}
+
+func TestMagicSetsRejectsNegation(t *testing.T) {
+	prog := MustParseProgram(`p(X) <- q(X), !r(X).`)
+	_, _, err := MagicSets(prog.Rules, &Atom{Pred: "p", Args: []Term{Const{Val: Sym("a")}}}, NewBuiltinSet())
+	if err == nil {
+		t.Error("negation should be rejected")
+	}
+}
+
+func TestMagicSetsEDBQueryPassThrough(t *testing.T) {
+	db, rules := tcDatabase(5)
+	q := &Atom{Pred: "edge", Args: []Term{Const{Val: Sym("v0")}, Var("X")}}
+	got, err := QueryWithMagic(db, rules, q, NewBuiltinSet())
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(got) != 1 {
+		t.Errorf("edge(v0, X) = %d answers, want 1", len(got))
+	}
+}
+
+// ---- property-based tests (testing/quick) ----------------------------------
+
+// TestPropertyCanonAlphaInvariance: renaming variables consistently never
+// changes a clause's canonical form.
+func TestPropertyCanonAlphaInvariance(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		v1 := Var(fmt.Sprintf("X%d", a%7))
+		v2 := Var(fmt.Sprintf("Y%d", b%7))
+		r1 := &Rule{
+			Heads: []Atom{{Pred: "p", Args: []Term{v1, v2}}},
+			Body:  []Literal{{Atom: Atom{Pred: "q", Args: []Term{v2, v1, Const{Val: Int(int64(c))}}}}},
+		}
+		// Systematic renaming.
+		r2 := &Rule{
+			Heads: []Atom{{Pred: "p", Args: []Term{Var("A"), Var("B")}}},
+			Body:  []Literal{{Atom: Atom{Pred: "q", Args: []Term{Var("B"), Var("A"), Const{Val: Int(int64(c))}}}}},
+		}
+		if v1 == v2 {
+			return true // degenerate collapse changes structure
+		}
+		return NewCode(r1).Key() == NewCode(r2).Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCanonReparse: the canonical form of a ground fact parses
+// back to an identical code value (the wire-format invariant).
+func TestPropertyCanonReparse(t *testing.T) {
+	f := func(n int64, s string) bool {
+		r := &Rule{Heads: []Atom{{Pred: "f", Args: []Term{
+			Const{Val: Int(n)},
+			Const{Val: String(s)},
+		}}}}
+		code := NewCode(r)
+		back, err := ParseClause(string(code.Canonical()))
+		if err != nil {
+			return false
+		}
+		return NewCode(back).Key() == code.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTupleKeyInjective: distinct tuples have distinct keys and
+// equal tuples equal keys.
+func TestPropertyTupleKeyInjective(t *testing.T) {
+	f := func(a, b int64, s1, s2 string) bool {
+		t1 := Tuple{Int(a), String(s1)}
+		t2 := Tuple{Int(b), String(s2)}
+		if a == b && s1 == s2 {
+			return t1.Key() == t2.Key()
+		}
+		return t1.Key() != t2.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRelationSetSemantics: inserting any sequence of tuples twice
+// yields the same relation as inserting it once.
+func TestPropertyRelationSetSemantics(t *testing.T) {
+	f := func(xs []int8) bool {
+		r1 := NewRelation("t", 1)
+		r2 := NewRelation("t", 1)
+		for _, x := range xs {
+			r1.Insert(Tuple{Int(x)})
+			r2.Insert(Tuple{Int(x)})
+			r2.Insert(Tuple{Int(x)})
+		}
+		if r1.Len() != r2.Len() {
+			return false
+		}
+		ok := true
+		r1.Each(func(t Tuple) bool {
+			if !r2.Contains(t) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTCMatchesReference: the engine's transitive closure on
+// random edge sets matches a plain Go reference implementation.
+func TestPropertyTCMatchesReference(t *testing.T) {
+	f := func(pairs []uint8) bool {
+		type edge struct{ a, b int }
+		var edges []edge
+		for i := 0; i+1 < len(pairs) && i < 20; i += 2 {
+			edges = append(edges, edge{int(pairs[i] % 8), int(pairs[i+1] % 8)})
+		}
+		// Reference closure.
+		reach := map[[2]int]bool{}
+		for _, e := range edges {
+			reach[[2]int{e.a, e.b}] = true
+		}
+		for changed := true; changed; {
+			changed = false
+			for xy := range reach {
+				for yz := range reach {
+					if xy[1] == yz[0] && !reach[[2]int{xy[0], yz[1]}] {
+						reach[[2]int{xy[0], yz[1]}] = true
+						changed = true
+					}
+				}
+			}
+		}
+		// Engine.
+		db := NewDatabase()
+		rel := db.Rel("edge", 2)
+		for _, e := range edges {
+			rel.Insert(Tuple{Int(e.a), Int(e.b)})
+		}
+		ev := NewEvaluator(db, NewBuiltinSet())
+		prog := MustParseProgram(`
+			path(X,Y) <- edge(X,Y).
+			path(X,Z) <- path(X,Y), edge(Y,Z).
+		`)
+		if err := ev.SetRules(prog.Rules); err != nil {
+			return false
+		}
+		if err := ev.Run(); err != nil {
+			return false
+		}
+		got, _ := db.Get("path")
+		n := 0
+		if got != nil {
+			n = got.Len()
+		}
+		return n == len(reach)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

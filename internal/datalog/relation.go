@@ -1,0 +1,256 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Relation is a set of tuples with a fixed arity, hash-keyed on the full
+// tuple and lazily indexed per column. Partitioned (curried) predicates
+// store the partition attribute as column 0 and are marked Partitioned so
+// the distribution layer can place their subsets on nodes (Sections 3.4 and
+// 3.5 of the paper).
+type Relation struct {
+	Name        string
+	Arity       int
+	Partitioned bool
+
+	rows    map[string]Tuple
+	indexes map[int]map[string]map[string]Tuple // col -> value key -> row key -> tuple
+}
+
+// NewRelation creates an empty relation.
+func NewRelation(name string, arity int) *Relation {
+	return &Relation{
+		Name:    name,
+		Arity:   arity,
+		rows:    map[string]Tuple{},
+		indexes: map[int]map[string]map[string]Tuple{},
+	}
+}
+
+// Len reports the number of tuples.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Contains reports whether the tuple is present.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.rows[t.Key()]
+	return ok
+}
+
+// Insert adds a tuple, reporting whether it was new.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.Arity {
+		panic(fmt.Sprintf("datalog: arity mismatch inserting %v into %s/%d", t, r.Name, r.Arity))
+	}
+	k := t.Key()
+	if _, ok := r.rows[k]; ok {
+		return false
+	}
+	r.rows[k] = t
+	for col, idx := range r.indexes {
+		vk := t[col].Key()
+		m := idx[vk]
+		if m == nil {
+			m = map[string]Tuple{}
+			idx[vk] = m
+		}
+		m[k] = t
+	}
+	return true
+}
+
+// Delete removes a tuple, reporting whether it was present.
+func (r *Relation) Delete(t Tuple) bool {
+	k := t.Key()
+	if _, ok := r.rows[k]; !ok {
+		return false
+	}
+	delete(r.rows, k)
+	for col, idx := range r.indexes {
+		vk := t[col].Key()
+		if m := idx[vk]; m != nil {
+			delete(m, k)
+			if len(m) == 0 {
+				delete(idx, vk)
+			}
+		}
+	}
+	return true
+}
+
+// Each calls fn for every tuple until fn returns false. The relation must
+// not be mutated during iteration.
+func (r *Relation) Each(fn func(Tuple) bool) {
+	for _, t := range r.rows {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// All returns all tuples in unspecified order.
+func (r *Relation) All() []Tuple {
+	out := make([]Tuple, 0, len(r.rows))
+	for _, t := range r.rows {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Sorted returns all tuples ordered by key, for deterministic output.
+func (r *Relation) Sorted() []Tuple {
+	out := r.All()
+	sort.Slice(out, func(i, j int) bool {
+		for k := 0; k < len(out[i]) && k < len(out[j]); k++ {
+			if c := CompareValues(out[i][k], out[j][k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// ensureIndex builds (once) a hash index on the column.
+func (r *Relation) ensureIndex(col int) map[string]map[string]Tuple {
+	if idx, ok := r.indexes[col]; ok {
+		return idx
+	}
+	idx := map[string]map[string]Tuple{}
+	for k, t := range r.rows {
+		vk := t[col].Key()
+		m := idx[vk]
+		if m == nil {
+			m = map[string]Tuple{}
+			idx[vk] = m
+		}
+		m[k] = t
+	}
+	r.indexes[col] = idx
+	return idx
+}
+
+// MatchEach iterates tuples whose columns equal the given bound values
+// (nil entries are wildcards). Among the bound columns it scans the most
+// selective index bucket, which keeps joins on partitioned relations
+// (whose partition column is a single huge bucket) linear overall.
+func (r *Relation) MatchEach(bound []Value, fn func(Tuple) bool) {
+	bestCol, bestSize := -1, -1
+	for col, v := range bound {
+		if v == nil {
+			continue
+		}
+		idx := r.ensureIndex(col)
+		size := len(idx[v.Key()])
+		if bestCol < 0 || size < bestSize {
+			bestCol, bestSize = col, size
+		}
+		if size == 0 {
+			return // no tuple can match
+		}
+	}
+	match := func(t Tuple) bool {
+		for col, v := range bound {
+			if v != nil && t[col].Key() != v.Key() {
+				return false
+			}
+		}
+		return true
+	}
+	if bestCol < 0 {
+		for _, t := range r.rows {
+			if !fn(t) {
+				return
+			}
+		}
+		return
+	}
+	idx := r.ensureIndex(bestCol)
+	for _, t := range idx[bound[bestCol].Key()] {
+		if match(t) {
+			if !fn(t) {
+				return
+			}
+		}
+	}
+}
+
+// Clear removes all tuples.
+func (r *Relation) Clear() {
+	r.rows = map[string]Tuple{}
+	r.indexes = map[int]map[string]map[string]Tuple{}
+}
+
+// Clone deep-copies the relation's rows (tuples are shared; they are
+// immutable).
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.Name, r.Arity)
+	c.Partitioned = r.Partitioned
+	for k, t := range r.rows {
+		c.rows[k] = t
+	}
+	return c
+}
+
+// Database is a set of relations keyed by predicate name. It is the
+// "workspace" storage of Section 3.1; the transactional layer lives in
+// internal/workspace.
+type Database struct {
+	rels map[string]*Relation
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database { return &Database{rels: map[string]*Relation{}} }
+
+// Rel returns the relation for name, creating it with the given arity if
+// absent. It panics if the name exists with a different arity, which
+// indicates a schema error upstream.
+func (db *Database) Rel(name string, arity int) *Relation {
+	if r, ok := db.rels[name]; ok {
+		if r.Arity != arity {
+			panic(fmt.Sprintf("datalog: predicate %s used with arity %d and %d", name, r.Arity, arity))
+		}
+		return r
+	}
+	r := NewRelation(name, arity)
+	db.rels[name] = r
+	return r
+}
+
+// Get returns the relation if it exists.
+func (db *Database) Get(name string) (*Relation, bool) {
+	r, ok := db.rels[name]
+	return r, ok
+}
+
+// Names returns all predicate names, sorted.
+func (db *Database) Names() []string {
+	out := make([]string, 0, len(db.rels))
+	for n := range db.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drop removes a relation entirely.
+func (db *Database) Drop(name string) { delete(db.rels, name) }
+
+// Clone deep-copies the database.
+func (db *Database) Clone() *Database {
+	c := NewDatabase()
+	for n, r := range db.rels {
+		c.rels[n] = r.Clone()
+	}
+	return c
+}
+
+// TupleCount returns the total number of stored tuples.
+func (db *Database) TupleCount() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Len()
+	}
+	return n
+}

@@ -1,0 +1,119 @@
+package datalog
+
+import (
+	"fmt"
+)
+
+// CheckSafety verifies the range-restriction conditions of Section 2.1 of
+// the paper for a single-headed rule:
+//
+//   - every variable in the head occurs in a positive body literal (or is
+//     the aggregation result);
+//   - every variable in a negated literal occurs in a positive literal;
+//   - built-ins that cannot bind outputs have all variables bound
+//     elsewhere.
+//
+// Variables inside quoted-code head templates are exempt: unbound template
+// variables remain variables of the generated rule, per the paper's del1
+// and pull0 meta-rules.
+func CheckSafety(r *Rule, builtins *BuiltinSet) error {
+	positive := map[string]bool{}
+	for _, l := range r.Body {
+		if l.Negated {
+			continue
+		}
+		name := l.Atom.Pred
+		binds := true
+		if builtins != nil && builtins.Has(name) {
+			binds = IsBindingBuiltin(name)
+		}
+		if !binds {
+			continue
+		}
+		for _, t := range l.Atom.AllArgs() {
+			collectTopVars(t, positive)
+		}
+		if l.Atom.PredVar != "" {
+			positive[l.Atom.PredVar] = true
+		}
+		if l.Atom.AtomVar != "" {
+			positive[l.Atom.AtomVar] = true
+		}
+	}
+	if r.Agg != nil {
+		positive[r.Agg.Result] = true
+		if !positive[r.Agg.Over] {
+			return fmt.Errorf("rule %s: aggregation variable %s not bound by body", r.Label, r.Agg.Over)
+		}
+	}
+	// Head variables.
+	for i := range r.Heads {
+		for _, t := range r.Heads[i].AllArgs() {
+			if err := checkHeadTerm(t, positive, r.Label); err != nil {
+				return err
+			}
+		}
+	}
+	// Negated literal variables.
+	for _, l := range r.Body {
+		if !l.Negated {
+			continue
+		}
+		vars := map[string]bool{}
+		for _, t := range l.Atom.AllArgs() {
+			collectTopVars(t, vars)
+		}
+		for v := range vars {
+			if isBlank(v) {
+				continue
+			}
+			if !positive[v] {
+				return fmt.Errorf("rule %s: variable %s occurs only in negated literal %s", r.Label, v, l.Atom.String())
+			}
+		}
+	}
+	return nil
+}
+
+func isBlank(v string) bool { return len(v) > 0 && v[0] == '_' }
+
+// collectTopVars gathers variables of a term, not descending into quoted
+// code (quote-internal variables belong to the generated rule's scope).
+func collectTopVars(t Term, into map[string]bool) {
+	switch t := t.(type) {
+	case Var:
+		if !t.IsBlank() {
+			into[string(t)] = true
+		}
+	case StarVar:
+		into[string(t)] = true
+	case Arith:
+		collectTopVars(t.L, into)
+		collectTopVars(t.R, into)
+	case TermPart:
+		collectTopVars(t.Arg, into)
+	}
+}
+
+func checkHeadTerm(t Term, positive map[string]bool, label string) error {
+	switch t := t.(type) {
+	case Var:
+		if t.IsBlank() {
+			return fmt.Errorf("rule %s: blank variable in head", label)
+		}
+		if !positive[string(t)] {
+			return fmt.Errorf("rule %s: head variable %s not bound by a positive body literal", label, t)
+		}
+	case Arith:
+		if err := checkHeadTerm(t.L, positive, label); err != nil {
+			return err
+		}
+		return checkHeadTerm(t.R, positive, label)
+	case TermPart:
+		return checkHeadTerm(t.Arg, positive, label)
+	case Quote:
+		// Template: unbound variables are intentional.
+		return nil
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stratification partitions the rules of a program into strata such that
+// negation and aggregation only consult strictly lower strata, giving the
+// standard perfect-model semantics for stratified Datalog (Ramakrishnan &
+// Ullman, which the paper follows).
+type Stratification struct {
+	// Strata[i] lists the rules of stratum i in input order.
+	Strata [][]*Rule
+	// PredStratum maps each intensional predicate to its stratum.
+	PredStratum map[string]int
+}
+
+// Stratify computes a stratification of the rules, ignoring built-ins. It
+// returns an error if negation or aggregation occurs through recursion.
+func Stratify(rules []*Rule, builtins *BuiltinSet) (*Stratification, error) {
+	type edge struct {
+		from, to string
+		negative bool
+	}
+	idb := map[string]bool{}
+	for _, r := range rules {
+		for i := range r.Heads {
+			if r.Heads[i].Pred != "" {
+				idb[r.Heads[i].Pred] = true
+			}
+		}
+	}
+	var edges []edge
+	preds := map[string]bool{}
+	for p := range idb {
+		preds[p] = true
+	}
+	for _, r := range rules {
+		for i := range r.Heads {
+			head := r.Heads[i].Pred
+			if head == "" {
+				continue
+			}
+			for _, l := range r.Body {
+				name := l.Atom.Pred
+				if name == "" || (builtins != nil && builtins.Has(name)) {
+					continue
+				}
+				preds[name] = true
+				// Aggregation behaves like negation: the whole body must be
+				// complete before the aggregate is taken.
+				neg := l.Negated || r.Agg != nil
+				edges = append(edges, edge{from: name, to: head, negative: neg})
+			}
+		}
+	}
+
+	names := make([]string, 0, len(preds))
+	for p := range preds {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	stratum := map[string]int{}
+	for _, p := range names {
+		stratum[p] = 0
+	}
+	// Bellman-Ford style iteration: stratum(head) >= stratum(body),
+	// strictly greater across negative edges. With n predicates, more than
+	// n*n improvements implies a negative cycle.
+	maxIter := len(names)*len(names) + 1
+	for iter := 0; ; iter++ {
+		changed := false
+		for _, e := range edges {
+			need := stratum[e.from]
+			if e.negative {
+				need++
+			}
+			if stratum[e.to] < need {
+				stratum[e.to] = need
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter > maxIter {
+			return nil, fmt.Errorf("datalog: program is not stratifiable (negation or aggregation through recursion)")
+		}
+	}
+	maxS := 0
+	for _, s := range stratum {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	st := &Stratification{
+		Strata:      make([][]*Rule, maxS+1),
+		PredStratum: stratum,
+	}
+	for _, r := range rules {
+		s := 0
+		for i := range r.Heads {
+			if r.Heads[i].Pred != "" {
+				if hs := stratum[r.Heads[i].Pred]; hs > s {
+					s = hs
+				}
+			}
+		}
+		st.Strata[s] = append(st.Strata[s], r)
+	}
+	return st, nil
+}

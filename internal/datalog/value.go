@@ -1,0 +1,246 @@
+// Package datalog implements the Datalog dialect underlying LBTrust: a
+// LogicBlox-flavored language with rules, schema constraints, currying
+// (partitioned predicates), aggregation, stratified negation, quoted code
+// terms, and a bottom-up semi-naive fixpoint engine with incremental
+// maintenance and a magic-sets rewrite for goal-directed evaluation.
+//
+// The package corresponds to the execution substrate described in Sections
+// 2.1 and 3.1-3.2 of "Declarative Reconfigurable Trust Management" (CIDR
+// 2009). Higher layers (internal/meta, internal/workspace, internal/core)
+// build the meta-programming and security constructs on top of it.
+package datalog
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates the kinds of runtime values in the LBTrust universe.
+type Kind uint8
+
+// Value kinds. Code values make rules first-class data, which is what the
+// says(U1,U2,R) construct of the paper transports between principals.
+const (
+	KindString Kind = iota // quoted string literal
+	KindInt                // 64-bit integer
+	KindSym                // interned symbol (principals, modes, predicate names)
+	KindEntity             // meta-model entity (atom, term ids)
+	KindCode               // quoted rule or fact, canonicalized
+	KindPart               // partition reference p[x] (used by predNode placement)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindSym:
+		return "sym"
+	case KindEntity:
+		return "entity"
+	case KindCode:
+		return "code"
+	case KindPart:
+		return "part"
+	}
+	return "unknown"
+}
+
+// Value is a runtime constant. Implementations are immutable; Key returns a
+// canonical representation that is unique across all kinds and is used for
+// hashing, equality, and signing.
+type Value interface {
+	Kind() Kind
+	// Key is the canonical identity of the value. Two values are equal
+	// exactly when their keys are equal.
+	Key() string
+	// String renders the value in surface syntax.
+	String() string
+}
+
+// String is a string literal value.
+type String string
+
+// Kind reports KindString.
+func (s String) Kind() Kind { return KindString }
+
+// Key returns the canonical identity of the string.
+func (s String) Key() string { return "s:" + string(s) }
+
+func (s String) String() string { return strconv.Quote(string(s)) }
+
+// Int is a 64-bit integer value.
+type Int int64
+
+// Kind reports KindInt.
+func (i Int) Kind() Kind { return KindInt }
+
+// Key returns the canonical identity of the integer.
+func (i Int) Key() string { return "i:" + strconv.FormatInt(int64(i), 10) }
+
+func (i Int) String() string { return strconv.FormatInt(int64(i), 10) }
+
+// Sym is an interned symbol: principal names (alice, bob), modes (read,
+// write), predicate names used as data (the P in delegates(U1,U2,P)), node
+// names, and the distinguished local-principal symbol "me".
+type Sym string
+
+// Kind reports KindSym.
+func (s Sym) Kind() Kind { return KindSym }
+
+// Key returns the canonical identity of the symbol.
+func (s Sym) Key() string { return "y:" + string(s) }
+
+func (s Sym) String() string { return string(s) }
+
+// Me is the distinguished symbol the paper uses for the local principal.
+// Rules are specialized per context by substituting the context's principal
+// for Me at activation time.
+const Me = Sym("me")
+
+// Entity identifies an anonymous meta-model entity, such as the atoms and
+// terms produced when a rule is reified into the Figure 1 meta-model.
+type Entity struct {
+	Sort string // "atom", "term", "msg", ...
+	ID   int64
+}
+
+// Kind reports KindEntity.
+func (e Entity) Kind() Kind { return KindEntity }
+
+// Key returns the canonical identity of the entity.
+func (e Entity) Key() string { return "e:" + e.Sort + ":" + strconv.FormatInt(e.ID, 10) }
+
+func (e Entity) String() string { return "#" + e.Sort + strconv.FormatInt(e.ID, 10) }
+
+// Code is a quoted rule or fact: the R in says(U1,U2,R). Identity is the
+// canonical form of the clause, so structurally identical rules compare
+// equal regardless of variable naming. The canonical bytes are also what
+// the cryptographic built-ins sign and verify.
+type Code struct {
+	rule *Rule
+	key  string
+}
+
+// NewCode canonicalizes a clause into a Code value. The clause is not
+// copied; callers must not mutate it afterwards.
+func NewCode(r *Rule) Code { return Code{rule: r, key: canonRule(r)} }
+
+// Rule returns the underlying clause.
+func (c Code) Rule() *Rule { return c.rule }
+
+// Kind reports KindCode.
+func (c Code) Kind() Kind { return KindCode }
+
+// Key returns the canonical identity of the quoted clause.
+func (c Code) Key() string { return "c:" + c.key }
+
+// Canonical returns the canonical byte representation, the input to
+// signature generation and verification.
+func (c Code) Canonical() []byte { return []byte(c.key) }
+
+func (c Code) String() string { return "[| " + c.key + " |]" }
+
+// PartRef identifies one partition of a curried predicate, e.g. the
+// export[alice] subset of export. It is the value form of the p[X] terms in
+// predNode placement rules (Section 3.5 of the paper).
+type PartRef struct {
+	Pred string
+	Arg  Value
+}
+
+// Kind reports KindPart.
+func (p PartRef) Kind() Kind { return KindPart }
+
+// Key returns the canonical identity of the partition reference.
+func (p PartRef) Key() string { return "p:" + p.Pred + "[" + p.Arg.Key() + "]" }
+
+func (p PartRef) String() string { return p.Pred + "[" + p.Arg.String() + "]" }
+
+// Tuple is an immutable row of values.
+type Tuple []Value
+
+// Key returns the canonical identity of the tuple, used as the hash key in
+// relations.
+func (t Tuple) Key() string {
+	n := 0
+	for _, v := range t {
+		n += len(v.Key()) + 1
+	}
+	b := make([]byte, 0, n)
+	for _, v := range t {
+		b = append(b, v.Key()...)
+		b = append(b, 0)
+	}
+	return string(b)
+}
+
+func (t Tuple) String() string {
+	s := "("
+	for i, v := range t {
+		if i > 0 {
+			s += ", "
+		}
+		s += v.String()
+	}
+	return s + ")"
+}
+
+// Equal reports whether two tuples have identical values.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if t[i].Key() != o[i].Key() {
+			return false
+		}
+	}
+	return true
+}
+
+// ValueEqual reports whether two values are equal.
+func ValueEqual(a, b Value) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.Key() == b.Key()
+}
+
+// CompareValues orders two values. Values of different kinds order by kind;
+// ints order numerically; everything else orders by key. It is used by
+// aggregation (min/max) and for deterministic output.
+func CompareValues(a, b Value) int {
+	if a.Kind() != b.Kind() {
+		return int(a.Kind()) - int(b.Kind())
+	}
+	if a.Kind() == KindInt {
+		ai, bi := a.(Int), b.(Int)
+		switch {
+		case ai < bi:
+			return -1
+		case ai > bi:
+			return 1
+		}
+		return 0
+	}
+	ak, bk := a.Key(), b.Key()
+	switch {
+	case ak < bk:
+		return -1
+	case ak > bk:
+		return 1
+	}
+	return 0
+}
+
+// FormatValue renders a value using surface syntax, e.g. for dumps.
+func FormatValue(v Value) string {
+	if v == nil {
+		return "<nil>"
+	}
+	return v.String()
+}
+
+var _ = fmt.Sprintf // keep fmt imported for debug helpers

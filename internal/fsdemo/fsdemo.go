@@ -1,0 +1,318 @@
+// Package fsdemo implements the paper's demonstration proposal (Section
+// 9): a multi-user file system with access control built from Binder's
+// authentication and D1LP's delegation constructs. It reproduces the two
+// Figure 3 workflows:
+//
+//	(a) Requester -> FileStore -> FileOwner:  read access checked against
+//	    the owner's permission table (4 message steps);
+//	(b) the same with the owner delegating access decisions to an
+//	    AccessManager (6 message steps), with a depth-0 restriction so the
+//	    manager cannot re-delegate, and an optional threshold variant
+//	    requiring k managers to concur.
+package fsdemo
+
+import (
+	"fmt"
+
+	"lbtrust/internal/core"
+	"lbtrust/internal/datalog"
+	"lbtrust/internal/workspace"
+)
+
+// Principal names of the demonstration.
+const (
+	Requester  = "requester"
+	FileStore  = "filestore"
+	FileOwner  = "fileowner"
+	AccessMgr  = "accessmgr"
+	AccessMgr2 = "accessmgr2"
+	AccessMgr3 = "accessmgr3"
+)
+
+// File describes one stored file (the f1-f6 schema of Section 9).
+type File struct {
+	ID    string
+	Name  string
+	Data  string
+	Owner string
+	Store string
+}
+
+// Demo wires the four principals with the file-system policy rules.
+type Demo struct {
+	sys   *core.System
+	ps    map[string]*core.Principal
+	Trace []string // human-readable workflow steps
+}
+
+// storeProgram runs at the FileStore: it accepts read requests, queries
+// the owner for permission, and returns file content once the owner
+// confirms (rules dfs1/dfs2 of the paper, made executable).
+const storeProgram = `
+f2: filename(F,S) -> string(S).
+f3: filedata(F,S) -> string(S).
+f4: fileowner(F,O) -> prin(O).
+fsAct: active(R) <- says(U, me, R), R = [| readRequest(U, F). |].
+q1: saysOut(O, [| permQuery(U, F). |]) <-
+	readRequest(U, N), filename(F, N), fileowner(F, O).
+r1: saysOut(U, [| fileContent(N, D). |]) <-
+	readRequest(U, N), filename(F, N), filedata(F, D), fileowner(F, O),
+	says(O, me, [| permission(O, U, F, read). |]).
+`
+
+// ownerProgram runs at the FileOwner: it accepts permission queries from
+// the store and answers them from its permission table (dfs1 of the
+// paper). The permission predicate may itself be derived — via delegation
+// or thresholds in workflow (b).
+const ownerProgram = `
+dfs1: permission(P,X,F,M) -> prin(P), prin(X), mode(M).
+mode(read). mode(write).
+foAct: active(R) <- says(S, me, R), R = [| permQuery(U, F). |].
+p1: saysOut(S, [| permission(me, U, F, read). |]) <-
+	permQuery(U, F), filestore(F, S), permission(me, U, F, read).
+`
+
+// ownerDelegationForward forwards permission queries to the access
+// manager, the extra hop of Figure 3(b).
+const ownerDelegationForward = `
+fwd: saysOut(accessmgr, [| permQuery(U, F). |]) <- permQuery(U, F).
+`
+
+// managerProgram runs at an AccessManager: it answers permission queries
+// on behalf of the owner from its own table.
+const managerProgram = `
+amAct: active(R) <- says(S, me, R), R = [| permQuery(U, F). |].
+a1: saysOut(fileowner, [| permission(fileowner, U, F, read). |]) <-
+	permQuery(U, F), amPermission(U, F, read).
+`
+
+// ownerThresholdProgram is the Section 9 threshold variant: the owner
+// grants permission only when at least three access managers confirm
+// (wd-style count aggregation).
+const ownerThresholdProgram = `
+thr1: permission(me, U, F, read) <- permApprovals(U, F, N), N >= 3.
+thr2: permApprovals(U, F, N) <- agg<<N = count(A)>>
+	pringroup(A, accessManagers),
+	says(A, me, [| permOK(U, F). |]).
+`
+
+// managerVoteProgram makes a manager vote permOK instead of answering
+// directly, for the threshold variant.
+const managerVoteProgram = `
+amAct: active(R) <- says(S, me, R), R = [| permQuery(U, F). |].
+v1: saysOut(fileowner, [| permOK(U, F). |]) <-
+	permQuery(U, F), amPermission(U, F, read).
+`
+
+// New creates the demonstration system: four principals (plus extra
+// managers when threshold is true) on one node with the given scheme.
+func New(scheme core.Scheme, threshold bool) (*Demo, error) {
+	d := &Demo{sys: core.NewSystem(), ps: map[string]*core.Principal{}}
+	names := []string{Requester, FileStore, FileOwner, AccessMgr}
+	if threshold {
+		names = append(names, AccessMgr2, AccessMgr3)
+	}
+	for _, n := range names {
+		p, err := d.sys.AddPrincipal(n)
+		if err != nil {
+			return nil, err
+		}
+		d.ps[n] = p
+	}
+	if scheme == core.SchemeRSA {
+		for _, n := range names {
+			if err := d.sys.EstablishRSA(n); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if scheme == core.SchemeHMAC {
+		for i, a := range names {
+			for _, b := range names[i+1:] {
+				if err := d.sys.EstablishSharedSecret(a, b); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for _, n := range names {
+		if err := d.ps[n].UseScheme(scheme); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// System returns the underlying LBTrust system.
+func (d *Demo) System() *core.System { return d.sys }
+
+// Principal returns a demo principal by name.
+func (d *Demo) Principal(name string) *core.Principal { return d.ps[name] }
+
+func (d *Demo) step(format string, args ...any) {
+	d.Trace = append(d.Trace, fmt.Sprintf(format, args...))
+}
+
+// AddFile registers a file's metadata at the store and at the owner (and
+// managers, who must resolve names too).
+func (d *Demo) AddFile(f File, managers ...string) error {
+	meta := fmt.Sprintf(`
+		filename(%[1]s, %[2]q).
+		fileowner(%[1]s, %[3]s).
+		filestore(%[1]s, %[4]s).
+	`, f.ID, f.Name, f.Owner, f.Store)
+	data := fmt.Sprintf("filedata(%s, %q).", f.ID, f.Data)
+	if err := d.ps[f.Store].LoadProgram(meta + data); err != nil {
+		return err
+	}
+	if err := d.ps[f.Owner].LoadProgram(meta); err != nil {
+		return err
+	}
+	for _, m := range managers {
+		if err := d.ps[m].LoadProgram(meta); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetupWorkflowA installs the Figure 3(a) programs: the owner decides from
+// its local permission table.
+func (d *Demo) SetupWorkflowA() error {
+	if err := d.ps[FileStore].LoadProgram(storeProgram); err != nil {
+		return err
+	}
+	return d.ps[FileOwner].LoadProgram(ownerProgram)
+}
+
+// SetupWorkflowB installs the Figure 3(b) programs: the owner delegates
+// the permission predicate to the access manager (D1LP-style), forwards
+// queries to it, and restricts the delegation to depth 0 so the manager
+// cannot re-delegate.
+func (d *Demo) SetupWorkflowB() error {
+	if err := d.SetupWorkflowA(); err != nil {
+		return err
+	}
+	owner := d.ps[FileOwner]
+	if err := owner.EnableDelegation(); err != nil {
+		return err
+	}
+	if err := owner.Delegate(AccessMgr, "permission"); err != nil {
+		return err
+	}
+	if err := owner.SetDelegationDepth(AccessMgr, "permission", 0); err != nil {
+		return err
+	}
+	if err := owner.LoadProgram(ownerDelegationForward); err != nil {
+		return err
+	}
+	if err := d.ps[AccessMgr].EnableDelegation(); err != nil {
+		return err
+	}
+	return d.ps[AccessMgr].LoadProgram(managerProgram)
+}
+
+// SetupWorkflowThreshold installs the threshold variant: three managers
+// vote and the owner requires all three.
+func (d *Demo) SetupWorkflowThreshold() error {
+	if err := d.ps[FileStore].LoadProgram(storeProgram); err != nil {
+		return err
+	}
+	owner := d.ps[FileOwner]
+	if err := owner.LoadProgram(ownerProgram); err != nil {
+		return err
+	}
+	if err := owner.LoadProgram(ownerThresholdProgram); err != nil {
+		return err
+	}
+	for _, m := range []string{AccessMgr, AccessMgr2, AccessMgr3} {
+		if err := owner.JoinGroup(m, "accessManagers"); err != nil {
+			return err
+		}
+		if err := d.ps[m].LoadProgram(managerVoteProgram); err != nil {
+			return err
+		}
+	}
+	// The owner fans permission queries out to all three managers.
+	return owner.LoadProgram(`
+		fwd1: saysOut(accessmgr, [| permQuery(U, F). |]) <- permQuery(U, F).
+		fwd2: saysOut(accessmgr2, [| permQuery(U, F). |]) <- permQuery(U, F).
+		fwd3: saysOut(accessmgr3, [| permQuery(U, F). |]) <- permQuery(U, F).
+	`)
+}
+
+// GrantOwner records permission(me, user, file, read) in the owner's
+// table.
+func (d *Demo) GrantOwner(user, fileID string) error {
+	return d.ps[FileOwner].Update(func(tx *workspace.Tx) error {
+		return tx.Assert(fmt.Sprintf("permission(me, %s, %s, read)", user, fileID))
+	})
+}
+
+// GrantManager records a manager-side permission entry.
+func (d *Demo) GrantManager(manager, user, fileID string) error {
+	return d.ps[manager].Update(func(tx *workspace.Tx) error {
+		return tx.Assert(fmt.Sprintf("amPermission(%s, %s, read)", user, fileID))
+	})
+}
+
+// RequestRead runs the read workflow: the requester asks the store for
+// fileName and the demo syncs until quiescent. It returns the file data
+// received by the requester, or "" when access was denied.
+func (d *Demo) RequestRead(fileName string) (string, error) {
+	d.step("1. %s -> %s: read request for %q", Requester, FileStore, fileName)
+	if err := d.ps[Requester].Say(FileStore, fmt.Sprintf("readRequest(%s, %q).", Requester, fileName)); err != nil {
+		return "", err
+	}
+	if err := d.sys.Sync(); err != nil {
+		return "", err
+	}
+	d.traceFlow(fileName)
+	rows, err := d.ps[Requester].Query(fmt.Sprintf(`says(%s, me, [| fileContent(%q, D). |])`, FileStore, fileName))
+	if err != nil {
+		return "", err
+	}
+	if len(rows) == 0 {
+		d.step("x. access denied: no permission confirmed")
+		return "", nil
+	}
+	// Extract the data from the said fact's code value.
+	data := extractContent(rows[0])
+	d.step("%d. %s receives %q content", len(d.Trace)+1, Requester, fileName)
+	return data, nil
+}
+
+// extractContent pulls the data argument out of a says tuple carrying a
+// fileContent(name, data) fact.
+func extractContent(row datalog.Tuple) string {
+	if len(row) < 3 {
+		return ""
+	}
+	code, ok := row[2].(datalog.Code)
+	if !ok {
+		return ""
+	}
+	heads := code.Rule().Heads
+	if len(heads) != 1 || len(heads[0].Args) != 2 {
+		return ""
+	}
+	if c, ok := heads[0].Args[1].(datalog.Const); ok {
+		if s, ok := c.Val.(datalog.String); ok {
+			return string(s)
+		}
+	}
+	return ""
+}
+
+func (d *Demo) traceFlow(fileName string) {
+	if n, _ := d.ps[FileOwner].Query("permQuery(U, F)"); len(n) > 0 {
+		d.step("2. %s -> %s: permission query", FileStore, FileOwner)
+	}
+	if n, _ := d.ps[AccessMgr].Query("permQuery(U, F)"); len(n) > 0 {
+		d.step("3. %s -> %s: delegated permission query", FileOwner, AccessMgr)
+		d.step("4. %s -> %s: permission confirmed", AccessMgr, FileOwner)
+		d.step("5. %s -> %s: permission relayed", FileOwner, FileStore)
+	} else if n, _ := d.ps[FileOwner].Query("permQuery(U, F)"); len(n) > 0 {
+		d.step("3. %s -> %s: permission answer", FileOwner, FileStore)
+	}
+}

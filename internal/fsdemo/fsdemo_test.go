@@ -1,0 +1,180 @@
+package fsdemo
+
+import (
+	"strings"
+	"testing"
+
+	"lbtrust/internal/core"
+)
+
+func addReport(t *testing.T, d *Demo, managers ...string) {
+	t.Helper()
+	err := d.AddFile(File{
+		ID:    "f1",
+		Name:  "report.txt",
+		Data:  "quarterly numbers",
+		Owner: FileOwner,
+		Store: FileStore,
+	}, managers...)
+	if err != nil {
+		t.Fatalf("add file: %v", err)
+	}
+}
+
+// TestFigure3aWorkflow reproduces the paper's Figure 3(a): request, owner
+// permission check, response.
+func TestFigure3aWorkflow(t *testing.T) {
+	d, err := New(core.SchemePlaintext, false)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if err := d.SetupWorkflowA(); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	addReport(t, d)
+	if err := d.GrantOwner(Requester, "f1"); err != nil {
+		t.Fatalf("grant: %v", err)
+	}
+	data, err := d.RequestRead("report.txt")
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	if data != "quarterly numbers" {
+		t.Errorf("requester read %q, want the file data", data)
+	}
+	trace := strings.Join(d.Trace, "\n")
+	for _, want := range []string{"read request", "permission query", "permission answer", "receives"} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace missing %q:\n%s", want, trace)
+		}
+	}
+}
+
+func TestFigure3aDenied(t *testing.T) {
+	d, err := New(core.SchemePlaintext, false)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if err := d.SetupWorkflowA(); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	addReport(t, d)
+	// No grant: the store must not release the file.
+	data, err := d.RequestRead("report.txt")
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	if data != "" {
+		t.Errorf("requester read %q without permission", data)
+	}
+}
+
+// TestFigure3bWorkflow reproduces Figure 3(b): the owner delegates the
+// decision to the access manager.
+func TestFigure3bWorkflow(t *testing.T) {
+	d, err := New(core.SchemePlaintext, false)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if err := d.SetupWorkflowB(); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	addReport(t, d, AccessMgr)
+	// Only the manager grants; the owner's own table stays empty.
+	if err := d.GrantManager(AccessMgr, Requester, "f1"); err != nil {
+		t.Fatalf("grant: %v", err)
+	}
+	data, err := d.RequestRead("report.txt")
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	if data != "quarterly numbers" {
+		t.Errorf("requester read %q, want the file data (via delegation)", data)
+	}
+	trace := strings.Join(d.Trace, "\n")
+	for _, want := range []string{"delegated permission query", "permission confirmed", "permission relayed"} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace missing %q:\n%s", want, trace)
+		}
+	}
+}
+
+// TestFigure3bManagerCannotRedelegate checks the depth-0 restriction of
+// the demonstration: the access manager may not delegate further.
+func TestFigure3bManagerCannotRedelegate(t *testing.T) {
+	d, err := New(core.SchemePlaintext, false)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if err := d.SetupWorkflowB(); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	addReport(t, d, AccessMgr)
+	if err := d.System().Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	err = d.Principal(AccessMgr).Delegate(Requester, "permission")
+	if err == nil || !strings.Contains(err.Error(), "dd4") {
+		t.Errorf("manager re-delegation should violate dd4, got %v", err)
+	}
+}
+
+// TestThresholdWorkflow checks the Section 9 threshold variant: access
+// requires all three managers to confirm.
+func TestThresholdWorkflow(t *testing.T) {
+	d, err := New(core.SchemePlaintext, true)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if err := d.SetupWorkflowThreshold(); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	addReport(t, d, AccessMgr, AccessMgr2, AccessMgr3)
+	// Two of three managers approve: denied.
+	if err := d.GrantManager(AccessMgr, Requester, "f1"); err != nil {
+		t.Fatalf("grant 1: %v", err)
+	}
+	if err := d.GrantManager(AccessMgr2, Requester, "f1"); err != nil {
+		t.Fatalf("grant 2: %v", err)
+	}
+	data, err := d.RequestRead("report.txt")
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	if data != "" {
+		t.Error("2 of 3 approvals must not release the file")
+	}
+	// Third approval: granted on a fresh request.
+	if err := d.GrantManager(AccessMgr3, Requester, "f1"); err != nil {
+		t.Fatalf("grant 3: %v", err)
+	}
+	data, err = d.RequestRead("report.txt")
+	if err != nil {
+		t.Fatalf("request 2: %v", err)
+	}
+	if data != "quarterly numbers" {
+		t.Errorf("3 approvals should release the file, got %q", data)
+	}
+}
+
+// TestWorkflowWithRSA runs workflow (a) fully authenticated.
+func TestWorkflowWithRSA(t *testing.T) {
+	d, err := New(core.SchemeRSA, false)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if err := d.SetupWorkflowA(); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	addReport(t, d)
+	if err := d.GrantOwner(Requester, "f1"); err != nil {
+		t.Fatalf("grant: %v", err)
+	}
+	data, err := d.RequestRead("report.txt")
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	if data != "quarterly numbers" {
+		t.Errorf("RSA workflow read %q", data)
+	}
+}

@@ -1,0 +1,213 @@
+package lbcrypto
+
+import (
+	"fmt"
+
+	"lbtrust/internal/datalog"
+)
+
+// Register installs the cryptographic built-in predicates over the key
+// store into a built-in registry:
+//
+//	rsasign(R,S,K)        S := RSA-SHA1 signature of R under private key K
+//	rsaverify(R,S,K)      holds when S verifies R under public key K
+//	hmacsign(R,K,S)       S := HMAC-SHA1 tag of R under shared secret K
+//	hmacverify(R,S,K)     holds when tag S verifies R under secret K
+//	encrypt(R,K,C)        C := deterministic AES-GCM ciphertext of R
+//	decryptok(C,K)        holds when C decrypts under K
+//	checksum(R,C)         C := SHA-256 checksum of R
+//	checksumverify(R,C)   holds when C is R's checksum
+//	crc32(R,C)            C := CRC-32 of R
+//
+// Argument orders follow the paper's rules exp1, exp3, exp1', exp3'.
+func Register(set *datalog.BuiltinSet, ks *KeyStore) {
+	set.Register(&datalog.Builtin{
+		Name:      "rsasign",
+		Arity:     3,
+		NeedBound: []int{0, 2},
+		Eval: func(args []datalog.Value) ([]datalog.Tuple, error) {
+			if args[0] == nil || args[2] == nil {
+				return nil, fmt.Errorf("%w: rsasign", datalog.ErrUnbound)
+			}
+			priv, err := ks.rsaPrivFromHandle(args[2])
+			if err != nil {
+				return nil, err
+			}
+			sig, err := ks.SignRSA(args[0], priv)
+			if err != nil {
+				return nil, err
+			}
+			s := datalog.String(sig)
+			if args[1] != nil && !datalog.ValueEqual(args[1], s) {
+				return nil, nil
+			}
+			return []datalog.Tuple{{args[0], s, args[2]}}, nil
+		},
+	})
+	datalog.RegisterBinding("rsasign")
+
+	set.Register(&datalog.Builtin{
+		Name:      "rsaverify",
+		Arity:     3,
+		NeedBound: []int{0, 1, 2},
+		Eval: func(args []datalog.Value) ([]datalog.Tuple, error) {
+			if args[0] == nil || args[1] == nil || args[2] == nil {
+				return nil, fmt.Errorf("%w: rsaverify", datalog.ErrUnbound)
+			}
+			pub, err := ks.rsaPubFromHandle(args[2])
+			if err != nil {
+				return nil, err
+			}
+			sig, ok := args[1].(datalog.String)
+			if !ok {
+				return nil, nil
+			}
+			if ks.VerifyRSA(args[0], string(sig), pub) {
+				return []datalog.Tuple{{args[0], args[1], args[2]}}, nil
+			}
+			return nil, nil
+		},
+	})
+
+	set.Register(&datalog.Builtin{
+		Name:      "hmacsign",
+		Arity:     3,
+		NeedBound: []int{0, 1},
+		Eval: func(args []datalog.Value) ([]datalog.Tuple, error) {
+			if args[0] == nil || args[1] == nil {
+				return nil, fmt.Errorf("%w: hmacsign", datalog.ErrUnbound)
+			}
+			secret, err := ks.sharedFromHandle(args[1])
+			if err != nil {
+				return nil, err
+			}
+			s := datalog.String(SignHMAC(args[0], secret))
+			if args[2] != nil && !datalog.ValueEqual(args[2], s) {
+				return nil, nil
+			}
+			return []datalog.Tuple{{args[0], args[1], s}}, nil
+		},
+	})
+	datalog.RegisterBinding("hmacsign")
+
+	set.Register(&datalog.Builtin{
+		Name:      "hmacverify",
+		Arity:     3,
+		NeedBound: []int{0, 1, 2},
+		Eval: func(args []datalog.Value) ([]datalog.Tuple, error) {
+			if args[0] == nil || args[1] == nil || args[2] == nil {
+				return nil, fmt.Errorf("%w: hmacverify", datalog.ErrUnbound)
+			}
+			secret, err := ks.sharedFromHandle(args[2])
+			if err != nil {
+				return nil, err
+			}
+			tag, ok := args[1].(datalog.String)
+			if !ok {
+				return nil, nil
+			}
+			if VerifyHMAC(args[0], string(tag), secret) {
+				return []datalog.Tuple{{args[0], args[1], args[2]}}, nil
+			}
+			return nil, nil
+		},
+	})
+
+	set.Register(&datalog.Builtin{
+		Name:      "encrypt",
+		Arity:     3,
+		NeedBound: []int{0, 1},
+		Eval: func(args []datalog.Value) ([]datalog.Tuple, error) {
+			if args[0] == nil || args[1] == nil {
+				return nil, fmt.Errorf("%w: encrypt", datalog.ErrUnbound)
+			}
+			secret, err := ks.sharedFromHandle(args[1])
+			if err != nil {
+				return nil, err
+			}
+			ct, err := Encrypt(args[0], secret)
+			if err != nil {
+				return nil, err
+			}
+			c := datalog.String(ct)
+			if args[2] != nil && !datalog.ValueEqual(args[2], c) {
+				return nil, nil
+			}
+			return []datalog.Tuple{{args[0], args[1], c}}, nil
+		},
+	})
+	datalog.RegisterBinding("encrypt")
+
+	set.Register(&datalog.Builtin{
+		Name:      "decryptok",
+		Arity:     2,
+		NeedBound: []int{0, 1},
+		Eval: func(args []datalog.Value) ([]datalog.Tuple, error) {
+			if args[0] == nil || args[1] == nil {
+				return nil, fmt.Errorf("%w: decryptok", datalog.ErrUnbound)
+			}
+			ct, ok := args[0].(datalog.String)
+			if !ok {
+				return nil, nil
+			}
+			secret, err := ks.sharedFromHandle(args[1])
+			if err != nil {
+				return nil, err
+			}
+			if _, err := Decrypt(string(ct), secret); err != nil {
+				return nil, nil
+			}
+			return []datalog.Tuple{{args[0], args[1]}}, nil
+		},
+	})
+
+	set.Register(&datalog.Builtin{
+		Name:      "checksum",
+		Arity:     2,
+		NeedBound: []int{0},
+		Eval: func(args []datalog.Value) ([]datalog.Tuple, error) {
+			if args[0] == nil {
+				return nil, fmt.Errorf("%w: checksum", datalog.ErrUnbound)
+			}
+			c := datalog.String(Checksum(args[0]))
+			if args[1] != nil && !datalog.ValueEqual(args[1], c) {
+				return nil, nil
+			}
+			return []datalog.Tuple{{args[0], c}}, nil
+		},
+	})
+	datalog.RegisterBinding("checksum")
+
+	set.Register(&datalog.Builtin{
+		Name:      "checksumverify",
+		Arity:     2,
+		NeedBound: []int{0, 1},
+		Eval: func(args []datalog.Value) ([]datalog.Tuple, error) {
+			if args[0] == nil || args[1] == nil {
+				return nil, fmt.Errorf("%w: checksumverify", datalog.ErrUnbound)
+			}
+			c := datalog.String(Checksum(args[0]))
+			if datalog.ValueEqual(args[1], c) {
+				return []datalog.Tuple{{args[0], args[1]}}, nil
+			}
+			return nil, nil
+		},
+	})
+
+	set.Register(&datalog.Builtin{
+		Name:      "crc32",
+		Arity:     2,
+		NeedBound: []int{0},
+		Eval: func(args []datalog.Value) ([]datalog.Tuple, error) {
+			if args[0] == nil {
+				return nil, fmt.Errorf("%w: crc32", datalog.ErrUnbound)
+			}
+			c := datalog.Int(CRC32(args[0]))
+			if args[1] != nil && !datalog.ValueEqual(args[1], c) {
+				return nil, nil
+			}
+			return []datalog.Tuple{{args[0], c}}, nil
+		},
+	})
+	datalog.RegisterBinding("crc32")
+}

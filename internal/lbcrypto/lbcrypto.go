@@ -1,0 +1,323 @@
+// Package lbcrypto provides the cryptographic primitives that LBTrust
+// imports as "application-defined libraries of custom predicates"
+// (Section 3 of the paper): RSA signatures, HMAC-SHA1 message
+// authentication codes, symmetric encryption for confidentiality, and
+// checksums for integrity (Section 4.1.3). Each primitive is exposed as a
+// Datalog built-in predicate so that authentication schemes are ordinary
+// rule sets, which is what makes them reconfigurable.
+//
+// Key material never appears in tuples: relations carry opaque key handles
+// (symbols such as rsa:priv:alice) that the built-ins resolve against a
+// KeyStore.
+package lbcrypto
+
+import (
+	"crypto"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha1"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+
+	"lbtrust/internal/datalog"
+)
+
+// RSABits is the modulus size used for signature keys, matching the
+// 1024-bit RSA of the paper's evaluation (Section 6).
+const RSABits = 1024
+
+// KeyStore holds per-principal RSA key pairs and pairwise shared secrets,
+// addressed by opaque handles.
+type KeyStore struct {
+	mu     sync.RWMutex
+	rsa    map[string]*rsa.PrivateKey
+	shared map[string][]byte
+}
+
+// NewKeyStore creates an empty key store.
+func NewKeyStore() *KeyStore {
+	return &KeyStore{rsa: map[string]*rsa.PrivateKey{}, shared: map[string][]byte{}}
+}
+
+// GenerateRSA creates (or returns the existing) 1024-bit RSA key pair for a
+// principal.
+func (ks *KeyStore) GenerateRSA(principal string) error {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if _, ok := ks.rsa[principal]; ok {
+		return nil
+	}
+	key, err := rsa.GenerateKey(rand.Reader, RSABits)
+	if err != nil {
+		return fmt.Errorf("lbcrypto: generating RSA key for %s: %w", principal, err)
+	}
+	ks.rsa[principal] = key
+	return nil
+}
+
+// ImportRSA installs an existing key pair for a principal (used when
+// distributing a principal's identity across nodes).
+func (ks *KeyStore) ImportRSA(principal string, key *rsa.PrivateKey) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	ks.rsa[principal] = key
+}
+
+// ImportRSAPublic installs only the public half for a principal, as a
+// remote node would hold.
+func (ks *KeyStore) ImportRSAPublic(principal string, pub *rsa.PublicKey) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if _, ok := ks.rsa[principal]; ok {
+		return
+	}
+	ks.rsa[principal] = &rsa.PrivateKey{PublicKey: *pub}
+}
+
+// RSAKey returns the key pair for a principal, if present.
+func (ks *KeyStore) RSAKey(principal string) (*rsa.PrivateKey, bool) {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	k, ok := ks.rsa[principal]
+	return k, ok
+}
+
+// PrivHandle is the key-handle symbol for a principal's RSA private key,
+// suitable for the rsaprivkey relation.
+func PrivHandle(principal string) datalog.Sym { return datalog.Sym("rsa:priv:" + principal) }
+
+// PubHandle is the key-handle symbol for a principal's RSA public key,
+// suitable for the rsapubkey relation.
+func PubHandle(principal string) datalog.Sym { return datalog.Sym("rsa:pub:" + principal) }
+
+func pairKey(a, b string) string {
+	p := []string{a, b}
+	sort.Strings(p)
+	return p[0] + "\x00" + p[1]
+}
+
+// SetShared installs a shared symmetric secret between two principals.
+func (ks *KeyStore) SetShared(a, b string, secret []byte) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	ks.shared[pairKey(a, b)] = secret
+}
+
+// GenerateShared creates a random 20-byte shared secret between two
+// principals if none exists.
+func (ks *KeyStore) GenerateShared(a, b string) error {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	k := pairKey(a, b)
+	if _, ok := ks.shared[k]; ok {
+		return nil
+	}
+	secret := make([]byte, 20)
+	if _, err := rand.Read(secret); err != nil {
+		return fmt.Errorf("lbcrypto: generating shared secret: %w", err)
+	}
+	ks.shared[k] = secret
+	return nil
+}
+
+// Shared returns the shared secret between two principals.
+func (ks *KeyStore) Shared(a, b string) ([]byte, bool) {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	s, ok := ks.shared[pairKey(a, b)]
+	return s, ok
+}
+
+// SharedHandle is the key-handle symbol for the shared secret of a
+// principal pair, suitable for the sharedsecret relation.
+func SharedHandle(a, b string) datalog.Sym {
+	p := []string{a, b}
+	sort.Strings(p)
+	return datalog.Sym("hmac:" + p[0] + ":" + p[1])
+}
+
+// resolve maps a key handle to (kind, principal-or-pair).
+func splitHandle(v datalog.Value) (kind string, rest string, err error) {
+	s, ok := v.(datalog.Sym)
+	if !ok {
+		return "", "", fmt.Errorf("lbcrypto: key handle must be a symbol, got %s", v.String())
+	}
+	str := string(s)
+	for _, prefix := range []string{"rsa:priv:", "rsa:pub:", "hmac:"} {
+		if len(str) > len(prefix) && str[:len(prefix)] == prefix {
+			return prefix, str[len(prefix):], nil
+		}
+	}
+	return "", "", fmt.Errorf("lbcrypto: unknown key handle %s", str)
+}
+
+func (ks *KeyStore) rsaPrivFromHandle(v datalog.Value) (*rsa.PrivateKey, error) {
+	kind, principal, err := splitHandle(v)
+	if err != nil {
+		return nil, err
+	}
+	if kind != "rsa:priv:" {
+		return nil, fmt.Errorf("lbcrypto: %s is not a private key handle", v.String())
+	}
+	key, ok := ks.RSAKey(principal)
+	if !ok || key.D == nil {
+		return nil, fmt.Errorf("lbcrypto: no private key for %s", principal)
+	}
+	return key, nil
+}
+
+func (ks *KeyStore) rsaPubFromHandle(v datalog.Value) (*rsa.PublicKey, error) {
+	kind, principal, err := splitHandle(v)
+	if err != nil {
+		return nil, err
+	}
+	if kind != "rsa:pub:" && kind != "rsa:priv:" {
+		return nil, fmt.Errorf("lbcrypto: %s is not an RSA key handle", v.String())
+	}
+	key, ok := ks.RSAKey(principal)
+	if !ok {
+		return nil, fmt.Errorf("lbcrypto: no key for %s", principal)
+	}
+	return &key.PublicKey, nil
+}
+
+func (ks *KeyStore) sharedFromHandle(v datalog.Value) ([]byte, error) {
+	kind, pair, err := splitHandle(v)
+	if err != nil {
+		return nil, err
+	}
+	if kind != "hmac:" {
+		return nil, fmt.Errorf("lbcrypto: %s is not a shared-secret handle", v.String())
+	}
+	for i := 0; i < len(pair); i++ {
+		if pair[i] == ':' {
+			s, ok := ks.Shared(pair[:i], pair[i+1:])
+			if !ok {
+				return nil, fmt.Errorf("lbcrypto: no shared secret for %s", pair)
+			}
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("lbcrypto: malformed shared-secret handle %s", v.String())
+}
+
+// messageBytes is the byte string that signatures cover: the canonical
+// encoding of the value (for code values, the canonical clause text), so
+// signatures are stable across nodes and processes.
+func messageBytes(v datalog.Value) []byte {
+	if c, ok := v.(datalog.Code); ok {
+		return c.Canonical()
+	}
+	return []byte(v.Key())
+}
+
+// SignRSA signs a value's canonical bytes with SHA-1/RSA PKCS#1 v1.5 (the
+// paper's 1024-bit RSA scheme) and returns the hex signature.
+func (ks *KeyStore) SignRSA(v datalog.Value, priv *rsa.PrivateKey) (string, error) {
+	digest := sha1.Sum(messageBytes(v))
+	sig, err := rsa.SignPKCS1v15(nil, priv, crypto.SHA1, digest[:])
+	if err != nil {
+		return "", fmt.Errorf("lbcrypto: rsa sign: %w", err)
+	}
+	return hex.EncodeToString(sig), nil
+}
+
+// VerifyRSA checks an RSA signature produced by SignRSA.
+func (ks *KeyStore) VerifyRSA(v datalog.Value, sigHex string, pub *rsa.PublicKey) bool {
+	sig, err := hex.DecodeString(sigHex)
+	if err != nil {
+		return false
+	}
+	digest := sha1.Sum(messageBytes(v))
+	return rsa.VerifyPKCS1v15(pub, crypto.SHA1, digest[:], sig) == nil
+}
+
+// SignHMAC computes the HMAC-SHA1 (160-bit) tag of a value's canonical
+// bytes under the shared secret and returns it hex-encoded.
+func SignHMAC(v datalog.Value, secret []byte) string {
+	mac := hmac.New(sha1.New, secret)
+	mac.Write(messageBytes(v))
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// VerifyHMAC checks an HMAC-SHA1 tag in constant time.
+func VerifyHMAC(v datalog.Value, tagHex string, secret []byte) bool {
+	want, err := hex.DecodeString(tagHex)
+	if err != nil {
+		return false
+	}
+	mac := hmac.New(sha1.New, secret)
+	mac.Write(messageBytes(v))
+	return hmac.Equal(mac.Sum(nil), want)
+}
+
+// Encrypt deterministically encrypts a value's canonical bytes with
+// AES-GCM under a key derived from the shared secret. The nonce is derived
+// from the plaintext (SIV-style), keeping the built-in functional so that
+// fixpoint evaluation terminates.
+func Encrypt(v datalog.Value, secret []byte) (string, error) {
+	key := sha256.Sum256(append([]byte("enc"), secret...))
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return "", err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return "", err
+	}
+	plaintext := messageBytes(v)
+	nmac := hmac.New(sha256.New, secret)
+	nmac.Write(plaintext)
+	nonce := nmac.Sum(nil)[:gcm.NonceSize()]
+	ct := gcm.Seal(nil, nonce, plaintext, nil)
+	return hex.EncodeToString(nonce) + ":" + hex.EncodeToString(ct), nil
+}
+
+// Decrypt reverses Encrypt, returning the canonical plaintext bytes.
+func Decrypt(ciphertext string, secret []byte) ([]byte, error) {
+	key := sha256.Sum256(append([]byte("enc"), secret...))
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	var nonceHex, ctHex string
+	for i := 0; i < len(ciphertext); i++ {
+		if ciphertext[i] == ':' {
+			nonceHex, ctHex = ciphertext[:i], ciphertext[i+1:]
+			break
+		}
+	}
+	nonce, err := hex.DecodeString(nonceHex)
+	if err != nil {
+		return nil, fmt.Errorf("lbcrypto: bad nonce: %w", err)
+	}
+	ct, err := hex.DecodeString(ctHex)
+	if err != nil {
+		return nil, fmt.Errorf("lbcrypto: bad ciphertext: %w", err)
+	}
+	return gcm.Open(nil, nonce, ct, nil)
+}
+
+// Checksum returns the hex SHA-256 checksum of a value's canonical bytes
+// (Section 4.1.3: integrity).
+func Checksum(v datalog.Value) string {
+	sum := sha256.Sum256(messageBytes(v))
+	return hex.EncodeToString(sum[:])
+}
+
+// CRC32 returns the IEEE CRC-32 of a value's canonical bytes, the cheap
+// integrity alternative.
+func CRC32(v datalog.Value) int64 {
+	return int64(crc32.ChecksumIEEE(messageBytes(v)))
+}

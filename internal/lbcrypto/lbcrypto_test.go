@@ -1,0 +1,224 @@
+package lbcrypto
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lbtrust/internal/datalog"
+)
+
+func testStore(t *testing.T) *KeyStore {
+	t.Helper()
+	ks := NewKeyStore()
+	if err := ks.GenerateRSA("alice"); err != nil {
+		t.Fatalf("generate alice: %v", err)
+	}
+	if err := ks.GenerateRSA("bob"); err != nil {
+		t.Fatalf("generate bob: %v", err)
+	}
+	ks.SetShared("alice", "bob", []byte("0123456789abcdef0123"))
+	return ks
+}
+
+func TestRSASignVerify(t *testing.T) {
+	ks := testStore(t)
+	msg := datalog.NewCode(datalog.MustParseClause(`access(p, o, read).`))
+	priv, _ := ks.RSAKey("alice")
+	sig, err := ks.SignRSA(msg, priv)
+	if err != nil {
+		t.Fatalf("sign: %v", err)
+	}
+	if !ks.VerifyRSA(msg, sig, &priv.PublicKey) {
+		t.Error("signature should verify")
+	}
+	other := datalog.NewCode(datalog.MustParseClause(`access(p, o, write).`))
+	if ks.VerifyRSA(other, sig, &priv.PublicKey) {
+		t.Error("signature must not verify for a different message")
+	}
+	bob, _ := ks.RSAKey("bob")
+	if ks.VerifyRSA(msg, sig, &bob.PublicKey) {
+		t.Error("signature must not verify under another principal's key")
+	}
+}
+
+func TestRSAKeySize(t *testing.T) {
+	ks := testStore(t)
+	priv, _ := ks.RSAKey("alice")
+	if got := priv.N.BitLen(); got != RSABits {
+		t.Errorf("RSA modulus = %d bits, want %d (paper Section 6)", got, RSABits)
+	}
+}
+
+func TestHMACSignVerify(t *testing.T) {
+	ks := testStore(t)
+	secret, _ := ks.Shared("alice", "bob")
+	msg := datalog.NewCode(datalog.MustParseClause(`reachable(a, b).`))
+	tag := SignHMAC(msg, secret)
+	if len(tag) != 40 {
+		t.Errorf("HMAC-SHA1 tag is %d hex chars, want 40 (160 bits per the paper)", len(tag))
+	}
+	if !VerifyHMAC(msg, tag, secret) {
+		t.Error("tag should verify")
+	}
+	if VerifyHMAC(msg, tag, []byte("wrong")) {
+		t.Error("tag must not verify under a different secret")
+	}
+}
+
+func TestSignatureStableAcrossVariableRenaming(t *testing.T) {
+	ks := testStore(t)
+	priv, _ := ks.RSAKey("alice")
+	r1 := datalog.NewCode(datalog.MustParseClause(`p(X) <- q(X).`))
+	r2 := datalog.NewCode(datalog.MustParseClause(`p(Y) <- q(Y).`))
+	sig, err := ks.SignRSA(r1, priv)
+	if err != nil {
+		t.Fatalf("sign: %v", err)
+	}
+	if !ks.VerifyRSA(r2, sig, &priv.PublicKey) {
+		t.Error("alpha-equivalent rules must share signatures (canonical form)")
+	}
+}
+
+func TestEncryptDecrypt(t *testing.T) {
+	secret := []byte("a-20-byte-secret-xyz")
+	msg := datalog.NewCode(datalog.MustParseClause(`secretFact(42).`))
+	ct, err := Encrypt(msg, secret)
+	if err != nil {
+		t.Fatalf("encrypt: %v", err)
+	}
+	pt, err := Decrypt(ct, secret)
+	if err != nil {
+		t.Fatalf("decrypt: %v", err)
+	}
+	if string(pt) != string(msg.Canonical()) {
+		t.Error("round-trip mismatch")
+	}
+	if _, err := Decrypt(ct, []byte("another-secret-20byt")); err == nil {
+		t.Error("decryption must fail under the wrong key")
+	}
+	// Determinism keeps the built-in functional for fixpoint evaluation.
+	ct2, _ := Encrypt(msg, secret)
+	if ct != ct2 {
+		t.Error("encryption must be deterministic")
+	}
+}
+
+func TestChecksums(t *testing.T) {
+	msg := datalog.String("hello")
+	c := Checksum(msg)
+	if len(c) != 64 {
+		t.Errorf("sha256 hex length = %d, want 64", len(c))
+	}
+	if Checksum(datalog.String("hello2")) == c {
+		t.Error("different messages must have different checksums")
+	}
+	if CRC32(msg) == CRC32(datalog.String("other")) {
+		t.Error("crc32 collision on trivially different inputs")
+	}
+}
+
+func TestKeyHandles(t *testing.T) {
+	if PrivHandle("alice") != "rsa:priv:alice" {
+		t.Errorf("PrivHandle = %s", PrivHandle("alice"))
+	}
+	if PubHandle("bob") != "rsa:pub:bob" {
+		t.Errorf("PubHandle = %s", PubHandle("bob"))
+	}
+	// Shared handles are order-independent.
+	if SharedHandle("bob", "alice") != SharedHandle("alice", "bob") {
+		t.Error("shared handle must not depend on argument order")
+	}
+}
+
+func TestBuiltinsEndToEnd(t *testing.T) {
+	ks := testStore(t)
+	set := datalog.NewBuiltinSet()
+	Register(set, ks)
+
+	db := datalog.NewDatabase()
+	msg := datalog.NewCode(datalog.MustParseClause(`fact(1).`))
+	db.Rel("msg", 1).Insert(datalog.Tuple{msg})
+	db.Rel("rsaprivkey", 2).Insert(datalog.Tuple{datalog.Sym("alice"), PrivHandle("alice")})
+	db.Rel("rsapubkey", 2).Insert(datalog.Tuple{datalog.Sym("alice"), PubHandle("alice")})
+	db.Rel("sharedsecret", 3).Insert(datalog.Tuple{datalog.Sym("alice"), datalog.Sym("bob"), SharedHandle("alice", "bob")})
+
+	prog := datalog.MustParseProgram(`
+		signed(R,S) <- msg(R), rsasign(R,S,K), rsaprivkey(alice,K).
+		verified(R) <- signed(R,S), rsapubkey(alice,K), rsaverify(R,S,K).
+		tagged(R,S) <- msg(R), sharedsecret(alice,bob,K), hmacsign(R,K,S).
+		tagok(R) <- tagged(R,S), sharedsecret(alice,bob,K), hmacverify(R,S,K).
+		sealed(R,C) <- msg(R), sharedsecret(alice,bob,K), encrypt(R,K,C).
+		sealok(C) <- sealed(_,C), sharedsecret(alice,bob,K), decryptok(C,K).
+		summed(R,C) <- msg(R), checksum(R,C).
+		sumok(R) <- summed(R,C), checksumverify(R,C).
+	`)
+	ev := datalog.NewEvaluator(db, set)
+	if err := ev.SetRules(prog.Rules); err != nil {
+		t.Fatalf("set rules: %v", err)
+	}
+	if err := ev.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, pred := range []string{"verified", "tagok", "sealok", "sumok"} {
+		rel, ok := db.Get(pred)
+		if !ok || rel.Len() != 1 {
+			t.Errorf("%s not derived (scheme round-trip failed)", pred)
+		}
+	}
+}
+
+func TestForgedSignatureRejected(t *testing.T) {
+	ks := testStore(t)
+	set := datalog.NewBuiltinSet()
+	Register(set, ks)
+
+	db := datalog.NewDatabase()
+	msg := datalog.NewCode(datalog.MustParseClause(`fact(1).`))
+	db.Rel("got", 2).Insert(datalog.Tuple{msg, datalog.String(strings.Repeat("ab", 128))})
+	db.Rel("rsapubkey", 2).Insert(datalog.Tuple{datalog.Sym("alice"), PubHandle("alice")})
+
+	prog := datalog.MustParseProgram(`
+		verified(R) <- got(R,S), rsapubkey(alice,K), rsaverify(R,S,K).
+	`)
+	ev := datalog.NewEvaluator(db, set)
+	if err := ev.SetRules(prog.Rules); err != nil {
+		t.Fatalf("set rules: %v", err)
+	}
+	if err := ev.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rel, ok := db.Get("verified"); ok && rel.Len() != 0 {
+		t.Error("forged signature verified")
+	}
+}
+
+func TestHMACPropertyRoundTrip(t *testing.T) {
+	secret := []byte("property-secret-0123")
+	f := func(s string) bool {
+		v := datalog.String(s)
+		return VerifyHMAC(v, SignHMAC(v, secret), secret)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncryptPropertyRoundTrip(t *testing.T) {
+	secret := []byte("property-secret-4567")
+	f := func(s string) bool {
+		v := datalog.String(s)
+		ct, err := Encrypt(v, secret)
+		if err != nil {
+			return false
+		}
+		pt, err := Decrypt(ct, secret)
+		if err != nil {
+			return false
+		}
+		return string(pt) == v.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,242 @@
+package meta
+
+import (
+	"strings"
+	"testing"
+
+	"lbtrust/internal/datalog"
+)
+
+func TestMetaModelMatchesFigure1(t *testing.T) {
+	prog, err := datalog.ParseProgram(Schema)
+	if err != nil {
+		t.Fatalf("Figure 1 schema does not parse: %v", err)
+	}
+	got := map[string]int{}
+	for _, c := range prog.Constraints {
+		for _, l := range c.LHS {
+			got[l.Atom.Pred] = l.Atom.Arity()
+		}
+	}
+	for name, arity := range ModelPredicates {
+		if name == PredActive {
+			continue // active is the workspace table, not part of Figure 1
+		}
+		if got[name] != arity {
+			t.Errorf("meta-model predicate %s: schema arity %d, want %d", name, got[name], arity)
+		}
+	}
+	if len(got) != len(ModelPredicates)-1 {
+		t.Errorf("schema declares %d predicates, want %d", len(got), len(ModelPredicates)-1)
+	}
+}
+
+func TestReifyRule(t *testing.T) {
+	db := datalog.NewDatabase()
+	m := NewModel(db)
+	r := datalog.MustParseClause(`access(P,O,read) <- good(P), !bad(P).`)
+	code := datalog.NewCode(r)
+	facts := m.Reify(code)
+	if len(facts) == 0 {
+		t.Fatal("no facts produced")
+	}
+	count := func(pred string) int {
+		rel, ok := db.Get(pred)
+		if !ok {
+			return 0
+		}
+		return rel.Len()
+	}
+	if count(PredRule) != 1 {
+		t.Errorf("rule facts = %d, want 1", count(PredRule))
+	}
+	if count(PredHead) != 1 {
+		t.Errorf("head facts = %d, want 1", count(PredHead))
+	}
+	if count(PredBody) != 2 {
+		t.Errorf("body facts = %d, want 2", count(PredBody))
+	}
+	if count(PredNegated) != 1 {
+		t.Errorf("negated facts = %d, want 1", count(PredNegated))
+	}
+	// access/3, good/1, bad/1 arguments: 3 + 1 + 1 terms.
+	if count(PredArg) != 5 {
+		t.Errorf("arg facts = %d, want 5", count(PredArg))
+	}
+	// P, O variables in head; P in each body atom; read constant.
+	if count(PredVariable) != 4 {
+		t.Errorf("variable facts = %d, want 4", count(PredVariable))
+	}
+	if count(PredConstant) != 1 {
+		t.Errorf("constant facts = %d, want 1", count(PredConstant))
+	}
+	// Re-reification is a no-op.
+	if again := m.Reify(code); len(again) != 0 {
+		t.Errorf("re-reify produced %d facts, want 0", len(again))
+	}
+}
+
+func TestReifyNestedCode(t *testing.T) {
+	db := datalog.NewDatabase()
+	m := NewModel(db)
+	r := datalog.MustParseClause(`says(bob, alice, [| access(p, o, read). |]).`)
+	m.Reify(datalog.NewCode(r))
+	rel, _ := db.Get(PredRule)
+	if rel.Len() != 2 {
+		t.Errorf("rule facts = %d, want 2 (outer and nested)", rel.Len())
+	}
+}
+
+func TestTranslatePaperSection33Example(t *testing.T) {
+	// fail-style rule from the paper's translation example:
+	// owner(U,R1), rule(R1), body(R1,A1), atom(A1), functor(A1,P) -> access(U,P,read).
+	r := datalog.MustParseClause(`violation(U,P) <- owner(U, [| A <- P(T2*), A*. |]), !access(U,P,read).`)
+	tr, err := TranslatePatterns(r)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	s := tr.String()
+	for _, want := range []string{"owner(U,", "rule(", "body(", "functor(", "!access(U,P,read)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("translated rule %q missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "[|") {
+		t.Errorf("translated rule still contains quoted code: %s", s)
+	}
+	// The head pattern A is unconstrained except via the head slot; the
+	// pattern body atom P(T2*) contributes functor but no arg literals.
+	if strings.Contains(s, "arg(") {
+		t.Errorf("starred argument pattern should not constrain args: %s", s)
+	}
+}
+
+func TestPatternMatchingEndToEnd(t *testing.T) {
+	// bex1'-style rule: match a fact said by bob and extract its arguments.
+	db := datalog.NewDatabase()
+	m := NewModel(db)
+
+	said := datalog.NewCode(datalog.MustParseClause(`access(p1, o1, read).`))
+	db.Rel("says", 3).Insert(datalog.Tuple{datalog.Sym("bob"), datalog.Sym("alice"), said})
+	m.ReifyDatabaseCodes()
+
+	rule := datalog.MustParseClause(`granted(P,O) <- says(bob, alice, [| access(P, O, read). |]).`)
+	tr, err := TranslatePatterns(rule)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	ev := datalog.NewEvaluator(db, datalog.NewBuiltinSet())
+	if err := ev.SetRules([]*datalog.Rule{tr}); err != nil {
+		t.Fatalf("set rules: %v", err)
+	}
+	if err := ev.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	rel, ok := db.Get("granted")
+	if !ok || rel.Len() != 1 {
+		t.Fatalf("granted not derived")
+	}
+	want := datalog.Tuple{datalog.Sym("p1"), datalog.Sym("o1")}
+	if !rel.Contains(want) {
+		t.Errorf("granted does not contain %v", want)
+	}
+
+	// A fact with a different mode must not match.
+	other := datalog.NewCode(datalog.MustParseClause(`access(p2, o2, write).`))
+	db.Rel("says", 3).Insert(datalog.Tuple{datalog.Sym("bob"), datalog.Sym("alice"), other})
+	m.ReifyDatabaseCodes()
+	if err := ev.Run(); err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	if rel.Len() != 1 {
+		t.Errorf("granted = %d rows, want 1 (write fact must not match read pattern)", rel.Len())
+	}
+}
+
+func TestPatternRestOfBodyStar(t *testing.T) {
+	// mayRead-style: [| A <- P(T*), A*. |] matches rules with bodies, not facts.
+	db := datalog.NewDatabase()
+	m := NewModel(db)
+
+	withBody := datalog.NewCode(datalog.MustParseClause(`q(X) <- secret(X), other(X).`))
+	fact := datalog.NewCode(datalog.MustParseClause(`q(a).`))
+	db.Rel("owner", 2).Insert(datalog.Tuple{datalog.Sym("u1"), withBody})
+	db.Rel("owner", 2).Insert(datalog.Tuple{datalog.Sym("u2"), fact})
+	m.ReifyDatabaseCodes()
+
+	rule := datalog.MustParseClause(`reads(U,P) <- owner(U, [| A <- P(T*), A*. |]).`)
+	tr, err := TranslatePatterns(rule)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	ev := datalog.NewEvaluator(db, datalog.NewBuiltinSet())
+	if err := ev.SetRules([]*datalog.Rule{tr}); err != nil {
+		t.Fatalf("set rules: %v", err)
+	}
+	if err := ev.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	rel, _ := db.Get("reads")
+	if rel == nil || rel.Len() != 2 {
+		t.Fatalf("reads should bind each body predicate of u1's rule, got %v", rel)
+	}
+	for _, want := range []datalog.Tuple{
+		{datalog.Sym("u1"), datalog.Sym("secret")},
+		{datalog.Sym("u1"), datalog.Sym("other")},
+	} {
+		if !rel.Contains(want) {
+			t.Errorf("reads missing %v", want)
+		}
+	}
+}
+
+func TestEqualityAnchoredPattern(t *testing.T) {
+	// del1-generated form: active(R) <- says(U,me,R), R = [| p(T*) <- A*. |].
+	db := datalog.NewDatabase()
+	m := NewModel(db)
+
+	pRule := datalog.NewCode(datalog.MustParseClause(`p(a).`))
+	qRule := datalog.NewCode(datalog.MustParseClause(`q(a).`))
+	db.Rel("said", 1).Insert(datalog.Tuple{pRule})
+	db.Rel("said", 1).Insert(datalog.Tuple{qRule})
+	m.ReifyDatabaseCodes()
+
+	rule := datalog.MustParseClause(`accept(R) <- said(R), R = [| p(T*) <- A*. |].`)
+	tr, err := TranslatePatterns(rule)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	ev := datalog.NewEvaluator(db, datalog.NewBuiltinSet())
+	if err := ev.SetRules([]*datalog.Rule{tr}); err != nil {
+		t.Fatalf("set rules: %v", err)
+	}
+	if err := ev.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	rel, _ := db.Get("accept")
+	if rel == nil || rel.Len() != 1 {
+		t.Fatalf("accept = %v, want exactly the p rule", rel)
+	}
+	if !rel.Contains(datalog.Tuple{pRule}) {
+		t.Error("accept should contain the p rule")
+	}
+}
+
+func TestActiveTable(t *testing.T) {
+	db := datalog.NewDatabase()
+	m := NewModel(db)
+	c := datalog.NewCode(datalog.MustParseClause(`p(X) <- q(X).`))
+	if !m.Activate(c) {
+		t.Fatal("first activation should be new")
+	}
+	if m.Activate(c) {
+		t.Fatal("second activation should not be new")
+	}
+	codes := m.ActiveCodes()
+	if len(codes) != 1 || codes[0].Key() != c.Key() {
+		t.Errorf("ActiveCodes = %v", codes)
+	}
+	if !m.Reified(c) {
+		t.Error("activation should reify")
+	}
+}

@@ -1,0 +1,246 @@
+// Package meta implements LogicBlox-style meta-programming for LBTrust
+// (Section 3.3 of the paper): the Figure 1 meta-model, reification of rules
+// into meta-model facts, translation of quoted-code patterns into
+// conjunctions of meta-model atoms, and support for code generation through
+// the active table.
+package meta
+
+import (
+	"fmt"
+
+	"lbtrust/internal/datalog"
+)
+
+// Meta-model predicate names (Figure 1 of the paper), plus the active
+// table described in Section 3.3.
+const (
+	PredRule      = "rule"
+	PredHead      = "head"
+	PredBody      = "body"
+	PredAtom      = "atom"
+	PredFunctor   = "functor"
+	PredArg       = "arg"
+	PredNegated   = "negated"
+	PredTerm      = "term"
+	PredVariable  = "variable"
+	PredVName     = "vname"
+	PredConstant  = "constant"
+	PredValue     = "value"
+	PredPredicate = "predicate"
+	PredPName     = "pname"
+	PredActive    = "active"
+)
+
+// ModelPredicates lists every meta-model predicate with its arity, matching
+// Figure 1 of the paper (active is the workspace's active-rule table).
+var ModelPredicates = map[string]int{
+	PredRule:      1,
+	PredHead:      2,
+	PredBody:      2,
+	PredAtom:      1,
+	PredFunctor:   2,
+	PredArg:       3,
+	PredNegated:   1,
+	PredTerm:      1,
+	PredVariable:  1,
+	PredVName:     2,
+	PredConstant:  1,
+	PredValue:     2,
+	PredPredicate: 1,
+	PredPName:     2,
+	PredActive:    1,
+}
+
+// IsMetaPredicate reports whether name belongs to the meta-model.
+func IsMetaPredicate(name string) bool {
+	_, ok := ModelPredicates[name]
+	return ok
+}
+
+// Schema is the Figure 1 meta-model expressed as LBTrust constraints, used
+// for documentation and structural tests.
+const Schema = `
+rule(R) -> .
+head(R,A) -> rule(R), atom(A).
+body(R,A) -> rule(R), atom(A).
+atom(A) -> .
+functor(A,P) -> atom(A), predicate(P).
+arg(A,I,T) -> atom(A), int(I), term(T).
+negated(A) -> atom(A).
+term(T) -> .
+variable(X) -> term(X).
+vname(X,N) -> variable(X), string(N).
+constant(C) -> term(C).
+value(C,V) -> constant(C), string(V).
+predicate(P) -> .
+pname(P,N) -> predicate(P), string(N).
+`
+
+// Fact is one meta-model fact produced by reification.
+type Fact struct {
+	Pred  string
+	Tuple datalog.Tuple
+}
+
+// Model reifies Code values into meta-model facts over a database. Rule
+// identity is the Code value itself; atoms and terms become fresh entities.
+// The model remembers which code values it has already reified, so
+// re-reification is a no-op.
+type Model struct {
+	db         *datalog.Database
+	reified    map[string]bool
+	nextEntity int64
+}
+
+// NewModel creates a meta-model manager over the database.
+func NewModel(db *datalog.Database) *Model {
+	return &Model{db: db, reified: map[string]bool{}}
+}
+
+func (m *Model) entity(sort string) datalog.Entity {
+	m.nextEntity++
+	return datalog.Entity{Sort: sort, ID: m.nextEntity}
+}
+
+// Reify inserts the meta-model representation of the code value, returning
+// the facts that were newly added (empty if the value was already
+// reified). Nested quoted code inside the rule is reified recursively, so
+// patterns can descend through says-of-says structures.
+func (m *Model) Reify(c datalog.Code) []Fact {
+	if m.reified[c.Key()] {
+		return nil
+	}
+	m.reified[c.Key()] = true
+	var out []Fact
+	add := func(pred string, tuple datalog.Tuple) {
+		rel := m.db.Rel(pred, len(tuple))
+		if rel.Insert(tuple) {
+			out = append(out, Fact{Pred: pred, Tuple: tuple})
+		}
+	}
+	r := c.Rule()
+	add(PredRule, datalog.Tuple{c})
+	for i := range r.Heads {
+		a := m.reifyAtom(&r.Heads[i], &out, add)
+		add(PredHead, datalog.Tuple{c, a})
+	}
+	for i := range r.Body {
+		a := m.reifyAtom(&r.Body[i].Atom, &out, add)
+		add(PredBody, datalog.Tuple{c, a})
+		if r.Body[i].Negated {
+			add(PredNegated, datalog.Tuple{a})
+		}
+	}
+	return out
+}
+
+// reifyAtom creates the atom entity and its functor/arg facts. Argument
+// positions are 1-based; a partition argument, when present, occupies
+// position 0.
+func (m *Model) reifyAtom(a *datalog.Atom, out *[]Fact, add func(string, datalog.Tuple)) datalog.Entity {
+	ae := m.entity("atom")
+	add(PredAtom, datalog.Tuple{ae})
+	if a.Pred != "" {
+		p := datalog.Sym(a.Pred)
+		add(PredFunctor, datalog.Tuple{ae, p})
+		add(PredPredicate, datalog.Tuple{p})
+		add(PredPName, datalog.Tuple{p, datalog.String(a.Pred)})
+	}
+	pos := 1
+	if a.Part != nil {
+		m.reifyArg(ae, 0, a.Part, add)
+	}
+	for _, t := range a.Args {
+		m.reifyArg(ae, pos, t, add)
+		pos++
+	}
+	return ae
+}
+
+func (m *Model) reifyArg(ae datalog.Entity, pos int, t datalog.Term, add func(string, datalog.Tuple)) {
+	te := m.entity("term")
+	add(PredArg, datalog.Tuple{ae, datalog.Int(pos), te})
+	add(PredTerm, datalog.Tuple{te})
+	switch t := t.(type) {
+	case datalog.Var:
+		add(PredVariable, datalog.Tuple{te})
+		add(PredVName, datalog.Tuple{te, datalog.String(string(t))})
+	case datalog.Const:
+		add(PredConstant, datalog.Tuple{te})
+		add(PredValue, datalog.Tuple{te, t.Val})
+		if inner, ok := t.Val.(datalog.Code); ok {
+			for _, f := range m.Reify(inner) {
+				add(f.Pred, f.Tuple)
+			}
+		}
+	case datalog.Quote:
+		inner := datalog.NewCode(t.Pat)
+		add(PredConstant, datalog.Tuple{te})
+		add(PredValue, datalog.Tuple{te, inner})
+		for _, f := range m.Reify(inner) {
+			add(f.Pred, f.Tuple)
+		}
+	default:
+		// Arithmetic, starred and partition terms reify as opaque terms:
+		// they are neither variable nor constant in the meta-model.
+	}
+}
+
+// ReifyDatabaseCodes scans the database for code values stored in tuples
+// (for example, rules carried by says or export facts) and reifies any that
+// are new. It returns true when new meta facts were added. The scan is
+// incremental in effect because reified codes are remembered.
+func (m *Model) ReifyDatabaseCodes() bool {
+	added := false
+	for _, name := range m.db.Names() {
+		if name == PredValue {
+			continue // value's own code entries are handled during Reify
+		}
+		rel, _ := m.db.Get(name)
+		var codes []datalog.Code
+		rel.Each(func(t datalog.Tuple) bool {
+			for _, v := range t {
+				if c, ok := v.(datalog.Code); ok && !m.reified[c.Key()] {
+					codes = append(codes, c)
+				}
+			}
+			return true
+		})
+		for _, c := range codes {
+			if len(m.Reify(c)) > 0 {
+				added = true
+			}
+		}
+	}
+	return added
+}
+
+// Reified reports whether the code value has been reified.
+func (m *Model) Reified(c datalog.Code) bool { return m.reified[c.Key()] }
+
+// ActiveCodes returns the code values currently present in the active
+// table.
+func (m *Model) ActiveCodes() []datalog.Code {
+	rel, ok := m.db.Get(PredActive)
+	if !ok {
+		return nil
+	}
+	var out []datalog.Code
+	rel.Each(func(t datalog.Tuple) bool {
+		if c, ok := t[0].(datalog.Code); ok {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// Activate inserts a code value into the active table (and reifies it),
+// returning whether it was new.
+func (m *Model) Activate(c datalog.Code) bool {
+	m.Reify(c)
+	rel := m.db.Rel(PredActive, 1)
+	return rel.Insert(datalog.Tuple{c})
+}
+
+var _ = fmt.Sprintf

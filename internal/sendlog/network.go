@@ -1,0 +1,158 @@
+package sendlog
+
+import (
+	"fmt"
+
+	"lbtrust/internal/core"
+)
+
+// ReachabilityProgram computes each node's reachability set with
+// authenticated propagation: the LBTrust form of the paper's s1/s2 rules.
+// Every node derives reachable(me, D) locally from neighbors (ls1),
+// advertises its set to neighbors (ls2), and accepts advertisements that
+// claim reachability for itself (lsAct). The advertisement says is signed
+// and verified by the active authentication scheme.
+const ReachabilityProgram = `
+lc1: neighbor(S,D) -> prin(S), prin(D).
+lc2: reachable(S,D) -> prin(S), prin(D).
+ls1: reachable(me,D) <- neighbor(me,D).
+ls2: says(me, Z, [| reachable(Z,D). |]) <- neighbor(me,Z), reachable(me,D), Z != D.
+lsAct: active(R) <- says(_, me, R), R = [| reachable(me,D). |].
+`
+
+// PathVectorProgram is an authenticated hop-count path-vector protocol
+// (the "more complex secure networking protocol" Section 5.2 alludes to):
+// nodes advertise route costs to neighbors, accept advertisements for
+// themselves, and select the best route per destination with a min
+// aggregate. Costs are bounded by maxCost to keep the computation finite.
+const PathVectorProgram = `
+pv1: cost(me, D, 1) <- neighbor(me, D).
+pv2: says(me, Z, [| cost(Z, D, C+1). |]) <- neighbor(me,Z), cost(me,D,C), C < %d, Z != D.
+pvAct: active(R) <- says(_, me, R), R = [| cost(me,D,C). |].
+pv3: best(D, C) <- agg<<C = min(X)>> cost(me, D, X).
+`
+
+// Network is a set of principals running a SeNDlog protocol over the
+// LBTrust distribution runtime, one principal per network node.
+type Network struct {
+	sys   *core.System
+	nodes map[string]*core.Principal
+}
+
+// NewNetwork creates principals named by nodes, all hosted on the default
+// (in-memory) node with the given authentication scheme.
+func NewNetwork(nodeNames []string, scheme core.Scheme) (*Network, error) {
+	sys := core.NewSystem()
+	nw := &Network{sys: sys, nodes: map[string]*core.Principal{}}
+	for _, name := range nodeNames {
+		p, err := sys.AddPrincipal(name)
+		if err != nil {
+			return nil, err
+		}
+		nw.nodes[name] = p
+	}
+	switch scheme {
+	case core.SchemeRSA:
+		for _, name := range nodeNames {
+			if err := sys.EstablishRSA(name); err != nil {
+				return nil, err
+			}
+		}
+	case core.SchemeHMAC:
+		for i, a := range nodeNames {
+			for _, b := range nodeNames[i+1:] {
+				if err := sys.EstablishSharedSecret(a, b); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for _, name := range nodeNames {
+		if err := nw.nodes[name].UseScheme(scheme); err != nil {
+			return nil, err
+		}
+	}
+	return nw, nil
+}
+
+// System exposes the underlying LBTrust system.
+func (nw *Network) System() *core.System { return nw.sys }
+
+// Node returns the principal for a network node.
+func (nw *Network) Node(name string) *core.Principal { return nw.nodes[name] }
+
+// AddLink records a bidirectional neighbor link: the paper's s2 rule
+// ("if Z is a neighbor of S, and S can reach D, then Z can also reach D")
+// assumes undirected connectivity, so each endpoint records the other.
+func (nw *Network) AddLink(a, b string) error {
+	pa, ok := nw.nodes[a]
+	if !ok {
+		return fmt.Errorf("sendlog: unknown node %s", a)
+	}
+	pb, ok := nw.nodes[b]
+	if !ok {
+		return fmt.Errorf("sendlog: unknown node %s", b)
+	}
+	if err := pa.LoadProgram(fmt.Sprintf("neighbor(me, %s).", b)); err != nil {
+		return err
+	}
+	return pb.LoadProgram(fmt.Sprintf("neighbor(me, %s).", a))
+}
+
+// RunReachability installs the reachability protocol everywhere and runs
+// the distributed computation to quiescence.
+func (nw *Network) RunReachability() error {
+	for _, p := range nw.nodes {
+		if err := p.LoadProgram(ReachabilityProgram); err != nil {
+			return err
+		}
+	}
+	return nw.sys.Sync()
+}
+
+// RunPathVector installs the path-vector protocol with the given cost
+// bound and runs to quiescence.
+func (nw *Network) RunPathVector(maxCost int) error {
+	prog := fmt.Sprintf(PathVectorProgram, maxCost)
+	for _, p := range nw.nodes {
+		if err := p.LoadProgram(prog); err != nil {
+			return err
+		}
+	}
+	return nw.sys.Sync()
+}
+
+// Reachable reports whether node from can reach node to, per from's local
+// reachable table.
+func (nw *Network) Reachable(from, to string) (bool, error) {
+	p, ok := nw.nodes[from]
+	if !ok {
+		return false, fmt.Errorf("sendlog: unknown node %s", from)
+	}
+	rows, err := p.Query(fmt.Sprintf("reachable(me, %s)", to))
+	if err != nil {
+		return false, err
+	}
+	return len(rows) > 0, nil
+}
+
+// BestCost returns from's selected route cost to a destination, or -1 when
+// unreachable.
+func (nw *Network) BestCost(from, to string) (int, error) {
+	p, ok := nw.nodes[from]
+	if !ok {
+		return -1, fmt.Errorf("sendlog: unknown node %s", from)
+	}
+	rows, err := p.Query(fmt.Sprintf("best(%s, C)", to))
+	if err != nil {
+		return -1, err
+	}
+	if len(rows) == 0 {
+		return -1, nil
+	}
+	c, ok := rows[0][1].(interface{ String() string })
+	_ = ok
+	var n int
+	fmt.Sscanf(c.String(), "%d", &n)
+	return n, nil
+}

@@ -1,0 +1,188 @@
+// Package sendlog implements SeNDlog (Secure Network Datalog, the paper's
+// second case study, Section 5.2): declarative networking unified with
+// Binder-style authentication. SeNDlog rules execute in a principal's
+// context; "p(..)@X" head exports compile to says templates and
+// "W says p(..)" body imports compile to says patterns, per the paper's
+// ls1/ls2 translation.
+package sendlog
+
+import (
+	"fmt"
+	"strings"
+
+	"lbtrust/internal/binder"
+)
+
+// Compile translates a SeNDlog program executing "At <ctx>:" into LBTrust
+// source:
+//
+//   - every occurrence of the context variable becomes me;
+//   - body literals "W says p(..)" become says(W, me, [| p(..) |]);
+//   - head exports "p(..)@X" become says(me, X, [| p(..). |]).
+func Compile(contextVar, src string) (string, error) {
+	replaced := replaceWord(src, contextVar, "me")
+	withSays, err := binder.Compile(replaced)
+	if err != nil {
+		return "", fmt.Errorf("sendlog: %w", err)
+	}
+	return rewriteExports(withSays)
+}
+
+// replaceWord substitutes whole-word occurrences of name outside string
+// literals.
+func replaceWord(src, name, with string) string {
+	if name == "" {
+		return src
+	}
+	var out strings.Builder
+	i, n := 0, len(src)
+	for i < n {
+		c := src[i]
+		if c == '"' {
+			j := i + 1
+			for j < n && src[j] != '"' {
+				if src[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j < n {
+				j++
+			}
+			out.WriteString(src[i:j])
+			i = j
+			continue
+		}
+		if isWordStart(c) {
+			word, j := scanWord(src, i)
+			if word == name {
+				out.WriteString(with)
+			} else {
+				out.WriteString(word)
+			}
+			i = j
+			continue
+		}
+		out.WriteByte(c)
+		i++
+	}
+	return out.String()
+}
+
+// rewriteExports turns every "atom@Dest" into says(me, Dest, [| atom. |]).
+func rewriteExports(src string) (string, error) {
+	var out strings.Builder
+	i, n := 0, len(src)
+	for i < n {
+		c := src[i]
+		if c == '"' {
+			j := i + 1
+			for j < n && src[j] != '"' {
+				if src[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j < n {
+				j++
+			}
+			out.WriteString(src[i:j])
+			i = j
+			continue
+		}
+		if isWordStart(c) {
+			start := i
+			_, j := scanWord(src, i)
+			if j < n && src[j] == '(' {
+				end, err := scanBalanced(src, j)
+				if err != nil {
+					return "", fmt.Errorf("sendlog: %w", err)
+				}
+				k := skipSpace(src, end)
+				if k < n && src[k] == '@' {
+					dest, k2 := scanWord(src, skipSpace(src, k+1))
+					if dest == "" {
+						return "", fmt.Errorf("sendlog: expected destination after @ near %q", src[k:min(k+16, n)])
+					}
+					fmt.Fprintf(&out, "says(me, %s, [| %s. |])", dest, src[start:end])
+					i = k2
+					continue
+				}
+				out.WriteString(src[start:end])
+				i = end
+				continue
+			}
+			out.WriteString(src[start:j])
+			i = j
+			continue
+		}
+		out.WriteByte(c)
+		i++
+	}
+	return out.String(), nil
+}
+
+func isWordStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isWordPart(c byte) bool {
+	return isWordStart(c) || (c >= '0' && c <= '9')
+}
+
+func scanWord(src string, i int) (string, int) {
+	if i >= len(src) || !isWordStart(src[i]) {
+		return "", i
+	}
+	j := i + 1
+	for j < len(src) {
+		if isWordPart(src[j]) {
+			j++
+			continue
+		}
+		if src[j] == ':' && j+1 < len(src) && isWordPart(src[j+1]) && src[j+1] != '_' {
+			j += 2
+			continue
+		}
+		break
+	}
+	return src[i:j], j
+}
+
+func skipSpace(src string, i int) int {
+	for i < len(src) && (src[i] == ' ' || src[i] == '\t') {
+		i++
+	}
+	return i
+}
+
+func scanBalanced(src string, i int) (int, error) {
+	depth := 0
+	for j := i; j < len(src); j++ {
+		switch src[j] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				return j + 1, nil
+			}
+		case '"':
+			j++
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\\' {
+					j++
+				}
+				j++
+			}
+		}
+	}
+	return 0, fmt.Errorf("unbalanced parentheses near %q", src[i:min(i+16, len(src))])
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,165 @@
+package sendlog
+
+import (
+	"strings"
+	"testing"
+
+	"lbtrust/internal/core"
+)
+
+func TestCompilePaperRules(t *testing.T) {
+	// The paper's s1/s2 reachability rules, executed "At S".
+	src := `
+s1: reachable(S,D) :- neighbor(S,D).
+s2: reachable(Z,D)@Z :- neighbor(S,Z), W says reachable(S,D).
+`
+	got, err := Compile("S", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	for _, want := range []string{
+		"s1: reachable(me,D) :- neighbor(me,D).",
+		"says(me, Z, [| reachable(Z,D). |])",
+		"says(W, me, [| reachable(me,D) |])",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("compiled output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "@") {
+		t.Errorf("@ should be compiled away:\n%s", got)
+	}
+}
+
+func TestCompileContextVarInStrings(t *testing.T) {
+	got, err := Compile("S", `log("S stays here") :- p(S).`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if !strings.Contains(got, `"S stays here"`) {
+		t.Error("string literal must not be rewritten")
+	}
+	if !strings.Contains(got, "p(me)") {
+		t.Error("context variable should become me")
+	}
+}
+
+func lineTopology(t *testing.T, scheme core.Scheme) *Network {
+	t.Helper()
+	// n5 is isolated.
+	nw, err := NewNetwork([]string{"n1", "n2", "n3", "n4", "n5"}, scheme)
+	if err != nil {
+		t.Fatalf("network: %v", err)
+	}
+	for _, link := range [][2]string{{"n1", "n2"}, {"n2", "n3"}, {"n3", "n4"}} {
+		if err := nw.AddLink(link[0], link[1]); err != nil {
+			t.Fatalf("link %v: %v", link, err)
+		}
+	}
+	return nw
+}
+
+func TestReachabilityLine(t *testing.T) {
+	nw := lineTopology(t, core.SchemePlaintext)
+	if err := nw.RunReachability(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	cases := []struct {
+		from, to string
+		want     bool
+	}{
+		{"n1", "n2", true},
+		{"n2", "n3", true},
+		{"n2", "n4", true},
+		{"n4", "n1", true}, // links are undirected per the paper's s2
+		{"n1", "n5", false},
+		{"n5", "n2", false},
+	}
+	for _, c := range cases {
+		got, err := nw.Reachable(c.from, c.to)
+		if err != nil {
+			t.Fatalf("reachable(%s,%s): %v", c.from, c.to, err)
+		}
+		if got != c.want {
+			t.Errorf("reachable(%s,%s) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestReachabilityTransitiveMultiHop(t *testing.T) {
+	// The advertisement chain crosses three hops: n2's reachability of n4
+	// must reach n1 transitively.
+	nw := lineTopology(t, core.SchemePlaintext)
+	if err := nw.RunReachability(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got, err := nw.Reachable("n1", "n4")
+	if err != nil {
+		t.Fatalf("reachable: %v", err)
+	}
+	if !got {
+		t.Error("n1 should reach n4 across three hops")
+	}
+}
+
+func TestReachabilityAuthenticatedRSA(t *testing.T) {
+	// Same protocol with RSA-signed advertisements end to end.
+	nw, err := NewNetwork([]string{"a", "b", "c"}, core.SchemeRSA)
+	if err != nil {
+		t.Fatalf("network: %v", err)
+	}
+	for _, link := range [][2]string{{"a", "b"}, {"b", "c"}} {
+		if err := nw.AddLink(link[0], link[1]); err != nil {
+			t.Fatalf("link: %v", err)
+		}
+	}
+	if err := nw.RunReachability(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got, _ := nw.Reachable("a", "c"); !got {
+		t.Error("a should reach c with RSA-authenticated advertisements")
+	}
+}
+
+func TestPathVectorSelectsShortest(t *testing.T) {
+	// Diamond: n1->n2->n4 and n1->n3a->n3b->n4; best(n4) at n1 must be 2.
+	nw, err := NewNetwork([]string{"n1", "n2", "n3a", "n3b", "n4"}, core.SchemePlaintext)
+	if err != nil {
+		t.Fatalf("network: %v", err)
+	}
+	links := [][2]string{
+		{"n1", "n2"}, {"n2", "n4"},
+		{"n1", "n3a"}, {"n3a", "n3b"}, {"n3b", "n4"},
+	}
+	for _, l := range links {
+		if err := nw.AddLink(l[0], l[1]); err != nil {
+			t.Fatalf("link: %v", err)
+		}
+	}
+	if err := nw.RunPathVector(8); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got, err := nw.BestCost("n1", "n4")
+	if err != nil {
+		t.Fatalf("best: %v", err)
+	}
+	if got != 2 {
+		t.Errorf("best cost n1->n4 = %d, want 2", got)
+	}
+	if got, _ := nw.BestCost("n1", "n2"); got != 1 {
+		t.Errorf("best cost n1->n2 = %d, want 1", got)
+	}
+}
+
+func TestPathVectorUnreachable(t *testing.T) {
+	nw, err := NewNetwork([]string{"x", "y"}, core.SchemePlaintext)
+	if err != nil {
+		t.Fatalf("network: %v", err)
+	}
+	if err := nw.RunPathVector(4); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got, _ := nw.BestCost("x", "y"); got != -1 {
+		t.Errorf("best cost with no links = %d, want -1", got)
+	}
+}

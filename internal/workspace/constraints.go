@@ -1,0 +1,247 @@
+package workspace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lbtrust/internal/datalog"
+	"lbtrust/internal/meta"
+)
+
+// failPred is the internal relation collecting constraint violations; the
+// paper's user-visible fail() predicate is checked alongside it.
+const failPred = "lb:fail"
+
+// compiledConstraint is a schema constraint lowered to Datalog rules per
+// Section 3.2 of the paper: F1 -> F2 behaves as fail() <- F1, !F2, with the
+// existentially quantified RHS captured by an auxiliary predicate:
+//
+//	aux(shared) <- F1, F2alt.       (one rule per RHS alternative)
+//	lb:fail(label) <- F1, !aux(shared).
+type compiledConstraint struct {
+	label    string
+	auxPred  string
+	rules    []*datalog.Rule
+	declOnly bool
+}
+
+// compileConstraint lowers one constraint. It also extracts predicate
+// declarations (name, arity, partitionedness) from the LHS atoms, which is
+// how exp0-style type declarations register schemas.
+func compileConstraint(c *datalog.Constraint, idx int, principal datalog.Sym) (*compiledConstraint, []Decl, error) {
+	label := c.Label
+	if label == "" {
+		label = fmt.Sprintf("constraint#%d", idx)
+	}
+	// me-specialize both sides by round-tripping through a dummy rule.
+	lhs := substLits(c.LHS, principal)
+	var decls []Decl
+	for i := range lhs {
+		a := &lhs[i]
+		if a.Atom.Pred == "" || a.Negated {
+			continue
+		}
+		decls = append(decls, Decl{
+			Name:        a.Atom.Pred,
+			Arity:       a.Atom.Arity(),
+			Partitioned: a.Atom.Part != nil,
+		})
+	}
+	if len(c.RHS) == 0 {
+		return nil, decls, nil // pure declaration
+	}
+
+	lhsT, err := translateLits(lhs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("constraint %s: %w", label, err)
+	}
+	lhsVars := litVars(lhsT)
+
+	auxPred := fmt.Sprintf("lb:aux:%d", idx)
+	var rules []*datalog.Rule
+	sharedSet := map[string]bool{}
+	var altBodies [][]datalog.Literal
+	for _, alt := range c.RHS {
+		altT, err := translateLits(substLits(alt, principal))
+		if err != nil {
+			return nil, nil, fmt.Errorf("constraint %s: %w", label, err)
+		}
+		altBodies = append(altBodies, altT)
+		for v := range litVars(altT) {
+			if lhsVars[v] {
+				sharedSet[v] = true
+			}
+		}
+	}
+	shared := make([]string, 0, len(sharedSet))
+	for v := range sharedSet {
+		shared = append(shared, v)
+	}
+	sort.Strings(shared)
+	sharedTerms := make([]datalog.Term, len(shared))
+	for i, v := range shared {
+		sharedTerms[i] = datalog.Var(v)
+	}
+
+	for _, altT := range altBodies {
+		body := make([]datalog.Literal, 0, len(lhsT)+len(altT))
+		body = append(body, lhsT...)
+		body = append(body, altT...)
+		rules = append(rules, &datalog.Rule{
+			Label: label + ":aux",
+			Heads: []datalog.Atom{{Pred: auxPred, Args: sharedTerms}},
+			Body:  body,
+		})
+	}
+	failBody := make([]datalog.Literal, 0, len(lhsT)+1)
+	failBody = append(failBody, lhsT...)
+	failBody = append(failBody, datalog.Literal{
+		Negated: true,
+		Atom:    datalog.Atom{Pred: auxPred, Args: sharedTerms},
+	})
+	rules = append(rules, &datalog.Rule{
+		Label: label,
+		Heads: []datalog.Atom{{Pred: failPred, Args: []datalog.Term{datalog.Const{Val: datalog.String(label)}}}},
+		Body:  failBody,
+	})
+	return &compiledConstraint{label: label, auxPred: auxPred, rules: rules}, decls, nil
+}
+
+func substLits(lits []datalog.Literal, principal datalog.Sym) []datalog.Literal {
+	dummy := &datalog.Rule{Heads: []datalog.Atom{{Pred: "lb:dummy"}}, Body: lits}
+	return substMe(dummy, principal).Body
+}
+
+func translateLits(lits []datalog.Literal) ([]datalog.Literal, error) {
+	dummy := &datalog.Rule{Heads: []datalog.Atom{{Pred: "lb:dummy"}}, Body: lits}
+	out, err := meta.TranslatePatterns(dummy)
+	if err != nil {
+		return nil, err
+	}
+	return out.Body, nil
+}
+
+func litVars(lits []datalog.Literal) map[string]bool {
+	dummy := &datalog.Rule{Heads: []datalog.Atom{{Pred: "lb:dummy"}}, Body: lits}
+	return dummy.Vars()
+}
+
+// Violation describes one constraint violation with the premises that
+// triggered it.
+type Violation struct {
+	Constraint string
+	Premises   []datalog.Premise
+}
+
+func (v Violation) String() string {
+	var b strings.Builder
+	b.WriteString(v.Constraint)
+	if len(v.Premises) > 0 {
+		b.WriteString(" [")
+		for i, p := range v.Premises {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			b.WriteString(p.Pred)
+			b.WriteString(p.Tuple.String())
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// ViolationError reports constraint violations that aborted a transaction.
+type ViolationError struct {
+	Violations []Violation
+}
+
+func (e *ViolationError) Error() string {
+	var b strings.Builder
+	b.WriteString("workspace: constraint violation")
+	if len(e.Violations) > 1 {
+		fmt.Fprintf(&b, "s (%d)", len(e.Violations))
+	}
+	b.WriteString(": ")
+	for i, v := range e.Violations {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// checkConstraintsLocked evaluates all constraints and user fail() rules
+// against the current database and returns a ViolationError when any fail.
+func (w *Workspace) checkConstraintsLocked() error {
+	if w.constraintsChanged {
+		var rules []*datalog.Rule
+		for _, cc := range w.constraints {
+			rules = append(rules, cc.rules...)
+		}
+		for _, k := range w.activeOrder {
+			if e := w.active[k]; e.isCheck {
+				rules = append(rules, e.translated)
+			}
+		}
+		if err := w.checkEv.SetRules(rules); err != nil {
+			return fmt.Errorf("workspace: compiling constraints: %w", err)
+		}
+		w.constraintsChanged = false
+	}
+	// Clear previous check results; they are recomputed from scratch since
+	// fail/aux predicates never feed user rules.
+	for _, cc := range w.constraints {
+		if rel, ok := w.db.Get(cc.auxPred); ok {
+			rel.Clear()
+		}
+	}
+	if rel, ok := w.db.Get(failPred); ok {
+		rel.Clear()
+	}
+	if rel, ok := w.db.Get("fail"); ok {
+		rel.Clear()
+	}
+
+	var violations []Violation
+	w.checkEv.Trace = func(pred string, t datalog.Tuple, r *datalog.Rule, premises []datalog.Premise) {
+		switch pred {
+		case failPred:
+			label := ""
+			if s, ok := t[0].(datalog.String); ok {
+				label = string(s)
+			}
+			violations = append(violations, Violation{Constraint: label, Premises: filterMetaPremises(premises)})
+		case "fail":
+			label := r.Label
+			if label == "" {
+				label = "fail()"
+			}
+			violations = append(violations, Violation{Constraint: label, Premises: filterMetaPremises(premises)})
+		}
+	}
+	err := w.checkEv.Run()
+	w.checkEv.Trace = nil
+	if err != nil {
+		return fmt.Errorf("workspace: checking constraints: %w", err)
+	}
+	if len(violations) > 0 {
+		sort.Slice(violations, func(i, j int) bool { return violations[i].Constraint < violations[j].Constraint })
+		return &ViolationError{Violations: violations}
+	}
+	return nil
+}
+
+// filterMetaPremises drops meta-model bookkeeping facts from violation
+// reports, keeping the user-level premises that explain the failure.
+func filterMetaPremises(premises []datalog.Premise) []datalog.Premise {
+	var out []datalog.Premise
+	for _, p := range premises {
+		if meta.IsMetaPredicate(p.Pred) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package workspace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"lbtrust/internal/datalog"
+)
+
+// Provenance records how derived facts were produced, implementing the
+// provenance support that Section 7 of the paper lists as ongoing work. It
+// answers "why" queries with derivation trees: the rule applied and the
+// premises consumed, recursively.
+type Provenance struct {
+	mu          sync.Mutex
+	derivations map[string][]Derivation
+}
+
+// Derivation is one way a fact was derived.
+type Derivation struct {
+	RuleLabel string
+	Rule      *datalog.Rule
+	Premises  []datalog.Premise
+}
+
+// NewProvenance creates an empty provenance store.
+func NewProvenance() *Provenance {
+	return &Provenance{derivations: map[string][]Derivation{}}
+}
+
+func provKey(pred string, t datalog.Tuple) string { return pred + "\x00" + t.Key() }
+
+func (p *Provenance) record(pred string, t datalog.Tuple, r *datalog.Rule, premises []datalog.Premise) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	label := r.Label
+	if label == "" {
+		label = r.String()
+	}
+	p.derivations[provKey(pred, t)] = append(p.derivations[provKey(pred, t)], Derivation{
+		RuleLabel: label,
+		Rule:      r,
+		Premises:  premises,
+	})
+}
+
+// Reset clears all recorded derivations.
+func (p *Provenance) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.derivations = map[string][]Derivation{}
+}
+
+// Explain returns the recorded derivations of a fact. Base facts have
+// none.
+func (p *Provenance) Explain(pred string, t datalog.Tuple) []Derivation {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.derivations[provKey(pred, t)]
+}
+
+// Why renders a derivation tree for the fact, following the first recorded
+// derivation of each premise, with cycle protection. It is the runtime
+// verification view the paper motivates: chains of says and delegation
+// become visible paths.
+func (p *Provenance) Why(pred string, t datalog.Tuple) string {
+	var b strings.Builder
+	seen := map[string]bool{}
+	p.why(&b, pred, t, 0, seen)
+	return b.String()
+}
+
+func (p *Provenance) why(b *strings.Builder, pred string, t datalog.Tuple, depth int, seen map[string]bool) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%s%s%s", indent, pred, t.String())
+	key := provKey(pred, t)
+	if seen[key] {
+		b.WriteString("  (seen above)\n")
+		return
+	}
+	seen[key] = true
+	p.mu.Lock()
+	ds := p.derivations[key]
+	p.mu.Unlock()
+	if len(ds) == 0 {
+		b.WriteString("  [base fact]\n")
+		return
+	}
+	d := ds[0]
+	fmt.Fprintf(b, "  [rule %s]\n", d.RuleLabel)
+	for _, prem := range d.Premises {
+		p.why(b, prem.Pred, prem.Tuple, depth+1, seen)
+	}
+}
+
+// Size returns the number of facts with recorded derivations.
+func (p *Provenance) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.derivations)
+}

@@ -1,0 +1,570 @@
+package workspace
+
+import (
+	"errors"
+	"fmt"
+
+	"lbtrust/internal/datalog"
+	"lbtrust/internal/meta"
+)
+
+// maxMetaIterations bounds the reify/activate/evaluate loop, guarding
+// against non-terminating code generation (the paper's dd3-style meta-rules
+// terminate because generated depths strictly decrease; buggy programs may
+// not).
+const maxMetaIterations = 10000
+
+// Tx batches updates to a workspace. All mutations are applied immediately
+// to the base and full databases; if the transaction function or the
+// subsequent flush and constraint check fail, the workspace is rolled back
+// to its pre-transaction state.
+type Tx struct {
+	w        *Workspace
+	changed  map[string][]datalog.Tuple
+	inserted []factRef
+	removed  []factRef
+	removal  bool
+}
+
+type factRef struct {
+	pred  string
+	tuple datalog.Tuple
+}
+
+// Update runs fn inside a transaction, then flushes rules to fixpoint and
+// checks all constraints. On any error the workspace state is restored.
+func (w *Workspace) Update(fn func(tx *Tx) error) error {
+	w.mu.Lock()
+	snap := w.snapshotLocked()
+	tx := &Tx{w: w, changed: map[string][]datalog.Tuple{}}
+	err := fn(tx)
+	if err == nil {
+		err = w.flushLocked(tx)
+	}
+	if err != nil {
+		if rerr := w.restoreLocked(snap, tx); rerr != nil {
+			err = errors.Join(err, fmt.Errorf("workspace: rollback: %w", rerr))
+		}
+		w.mu.Unlock()
+		return err
+	}
+	hooks := append([]func(){}, w.onFlush...)
+	w.mu.Unlock()
+	for _, h := range hooks {
+		h()
+	}
+	return nil
+}
+
+// Assert inserts a base fact given in surface syntax, e.g.
+// tx.Assert(`says(bob, me, [| access(p,o,read). |])`).
+func (tx *Tx) Assert(src string) error {
+	clause, err := datalog.ParseClause(ensureDot(src))
+	if err != nil {
+		return err
+	}
+	if !clause.IsFact() {
+		return fmt.Errorf("workspace: Assert expects a fact, got %q", src)
+	}
+	return tx.AssertAtom(&clause.Heads[0])
+}
+
+// AssertAtom inserts a ground atom as a base fact.
+func (tx *Tx) AssertAtom(a *datalog.Atom) error {
+	specialized := substMe(&datalog.Rule{Heads: []datalog.Atom{*a}}, tx.w.principal)
+	tuple, err := atomTuple(&specialized.Heads[0])
+	if err != nil {
+		return err
+	}
+	return tx.AssertTuple(specialized.Heads[0].Pred, tuple)
+}
+
+// AssertTuple inserts a base tuple directly.
+func (tx *Tx) AssertTuple(pred string, tuple datalog.Tuple) error {
+	w := tx.w
+	base := w.baseRel(pred, len(tuple))
+	if !base.Insert(tuple) {
+		return nil // already present
+	}
+	w.db.Rel(pred, len(tuple)).Insert(tuple)
+	tx.changed[pred] = append(tx.changed[pred], tuple)
+	tx.inserted = append(tx.inserted, factRef{pred, tuple})
+	// Reify carried code values now so the delta includes their meta facts.
+	for _, v := range tuple {
+		if c, ok := v.(datalog.Code); ok {
+			for _, f := range w.model.Reify(c) {
+				tx.changed[f.Pred] = append(tx.changed[f.Pred], f.Tuple)
+			}
+		}
+	}
+	return nil
+}
+
+// Retract removes a base fact (surface syntax). Derived consequences are
+// withdrawn by recomputation from the remaining base facts.
+func (tx *Tx) Retract(src string) error {
+	clause, err := datalog.ParseClause(ensureDot(src))
+	if err != nil {
+		return err
+	}
+	if !clause.IsFact() {
+		return fmt.Errorf("workspace: Retract expects a fact, got %q", src)
+	}
+	specialized := substMe(clause, tx.w.principal)
+	tuple, err := atomTuple(&specialized.Heads[0])
+	if err != nil {
+		return err
+	}
+	pred := specialized.Heads[0].Pred
+	base, ok := tx.w.base.Get(pred)
+	if !ok || !base.Delete(tuple) {
+		return nil
+	}
+	tx.removed = append(tx.removed, factRef{pred, tuple})
+	tx.removal = true
+	return nil
+}
+
+// RetractTuple removes a base tuple directly.
+func (tx *Tx) RetractTuple(pred string, tuple datalog.Tuple) error {
+	base, ok := tx.w.base.Get(pred)
+	if !ok || !base.Delete(tuple) {
+		return nil
+	}
+	tx.removed = append(tx.removed, factRef{pred, tuple})
+	tx.removal = true
+	return nil
+}
+
+// AddRule installs a rule owned by the local principal.
+func (tx *Tx) AddRule(r *datalog.Rule) error { return tx.AddRuleAs(r, tx.w.principal) }
+
+// AddRuleSrc parses and installs a rule given in surface syntax.
+func (tx *Tx) AddRuleSrc(src string) error {
+	r, err := datalog.ParseClause(ensureDot(src))
+	if err != nil {
+		return err
+	}
+	return tx.AddRule(r)
+}
+
+// AddRuleAs installs a rule with an explicit owner, as used by the
+// single-workspace multi-principal emulation of the paper's demonstration
+// (Section 9). The owner is recorded in the owner meta-predicate for
+// meta-constraints such as the Section 3.3 read-protection example.
+func (tx *Tx) AddRuleAs(r *datalog.Rule, owner datalog.Sym) error {
+	w := tx.w
+	specialized := substMe(r, w.principal)
+	code := datalog.NewCode(specialized)
+	if _, ok := w.active[code.Key()]; ok {
+		return nil
+	}
+	entry, err := newRuleEntry(code, specialized, owner)
+	if err != nil {
+		return err
+	}
+	w.active[code.Key()] = entry
+	w.activeOrder = append(w.activeOrder, code.Key())
+	w.rulesChanged = true
+	// Record activation and ownership as base facts so recomputation
+	// rebuilds them; reification happens against the live database.
+	if err := tx.AssertTuple(meta.PredActive, datalog.Tuple{code}); err != nil {
+		return err
+	}
+	if owner != "" {
+		if err := tx.AssertTuple("owner", datalog.Tuple{code, owner}); err != nil {
+			return err
+		}
+	}
+	for _, f := range w.model.Reify(code) {
+		tx.changed[f.Pred] = append(tx.changed[f.Pred], f.Tuple)
+	}
+	return nil
+}
+
+// RemoveRule deactivates a rule by its code value.
+func (tx *Tx) RemoveRule(code datalog.Code) error {
+	w := tx.w
+	key := code.Key()
+	if _, ok := w.active[key]; !ok {
+		return nil
+	}
+	delete(w.active, key)
+	for i, k := range w.activeOrder {
+		if k == key {
+			w.activeOrder = append(w.activeOrder[:i], w.activeOrder[i+1:]...)
+			break
+		}
+	}
+	w.rulesChanged = true
+	tx.removal = true
+	if rel, ok := w.base.Get(meta.PredActive); ok {
+		rel.Delete(datalog.Tuple{code})
+	}
+	if rel, ok := w.base.Get("owner"); ok {
+		var drop []datalog.Tuple
+		rel.Each(func(t datalog.Tuple) bool {
+			if datalog.ValueEqual(t[0], code) {
+				drop = append(drop, t)
+			}
+			return true
+		})
+		for _, t := range drop {
+			rel.Delete(t)
+			tx.removed = append(tx.removed, factRef{"owner", t})
+		}
+	}
+	return nil
+}
+
+// AddConstraint compiles and installs a schema constraint.
+func (tx *Tx) AddConstraint(c *datalog.Constraint) error {
+	w := tx.w
+	cc, decls, err := compileConstraint(c, len(w.constraints), w.principal)
+	if err != nil {
+		return err
+	}
+	for _, d := range decls {
+		w.registerDecl(d)
+	}
+	if cc != nil {
+		w.constraints = append(w.constraints, cc)
+		w.constraintsChanged = true
+	}
+	return nil
+}
+
+// RemoveConstraint drops a constraint by label, as the scheme-swap
+// reconfiguration of Section 4.1.2 requires. It reports whether a
+// constraint was removed.
+func (tx *Tx) RemoveConstraint(label string) bool {
+	w := tx.w
+	kept := w.constraints[:0]
+	removed := false
+	for _, cc := range w.constraints {
+		if cc.label == label {
+			removed = true
+			if rel, ok := w.db.Get(cc.auxPred); ok {
+				rel.Clear()
+			}
+			continue
+		}
+		kept = append(kept, cc)
+	}
+	w.constraints = kept
+	if removed {
+		w.constraintsChanged = true
+	}
+	return removed
+}
+
+// AddConstraintSrc parses and installs constraints given in surface syntax.
+func (tx *Tx) AddConstraintSrc(src string) error {
+	prog, err := datalog.ParseProgram(src)
+	if err != nil {
+		return err
+	}
+	if len(prog.Rules) != 0 {
+		return fmt.Errorf("workspace: AddConstraintSrc expects only constraints")
+	}
+	for _, c := range prog.Constraints {
+		if err := tx.AddConstraint(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func ensureDot(src string) string {
+	s := src
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\n' || s[len(s)-1] == '\t') {
+		s = s[:len(s)-1]
+	}
+	if len(s) == 0 || s[len(s)-1] != '.' {
+		return s + "."
+	}
+	return s
+}
+
+// atomTuple evaluates a ground atom into a tuple.
+func atomTuple(a *datalog.Atom) (datalog.Tuple, error) {
+	if a.Pred == "" {
+		return nil, fmt.Errorf("workspace: fact must have a concrete predicate")
+	}
+	args := a.AllArgs()
+	tuple := make(datalog.Tuple, len(args))
+	for i, t := range args {
+		v, ground, err := datalog.EvalGroundTerm(t)
+		if err != nil {
+			return nil, err
+		}
+		if !ground {
+			return nil, fmt.Errorf("workspace: fact %s is not ground", a.String())
+		}
+		tuple[i] = v
+	}
+	return tuple, nil
+}
+
+// newRuleEntry translates a specialized rule for the engine.
+func newRuleEntry(code datalog.Code, specialized *datalog.Rule, owner datalog.Sym) (*ruleEntry, error) {
+	translated, err := meta.TranslatePatterns(specialized)
+	if err != nil {
+		return nil, err
+	}
+	isCheck := false
+	for i := range translated.Heads {
+		if translated.Heads[i].Pred == "fail" {
+			isCheck = true
+		}
+	}
+	return &ruleEntry{
+		code:       code,
+		source:     specialized,
+		translated: translated,
+		owner:      owner,
+		isCheck:    isCheck,
+	}, nil
+}
+
+// ---- flush -----------------------------------------------------------------
+
+func (w *Workspace) flushLocked(tx *Tx) error {
+	if tx.removal {
+		if err := w.rebuildDerivedLocked(); err != nil {
+			return err
+		}
+		if err := w.runFixpointLocked(nil); err != nil {
+			return err
+		}
+	} else {
+		delta := tx.changed
+		if len(delta) == 0 {
+			delta = nil
+		}
+		if err := w.runFixpointLocked(delta); err != nil {
+			return err
+		}
+	}
+	return w.checkConstraintsLocked()
+}
+
+// runFixpointLocked runs rule evaluation, code reification, and rule
+// activation to a combined fixpoint.
+func (w *Workspace) runFixpointLocked(delta map[string][]datalog.Tuple) error {
+	if w.rulesChanged {
+		if err := w.refreshRulesLocked(); err != nil {
+			return err
+		}
+		delta = nil // new rules need a full round
+	}
+	if delta != nil {
+		err := w.userEv.RunDelta(delta)
+		switch {
+		case errors.Is(err, datalog.ErrNeedsFullEval):
+			// The insertions can invalidate negated or aggregated premises:
+			// recompute derived facts from base.
+			if err := w.rebuildDerivedLocked(); err != nil {
+				return err
+			}
+			delta = nil
+		case err != nil:
+			return err
+		}
+	}
+	if delta == nil {
+		// Rule-set changes (including evaluator rebuilds) require a full
+		// round.
+		if w.rulesChanged {
+			if err := w.refreshRulesLocked(); err != nil {
+				return err
+			}
+		}
+		if err := w.userEv.Run(); err != nil {
+			return err
+		}
+	}
+	for iter := 0; ; iter++ {
+		if iter > maxMetaIterations {
+			return fmt.Errorf("workspace: meta-evaluation did not converge after %d iterations (non-terminating code generation?)", maxMetaIterations)
+		}
+		changed := false
+		if w.model.ReifyDatabaseCodes() {
+			changed = true
+		}
+		activated, err := w.activateDerivedLocked()
+		if err != nil {
+			return err
+		}
+		if activated {
+			if err := w.refreshRulesLocked(); err != nil {
+				return err
+			}
+			changed = true
+		}
+		if !changed {
+			return nil
+		}
+		if err := w.userEv.Run(); err != nil {
+			return err
+		}
+	}
+}
+
+// activateDerivedLocked scans the active table for code values derived by
+// rules (for example via says1: active(R) <- says(_,me,R)) that are not yet
+// activated, and installs them.
+func (w *Workspace) activateDerivedLocked() (bool, error) {
+	activated := false
+	for _, code := range w.model.ActiveCodes() {
+		if _, ok := w.active[code.Key()]; ok {
+			continue
+		}
+		entry, err := newRuleEntry(code, code.Rule(), "")
+		if err != nil {
+			return false, fmt.Errorf("workspace: activating derived rule %s: %w", code.String(), err)
+		}
+		entry.derived = true
+		w.active[code.Key()] = entry
+		w.activeOrder = append(w.activeOrder, code.Key())
+		w.model.Reify(code)
+		activated = true
+	}
+	return activated, nil
+}
+
+func (w *Workspace) refreshRulesLocked() error {
+	var userRules []*datalog.Rule
+	for _, k := range w.activeOrder {
+		e := w.active[k]
+		if !e.isCheck {
+			userRules = append(userRules, e.translated)
+		}
+	}
+	if err := w.userEv.SetRules(userRules); err != nil {
+		return err
+	}
+	w.rulesChanged = false
+	w.constraintsChanged = true // check rules may reference new predicates
+	return nil
+}
+
+// baseRel returns (creating if needed) a base relation, mirroring the
+// partitioned flag from declarations.
+func (w *Workspace) baseRel(pred string, arity int) *datalog.Relation {
+	rel := w.base.Rel(pred, arity)
+	if d, ok := w.decls[pred]; ok && d.Partitioned {
+		rel.Partitioned = true
+	}
+	return rel
+}
+
+func (w *Workspace) registerDecl(d Decl) {
+	if prev, ok := w.decls[d.Name]; ok {
+		if prev.Partitioned {
+			d.Partitioned = true
+		}
+	}
+	w.decls[d.Name] = d
+	if d.Partitioned {
+		w.db.Rel(d.Name, d.Arity).Partitioned = true
+		w.base.Rel(d.Name, d.Arity).Partitioned = true
+	}
+}
+
+// rebuildDerivedLocked reconstructs the full database from base facts and
+// re-runs all active rules. Derived-activation rule entries are dropped;
+// they will re-activate if still derivable.
+func (w *Workspace) rebuildDerivedLocked() error {
+	fresh := datalog.NewDatabase()
+	for _, name := range w.base.Names() {
+		rel, _ := w.base.Get(name)
+		dst := fresh.Rel(name, rel.Arity)
+		dst.Partitioned = rel.Partitioned
+		rel.Each(func(t datalog.Tuple) bool {
+			dst.Insert(t)
+			return true
+		})
+	}
+	w.db = fresh
+	w.model = meta.NewModel(fresh)
+	w.userEv = datalog.NewEvaluator(fresh, w.builtins)
+	w.checkEv = datalog.NewEvaluator(fresh, w.builtins)
+	if w.prov != nil {
+		w.prov.Reset()
+		w.userEv.Trace = w.prov.record
+	}
+	// Drop derived activations; they re-derive if still justified.
+	kept := w.activeOrder[:0]
+	for _, k := range w.activeOrder {
+		if w.active[k].derived {
+			delete(w.active, k)
+			continue
+		}
+		kept = append(kept, k)
+	}
+	w.activeOrder = kept
+	for _, k := range w.activeOrder {
+		w.model.Reify(w.active[k].code)
+	}
+	w.model.ReifyDatabaseCodes()
+	w.rulesChanged = true
+	w.constraintsChanged = true
+	return nil
+}
+
+// ---- snapshots -------------------------------------------------------------
+
+type wsSnapshot struct {
+	active             map[string]*ruleEntry
+	activeOrder        []string
+	constraints        []*compiledConstraint
+	decls              map[string]Decl
+	rulesChanged       bool
+	constraintsChanged bool
+}
+
+func (w *Workspace) snapshotLocked() *wsSnapshot {
+	s := &wsSnapshot{
+		active:             make(map[string]*ruleEntry, len(w.active)),
+		activeOrder:        append([]string{}, w.activeOrder...),
+		constraints:        append([]*compiledConstraint{}, w.constraints...),
+		decls:              make(map[string]Decl, len(w.decls)),
+		rulesChanged:       w.rulesChanged,
+		constraintsChanged: w.constraintsChanged,
+	}
+	for k, v := range w.active {
+		s.active[k] = v
+	}
+	for k, v := range w.decls {
+		s.decls[k] = v
+	}
+	return s
+}
+
+func (w *Workspace) restoreLocked(s *wsSnapshot, tx *Tx) error {
+	w.active = s.active
+	w.activeOrder = s.activeOrder
+	w.constraints = s.constraints
+	w.decls = s.decls
+	w.rulesChanged = s.rulesChanged
+	w.constraintsChanged = s.constraintsChanged
+	// Revert base fact changes.
+	for _, f := range tx.inserted {
+		if rel, ok := w.base.Get(f.pred); ok {
+			rel.Delete(f.tuple)
+		}
+	}
+	for _, f := range tx.removed {
+		w.baseRel(f.pred, len(f.tuple)).Insert(f.tuple)
+	}
+	if err := w.rebuildDerivedLocked(); err != nil {
+		return err
+	}
+	if err := w.runFixpointLocked(nil); err != nil {
+		return err
+	}
+	// The pre-transaction state was consistent; re-checking constraints
+	// here is unnecessary.
+	return nil
+}

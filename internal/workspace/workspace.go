@@ -1,0 +1,372 @@
+// Package workspace implements the LogicBlox workspace of Section 3.1 of
+// the paper: a database instance holding predicate definitions and a set of
+// active rules, with a query interface for adding/removing facts and rules.
+// When data is modified, active rules are incrementally recomputed; schema
+// constraints (including meta-constraints) are checked transactionally, and
+// violations roll the update back.
+//
+// The workspace also runs the meta-programming loop: code values appearing
+// in tuples are reified into the Figure 1 meta-model, and rules derived
+// into the active table are activated and evaluated, to fixpoint.
+package workspace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"lbtrust/internal/datalog"
+	"lbtrust/internal/meta"
+)
+
+// Decl records a predicate declaration from a type constraint such as
+// exp0: export[U1](U2,R,S) -> prin(U1), ... .
+type Decl struct {
+	Name        string
+	Arity       int
+	Partitioned bool
+}
+
+// ruleEntry tracks one active rule.
+type ruleEntry struct {
+	code       datalog.Code
+	source     *datalog.Rule // me-specialized clause
+	translated *datalog.Rule // pattern-translated engine clause
+	owner      datalog.Sym   // "" when activated by derivation
+	isCheck    bool          // head is fail(): evaluated with constraints
+	derived    bool          // activated via the active table, not AddRule
+}
+
+// Workspace is a per-principal database instance with active rules.
+type Workspace struct {
+	mu        sync.Mutex
+	principal datalog.Sym
+
+	db       *datalog.Database
+	base     *datalog.Database // asserted facts only, ground truth for recompute
+	builtins *datalog.BuiltinSet
+	model    *meta.Model
+
+	userEv  *datalog.Evaluator
+	checkEv *datalog.Evaluator
+
+	active      map[string]*ruleEntry // by code key
+	activeOrder []string
+	constraints []*compiledConstraint
+	decls       map[string]Decl
+
+	rulesChanged       bool
+	constraintsChanged bool
+	prov               *Provenance
+
+	// OnFlush hooks run after a successful flush, before constraint
+	// violations would have rolled back; used by the distribution runtime
+	// to ship partitioned tuples.
+	onFlush []func()
+}
+
+// New creates a workspace for the given local principal (the paper's "me").
+func New(principal string) *Workspace {
+	w := &Workspace{
+		principal: datalog.Sym(principal),
+		db:        datalog.NewDatabase(),
+		base:      datalog.NewDatabase(),
+		builtins:  datalog.NewBuiltinSet(),
+		active:    map[string]*ruleEntry{},
+		decls:     map[string]Decl{},
+	}
+	w.model = meta.NewModel(w.db)
+	w.userEv = datalog.NewEvaluator(w.db, w.builtins)
+	w.checkEv = datalog.NewEvaluator(w.db, w.builtins)
+	return w
+}
+
+// Principal returns the local principal symbol.
+func (w *Workspace) Principal() datalog.Sym { return w.principal }
+
+// Builtins exposes the built-in registry so callers can install the
+// cryptographic primitives.
+func (w *Workspace) Builtins() *datalog.BuiltinSet { return w.builtins }
+
+// DB exposes the underlying database for read-only inspection.
+func (w *Workspace) DB() *datalog.Database { return w.db }
+
+// EnableProvenance switches on derivation recording (Section 7 of the
+// paper lists provenance as ongoing work). It must be called before data is
+// loaded.
+func (w *Workspace) EnableProvenance() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.prov = NewProvenance()
+	w.userEv.Trace = w.prov.record
+}
+
+// Provenance returns the derivation recorder, if enabled.
+func (w *Workspace) Provenance() *Provenance { return w.prov }
+
+// AddOnFlush registers a hook invoked after each successful flush.
+func (w *Workspace) AddOnFlush(fn func()) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.onFlush = append(w.onFlush, fn)
+}
+
+// Decls returns the recorded predicate declarations.
+func (w *Workspace) Decls() []Decl {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Decl, 0, len(w.decls))
+	for _, d := range w.decls {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// substMe specializes the distinguished symbol me to the local principal,
+// throughout the clause including quoted code (so that exported facts carry
+// the sender's identity, as in the paper's dd3 and ls2 rules).
+func substMe(r *datalog.Rule, principal datalog.Sym) *datalog.Rule {
+	out := r.Clone()
+	var fixTerm func(t datalog.Term) datalog.Term
+	fixAtom := func(a *datalog.Atom) {
+		if a.Part != nil {
+			a.Part = fixTerm(a.Part)
+		}
+		for i, t := range a.Args {
+			a.Args[i] = fixTerm(t)
+		}
+	}
+	var fixRule func(r *datalog.Rule)
+	fixTerm = func(t datalog.Term) datalog.Term {
+		switch t := t.(type) {
+		case datalog.Const:
+			if s, ok := t.Val.(datalog.Sym); ok && s == datalog.Me {
+				return datalog.Const{Val: principal}
+			}
+			if c, ok := t.Val.(datalog.Code); ok {
+				inner := c.Rule().Clone()
+				fixRule(inner)
+				return datalog.Const{Val: datalog.NewCode(inner)}
+			}
+			return t
+		case datalog.Quote:
+			inner := t.Pat.Clone()
+			fixRule(inner)
+			return datalog.Quote{Pat: inner}
+		case datalog.Arith:
+			return datalog.Arith{Op: t.Op, L: fixTerm(t.L), R: fixTerm(t.R)}
+		case datalog.TermPart:
+			return datalog.TermPart{Pred: t.Pred, Arg: fixTerm(t.Arg)}
+		}
+		return t
+	}
+	fixRule = func(r *datalog.Rule) {
+		for i := range r.Heads {
+			fixAtom(&r.Heads[i])
+		}
+		for i := range r.Body {
+			fixAtom(&r.Body[i].Atom)
+		}
+	}
+	fixRule(out)
+	return out
+}
+
+// SpecializeCode returns the code value under which a clause is activated
+// in a workspace of the given principal: me-specialized and canonicalized.
+func SpecializeCode(r *datalog.Rule, principal datalog.Sym) datalog.Code {
+	return datalog.NewCode(substMe(r, principal))
+}
+
+// LoadProgram parses and installs a program: declarations register
+// predicates, ground facts are asserted, rules and constraints are added.
+// The whole load is one transaction; constraint violations roll it back.
+func (w *Workspace) LoadProgram(src string) error {
+	prog, err := datalog.ParseProgram(src)
+	if err != nil {
+		return err
+	}
+	return w.Update(func(tx *Tx) error {
+		for _, c := range prog.Constraints {
+			if err := tx.AddConstraint(c); err != nil {
+				return err
+			}
+		}
+		for _, r := range prog.Rules {
+			if r.IsFact() && isGroundAtom(&r.Heads[0]) {
+				if err := tx.AssertAtom(&r.Heads[0]); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := tx.AddRule(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func isGroundAtom(a *datalog.Atom) bool {
+	ground := true
+	var check func(t datalog.Term)
+	check = func(t datalog.Term) {
+		switch t := t.(type) {
+		case datalog.Var, datalog.StarVar:
+			ground = false
+		case datalog.Arith:
+			check(t.L)
+			check(t.R)
+		case datalog.TermPart:
+			check(t.Arg)
+		}
+	}
+	for _, t := range a.AllArgs() {
+		check(t)
+	}
+	return ground && a.Pred != "" && a.PredVar == "" && a.AtomVar == ""
+}
+
+// Query evaluates a single atom against the workspace, in surface syntax.
+// Quoted-code arguments act as patterns, exactly as in rule bodies: for
+// example Query(`says(bob, me, [| access(P,O,read). |])`) returns the says
+// tuples whose carried rule matches the pattern. The returned tuples have
+// the relation's shape (code values stay in their argument positions).
+func (w *Workspace) Query(src string) ([]datalog.Tuple, error) {
+	clause, err := datalog.ParseClause(strings.TrimRight(strings.TrimSpace(src), ".") + ".")
+	if err != nil {
+		return nil, err
+	}
+	if len(clause.Heads) != 1 || len(clause.Body) != 0 {
+		return nil, fmt.Errorf("workspace: query must be a single atom")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	atom := substMe(clause, w.principal).Heads[0]
+	if !atomHasQuote(&atom) {
+		return w.userEv.Query(&atom)
+	}
+	return w.queryPatternLocked(&atom)
+}
+
+func atomHasQuote(a *datalog.Atom) bool {
+	for _, t := range a.AllArgs() {
+		if _, ok := t.(datalog.Quote); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// queryPatternLocked evaluates an atom whose arguments contain quoted-code
+// patterns by compiling it into a transient rule, translating the patterns
+// into meta-model literals, and running it against the current database.
+func (w *Workspace) queryPatternLocked(a *datalog.Atom) ([]datalog.Tuple, error) {
+	// Blank variables cannot appear in rule heads; name them apart.
+	q := *a
+	q.Args = append([]datalog.Term{}, a.Args...)
+	n := 0
+	fix := func(t datalog.Term) datalog.Term {
+		if v, ok := t.(datalog.Var); ok && v.IsBlank() {
+			n++
+			return datalog.Var(fmt.Sprintf("QV%d", n))
+		}
+		return t
+	}
+	if q.Part != nil {
+		q.Part = fix(q.Part)
+	}
+	for i, t := range q.Args {
+		q.Args[i] = fix(t)
+	}
+	const resultPred = "lb:queryresult"
+	rule := &datalog.Rule{
+		Heads: []datalog.Atom{{Pred: resultPred}},
+		Body:  []datalog.Literal{{Atom: q}},
+	}
+	tr, err := meta.TranslatePatterns(rule)
+	if err != nil {
+		return nil, err
+	}
+	// The rewritten query literal keeps position 0; its arguments (with
+	// pattern positions replaced by fresh variables) become the result
+	// shape.
+	tr.Heads[0].Args = tr.Body[0].Atom.AllArgs()
+	ev := datalog.NewEvaluator(w.db, w.builtins)
+	if err := ev.SetRules([]*datalog.Rule{tr}); err != nil {
+		return nil, err
+	}
+	if err := ev.Run(); err != nil {
+		w.db.Drop(resultPred)
+		return nil, err
+	}
+	var out []datalog.Tuple
+	if rel, ok := w.db.Get(resultPred); ok {
+		out = rel.Sorted()
+	}
+	w.db.Drop(resultPred)
+	return out, nil
+}
+
+// BaseFacts returns the sorted asserted (non-derived) tuples of a
+// predicate.
+func (w *Workspace) BaseFacts(pred string) []datalog.Tuple {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rel, ok := w.base.Get(pred)
+	if !ok {
+		return nil
+	}
+	return rel.Sorted()
+}
+
+// Facts returns the sorted tuples of a predicate.
+func (w *Workspace) Facts(pred string) []datalog.Tuple {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rel, ok := w.db.Get(pred)
+	if !ok {
+		return nil
+	}
+	return rel.Sorted()
+}
+
+// Count returns the number of tuples in a predicate.
+func (w *Workspace) Count(pred string) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rel, ok := w.db.Get(pred)
+	if !ok {
+		return 0
+	}
+	return rel.Len()
+}
+
+// ActiveRules returns the code values of all active rules, sorted by
+// canonical form.
+func (w *Workspace) ActiveRules() []datalog.Code {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]datalog.Code, 0, len(w.activeOrder))
+	for _, k := range w.activeOrder {
+		out = append(out, w.active[k].code)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// PartitionedPredicates lists declared partitioned predicates.
+func (w *Workspace) PartitionedPredicates() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []string
+	for _, d := range w.decls {
+		if d.Partitioned {
+			out = append(out, d.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

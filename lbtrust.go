@@ -1,0 +1,124 @@
+// Package lbtrust is a from-scratch Go implementation of LBTrust, the
+// unified declarative system for reconfigurable trust management of
+// Marczak et al., "Declarative Reconfigurable Trust Management" (CIDR
+// 2009).
+//
+// LBTrust expresses security constructs — authentication (says),
+// authenticated communication, authorization, speaks-for, restricted
+// delegation, thresholds — as ordinary rule sets in a Datalog dialect with
+// constraints, meta-programming over a reified rule model, partitioned
+// predicates, and distribution. Because the constructs are rules,
+// reconfiguring the system (for example switching message authentication
+// between plaintext, HMAC-SHA1 and 1024-bit RSA) is a two-clause change.
+//
+// The top-level package is a facade over the implementation packages:
+//
+//   - internal/datalog — parser and semi-naive fixpoint engine
+//   - internal/meta — the Figure 1 meta-model, quoted-code patterns
+//   - internal/workspace — transactional workspaces with constraints
+//   - internal/lbcrypto — RSA/HMAC/AES/checksum built-ins
+//   - internal/dist — partitioning, placement and transports
+//   - internal/core — the security constructs
+//   - internal/binder, internal/sendlog, internal/d1lp — case studies
+//
+// Quickstart:
+//
+//	sys := lbtrust.NewSystem()
+//	alice, _ := sys.AddPrincipal("alice")
+//	bob, _ := sys.AddPrincipal("bob")
+//	sys.EstablishRSA("alice")
+//	sys.EstablishRSA("bob")
+//	alice.UseScheme(lbtrust.SchemeRSA)
+//	bob.UseScheme(lbtrust.SchemeRSA)
+//	bob.TrustAll()
+//	alice.Say("bob", `greeting(hello).`)
+//	sys.Sync()
+//	rows, _ := bob.Query(`greeting(X)`)
+package lbtrust
+
+import (
+	"lbtrust/internal/binder"
+	"lbtrust/internal/core"
+	"lbtrust/internal/d1lp"
+	"lbtrust/internal/datalog"
+	"lbtrust/internal/sendlog"
+	"lbtrust/internal/workspace"
+)
+
+// System is a set of LBTrust principals connected by the distribution
+// runtime.
+type System = core.System
+
+// Principal is one LBTrust context: a workspace plus cryptographic
+// identity.
+type Principal = core.Principal
+
+// Scheme selects the authentication scheme for says (Section 4.1.2 of the
+// paper).
+type Scheme = core.Scheme
+
+// The reconfigurable authentication schemes of the paper's evaluation.
+const (
+	SchemePlaintext = core.SchemePlaintext
+	SchemeHMAC      = core.SchemeHMAC
+	SchemeRSA       = core.SchemeRSA
+)
+
+// Workspace is a standalone LBTrust workspace (database instance plus
+// active rules), for programs that do not need multiple principals.
+type Workspace = workspace.Workspace
+
+// Tx batches workspace updates transactionally.
+type Tx = workspace.Tx
+
+// ViolationError reports constraint violations that rolled a transaction
+// back.
+type ViolationError = workspace.ViolationError
+
+// Tuple is a row of runtime values.
+type Tuple = datalog.Tuple
+
+// Value is a runtime constant (string, int, symbol, entity, code).
+type Value = datalog.Value
+
+// BinderContext is a Binder-language view of a principal (Section 5.1).
+type BinderContext = binder.Context
+
+// SeNDlogNetwork runs SeNDlog protocols over LBTrust principals
+// (Section 5.2).
+type SeNDlogNetwork = sendlog.Network
+
+// NewSystem creates a system with a single in-memory node.
+func NewSystem() *System { return core.NewSystem() }
+
+// NewWorkspace creates a standalone workspace for the given principal
+// name.
+func NewWorkspace(principal string) *Workspace { return workspace.New(principal) }
+
+// NewBinderContext wraps a principal as a Binder context.
+func NewBinderContext(p *Principal) *BinderContext { return binder.NewContext(p) }
+
+// NewSeNDlogNetwork creates a SeNDlog network with one principal per node
+// name, using the given authentication scheme.
+func NewSeNDlogNetwork(nodes []string, scheme Scheme) (*SeNDlogNetwork, error) {
+	return sendlog.NewNetwork(nodes, scheme)
+}
+
+// CompileBinder translates Binder surface syntax ("bob says p(..)") into
+// LBTrust source.
+func CompileBinder(src string) (string, error) { return binder.Compile(src) }
+
+// CompileSeNDlog translates a SeNDlog program executing at contextVar
+// ("p(..)@X" exports, "W says p(..)" imports) into LBTrust source.
+func CompileSeNDlog(contextVar, src string) (string, error) {
+	return sendlog.Compile(contextVar, src)
+}
+
+// ApplyD1LP executes a D1LP-style delegation statement such as
+// "delegates credit^2 to bob" or "delegates creditOK to threshold(3,
+// creditBureau)" in the principal's context.
+func ApplyD1LP(p *Principal, stmt string) error { return d1lp.Apply(p, stmt) }
+
+// ParseProgram parses LBTrust surface syntax, for tools that inspect
+// programs without executing them.
+func ParseProgram(src string) (*datalog.Program, error) { return datalog.ParseProgram(src) }
