@@ -19,11 +19,12 @@ import (
 func benchmarkFigure2(b *testing.B, scheme core.Scheme, messages int) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		d, err := bench.RunFigure2Point(scheme, messages)
+		p, err := bench.RunFigure2Point(scheme, messages)
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(float64(d.Microseconds())/float64(messages), "us/msg")
+		b.ReportMetric(float64(p.Duration.Microseconds())/float64(messages), "us/msg")
+		b.ReportMetric(float64(p.WireBytes)/float64(messages), "wireB/msg")
 	}
 }
 
@@ -47,6 +48,29 @@ func BenchmarkFigure2RSA(b *testing.B) {
 	for _, n := range []int{100, 500, 1000} {
 		b.Run(fmt.Sprintf("msgs=%d", n), func(b *testing.B) {
 			benchmarkFigure2(b, core.SchemeRSA, n)
+		})
+	}
+}
+
+// ---- Figure 2 over the TCP transport ----------------------------------------
+//
+// The same workload with the tuples crossing loopback sockets instead of
+// in-process calls: the delta over BenchmarkFigure2* is the wire cost of
+// the distribution runtime.
+
+func BenchmarkFigure2TransportTCP(b *testing.B) {
+	for _, sc := range []core.Scheme{core.SchemePlaintext, core.SchemeHMAC} {
+		b.Run(string(sc), func(b *testing.B) {
+			const messages = 100
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p, err := bench.RunFigure2PointOn(bench.TransportTCP, sc, messages)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(p.Duration.Microseconds())/float64(messages), "us/msg")
+				b.ReportMetric(float64(p.WireBytes)/float64(messages), "wireB/msg")
+			}
 		})
 	}
 }

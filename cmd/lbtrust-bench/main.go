@@ -6,8 +6,14 @@
 // Usage:
 //
 //	lbtrust-bench -experiment fig2 -max 10000 -step 1000
+//	lbtrust-bench -experiment fig2 -transport tcp -max 2000 -step 500
 //	lbtrust-bench -experiment ablations
 //	lbtrust-bench -experiment all
+//
+// The -transport flag selects the wire layer of the distribution runtime
+// (mem runs the paper's single-host evaluation in-process; tcp ships every
+// tuple over loopback sockets); the protocol and results are identical,
+// only time and wire cost differ.
 package main
 
 import (
@@ -23,15 +29,22 @@ func main() {
 	experiment := flag.String("experiment", "all", "experiment to run: fig2, ablations, all")
 	maxMsgs := flag.Int("max", 10000, "fig2: maximum number of messages")
 	step := flag.Int("step", 1000, "fig2: message count step")
+	transport := flag.String("transport", "mem", "fig2: wire layer, mem or tcp")
 	flag.Parse()
+
+	kind := bench.TransportKind(*transport)
+	if _, err := bench.NewTransport(kind); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	switch *experiment {
 	case "fig2":
-		runFigure2(*maxMsgs, *step)
+		runFigure2(kind, *maxMsgs, *step)
 	case "ablations":
 		runAblations()
 	case "all":
-		runFigure2(*maxMsgs, *step)
+		runFigure2(kind, *maxMsgs, *step)
 		runAblations()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
@@ -39,8 +52,8 @@ func main() {
 	}
 }
 
-func runFigure2(maxMsgs, step int) {
-	fmt.Println("== Figure 2: Execution Time over Number of Messages ==")
+func runFigure2(kind bench.TransportKind, maxMsgs, step int) {
+	fmt.Printf("== Figure 2: Execution Time over Number of Messages (transport=%s) ==\n", kind)
 	fmt.Println("(paper: Section 6; two principals exchange authenticated facts;")
 	fmt.Println(" expected shape: linear; RSA >> HMAC >= Plaintext)")
 	fmt.Println()
@@ -55,7 +68,7 @@ func runFigure2(maxMsgs, step int) {
 	schemes := []core.Scheme{core.SchemePlaintext, core.SchemeHMAC, core.SchemeRSA}
 	results := map[core.Scheme]*bench.Figure2Series{}
 	for _, sc := range schemes {
-		s, err := bench.RunFigure2(sc, counts)
+		s, err := bench.RunFigure2On(kind, sc, counts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figure 2 (%s): %v\n", sc, err)
 			os.Exit(1)
@@ -76,6 +89,16 @@ func runFigure2(maxMsgs, step int) {
 		ratio(results[core.SchemeRSA].Points[last].Duration.Seconds(), results[core.SchemePlaintext].Points[last].Duration.Seconds()),
 		ratio(results[core.SchemeRSA].Points[last].Duration.Seconds(), results[core.SchemeHMAC].Points[last].Duration.Seconds()),
 		ratio(results[core.SchemeHMAC].Points[last].Duration.Seconds(), results[core.SchemePlaintext].Points[last].Duration.Seconds()))
+	fmt.Println()
+
+	fmt.Println("wire cost (encoded envelope bytes sent, per scheme):")
+	fmt.Printf("%12s %14s %14s %14s\n", "messages", "plaintext(B)", "hmac(B)", "rsa(B)")
+	for i, n := range counts {
+		fmt.Printf("%12d %14d %14d %14d\n", n,
+			results[core.SchemePlaintext].Points[i].WireBytes,
+			results[core.SchemeHMAC].Points[i].WireBytes,
+			results[core.SchemeRSA].Points[i].WireBytes)
+	}
 	fmt.Println()
 }
 

@@ -3,15 +3,84 @@
 // HMAC-authenticated advertisements, then runs an authenticated
 // path-vector protocol and prints the selected route costs.
 //
+// The same protocol runs twice — over the in-process MemNetwork and over
+// loopback TCP — and the example checks that both transports produce
+// identical query results, printing each run's wire statistics. The
+// distribution runtime is transport-agnostic: swapping the wire layer is
+// one constructor argument.
+//
 //	go run ./examples/sendlog
 package main
 
 import (
 	"fmt"
 	"log"
+	"reflect"
 
 	"lbtrust"
 )
+
+var (
+	nodes = []string{"n1", "n2", "n3", "n4", "n5"}
+	links = [][2]string{{"n1", "n2"}, {"n2", "n3"}, {"n3", "n4"}, {"n1", "n4"}}
+	// n5 stays isolated.
+)
+
+// result captures everything the protocol derived, for cross-transport
+// comparison.
+type result struct {
+	Reachable map[string][]string // node -> nodes it reaches, in order
+	BestCost  map[string]int      // "from->to" -> selected hop count
+}
+
+// run executes reachability + path-vector over the given transport and
+// returns the derived results plus the runtime's wire statistics.
+func run(t lbtrust.Transport) (*result, lbtrust.Stats, error) {
+	nw, err := lbtrust.NewSeNDlogNetworkWith(t, nodes, lbtrust.SchemeHMAC)
+	if err != nil {
+		return nil, lbtrust.Stats{}, err
+	}
+	defer nw.System().Close()
+	for _, l := range links {
+		if err := nw.AddLink(l[0], l[1]); err != nil {
+			return nil, lbtrust.Stats{}, err
+		}
+	}
+	if err := nw.RunReachability(); err != nil {
+		return nil, lbtrust.Stats{}, err
+	}
+	res := &result{Reachable: map[string][]string{}, BestCost: map[string]int{}}
+	for _, from := range nodes {
+		for _, to := range nodes {
+			if from == to {
+				continue
+			}
+			if ok, err := nw.Reachable(from, to); err != nil {
+				return nil, lbtrust.Stats{}, err
+			} else if ok {
+				res.Reachable[from] = append(res.Reachable[from], to)
+			}
+		}
+	}
+	if err := nw.RunPathVector(8); err != nil {
+		return nil, lbtrust.Stats{}, err
+	}
+	for _, from := range nodes {
+		for _, to := range nodes {
+			if from == to {
+				continue
+			}
+			c, err := nw.BestCost(from, to)
+			if err != nil {
+				return nil, lbtrust.Stats{}, err
+			}
+			if c >= 0 {
+				res.BestCost[from+"->"+to] = c
+			}
+		}
+	}
+	return res, nw.System().Stats(), nil
+}
 
 func main() {
 	// The paper's s1/s2 rules in SeNDlog surface syntax, compiled to
@@ -26,49 +95,39 @@ s2: reachable(Z,D)@Z :- neighbor(S,Z), W says reachable(S,D).
 	fmt.Println("SeNDlog s1/s2 compile to LBTrust as:")
 	fmt.Println(compiled)
 
-	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
-	nw, err := lbtrust.NewSeNDlogNetwork(nodes, lbtrust.SchemeHMAC)
+	memRes, memStats, err := run(lbtrust.NewMemNetwork())
 	if err != nil {
-		log.Fatal(err)
+		log.Fatal("mem transport: ", err)
 	}
-	links := [][2]string{{"n1", "n2"}, {"n2", "n3"}, {"n3", "n4"}, {"n1", "n4"}}
-	for _, l := range links {
-		if err := nw.AddLink(l[0], l[1]); err != nil {
-			log.Fatal(err)
-		}
+	tcpRes, tcpStats, err := run(lbtrust.NewTCPNetwork())
+	if err != nil {
+		log.Fatal("tcp transport: ", err)
 	}
-	// n5 stays isolated.
 
-	if err := nw.RunReachability(); err != nil {
-		log.Fatal(err)
-	}
 	fmt.Println("reachability (HMAC-authenticated advertisements):")
 	for _, from := range nodes {
-		fmt.Printf("  %s reaches:", from)
-		for _, to := range nodes {
-			if from == to {
-				continue
-			}
-			if ok, _ := nw.Reachable(from, to); ok {
-				fmt.Printf(" %s", to)
-			}
-		}
-		fmt.Println()
-	}
-
-	if err := nw.RunPathVector(8); err != nil {
-		log.Fatal(err)
+		fmt.Printf("  %s reaches: %v\n", from, memRes.Reachable[from])
 	}
 	fmt.Println("path-vector best hop counts from n1:")
 	for _, to := range nodes[1:] {
-		c, err := nw.BestCost("n1", to)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if c < 0 {
+		c, ok := memRes.BestCost["n1->"+to]
+		if !ok {
 			fmt.Printf("  n1 -> %s: unreachable\n", to)
 			continue
 		}
 		fmt.Printf("  n1 -> %s: %d hop(s)\n", to, c)
+	}
+	fmt.Println()
+
+	if !reflect.DeepEqual(memRes, tcpRes) {
+		log.Fatalf("transports disagree:\n mem: %+v\n tcp: %+v", memRes, tcpRes)
+	}
+	fmt.Println("MemNetwork and TCPNetwork produced identical results.")
+	fmt.Println()
+	fmt.Println("mem transport:", memStats.String())
+	fmt.Println()
+	fmt.Println("tcp transport:", tcpStats.String())
+	if t := tcpStats.Totals(); t.MessagesSent == 0 || t.BytesSent == 0 {
+		log.Fatal("tcp transport reported no wire traffic")
 	}
 }

@@ -1,0 +1,3 @@
+module lbtrust
+
+go 1.24

@@ -11,15 +11,39 @@ import (
 
 	"lbtrust/internal/core"
 	"lbtrust/internal/datalog"
+	"lbtrust/internal/dist"
 	"lbtrust/internal/sendlog"
 	"lbtrust/internal/workspace"
 )
 
+// TransportKind selects the wire layer under a benchmark run.
+type TransportKind string
+
+// The built-in transports.
+const (
+	TransportMem TransportKind = "mem"
+	TransportTCP TransportKind = "tcp"
+)
+
+// NewTransport constructs a fresh transport of the given kind.
+func NewTransport(kind TransportKind) (dist.Transport, error) {
+	switch kind {
+	case TransportMem, "":
+		return dist.NewMemNetwork(), nil
+	case TransportTCP:
+		return dist.NewTCPNetwork(), nil
+	}
+	return nil, fmt.Errorf("bench: unknown transport %q (want mem or tcp)", kind)
+}
+
 // Figure2Point is one x/y point of Figure 2: execution time for a run
-// exchanging Messages authenticated messages between alice and bob.
+// exchanging Messages authenticated messages between alice and bob, plus
+// the wire cost the distribution runtime reported for the run.
 type Figure2Point struct {
-	Messages int
-	Duration time.Duration
+	Messages     int
+	Duration     time.Duration
+	WireMessages int64 // envelopes sent on the wire
+	WireBytes    int64 // encoded envelope bytes sent
 }
 
 // Figure2Series is one curve of Figure 2 (one authentication scheme).
@@ -29,40 +53,71 @@ type Figure2Series struct {
 }
 
 // Figure2Setup prepares the two-principal system of the paper's micro
-// benchmark (Section 6): alice and bob on one node, keys established, the
-// given scheme active on both, bob trusting alice's statements.
+// benchmark (Section 6) on the in-memory transport.
 func Figure2Setup(scheme core.Scheme) (*core.System, *core.Principal, *core.Principal, error) {
-	sys := core.NewSystem()
-	alice, err := sys.AddPrincipal("alice")
+	return Figure2SetupOn(TransportMem, scheme)
+}
+
+// Figure2SetupOn prepares the Figure 2 system over the given transport:
+// alice and bob on separate nodes, keys established, the given scheme
+// active on both, bob trusting alice's statements. Callers must Close the
+// returned system.
+func Figure2SetupOn(kind TransportKind, scheme core.Scheme) (*core.System, *core.Principal, *core.Principal, error) {
+	t, err := NewTransport(kind)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	bob, err := sys.AddPrincipal("bob")
+	sys, err := core.NewSystemWith(t)
 	if err != nil {
 		return nil, nil, nil, err
+	}
+	alice, bob, err := figure2Principals(sys, scheme)
+	if err != nil {
+		sys.Close()
+		return nil, nil, nil, err
+	}
+	return sys, alice, bob, nil
+}
+
+func figure2Principals(sys *core.System, scheme core.Scheme) (*core.Principal, *core.Principal, error) {
+	nodeA, err := sys.AddNode("node-alice")
+	if err != nil {
+		return nil, nil, err
+	}
+	nodeB, err := sys.AddNode("node-bob")
+	if err != nil {
+		return nil, nil, err
+	}
+	alice, err := sys.AddPrincipalOn("alice", nodeA)
+	if err != nil {
+		return nil, nil, err
+	}
+	bob, err := sys.AddPrincipalOn("bob", nodeB)
+	if err != nil {
+		return nil, nil, err
 	}
 	switch scheme {
 	case core.SchemeRSA:
 		if err := sys.EstablishRSA("alice"); err != nil {
-			return nil, nil, nil, err
+			return nil, nil, err
 		}
 		if err := sys.EstablishRSA("bob"); err != nil {
-			return nil, nil, nil, err
+			return nil, nil, err
 		}
 	case core.SchemeHMAC:
 		if err := sys.EstablishSharedSecret("alice", "bob"); err != nil {
-			return nil, nil, nil, err
+			return nil, nil, err
 		}
 	}
 	for _, p := range []*core.Principal{alice, bob} {
 		if err := p.UseScheme(scheme); err != nil {
-			return nil, nil, nil, err
+			return nil, nil, err
 		}
 	}
 	if err := bob.TrustAll(); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
-	return sys, alice, bob, nil
+	return alice, bob, nil
 }
 
 // Messages generates n distinct message facts, the paper's export/import
@@ -75,40 +130,59 @@ func Messages(n int) []string {
 	return out
 }
 
-// RunFigure2Point executes one run: alice says n messages to bob, the
-// runtime ships them, bob verifies and imports them. Each message incurs
-// one signature generation at alice and one verification at bob, matching
-// the paper's description. It returns the execution time and verifies that
-// all messages arrived.
-func RunFigure2Point(scheme core.Scheme, n int) (time.Duration, error) {
-	sys, alice, bob, err := Figure2Setup(scheme)
+// RunFigure2Point executes one run on the in-memory transport.
+func RunFigure2Point(scheme core.Scheme, n int) (Figure2Point, error) {
+	return RunFigure2PointOn(TransportMem, scheme, n)
+}
+
+// RunFigure2PointOn executes one run over the given transport: alice says
+// n messages to bob, the runtime ships them, bob verifies and imports
+// them. Each message incurs one signature generation at alice and one
+// verification at bob, matching the paper's description. It returns the
+// execution time and wire cost, and verifies that all messages arrived.
+func RunFigure2PointOn(kind TransportKind, scheme core.Scheme, n int) (Figure2Point, error) {
+	sys, alice, bob, err := Figure2SetupOn(kind, scheme)
 	if err != nil {
-		return 0, err
+		return Figure2Point{}, err
 	}
+	defer sys.Close()
 	msgs := Messages(n)
 	start := time.Now()
 	if err := alice.SayAll("bob", msgs); err != nil {
-		return 0, err
+		return Figure2Point{}, err
 	}
 	if err := sys.Sync(); err != nil {
-		return 0, err
+		return Figure2Point{}, err
 	}
 	elapsed := time.Since(start)
 	if got := bob.Count("msg"); got != n {
-		return 0, fmt.Errorf("bench: bob imported %d of %d messages", got, n)
+		return Figure2Point{}, fmt.Errorf("bench: bob imported %d of %d messages", got, n)
 	}
-	return elapsed, nil
+	wire := sys.Stats().Totals()
+	return Figure2Point{
+		Messages:     n,
+		Duration:     elapsed,
+		WireMessages: wire.MessagesSent,
+		WireBytes:    wire.BytesSent,
+	}, nil
 }
 
-// RunFigure2 sweeps message counts for one scheme.
+// RunFigure2 sweeps message counts for one scheme on the in-memory
+// transport.
 func RunFigure2(scheme core.Scheme, counts []int) (*Figure2Series, error) {
+	return RunFigure2On(TransportMem, scheme, counts)
+}
+
+// RunFigure2On sweeps message counts for one scheme over the given
+// transport.
+func RunFigure2On(kind TransportKind, scheme core.Scheme, counts []int) (*Figure2Series, error) {
 	s := &Figure2Series{Scheme: scheme}
 	for _, n := range counts {
-		d, err := RunFigure2Point(scheme, n)
+		p, err := RunFigure2PointOn(kind, scheme, n)
 		if err != nil {
 			return nil, fmt.Errorf("bench: scheme %s, %d messages: %w", scheme, n, err)
 		}
-		s.Points = append(s.Points, Figure2Point{Messages: n, Duration: d})
+		s.Points = append(s.Points, p)
 	}
 	return s, nil
 }

@@ -20,7 +20,7 @@ import (
 type System struct {
 	mu         sync.Mutex
 	runtime    *dist.Runtime
-	network    *dist.MemNetwork
+	transport  dist.Transport
 	defaultNd  *dist.Node
 	principals map[string]*Principal
 	order      []string
@@ -40,35 +40,78 @@ type Principal struct {
 
 // NewSystem creates a system with a single in-memory node.
 func NewSystem() *System {
+	s, err := NewSystemWith(dist.NewMemNetwork())
+	if err != nil {
+		// The in-memory transport cannot fail to create an endpoint.
+		panic("core: in-memory system: " + err.Error())
+	}
+	return s
+}
+
+// NewSystemWith creates a system over the given transport. Principals
+// land on the default node "local" (created lazily on first use, so
+// systems that place every principal explicitly never bind its endpoint)
+// unless placed elsewhere with AddNode/AddPrincipalOn; with a TCP
+// transport even the default node's traffic crosses real sockets.
+func NewSystemWith(t dist.Transport) (*System, error) {
 	s := &System{
 		runtime:    dist.NewRuntime(),
-		network:    dist.NewMemNetwork(),
+		transport:  t,
 		principals: map[string]*Principal{},
 	}
-	s.defaultNd = s.runtime.AddNode("local", s.network.Endpoint("local"))
 	// Export shipments arrive in the receiver's import relation (exp2
 	// reads import), keeping outbound derivation acyclic with inbound
 	// consumption.
 	s.runtime.SetDeliveryMap("export", "import")
-	return s
+	return s, nil
+}
+
+// defaultNode lazily creates the "local" node.
+func (s *System) defaultNode() (*dist.Node, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.defaultNd != nil {
+		return s.defaultNd, nil
+	}
+	ep, err := s.transport.Endpoint("local")
+	if err != nil {
+		return nil, fmt.Errorf("core: default node: %w", err)
+	}
+	s.defaultNd = s.runtime.AddNode("local", ep)
+	return s.defaultNd, nil
 }
 
 // Runtime exposes the distribution runtime.
 func (s *System) Runtime() *dist.Runtime { return s.runtime }
 
-// Network exposes the in-memory network (for transfer statistics).
-func (s *System) Network() *dist.MemNetwork { return s.network }
+// Transport exposes the wire layer the system was built on.
+func (s *System) Transport() dist.Transport { return s.transport }
 
-// AddNode registers an additional in-memory node; principals can be placed
-// on it via AddPrincipalOn.
-func (s *System) AddNode(name string) *dist.Node {
-	return s.runtime.AddNode(name, s.network.Endpoint(name))
+// Stats snapshots the distribution runtime's delivery and wire counters.
+func (s *System) Stats() dist.Stats { return s.runtime.Stats() }
+
+// Close shuts down the transport (listeners, connections). The system
+// remains queryable locally afterwards; only distribution stops.
+func (s *System) Close() error { return s.transport.Close() }
+
+// AddNode registers an additional node on the system's transport;
+// principals can be placed on it via AddPrincipalOn.
+func (s *System) AddNode(name string) (*dist.Node, error) {
+	ep, err := s.transport.Endpoint(name)
+	if err != nil {
+		return nil, fmt.Errorf("core: node %s: %w", name, err)
+	}
+	return s.runtime.AddNode(name, ep), nil
 }
 
 // AddPrincipal creates a principal on the default node with the plaintext
 // scheme.
 func (s *System) AddPrincipal(name string) (*Principal, error) {
-	return s.AddPrincipalOn(name, s.defaultNd)
+	nd, err := s.defaultNode()
+	if err != nil {
+		return nil, err
+	}
+	return s.AddPrincipalOn(name, nd)
 }
 
 // AddPrincipalOn creates a principal hosted on the given node. The base
@@ -235,7 +278,7 @@ func (p *Principal) ForgetCommunication() error {
 	for _, pred := range []string{"export", "import", "says", "saysOut"} {
 		history[pred] = p.ws.BaseFacts(pred)
 	}
-	return p.ws.Update(func(tx *workspace.Tx) error {
+	if err := p.ws.Update(func(tx *workspace.Tx) error {
 		for pred, tuples := range history {
 			for _, t := range tuples {
 				if err := tx.RetractTuple(pred, t); err != nil {
@@ -244,7 +287,14 @@ func (p *Principal) ForgetCommunication() error {
 			}
 		}
 		return nil
-	})
+	}); err != nil {
+		return err
+	}
+	// Let the runtime re-ship history addressed to this principal even when
+	// the re-signed tuples are byte-identical (same scheme or deterministic
+	// signatures).
+	p.sys.runtime.ResetDeliveries(p.name)
+	return nil
 }
 
 // UseScheme reconfigures the authentication scheme by swapping the signer

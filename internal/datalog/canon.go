@@ -117,6 +117,13 @@ func (c *canonizer) term(b *strings.Builder, t Term) {
 	}
 }
 
+// CanonicalValue renders a value in re-parseable canonical surface syntax.
+// It is the per-value form of the canonical encoding that Code identity and
+// the signature built-ins use, and is what the distribution transports
+// write on the wire, so the same tuple encodes to the same bytes on every
+// node and every transport.
+func CanonicalValue(v Value) string { return canonValue(v) }
+
 // canonValue renders a constant in re-parseable surface syntax, so that
 // canonical rule text can cross the wire and be parsed back on the
 // receiving node. Entities are node-local and render as reserved symbols;

@@ -1,0 +1,122 @@
+package dist
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lbtrust/internal/datalog"
+)
+
+// The wire format shared by every transport: a text header line naming the
+// route, then one line per tuple in the canonical surface syntax of
+// internal/datalog/canon.go. Canonical syntax is deterministic (variables
+// inside quoted code are renamed V0, V1, ... and strings are
+// strconv-quoted, so no raw newlines occur), which makes the encoding both
+// line-safe and byte-stable across nodes: the bytes MemNetwork counts are
+// exactly the bytes TCPNetwork writes to the socket.
+//
+//	lbtrust/1 <from> <to> <sender> <principal> <pred> <count>
+//	t(<v1>,<v2>,...)
+//	...
+
+// wireMagic versions the envelope encoding.
+const wireMagic = "lbtrust/1"
+
+// tuplePred is the dummy functor under which tuples are parsed back; the
+// real destination predicate travels in the header.
+const tuplePred = "t"
+
+// EncodeEnvelope renders an envelope into its wire form.
+func EncodeEnvelope(env *Envelope) []byte {
+	var b strings.Builder
+	b.WriteString(wireMagic)
+	for _, f := range []string{env.From, env.To, env.Sender, env.Principal, env.Pred} {
+		b.WriteByte(' ')
+		b.WriteString(f)
+	}
+	b.WriteByte(' ')
+	b.WriteString(strconv.Itoa(len(env.Tuples)))
+	b.WriteByte('\n')
+	for _, t := range env.Tuples {
+		b.WriteString(EncodeTuple(t))
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// DecodeEnvelope parses a wire-form envelope back into tuples.
+func DecodeEnvelope(data []byte) (*Envelope, error) {
+	lines := strings.Split(string(data), "\n")
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("dist: empty envelope")
+	}
+	header := strings.Fields(lines[0])
+	if len(header) != 7 || header[0] != wireMagic {
+		return nil, fmt.Errorf("dist: malformed envelope header %q", lines[0])
+	}
+	count, err := strconv.Atoi(header[6])
+	if err != nil || count < 0 {
+		return nil, fmt.Errorf("dist: bad tuple count %q", header[6])
+	}
+	if len(lines) < count+1 {
+		return nil, fmt.Errorf("dist: envelope truncated: %d tuples declared, %d lines", count, len(lines)-1)
+	}
+	env := &Envelope{
+		From:      header[1],
+		To:        header[2],
+		Sender:    header[3],
+		Principal: header[4],
+		Pred:      header[5],
+		Tuples:    make([]datalog.Tuple, 0, count),
+	}
+	for i := 0; i < count; i++ {
+		t, err := DecodeTuple(lines[1+i])
+		if err != nil {
+			return nil, fmt.Errorf("dist: tuple %d: %w", i, err)
+		}
+		env.Tuples = append(env.Tuples, t)
+	}
+	return env, nil
+}
+
+// EncodeTuple renders one tuple in canonical syntax.
+func EncodeTuple(t datalog.Tuple) string {
+	var b strings.Builder
+	b.WriteString(tuplePred)
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(datalog.CanonicalValue(v))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// DecodeTuple parses one canonical tuple line. Code arguments re-enter as
+// freshly canonicalized Code values, so the decoded tuple compares equal
+// (and verifies signatures) exactly as the original.
+func DecodeTuple(line string) (datalog.Tuple, error) {
+	clause, err := datalog.ParseClause(line + ".")
+	if err != nil {
+		return nil, err
+	}
+	if !clause.IsFact() {
+		return nil, fmt.Errorf("dist: wire line %q is not a fact", line)
+	}
+	args := clause.Heads[0].AllArgs()
+	tuple := make(datalog.Tuple, len(args))
+	for i, term := range args {
+		v, ground, err := datalog.EvalGroundTerm(term)
+		if err != nil {
+			return nil, err
+		}
+		if !ground {
+			return nil, fmt.Errorf("dist: wire tuple %q has non-ground argument %d", line, i)
+		}
+		tuple[i] = v
+	}
+	return tuple, nil
+}

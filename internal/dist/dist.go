@@ -1,0 +1,373 @@
+// Package dist is the distribution runtime of Sections 3.4 and 3.5 of the
+// paper: partitioned predicates place their subsets on principals, and
+// shipping a tuple between principals is nothing more than moving one row
+// of a partitioned relation to the node that hosts the target partition.
+//
+// A Runtime owns named Nodes, each bound to a Transport endpoint, and
+// places principal workspaces on nodes. Sync pumps rounds of deliveries:
+// every round it scans workspaces whose contents changed, collects fresh
+// tuples of the partitioned source predicates (export[U](...) under the
+// default delivery map), routes each tuple to the principal named by its
+// partition column, and applies it to the receiving workspace under the
+// mapped destination predicate (import). Receivers that reject a delivery
+// (a constraint violation — a bad signature, an unauthorized write, an
+// exceeded delegation bound) roll the tuple back; the rejection is
+// recorded on the receiving node rather than failing the Sync, because a
+// peer refusing a statement is protocol behavior, not an error of the
+// runtime. Rounds repeat until no tuple moves (multi-hop protocols need
+// one round per hop) or the round cap is hit.
+//
+// The wire layer is pluggable (see Transport): MemNetwork runs the
+// protocol in-process, TCPNetwork runs the identical protocol over
+// sockets, and both account traffic in the same canonical encoding.
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"lbtrust/internal/datalog"
+	"lbtrust/internal/workspace"
+)
+
+// Runtime places principal workspaces on nodes and pumps partitioned
+// tuples between them.
+type Runtime struct {
+	mu        sync.Mutex
+	nodes     map[string]*Node
+	nodeOrder []string
+	placement map[string]*Node                  // principal -> hosting node
+	wss       map[string]*workspace.Workspace   // principal -> workspace
+	hooked    map[*workspace.Workspace]struct{} // flush hook installed
+	delivery  map[string]string                 // source pred -> destination pred
+	attempted map[string]string                 // shipped (or refused) tuple key -> target principal
+	syncs     int64
+	rounds    int64
+
+	dirtyMu sync.Mutex
+	dirty   map[string]struct{} // principals with unscanned changes
+}
+
+// NewRuntime creates an empty runtime with no delivery mappings.
+func NewRuntime() *Runtime {
+	return &Runtime{
+		nodes:     map[string]*Node{},
+		placement: map[string]*Node{},
+		wss:       map[string]*workspace.Workspace{},
+		hooked:    map[*workspace.Workspace]struct{}{},
+		delivery:  map[string]string{},
+		attempted: map[string]string{},
+		dirty:     map[string]struct{}{},
+	}
+}
+
+// AddNode registers a node bound to a transport endpoint and installs the
+// runtime as the endpoint's receiver. Re-adding a name returns the
+// existing node.
+func (rt *Runtime) AddNode(name string, ep Endpoint) *Node {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if n, ok := rt.nodes[name]; ok {
+		return n
+	}
+	n := &Node{rt: rt, name: name, ep: ep}
+	rt.nodes[name] = n
+	rt.nodeOrder = append(rt.nodeOrder, name)
+	ep.SetReceiver(func(env *Envelope) error { return rt.deliver(n, env) })
+	return n
+}
+
+// Node returns a node by name.
+func (rt *Runtime) Node(name string) (*Node, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	n, ok := rt.nodes[name]
+	return n, ok
+}
+
+// Nodes returns node names in creation order.
+func (rt *Runtime) Nodes() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return append([]string{}, rt.nodeOrder...)
+}
+
+// SetDeliveryMap routes tuples of a partitioned source predicate into a
+// destination predicate at the receiver. The paper's protocol maps export
+// to import: outbound derivation stays acyclic with inbound consumption.
+// Several mappings may be installed; each is pumped independently.
+func (rt *Runtime) SetDeliveryMap(src, dst string) {
+	rt.mu.Lock()
+	rt.delivery[src] = dst
+	rt.mu.Unlock()
+}
+
+// Placement returns the node hosting a principal.
+func (rt *Runtime) Placement(principal string) (*Node, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	n, ok := rt.placement[principal]
+	return n, ok
+}
+
+// place records that a workspace lives on a node (moving it if it was
+// placed elsewhere) and hooks workspace flushes to the dirty set so Sync
+// only scans changed workspaces.
+func (rt *Runtime) place(ws *workspace.Workspace, n *Node) {
+	name := string(ws.Principal())
+	rt.mu.Lock()
+	rt.placement[name] = n
+	rt.wss[name] = ws
+	_, hooked := rt.hooked[ws]
+	if !hooked {
+		rt.hooked[ws] = struct{}{}
+	}
+	rt.mu.Unlock()
+	if !hooked {
+		ws.AddOnFlush(func() { rt.markDirty(name) })
+	}
+	rt.markDirty(name)
+}
+
+func (rt *Runtime) markDirty(principal string) {
+	rt.dirtyMu.Lock()
+	rt.dirty[principal] = struct{}{}
+	rt.dirtyMu.Unlock()
+}
+
+// takeDirty snapshots and clears the dirty set, sorted for determinism.
+func (rt *Runtime) takeDirty() []string {
+	rt.dirtyMu.Lock()
+	out := make([]string, 0, len(rt.dirty))
+	for p := range rt.dirty {
+		out = append(out, p)
+	}
+	rt.dirty = map[string]struct{}{}
+	rt.dirtyMu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Sync pumps delivery rounds until no tuple moves. It returns an error if
+// tuples are still moving after maxRounds delivery rounds (a hint of a
+// non-terminating protocol) or on a transport failure. A protocol that
+// quiesces in exactly maxRounds moving rounds succeeds: the cap counts
+// rounds that moved tuples, not the final confirming round.
+func (rt *Runtime) Sync(maxRounds int) error {
+	rt.mu.Lock()
+	rt.syncs++
+	rt.mu.Unlock()
+	for moving := 0; ; {
+		moved, err := rt.pump()
+		if err != nil {
+			return err
+		}
+		if !moved {
+			return nil
+		}
+		moving++
+		if moving > maxRounds {
+			return fmt.Errorf("dist: sync did not quiesce within %d rounds", maxRounds)
+		}
+	}
+}
+
+// routeKey identifies one delivery batch.
+type routeKey struct {
+	sender, target, pred string
+}
+
+// pump runs one delivery round: scan changed workspaces, collect fresh
+// outbound tuples, ship them. It reports whether anything moved.
+func (rt *Runtime) pump() (bool, error) {
+	dirty := rt.takeDirty()
+	if len(dirty) == 0 {
+		return false, nil
+	}
+
+	// Collect outbound envelopes under the runtime lock. Workspace locks
+	// nest inside rt.mu here; the delivery path takes them separately.
+	rt.mu.Lock()
+	srcPreds := make([]string, 0, len(rt.delivery))
+	for p := range rt.delivery {
+		srcPreds = append(srcPreds, p)
+	}
+	sort.Strings(srcPreds)
+
+	var order []routeKey
+	batches := map[routeKey]*Envelope{}
+	srcNodes := map[routeKey]*Node{}
+	keys := map[routeKey][]string{}
+	for _, sender := range dirty {
+		ws := rt.wss[sender]
+		srcNode := rt.placement[sender]
+		if ws == nil || srcNode == nil {
+			continue
+		}
+		partitioned := map[string]bool{}
+		for _, p := range ws.PartitionedPredicates() {
+			partitioned[p] = true
+		}
+		for _, srcPred := range srcPreds {
+			if !partitioned[srcPred] {
+				continue
+			}
+			dstPred := rt.delivery[srcPred]
+			for _, tuple := range ws.Facts(srcPred) {
+				key := sender + "\x00" + srcPred + "\x00" + tuple.Key()
+				if _, seen := rt.attempted[key]; seen {
+					continue
+				}
+				target, ok := tuple[0].(datalog.Sym)
+				if !ok {
+					// Unroutable: never retryable, mark attempted now.
+					rt.attempted[key] = ""
+					srcNode.reject(Rejection{Node: srcNode.name, Sender: sender, Pred: srcPred, Tuple: tuple,
+						Err: fmt.Errorf("dist: partition column of %s%s is not a principal symbol", srcPred, tuple)})
+					continue
+				}
+				dstNode, ok := rt.placement[string(target)]
+				if !ok {
+					rt.attempted[key] = string(target)
+					srcNode.reject(Rejection{Node: srcNode.name, Sender: sender, Target: string(target), Pred: srcPred, Tuple: tuple,
+						Err: fmt.Errorf("dist: principal %s is not placed on any node", target)})
+					continue
+				}
+				rk := routeKey{sender: sender, target: string(target), pred: dstPred}
+				env, ok := batches[rk]
+				if !ok {
+					env = &Envelope{
+						From:      srcNode.name,
+						To:        dstNode.name,
+						Sender:    sender,
+						Principal: string(target),
+						Pred:      dstPred,
+					}
+					batches[rk] = env
+					srcNodes[rk] = srcNode
+					order = append(order, rk)
+				}
+				env.Tuples = append(env.Tuples, tuple)
+				keys[rk] = append(keys[rk], key)
+			}
+		}
+	}
+	rt.mu.Unlock()
+
+	if len(order) == 0 {
+		return false, nil
+	}
+	counted := false
+	for i, rk := range order {
+		env := batches[rk]
+		if err := srcNodes[rk].ep.Send(env.To, env); err != nil {
+			// Nothing from this envelope on was marked attempted; re-dirty
+			// the affected senders so a later Sync retries the deliveries
+			// instead of silently dropping them.
+			for _, failed := range order[i:] {
+				rt.markDirty(batches[failed].Sender)
+			}
+			return true, fmt.Errorf("dist: %s -> %s: %w", env.From, env.To, err)
+		}
+		rt.mu.Lock()
+		if !counted {
+			// A round counts once something actually moved.
+			rt.rounds++
+			counted = true
+		}
+		for _, key := range keys[rk] {
+			rt.attempted[key] = rk.target
+		}
+		rt.mu.Unlock()
+	}
+	return true, nil
+}
+
+// deliver applies an inbound envelope to the addressed workspace on node
+// n. Constraint rejections are recorded per tuple; only routing and decode
+// problems surface as transport errors.
+func (rt *Runtime) deliver(n *Node, env *Envelope) error {
+	rt.mu.Lock()
+	ws := rt.wss[env.Principal]
+	hosted := rt.placement[env.Principal]
+	rt.mu.Unlock()
+	if ws == nil || hosted == nil {
+		return fmt.Errorf("principal %q is not placed", env.Principal)
+	}
+	if hosted != n {
+		return fmt.Errorf("principal %q lives on node %q, not %q", env.Principal, hosted.name, n.name)
+	}
+	assert := func(tuples []datalog.Tuple) error {
+		return ws.Update(func(tx *workspace.Tx) error {
+			for _, t := range tuples {
+				if err := tx.AssertTuple(env.Pred, t); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	if err := assert(env.Tuples); err == nil {
+		n.delivered(int64(len(env.Tuples)))
+		return nil
+	}
+	// The batch rolled back: retry tuples one by one so a single refused
+	// statement does not censor its cohort, and record each refusal.
+	for _, t := range env.Tuples {
+		if err := assert([]datalog.Tuple{t}); err != nil {
+			n.reject(Rejection{Node: n.name, Sender: env.Sender, Target: env.Principal, Pred: env.Pred, Tuple: t, Err: err})
+		} else {
+			n.delivered(1)
+		}
+	}
+	return nil
+}
+
+// ResetDeliveries forgets that tuples addressed to the given principal
+// were ever shipped, and re-dirties their senders, so the next Sync
+// re-delivers them. A receiver that clears its communication history
+// (core's ForgetCommunication) calls this: without it, byte-identical
+// re-exports — same scheme, same signature — would be suppressed by the
+// shipped-tuple set forever.
+func (rt *Runtime) ResetDeliveries(target string) {
+	rt.mu.Lock()
+	var senders []string
+	for key, tgt := range rt.attempted {
+		if tgt != target {
+			continue
+		}
+		delete(rt.attempted, key)
+		// The key is sender \x00 pred \x00 tuple-key.
+		if i := strings.IndexByte(key, 0); i > 0 {
+			senders = append(senders, key[:i])
+		}
+	}
+	rt.mu.Unlock()
+	for _, s := range senders {
+		rt.markDirty(s)
+	}
+}
+
+// Stats snapshots the runtime's counters and per-node transfer totals.
+func (rt *Runtime) Stats() Stats {
+	rt.mu.Lock()
+	s := Stats{Syncs: rt.syncs, Rounds: rt.rounds}
+	nodes := make([]*Node, 0, len(rt.nodeOrder))
+	for _, name := range rt.nodeOrder {
+		nodes = append(nodes, rt.nodes[name])
+	}
+	principals := map[string][]string{}
+	for p, n := range rt.placement {
+		principals[n.name] = append(principals[n.name], p)
+	}
+	rt.mu.Unlock()
+	for _, n := range nodes {
+		ns := n.Stats()
+		ns.Principals = append([]string{}, principals[n.name]...)
+		sort.Strings(ns.Principals)
+		s.Nodes = append(s.Nodes, ns)
+	}
+	return s
+}

@@ -1,0 +1,358 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+
+	"lbtrust/internal/datalog"
+	"lbtrust/internal/workspace"
+)
+
+// boxProgram is a minimal partitioned-predicate protocol for runtime
+// tests: box[Dst](Sender,Msg) ships, arriving as inbox[Dst](Sender,Msg)
+// under the delivery map. The type constraints double as declarations
+// (partitioned via the [U1] currying) and as the receiver-side acceptance
+// check the rejection tests exercise.
+const boxProgram = `
+b0: box[U1](U2,M) -> prin(U1), prin(U2).
+i0: inbox[U1](U2,M) -> prin(U1), prin(U2).
+`
+
+// newWS builds a principal workspace with the box protocol loaded and
+// prin facts for the given known principals.
+func newWS(t *testing.T, name string, known ...string) *workspace.Workspace {
+	t.Helper()
+	ws := workspace.New(name)
+	if err := ws.LoadProgram(boxProgram); err != nil {
+		t.Fatalf("%s: load: %v", name, err)
+	}
+	if err := ws.Update(func(tx *workspace.Tx) error {
+		for _, k := range known {
+			if err := tx.Assert("prin(" + k + ")"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("%s: prin facts: %v", name, err)
+	}
+	return ws
+}
+
+func send(t *testing.T, ws *workspace.Workspace, fact string) {
+	t.Helper()
+	if err := ws.Update(func(tx *workspace.Tx) error { return tx.Assert(fact) }); err != nil {
+		t.Fatalf("assert %s: %v", fact, err)
+	}
+}
+
+func inboxKeys(ws *workspace.Workspace) []string {
+	var out []string
+	for _, tu := range ws.Facts("inbox") {
+		out = append(out, tu.Key())
+	}
+	return out
+}
+
+// buildTwoNode wires alice on n1 and bob on n2 over the given transport.
+func buildTwoNode(t *testing.T, tr Transport) (*Runtime, *workspace.Workspace, *workspace.Workspace) {
+	t.Helper()
+	rt := NewRuntime()
+	rt.SetDeliveryMap("box", "inbox")
+	alice := newWS(t, "alice", "alice", "bob")
+	bob := newWS(t, "bob", "alice", "bob")
+	for _, nd := range []struct {
+		name string
+		ws   *workspace.Workspace
+	}{{"n1", alice}, {"n2", bob}} {
+		ep, err := tr.Endpoint(nd.name)
+		if err != nil {
+			t.Fatalf("endpoint %s: %v", nd.name, err)
+		}
+		rt.AddNode(nd.name, ep).AddPrincipal(nd.ws)
+	}
+	return rt, alice, bob
+}
+
+func TestMultiNodePlacementAndDeliveryMap(t *testing.T) {
+	rt, alice, bob := buildTwoNode(t, NewMemNetwork())
+
+	if n, ok := rt.Placement("alice"); !ok || n.Name() != "n1" {
+		t.Fatalf("alice placed on %v, want n1", n)
+	}
+	send(t, alice, "box[bob](alice, hi)")
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	// The tuple left box at alice and arrived in inbox (remapped predicate)
+	// at bob, same columns.
+	got := bob.Facts("inbox")
+	if len(got) != 1 {
+		t.Fatalf("bob inbox = %v, want one tuple", got)
+	}
+	want := datalog.Tuple{datalog.Sym("bob"), datalog.Sym("alice"), datalog.Sym("hi")}
+	if !got[0].Equal(want) {
+		t.Errorf("bob inbox tuple = %v, want %v", got[0], want)
+	}
+	if len(bob.Facts("box")) != 0 {
+		t.Errorf("delivery must remap into inbox, not write box at the receiver")
+	}
+}
+
+func TestMultiHopSyncRoundCounting(t *testing.T) {
+	rt := NewRuntime()
+	rt.SetDeliveryMap("box", "inbox")
+	net := NewMemNetwork()
+	all := []string{"alice", "bob", "carol"}
+	wss := map[string]*workspace.Workspace{}
+	for i, name := range all {
+		wss[name] = newWS(t, name, all...)
+		ep, err := net.Endpoint("n" + string(rune('1'+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.AddNode("n"+string(rune('1'+i)), ep).AddPrincipal(wss[name])
+	}
+	// bob forwards every arrival to carol: a second hop that needs a
+	// second delivery round inside one Sync.
+	if err := wss["bob"].LoadProgram(`fwd: box[carol](me, M) <- inbox[me](_, M).`); err != nil {
+		t.Fatalf("fwd rule: %v", err)
+	}
+	send(t, wss["alice"], "box[bob](alice, m1)")
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	got := wss["carol"].Facts("inbox")
+	want := datalog.Tuple{datalog.Sym("carol"), datalog.Sym("bob"), datalog.Sym("m1")}
+	if len(got) != 1 || !got[0].Equal(want) {
+		t.Fatalf("carol inbox = %v, want [%v]", got, want)
+	}
+	stats := rt.Stats()
+	if stats.Rounds != 2 {
+		t.Errorf("two-hop sync took %d delivery rounds, want 2", stats.Rounds)
+	}
+	if stats.Syncs != 1 {
+		t.Errorf("syncs = %d, want 1", stats.Syncs)
+	}
+}
+
+func TestTransferStatsAccounting(t *testing.T) {
+	rt, alice, bob := buildTwoNode(t, NewMemNetwork())
+	send(t, alice, "box[bob](alice, one)")
+	send(t, alice, "box[bob](alice, two)")
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	stats := rt.Stats()
+	if got := stats.TuplesDelivered(); got != 2 {
+		t.Errorf("delivered = %d, want 2", got)
+	}
+	totals := stats.Totals()
+	// Both tuples were asserted before the sync, so they batch into one
+	// envelope.
+	if totals.MessagesSent != 1 || totals.MessagesReceived != 1 {
+		t.Errorf("messages sent/received = %d/%d, want 1/1", totals.MessagesSent, totals.MessagesReceived)
+	}
+	if totals.BytesSent == 0 || totals.BytesSent != totals.BytesReceived {
+		t.Errorf("bytes sent/received = %d/%d, want equal and non-zero", totals.BytesSent, totals.BytesReceived)
+	}
+	var n1, n2 NodeStats
+	for _, ns := range stats.Nodes {
+		switch ns.Node {
+		case "n1":
+			n1 = ns
+		case "n2":
+			n2 = ns
+		}
+	}
+	if n1.Transfer.MessagesSent != 1 || n1.Transfer.MessagesReceived != 0 {
+		t.Errorf("n1 transfer = %+v, want 1 sent, 0 received", n1.Transfer)
+	}
+	if n2.Transfer.MessagesReceived != 1 || n2.TuplesDelivered != 2 {
+		t.Errorf("n2 = %+v, want 1 message received, 2 tuples delivered", n2)
+	}
+
+	// Re-syncing with no new facts moves nothing.
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("re-sync: %v", err)
+	}
+	if again := rt.Stats().Totals(); again.MessagesSent != totals.MessagesSent {
+		t.Errorf("idempotent sync re-sent tuples: %d -> %d messages", totals.MessagesSent, again.MessagesSent)
+	}
+	_ = bob
+}
+
+func TestReceiverRejectionRecorded(t *testing.T) {
+	rt := NewRuntime()
+	rt.SetDeliveryMap("box", "inbox")
+	net := NewMemNetwork()
+	alice := newWS(t, "alice", "alice", "bob")
+	// bob does not know principal alice: i0 rejects the arrival.
+	bob := newWS(t, "bob", "bob")
+	ep1, _ := net.Endpoint("n1")
+	ep2, _ := net.Endpoint("n2")
+	rt.AddNode("n1", ep1).AddPrincipal(alice)
+	n2 := rt.AddNode("n2", ep2)
+	n2.AddPrincipal(bob)
+
+	send(t, alice, "box[bob](alice, hi)")
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("sync must not fail on a receiver rejection: %v", err)
+	}
+	if got := bob.Facts("inbox"); len(got) != 0 {
+		t.Errorf("rejected tuple must not land: %v", got)
+	}
+	rej := n2.Rejected()
+	if len(rej) != 1 {
+		t.Fatalf("rejections = %v, want exactly one", rej)
+	}
+	if rej[0].Target != "bob" || rej[0].Sender != "alice" || rej[0].Pred != "inbox" {
+		t.Errorf("rejection routing = %+v", rej[0])
+	}
+	if !strings.Contains(rej[0].Err.Error(), "i0") {
+		t.Errorf("rejection should cite constraint i0, got %v", rej[0].Err)
+	}
+	if rt.Stats().TuplesRejected() != 1 {
+		t.Errorf("stats rejected = %d, want 1", rt.Stats().TuplesRejected())
+	}
+
+	// A rejected tuple is not retried by later syncs.
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("re-sync: %v", err)
+	}
+	if got := n2.Rejected(); len(got) != 1 {
+		t.Errorf("re-sync duplicated the rejection: %d records", len(got))
+	}
+}
+
+func TestBatchRejectionDoesNotCensorCohort(t *testing.T) {
+	rt := NewRuntime()
+	rt.SetDeliveryMap("box", "inbox")
+	net := NewMemNetwork()
+	// bob accepts statements from alice but not from the unknown "mallory"
+	// (alice can name mallory; bob has no prin fact for her).
+	alice := newWS(t, "alice", "alice", "bob", "mallory")
+	bob := newWS(t, "bob", "alice", "bob")
+	ep1, _ := net.Endpoint("n1")
+	ep2, _ := net.Endpoint("n2")
+	rt.AddNode("n1", ep1).AddPrincipal(alice)
+	n2 := rt.AddNode("n2", ep2)
+	n2.AddPrincipal(bob)
+
+	send(t, alice, "box[bob](alice, good)")
+	send(t, alice, "box[bob](mallory, forged)")
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	good := datalog.Tuple{datalog.Sym("bob"), datalog.Sym("alice"), datalog.Sym("good")}
+	got := bob.Facts("inbox")
+	if len(got) != 1 || !got[0].Equal(good) {
+		t.Errorf("bob inbox = %v, want only %v", got, good)
+	}
+	if rej := n2.Rejected(); len(rej) != 1 {
+		t.Errorf("rejections = %v, want one (the forged tuple)", rej)
+	}
+}
+
+func TestUnplacedDestinationRejectedAtSource(t *testing.T) {
+	rt, alice, _ := buildTwoNode(t, NewMemNetwork())
+	send(t, alice, "prin(zed)")
+	send(t, alice, "box[zed](alice, hi)")
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	n1, _ := rt.Node("n1")
+	rej := n1.Rejected()
+	if len(rej) != 1 || rej[0].Target != "zed" {
+		t.Fatalf("source-side rejection = %v, want one for zed", rej)
+	}
+	if !strings.Contains(rej[0].Err.Error(), "not placed") {
+		t.Errorf("err = %v, want unplaced-principal error", rej[0].Err)
+	}
+}
+
+func TestSyncRoundCapCountsMovingRounds(t *testing.T) {
+	// A single-hop delivery quiesces in exactly one moving round, so
+	// Sync(1) must succeed: the cap bounds moving rounds, not the final
+	// confirming pump.
+	rt, alice, bob := buildTwoNode(t, NewMemNetwork())
+	send(t, alice, "box[bob](alice, hi)")
+	if err := rt.Sync(1); err != nil {
+		t.Fatalf("Sync(1) on a one-hop delivery: %v", err)
+	}
+	if got := bob.Facts("inbox"); len(got) != 1 {
+		t.Fatalf("bob inbox = %v, want one tuple", got)
+	}
+}
+
+func TestEndpointNameValidation(t *testing.T) {
+	for _, tr := range []Transport{NewMemNetwork(), NewTCPNetwork()} {
+		for _, bad := range []string{"", "two words", "tab\tname", "line\nbreak", "nb sp", "vert\vtab"} {
+			if _, err := tr.Endpoint(bad); err == nil {
+				t.Errorf("%T accepted endpoint name %q", tr, bad)
+			}
+		}
+		if _, err := tr.Endpoint("fine-name"); err != nil {
+			t.Errorf("%T refused a valid name: %v", tr, err)
+		}
+		tr.Close()
+	}
+}
+
+func TestResetDeliveriesReships(t *testing.T) {
+	// A receiver that clears its history gets byte-identical tuples
+	// re-shipped after ResetDeliveries; without the reset they stay
+	// suppressed by the shipped-tuple set.
+	rt, alice, bob := buildTwoNode(t, NewMemNetwork())
+	send(t, alice, "box[bob](alice, hi)")
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	tuple := datalog.Tuple{datalog.Sym("bob"), datalog.Sym("alice"), datalog.Sym("hi")}
+	if err := bob.Update(func(tx *workspace.Tx) error {
+		return tx.RetractTuple("inbox", tuple)
+	}); err != nil {
+		t.Fatalf("retract: %v", err)
+	}
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("sync 2: %v", err)
+	}
+	if got := bob.Facts("inbox"); len(got) != 0 {
+		t.Fatalf("without a reset the tuple must stay forgotten, got %v", got)
+	}
+	rt.ResetDeliveries("bob")
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("sync 3: %v", err)
+	}
+	if got := bob.Facts("inbox"); len(got) != 1 || !got[0].Equal(tuple) {
+		t.Fatalf("after ResetDeliveries bob inbox = %v, want [%v]", got, tuple)
+	}
+}
+
+func TestSyncRoundCap(t *testing.T) {
+	rt := NewRuntime()
+	rt.SetDeliveryMap("box", "inbox")
+	net := NewMemNetwork()
+	alice := newWS(t, "alice", "alice", "bob")
+	bob := newWS(t, "bob", "alice", "bob")
+	ep1, _ := net.Endpoint("n1")
+	ep2, _ := net.Endpoint("n2")
+	rt.AddNode("n1", ep1).AddPrincipal(alice)
+	rt.AddNode("n2", ep2).AddPrincipal(bob)
+	// An infinite ping-pong: every arrival is echoed back with a new
+	// payload via cnt, so the system never quiesces.
+	for name, ws := range map[string]*workspace.Workspace{"alice": alice, "bob": bob} {
+		peer := "bob"
+		if name == "bob" {
+			peer = "alice"
+		}
+		if err := ws.LoadProgram(`echo: box[` + peer + `](me, N+1) <- inbox[me](_, N).`); err != nil {
+			t.Fatalf("%s echo: %v", name, err)
+		}
+	}
+	send(t, alice, "box[bob](alice, 0)")
+	err := rt.Sync(5)
+	if err == nil || !strings.Contains(err.Error(), "quiesce") {
+		t.Fatalf("unbounded protocol must hit the round cap, got %v", err)
+	}
+}

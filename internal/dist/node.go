@@ -1,0 +1,80 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"lbtrust/internal/datalog"
+	"lbtrust/internal/workspace"
+)
+
+// Node is one placement site: a named host bound to a transport endpoint,
+// hosting the workspaces of the principals placed on it.
+type Node struct {
+	rt   *Runtime
+	name string
+	ep   Endpoint
+
+	mu       sync.Mutex
+	nDeliv   int64
+	rejected []Rejection
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Endpoint returns the transport endpoint the node is bound to.
+func (n *Node) Endpoint() Endpoint { return n.ep }
+
+// AddPrincipal places a principal's workspace on this node. Placing an
+// already-placed principal moves it here.
+func (n *Node) AddPrincipal(ws *workspace.Workspace) {
+	n.rt.place(ws, n)
+}
+
+// Rejection records one refused delivery: the receiving workspace's
+// constraints rolled the tuple back (or the tuple could not be routed).
+type Rejection struct {
+	Node   string // node that recorded the rejection
+	Sender string // sending principal
+	Target string // receiving principal ("" when routing failed pre-target)
+	Pred   string // destination predicate
+	Tuple  datalog.Tuple
+	Err    error
+}
+
+func (r Rejection) String() string {
+	return fmt.Sprintf("%s -> %s: %s%s: %v", r.Sender, r.Target, r.Pred, r.Tuple.String(), r.Err)
+}
+
+func (n *Node) reject(r Rejection) {
+	n.mu.Lock()
+	n.rejected = append(n.rejected, r)
+	n.mu.Unlock()
+}
+
+func (n *Node) delivered(count int64) {
+	n.mu.Lock()
+	n.nDeliv += count
+	n.mu.Unlock()
+}
+
+// Rejected returns the deliveries this node has refused.
+func (n *Node) Rejected() []Rejection {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]Rejection{}, n.rejected...)
+}
+
+// Stats snapshots the node's delivery counters and endpoint traffic.
+func (n *Node) Stats() NodeStats {
+	n.mu.Lock()
+	deliv, rej := n.nDeliv, int64(len(n.rejected))
+	n.mu.Unlock()
+	return NodeStats{
+		Node:            n.name,
+		Transfer:        n.ep.Stats(),
+		TuplesDelivered: deliv,
+		TuplesRejected:  rej,
+	}
+}

@@ -1,0 +1,64 @@
+package dist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeStats is one node's delivery and wire counters.
+type NodeStats struct {
+	Node            string
+	Principals      []string
+	Transfer        TransferStats
+	TuplesDelivered int64
+	TuplesRejected  int64
+}
+
+// Stats is a snapshot of the whole runtime: sync/round counters plus
+// per-node transfer totals, in node creation order.
+type Stats struct {
+	Syncs  int64 // Sync invocations
+	Rounds int64 // delivery rounds that moved at least one tuple
+	Nodes  []NodeStats
+}
+
+// Totals sums transfer counters over all nodes. Note that with every
+// delivery both sent and received are counted (on the respective
+// endpoints), so total messages on the wire is MessagesSent.
+func (s Stats) Totals() TransferStats {
+	var t TransferStats
+	for _, n := range s.Nodes {
+		t.Add(n.Transfer)
+	}
+	return t
+}
+
+// TuplesDelivered sums successful deliveries over all nodes.
+func (s Stats) TuplesDelivered() int64 {
+	var n int64
+	for _, ns := range s.Nodes {
+		n += ns.TuplesDelivered
+	}
+	return n
+}
+
+// TuplesRejected sums refused deliveries over all nodes.
+func (s Stats) TuplesRejected() int64 {
+	var n int64
+	for _, ns := range s.Nodes {
+		n += ns.TuplesRejected
+	}
+	return n
+}
+
+func (s Stats) String() string {
+	var b strings.Builder
+	t := s.Totals()
+	fmt.Fprintf(&b, "syncs=%d rounds=%d delivered=%d rejected=%d wire: %s",
+		s.Syncs, s.Rounds, s.TuplesDelivered(), s.TuplesRejected(), t.String())
+	for _, n := range s.Nodes {
+		fmt.Fprintf(&b, "\n  node %s (%s): delivered=%d rejected=%d, %s",
+			n.Node, strings.Join(n.Principals, ","), n.TuplesDelivered, n.TuplesRejected, n.Transfer.String())
+	}
+	return b.String()
+}

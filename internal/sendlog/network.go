@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lbtrust/internal/core"
+	"lbtrust/internal/dist"
 )
 
 // ReachabilityProgram computes each node's reachability set with
@@ -43,9 +44,43 @@ type Network struct {
 // (in-memory) node with the given authentication scheme.
 func NewNetwork(nodeNames []string, scheme core.Scheme) (*Network, error) {
 	sys := core.NewSystem()
+	return populate(sys, nodeNames, scheme, false)
+}
+
+// NewNetworkWith creates the network over an explicit transport, placing
+// each protocol node's principal on its own distribution node, so every
+// advertisement crosses the wire layer (loopback sockets under
+// TCPNetwork). Callers must Close the returned network's System.
+func NewNetworkWith(t dist.Transport, nodeNames []string, scheme core.Scheme) (*Network, error) {
+	sys, err := core.NewSystemWith(t)
+	if err != nil {
+		return nil, err
+	}
+	nw, err := populate(sys, nodeNames, scheme, true)
+	if err != nil {
+		sys.Close()
+		return nil, err
+	}
+	return nw, nil
+}
+
+// populate creates the principals (optionally one distribution node each)
+// and establishes the scheme's key material.
+func populate(sys *core.System, nodeNames []string, scheme core.Scheme, perNode bool) (*Network, error) {
 	nw := &Network{sys: sys, nodes: map[string]*core.Principal{}}
 	for _, name := range nodeNames {
-		p, err := sys.AddPrincipal(name)
+		var p *core.Principal
+		var err error
+		if perNode {
+			var nd *dist.Node
+			nd, err = sys.AddNode("node-" + name)
+			if err != nil {
+				return nil, err
+			}
+			p, err = sys.AddPrincipalOn(name, nd)
+		} else {
+			p, err = sys.AddPrincipal(name)
+		}
 		if err != nil {
 			return nil, err
 		}

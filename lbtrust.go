@@ -41,6 +41,7 @@ import (
 	"lbtrust/internal/core"
 	"lbtrust/internal/d1lp"
 	"lbtrust/internal/datalog"
+	"lbtrust/internal/dist"
 	"lbtrust/internal/sendlog"
 	"lbtrust/internal/workspace"
 )
@@ -81,6 +82,40 @@ type Tuple = datalog.Tuple
 // Value is a runtime constant (string, int, symbol, entity, code).
 type Value = datalog.Value
 
+// Transport is the pluggable wire layer under the distribution runtime:
+// it manufactures named endpoints that ship partitioned tuples between
+// nodes. MemNetwork and TCPNetwork are the built-in implementations.
+type Transport = dist.Transport
+
+// Endpoint is one node's attachment point to a Transport.
+type Endpoint = dist.Endpoint
+
+// MemNetwork is the in-process transport (the paper's single-host
+// evaluation).
+type MemNetwork = dist.MemNetwork
+
+// TCPNetwork ships tuples as length-prefixed canonical frames over
+// loopback/LAN TCP sockets.
+type TCPNetwork = dist.TCPNetwork
+
+// Node is one placement site of the distribution runtime; principals can
+// be placed on nodes with System.AddPrincipalOn.
+type Node = dist.Node
+
+// Stats is a snapshot of the distribution runtime: sync/round counters
+// plus per-node transfer totals (see System.Stats).
+type Stats = dist.Stats
+
+// NodeStats is one node's delivery and wire counters.
+type NodeStats = dist.NodeStats
+
+// TransferStats counts an endpoint's wire traffic (messages and encoded
+// bytes), identically for every transport.
+type TransferStats = dist.TransferStats
+
+// Rejection records a delivery refused by the receiver's constraints.
+type Rejection = dist.Rejection
+
 // BinderContext is a Binder-language view of a principal (Section 5.1).
 type BinderContext = binder.Context
 
@@ -90,6 +125,18 @@ type SeNDlogNetwork = sendlog.Network
 
 // NewSystem creates a system with a single in-memory node.
 func NewSystem() *System { return core.NewSystem() }
+
+// NewSystemWith creates a system over an explicit transport, e.g.
+// lbtrust.NewSystemWith(lbtrust.NewTCPNetwork()) to run the identical
+// protocol over sockets. Use System.Stats for wire cost and System.Close
+// to release listeners.
+func NewSystemWith(t Transport) (*System, error) { return core.NewSystemWith(t) }
+
+// NewMemNetwork creates the in-process transport.
+func NewMemNetwork() *MemNetwork { return dist.NewMemNetwork() }
+
+// NewTCPNetwork creates the TCP transport (loopback listeners).
+func NewTCPNetwork() *TCPNetwork { return dist.NewTCPNetwork() }
 
 // NewWorkspace creates a standalone workspace for the given principal
 // name.
@@ -102,6 +149,14 @@ func NewBinderContext(p *Principal) *BinderContext { return binder.NewContext(p)
 // name, using the given authentication scheme.
 func NewSeNDlogNetwork(nodes []string, scheme Scheme) (*SeNDlogNetwork, error) {
 	return sendlog.NewNetwork(nodes, scheme)
+}
+
+// NewSeNDlogNetworkWith creates a SeNDlog network over an explicit
+// transport, with each protocol node on its own distribution node so
+// every advertisement crosses the wire layer. Close the network's System
+// when done.
+func NewSeNDlogNetworkWith(t Transport, nodes []string, scheme Scheme) (*SeNDlogNetwork, error) {
+	return sendlog.NewNetworkWith(t, nodes, scheme)
 }
 
 // CompileBinder translates Binder surface syntax ("bob says p(..)") into
