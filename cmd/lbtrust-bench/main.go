@@ -1,22 +1,28 @@
 // Command lbtrust-bench regenerates the paper's evaluation. It prints the
 // Figure 2 series (execution time vs number of messages for RSA, HMAC and
-// Plaintext authentication) and the ablation experiments indexed in
-// DESIGN.md, as plain-text tables.
+// Plaintext authentication), the incremental-sync series of the
+// delta-driven distribution runtime, and the ablation experiments indexed
+// in DESIGN.md, as plain-text tables.
 //
 // Usage:
 //
 //	lbtrust-bench -experiment fig2 -max 10000 -step 1000
 //	lbtrust-bench -experiment fig2 -transport tcp -max 2000 -step 500
+//	lbtrust-bench -experiment sync -json
 //	lbtrust-bench -experiment ablations
 //	lbtrust-bench -experiment all
 //
 // The -transport flag selects the wire layer of the distribution runtime
 // (mem runs the paper's single-host evaluation in-process; tcp ships every
 // tuple over loopback sockets); the protocol and results are identical,
-// only time and wire cost differ.
+// only time and wire cost differ. The -json flag switches the sync
+// experiment to machine-readable output (one JSON document on stdout), so
+// CI can track the perf trajectory across commits; -short shrinks the
+// workloads to a smoke test.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,10 +32,12 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run: fig2, ablations, all")
+	experiment := flag.String("experiment", "all", "experiment to run: fig2, sync, ablations, all")
 	maxMsgs := flag.Int("max", 10000, "fig2: maximum number of messages")
 	step := flag.Int("step", 1000, "fig2: message count step")
-	transport := flag.String("transport", "mem", "fig2: wire layer, mem or tcp")
+	transport := flag.String("transport", "mem", "fig2/sync: wire layer, mem or tcp")
+	jsonOut := flag.Bool("json", false, "sync: emit machine-readable JSON instead of a table")
+	short := flag.Bool("short", false, "sync: small workloads (CI smoke test)")
 	flag.Parse()
 
 	kind := bench.TransportKind(*transport)
@@ -41,15 +49,88 @@ func main() {
 	switch *experiment {
 	case "fig2":
 		runFigure2(kind, *maxMsgs, *step)
+	case "sync":
+		runSync(kind, *jsonOut, *short)
 	case "ablations":
 		runAblations()
 	case "all":
 		runFigure2(kind, *maxMsgs, *step)
+		runSync(kind, *jsonOut, *short)
 		runAblations()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)
 	}
+}
+
+// syncReport is the machine-readable shape of the sync experiment, one
+// JSON document per run so CI can diff perf across commits.
+type syncReport struct {
+	Experiment string          `json:"experiment"`
+	Transport  string          `json:"transport"`
+	Short      bool            `json:"short"`
+	Points     []syncPointJSON `json:"points"`
+}
+
+type syncPointJSON struct {
+	Principals   int   `json:"principals"`
+	Base         int   `json:"base"`
+	Fresh        int   `json:"fresh"`
+	SetupNs      int64 `json:"setup_ns"`
+	SetupScanned int64 `json:"setup_scanned"`
+	IncrNs       int64 `json:"incr_ns"`
+	IncrScanned  int64 `json:"incr_scanned"`
+	IncrWireMsgs int64 `json:"incr_wire_messages"`
+	IncrWireB    int64 `json:"incr_wire_bytes"`
+}
+
+// runSync measures the delta-driven pump: a chain workload per base size,
+// reporting the setup shipment next to an incremental Sync carrying a
+// handful of fresh tuples. With the delta pump, incr_scanned tracks
+// fresh x hops regardless of base.
+func runSync(kind bench.TransportKind, jsonOut, short bool) {
+	bases := []int{1000, 5000, 10000}
+	const principals, fresh = 3, 5
+	if short {
+		bases = []int{100, 200}
+	}
+	report := syncReport{Experiment: "sync", Transport: string(kind), Short: short}
+	for _, base := range bases {
+		r, err := bench.RunIncrementalSync(kind, principals, base, fresh)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sync (base=%d): %v\n", base, err)
+			os.Exit(1)
+		}
+		report.Points = append(report.Points, syncPointJSON{
+			Principals:   r.Principals,
+			Base:         r.Base,
+			Fresh:        r.Fresh,
+			SetupNs:      r.Setup.Duration.Nanoseconds(),
+			SetupScanned: r.Setup.Scanned,
+			IncrNs:       r.Incr.Duration.Nanoseconds(),
+			IncrScanned:  r.Incr.Scanned,
+			IncrWireMsgs: r.Incr.WireMessages,
+			IncrWireB:    r.Incr.WireBytes,
+		})
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("== Incremental sync: delta-driven pump (transport=%s, chain=%d, fresh=%d) ==\n", kind, principals, fresh)
+	fmt.Println("(pump work — tuples scanned — must track fresh tuples, not base size)")
+	fmt.Println()
+	fmt.Printf("%10s %12s %14s %12s %14s %12s\n", "base", "setup(s)", "setup-scanned", "incr(ms)", "incr-scanned", "incr-wire(B)")
+	for _, p := range report.Points {
+		fmt.Printf("%10d %12.4f %14d %12.2f %14d %12d\n", p.Base,
+			float64(p.SetupNs)/1e9, p.SetupScanned, float64(p.IncrNs)/1e6, p.IncrScanned, p.IncrWireB)
+	}
+	fmt.Println()
 }
 
 func runFigure2(kind bench.TransportKind, maxMsgs, step int) {

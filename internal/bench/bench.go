@@ -365,3 +365,174 @@ func RunSeNDlogReachability(n int, scheme core.Scheme) (time.Duration, error) {
 	}
 	return elapsed, nil
 }
+
+// ---- incremental sync (delta-driven pump) -----------------------------------
+
+// pathVectorProgram is the many-round incremental-sync workload: route
+// announcements box[Next](Origin,M) hop down a chain of principals, each
+// intermediate forwarding arrivals to its successor, so one Sync needs
+// one delivery round per hop.
+const pathVectorProgram = `
+b0: box[U1](U2,M) -> prin(U1), prin(U2).
+i0: inbox[U1](U2,M) -> prin(U1), prin(U2).
+`
+
+// SyncPoint is the measured cost of one Sync of the incremental-sync
+// workload.
+type SyncPoint struct {
+	Fresh        int           // tuples newly asserted before this Sync
+	Delivered    int64         // tuples applied at receivers during this Sync
+	Scanned      int64         // tuples the pump examined (the O(fresh) metric)
+	Duration     time.Duration // wall time of assert+Sync
+	WireMessages int64         // envelopes sent during this Sync
+	WireBytes    int64         // encoded envelope bytes sent during this Sync
+}
+
+// IncrementalSyncResult reports one RunIncrementalSync execution: the
+// bulk setup Sync and the measured incremental Sync that follows it.
+type IncrementalSyncResult struct {
+	Transport  TransportKind
+	Principals int
+	Base       int
+	Fresh      int
+	Setup      SyncPoint
+	Incr       SyncPoint
+}
+
+// IncrementalSync is a reusable chain workload for measuring delta-driven
+// Sync: principals pv0..pv(n-1) on one node each, every intermediate
+// forwarding inbox arrivals to its successor. Each Sync call asserts
+// fresh announcements at the head and pumps them through the chain.
+type IncrementalSync struct {
+	tr    dist.Transport
+	rt    *dist.Runtime
+	names []string
+	chain []*workspace.Workspace
+	seq   int
+	total int
+	last  dist.Stats
+}
+
+// NewIncrementalSync builds the chain and ships base announcements
+// through it (the setup Sync whose cost SyncPoint callers can discard).
+func NewIncrementalSync(kind TransportKind, principals, base int) (*IncrementalSync, *SyncPoint, error) {
+	if principals < 2 {
+		return nil, nil, fmt.Errorf("bench: incremental sync needs at least 2 principals, got %d", principals)
+	}
+	tr, err := NewTransport(kind)
+	if err != nil {
+		return nil, nil, err
+	}
+	rt := dist.NewRuntime()
+	rt.SetDeliveryMap("box", "inbox")
+	s := &IncrementalSync{tr: tr, rt: rt}
+	for i := 0; i < principals; i++ {
+		s.names = append(s.names, fmt.Sprintf("pv%d", i))
+	}
+	for i, name := range s.names {
+		ws := workspace.New(name)
+		if err := ws.LoadProgram(pathVectorProgram); err != nil {
+			tr.Close()
+			return nil, nil, err
+		}
+		if err := ws.Update(func(tx *workspace.Tx) error {
+			for _, n := range s.names {
+				if err := tx.Assert("prin(" + n + ")"); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			tr.Close()
+			return nil, nil, err
+		}
+		if i > 0 && i+1 < principals {
+			if err := ws.LoadProgram(fmt.Sprintf(`fwd: box[%s](me, M) <- inbox[me](_, M).`, s.names[i+1])); err != nil {
+				tr.Close()
+				return nil, nil, err
+			}
+		}
+		ep, err := tr.Endpoint("nd" + name)
+		if err != nil {
+			tr.Close()
+			return nil, nil, err
+		}
+		rt.AddNode("nd"+name, ep).AddPrincipal(ws)
+		s.chain = append(s.chain, ws)
+	}
+	s.last = rt.Stats()
+	setup, err := s.Sync(base)
+	if err != nil {
+		tr.Close()
+		return nil, nil, err
+	}
+	return s, &setup, nil
+}
+
+// Sync asserts fresh announcements at the head of the chain, pumps them
+// to quiescence, verifies they all reached the tail, and returns the
+// cost of this Sync alone.
+func (s *IncrementalSync) Sync(fresh int) (SyncPoint, error) {
+	head, next := s.chain[0], s.names[1]
+	start := time.Now()
+	if fresh > 0 {
+		if err := head.Update(func(tx *workspace.Tx) error {
+			for i := 0; i < fresh; i++ {
+				s.seq++
+				if err := tx.Assert(fmt.Sprintf("box[%s](%s, m%d)", next, s.names[0], s.seq)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return SyncPoint{}, err
+		}
+		s.total += fresh
+	}
+	if err := s.rt.Sync(len(s.chain) + 2); err != nil {
+		return SyncPoint{}, err
+	}
+	elapsed := time.Since(start)
+	if got := s.chain[len(s.chain)-1].Count("inbox"); got != s.total {
+		return SyncPoint{}, fmt.Errorf("bench: chain tail holds %d of %d announcements", got, s.total)
+	}
+	stats := s.rt.Stats()
+	wire, prevWire := stats.Totals(), s.last.Totals()
+	p := SyncPoint{
+		Fresh:        fresh,
+		Delivered:    stats.TuplesDelivered() - s.last.TuplesDelivered(),
+		Scanned:      stats.ScannedTuples - s.last.ScannedTuples,
+		Duration:     elapsed,
+		WireMessages: wire.MessagesSent - prevWire.MessagesSent,
+		WireBytes:    wire.BytesSent - prevWire.BytesSent,
+	}
+	s.last = stats
+	return p, nil
+}
+
+// Close releases the workload's transport.
+func (s *IncrementalSync) Close() error { return s.tr.Close() }
+
+// RunIncrementalSync ships base announcements down a chain of the given
+// length, then measures a Sync carrying only fresh new announcements.
+// With the delta-driven pump the incremental Sync's Scanned count tracks
+// fresh (times the hop count), not base.
+func RunIncrementalSync(kind TransportKind, principals, base, fresh int) (IncrementalSyncResult, error) {
+	s, setup, err := NewIncrementalSync(kind, principals, base)
+	if err != nil {
+		return IncrementalSyncResult{}, err
+	}
+	defer s.Close()
+	incr, err := s.Sync(fresh)
+	if err != nil {
+		return IncrementalSyncResult{}, err
+	}
+	return IncrementalSyncResult{
+		Transport:  kind,
+		Principals: principals,
+		Base:       base,
+		Fresh:      fresh,
+		Setup:      *setup,
+		Incr:       incr,
+	}, nil
+}

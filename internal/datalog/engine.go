@@ -31,6 +31,11 @@ type Evaluator struct {
 	Builtins *BuiltinSet
 	// Trace, when set, observes every derivation for provenance capture.
 	Trace TraceFunc
+	// OnNew, when set, observes every tuple newly inserted into DB by
+	// evaluation (derived tuples only; base assertions go through the
+	// caller). The workspace uses it to expose per-flush deltas to flush
+	// observers without rescanning relations.
+	OnNew func(pred string, t Tuple)
 	// Naive disables the semi-naive delta optimization: every iteration
 	// re-evaluates all rules against the full database. It exists for the
 	// ablation benchmarks; leave it false otherwise.
@@ -268,6 +273,9 @@ func (ev *Evaluator) runStratum(s int, seed map[string]*Relation) error {
 				newDelta[pred] = d
 			}
 			d.Insert(t)
+			if ev.OnNew != nil {
+				ev.OnNew(pred, t)
+			}
 			if ev.Trace != nil {
 				ev.Trace(pred, t, cr.src, premises)
 			}

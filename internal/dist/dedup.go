@@ -1,0 +1,144 @@
+package dist
+
+import "sort"
+
+// DefaultShippedCap bounds the runtime's shipped-tuple suppression set.
+// One record is kept per shipped (sender, target, pred, tuple) route, so
+// the cap should exceed the number of distinct live tuples the runtime is
+// expected to keep suppressed at once; past it, the oldest generations
+// are evicted.
+const DefaultShippedCap = 1 << 20
+
+// shipRecord is one suppressed route: which sender shipped (or
+// unroutably refused) a tuple to which target, and in which generation
+// the record was last useful.
+type shipRecord struct {
+	sender string
+	target string
+	gen    uint64
+}
+
+// shippedSet suppresses re-shipping tuples that already went out on a
+// route. Unlike the process-lifetime map it replaces, it is bounded:
+// every record carries the generation (bumped once per Sync) in which it
+// was last added or consulted, and when the set grows past its cap,
+// whole oldest generations are evicted until it is back under 3/4 of the
+// cap. Evicting a record is always safe — receivers apply deliveries
+// idempotently — it merely costs a duplicate shipment if the tuple is
+// ever rescanned. Callers synchronize access (the runtime holds rt.mu).
+type shippedSet struct {
+	cap     int
+	gen     uint64
+	records map[string]shipRecord // ship key -> record
+	// evictedTargets names targets that lost records to eviction: for
+	// those, resetTarget's sender list is incomplete and callers must
+	// rescan more broadly. Bounded by the number of principals.
+	evictedTargets map[string]struct{}
+	// stuckGen marks a generation in which evict() could make no
+	// progress (the current generation alone exceeds the cap); further
+	// evictions are pointless until the generation advances.
+	stuckGen uint64
+	stuck    bool
+}
+
+func newShippedSet(cap int) *shippedSet {
+	if cap <= 0 {
+		cap = DefaultShippedCap
+	}
+	return &shippedSet{cap: cap, records: map[string]shipRecord{}, evictedTargets: map[string]struct{}{}}
+}
+
+// bump opens a new generation; Sync calls it once per invocation so
+// eviction age tracks protocol activity, not wall-clock time.
+func (s *shippedSet) bump() {
+	s.gen++
+	s.stuck = false
+}
+
+// len reports the number of live records.
+func (s *shippedSet) len() int { return len(s.records) }
+
+// seen reports whether the key is suppressed, refreshing its generation
+// on a hit so actively consulted records survive eviction.
+func (s *shippedSet) seen(key string) bool {
+	r, ok := s.records[key]
+	if ok && r.gen != s.gen {
+		r.gen = s.gen
+		s.records[key] = r
+	}
+	return ok
+}
+
+// add records a shipped (or unroutably refused) tuple and evicts old
+// generations if the cap is exceeded. When the current generation alone
+// exceeds the cap, eviction cannot progress; the attempt is skipped
+// until the next generation so a huge single Sync stays O(n), not
+// O(n^2).
+func (s *shippedSet) add(key, sender, target string) {
+	s.records[key] = shipRecord{sender: sender, target: target, gen: s.gen}
+	if len(s.records) > s.cap && !(s.stuck && s.stuckGen == s.gen) {
+		before := len(s.records)
+		s.evict()
+		if len(s.records) == before {
+			s.stuck, s.stuckGen = true, s.gen
+		}
+	}
+}
+
+// evict drops whole generations, oldest first, until the set holds at
+// most 3/4 of the cap (hysteresis, so eviction cost is amortized over
+// many adds). The current generation is never dropped — records added or
+// refreshed this Sync are the ones most likely still suppressing live
+// rescans — so the set can transiently exceed the cap if one Sync alone
+// ships more distinct tuples than the cap allows.
+func (s *shippedSet) evict() {
+	target := s.cap * 3 / 4
+	counts := map[uint64]int{}
+	for _, r := range s.records {
+		counts[r.gen]++
+	}
+	gens := make([]uint64, 0, len(counts))
+	for g := range counts {
+		gens = append(gens, g)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	drop := map[uint64]bool{}
+	n := len(s.records)
+	for _, g := range gens {
+		if n <= target || g == s.gen {
+			break
+		}
+		drop[g] = true
+		n -= counts[g]
+	}
+	for k, r := range s.records {
+		if drop[r.gen] {
+			s.evictedTargets[r.target] = struct{}{}
+			delete(s.records, k)
+		}
+	}
+}
+
+// resetTarget forgets every record addressed to the target principal and
+// returns the (sorted, distinct) senders whose shipments were forgotten.
+// lossy reports that eviction previously dropped records for this target,
+// in which case the sender list is incomplete and the caller must rescan
+// more broadly; the reset clears that mark, since the target's history
+// restarts from nothing either way.
+func (s *shippedSet) resetTarget(target string) (senders []string, lossy bool) {
+	_, lossy = s.evictedTargets[target]
+	delete(s.evictedTargets, target)
+	set := map[string]struct{}{}
+	for k, r := range s.records {
+		if r.target != target {
+			continue
+		}
+		delete(s.records, k)
+		set[r.sender] = struct{}{}
+	}
+	for sd := range set {
+		senders = append(senders, sd)
+	}
+	sort.Strings(senders)
+	return senders, lossy
+}

@@ -4,18 +4,27 @@
 // of a partitioned relation to the node that hosts the target partition.
 //
 // A Runtime owns named Nodes, each bound to a Transport endpoint, and
-// places principal workspaces on nodes. Sync pumps rounds of deliveries:
-// every round it scans workspaces whose contents changed, collects fresh
-// tuples of the partitioned source predicates (export[U](...) under the
-// default delivery map), routes each tuple to the principal named by its
-// partition column, and applies it to the receiving workspace under the
-// mapped destination predicate (import). Receivers that reject a delivery
-// (a constraint violation — a bad signature, an unauthorized write, an
-// exceeded delegation bound) roll the tuple back; the rejection is
-// recorded on the receiving node rather than failing the Sync, because a
-// peer refusing a statement is protocol behavior, not an error of the
-// runtime. Rounds repeat until no tuple moves (multi-hop protocols need
-// one round per hop) or the round cap is hit.
+// places principal workspaces on nodes. Sync pumps rounds of deliveries
+// incrementally: workspace flushes hand the runtime the per-predicate
+// delta of each change (see workspace.FlushDelta), pending fresh tuples
+// accumulate per sender, and a pump round routes exactly those tuples to
+// the principal named by each tuple's partition column, applying them to
+// the receiving workspace under the mapped destination predicate (export
+// tuples arrive as import tuples under the default delivery map). A
+// round's cost is therefore proportional to the number of fresh tuples,
+// not to the total size of the partitioned relations; only events that
+// invalidate incremental state (initial placement, a retraction that
+// rebuilt derived facts, ResetDeliveries) fall back to a full rescan of
+// one sender's partitioned predicates, with the bounded shipped-tuple
+// set suppressing re-shipment of everything already delivered.
+//
+// Receivers that reject a delivery (a constraint violation — a bad
+// signature, an unauthorized write, an exceeded delegation bound) roll
+// the tuple back; the rejection is recorded on the receiving node rather
+// than failing the Sync, because a peer refusing a statement is protocol
+// behavior, not an error of the runtime. Rounds repeat until no tuple
+// moves (multi-hop protocols need one round per hop) or the round cap is
+// hit.
 //
 // The wire layer is pluggable (see Transport): MemNetwork runs the
 // protocol in-process, TCPNetwork runs the identical protocol over
@@ -25,7 +34,6 @@ package dist
 import (
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 
 	"lbtrust/internal/datalog"
@@ -42,12 +50,31 @@ type Runtime struct {
 	wss       map[string]*workspace.Workspace   // principal -> workspace
 	hooked    map[*workspace.Workspace]struct{} // flush hook installed
 	delivery  map[string]string                 // source pred -> destination pred
-	attempted map[string]string                 // shipped (or refused) tuple key -> target principal
+	shipped   *shippedSet                       // bounded shipped-tuple suppression
+	// parked records, per unplaced target principal, the senders that hold
+	// deliveries for it. No tuples are buffered: placing the target
+	// rescans those senders, so only what a sender still asserts at
+	// placement time ships — a statement retracted while the target was
+	// unplaced is never delivered.
+	parked map[string]map[string]struct{}
+	// parkedKey maps the ship key of a tuple refused for an unplaced
+	// target to that target, so rescans while the target is still absent
+	// do not re-reject the tuple, and placement can clear the keys. It is
+	// bounded by parkedCap; past the cap, refusals are recorded once per
+	// sender/target pair instead of once per tuple.
+	parkedKey map[string]string
+	parkedCap int
 	syncs     int64
 	rounds    int64
+	failures  int64 // envelope sends that returned an error
+	delta     int64 // fresh tuples accepted from flush deltas
+	scanned   int64 // tuples examined by pump rounds (deltas + rescans)
+	suppress  int64 // tuples skipped by the shipped set
 
 	dirtyMu sync.Mutex
-	dirty   map[string]struct{} // principals with unscanned changes
+	dirty   map[string]struct{}                   // principals with unpumped changes
+	pending map[string]map[string][]datalog.Tuple // principal -> source pred -> fresh tuples
+	rescan  map[string]struct{}                   // principals needing a full rescan
 }
 
 // NewRuntime creates an empty runtime with no delivery mappings.
@@ -58,10 +85,54 @@ func NewRuntime() *Runtime {
 		wss:       map[string]*workspace.Workspace{},
 		hooked:    map[*workspace.Workspace]struct{}{},
 		delivery:  map[string]string{},
-		attempted: map[string]string{},
+		shipped:   newShippedSet(DefaultShippedCap),
+		parked:    map[string]map[string]struct{}{},
+		parkedKey: map[string]string{},
+		parkedCap: DefaultParkedCap,
 		dirty:     map[string]struct{}{},
+		pending:   map[string]map[string][]datalog.Tuple{},
+		rescan:    map[string]struct{}{},
 	}
 }
+
+// DefaultParkedCap bounds the per-tuple refusal-dedup keys kept for
+// not-yet-placed target principals. Beyond it, refusals are recorded
+// once per sender/target pair instead of once per tuple; deliveries are
+// unaffected either way, since placement rescans the waiting senders.
+const DefaultParkedCap = 1 << 16
+
+// SetShippedCap bounds the shipped-tuple suppression set (default
+// DefaultShippedCap; non-positive values reset to the default). Past the
+// cap, records from the oldest Sync generations are evicted; an evicted
+// tuple costs at most a duplicate (idempotently applied) shipment on a
+// later rescan, never a lost delivery.
+func (rt *Runtime) SetShippedCap(n int) {
+	if n <= 0 {
+		n = DefaultShippedCap
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.shipped.cap = n
+	if rt.shipped.len() > n {
+		rt.shipped.evict()
+	}
+}
+
+// SetParkedCap bounds the parked refusal-dedup keys (default
+// DefaultParkedCap; non-positive values reset to the default). Beyond
+// the cap, refusals for unplaced targets deduplicate per sender/target
+// pair instead of per tuple; no delivery is affected.
+func (rt *Runtime) SetParkedCap(n int) {
+	if n <= 0 {
+		n = DefaultParkedCap
+	}
+	rt.mu.Lock()
+	rt.parkedCap = n
+	rt.mu.Unlock()
+}
+
+// parkedLen counts parked tuples. Caller holds rt.mu.
+func (rt *Runtime) parkedLen() int { return len(rt.parkedKey) }
 
 // AddNode registers a node bound to a transport endpoint and installs the
 // runtime as the endpoint's receiver. Re-adding a name returns the
@@ -98,10 +169,25 @@ func (rt *Runtime) Nodes() []string {
 // destination predicate at the receiver. The paper's protocol maps export
 // to import: outbound derivation stays acyclic with inbound consumption.
 // Several mappings may be installed; each is pumped independently.
+// Installing a new mapping — or remapping a source to a different
+// destination — after data exists triggers a rescan of every placed
+// principal: earlier flush deltas did not retain a newly mapped
+// predicate, and ship keys include the destination, so a remap
+// re-delivers existing tuples under the new destination.
 func (rt *Runtime) SetDeliveryMap(src, dst string) {
 	rt.mu.Lock()
+	old, known := rt.delivery[src]
 	rt.delivery[src] = dst
+	var placed []string
+	if !known || old != dst {
+		for p := range rt.placement {
+			placed = append(placed, p)
+		}
+	}
 	rt.mu.Unlock()
+	for _, p := range placed {
+		rt.markRescan(p)
+	}
 }
 
 // Placement returns the node hosting a principal.
@@ -113,8 +199,9 @@ func (rt *Runtime) Placement(principal string) (*Node, bool) {
 }
 
 // place records that a workspace lives on a node (moving it if it was
-// placed elsewhere) and hooks workspace flushes to the dirty set so Sync
-// only scans changed workspaces.
+// placed elsewhere), hooks workspace flushes so their deltas accumulate
+// on the runtime, requeues deliveries that were parked waiting for this
+// principal, and schedules an initial rescan of the workspace.
 func (rt *Runtime) place(ws *workspace.Workspace, n *Node) {
 	name := string(ws.Principal())
 	rt.mu.Lock()
@@ -124,40 +211,131 @@ func (rt *Runtime) place(ws *workspace.Workspace, n *Node) {
 	if !hooked {
 		rt.hooked[ws] = struct{}{}
 	}
+	// Deliveries addressed to this principal before it was placed were
+	// refused, not marked shipped: rescan their senders so everything they
+	// still assert for this principal ships now. Rescanning (rather than
+	// replaying buffered tuples) means a statement retracted while the
+	// target was unplaced is never delivered.
+	waiting := rt.parked[name]
+	delete(rt.parked, name)
+	for key, target := range rt.parkedKey {
+		if target == name {
+			delete(rt.parkedKey, key)
+		}
+	}
 	rt.mu.Unlock()
 	if !hooked {
-		ws.AddOnFlush(func() { rt.markDirty(name) })
+		ws.AddOnFlush(func(d workspace.FlushDelta) { rt.noteFlush(name, d) })
 	}
-	rt.markDirty(name)
+	rt.dirtyMu.Lock()
+	for sender := range waiting {
+		rt.rescan[sender] = struct{}{}
+		rt.dirty[sender] = struct{}{}
+	}
+	rt.rescan[name] = struct{}{}
+	rt.dirty[name] = struct{}{}
+	rt.dirtyMu.Unlock()
 }
 
-func (rt *Runtime) markDirty(principal string) {
+// enqueueLocked appends one fresh tuple to a sender's pending set and
+// marks the sender dirty. Caller holds dirtyMu.
+func (rt *Runtime) enqueueLocked(sender, pred string, tuple datalog.Tuple) {
+	m := rt.pending[sender]
+	if m == nil {
+		m = map[string][]datalog.Tuple{}
+		rt.pending[sender] = m
+	}
+	m[pred] = append(m[pred], tuple)
+	rt.dirty[sender] = struct{}{}
+}
+
+// noteFlush receives one workspace flush delta: fresh tuples of mapped
+// source predicates accumulate as pending work; a rebuild (retraction)
+// invalidates incremental state and schedules a rescan instead, as does
+// a mapped predicate becoming partitioned (its pre-declaration facts
+// never appeared in a delta as shippable).
+func (rt *Runtime) noteFlush(principal string, d workspace.FlushDelta) {
+	if d.Rebuilt {
+		rt.markRescan(principal)
+		return
+	}
+	rt.mu.Lock()
+	rescan := false
+	for _, pred := range d.NewlyPartitioned {
+		if _, mapped := rt.delivery[pred]; mapped {
+			rescan = true
+			break
+		}
+	}
+	var fresh map[string][]datalog.Tuple
+	if !rescan {
+		for src := range rt.delivery {
+			if tuples := d.Changed[src]; len(tuples) > 0 {
+				if fresh == nil {
+					fresh = map[string][]datalog.Tuple{}
+				}
+				fresh[src] = tuples
+				rt.delta += int64(len(tuples))
+			}
+		}
+	}
+	rt.mu.Unlock()
+	if rescan {
+		rt.markRescan(principal)
+		return
+	}
+	if fresh == nil {
+		return // nothing outbound changed; the principal stays clean
+	}
 	rt.dirtyMu.Lock()
+	for pred, tuples := range fresh {
+		for _, t := range tuples {
+			rt.enqueueLocked(principal, pred, t)
+		}
+	}
+	rt.dirtyMu.Unlock()
+}
+
+// markRescan schedules a full partitioned-predicate scan of a principal
+// on the next pump (superseding any pending delta, which the scan
+// covers).
+func (rt *Runtime) markRescan(principal string) {
+	rt.dirtyMu.Lock()
+	rt.rescan[principal] = struct{}{}
+	delete(rt.pending, principal)
 	rt.dirty[principal] = struct{}{}
 	rt.dirtyMu.Unlock()
 }
 
-// takeDirty snapshots and clears the dirty set, sorted for determinism.
-func (rt *Runtime) takeDirty() []string {
+// takeWork snapshots and clears the dirty set with its pending deltas and
+// rescan flags. Dirty principals are sorted for determinism.
+func (rt *Runtime) takeWork() ([]string, map[string]map[string][]datalog.Tuple, map[string]struct{}) {
 	rt.dirtyMu.Lock()
 	out := make([]string, 0, len(rt.dirty))
 	for p := range rt.dirty {
 		out = append(out, p)
 	}
+	pending, rescan := rt.pending, rt.rescan
 	rt.dirty = map[string]struct{}{}
+	rt.pending = map[string]map[string][]datalog.Tuple{}
+	rt.rescan = map[string]struct{}{}
 	rt.dirtyMu.Unlock()
 	sort.Strings(out)
-	return out
+	return out, pending, rescan
 }
 
 // Sync pumps delivery rounds until no tuple moves. It returns an error if
 // tuples are still moving after maxRounds delivery rounds (a hint of a
 // non-terminating protocol) or on a transport failure. A protocol that
 // quiesces in exactly maxRounds moving rounds succeeds: the cap counts
-// rounds that moved tuples, not the final confirming round.
+// rounds that moved tuples, not the final confirming round. On a
+// transport failure, envelopes sent before the failing one stay
+// delivered (the round is counted, Stats().SendFailures records the
+// failure) and the unsent tuples are requeued for the next Sync.
 func (rt *Runtime) Sync(maxRounds int) error {
 	rt.mu.Lock()
 	rt.syncs++
+	rt.shipped.bump()
 	rt.mu.Unlock()
 	for moving := 0; ; {
 		moved, err := rt.pump()
@@ -174,15 +352,37 @@ func (rt *Runtime) Sync(maxRounds int) error {
 	}
 }
 
-// routeKey identifies one delivery batch.
+// routeKey identifies one delivery batch. The source predicate is part
+// of the key (even though the envelope only carries the destination
+// predicate) so that a failed send can requeue each tuple under the
+// predicate it actually came from when several delivery mappings share a
+// destination.
 type routeKey struct {
-	sender, target, pred string
+	sender, target, src, dst string
 }
 
-// pump runs one delivery round: scan changed workspaces, collect fresh
-// outbound tuples, ship them. It reports whether anything moved.
+// shipKey identifies one outbound tuple for suppression and parking. The
+// destination predicate is part of the key so that remapping a source
+// predicate to a new destination re-ships existing tuples there. It
+// takes the tuple's canonical key (not the tuple) so pump can encode
+// each tuple exactly once.
+func shipKey(sender, src, dst, tupleKey string) string {
+	return sender + "\x00" + src + "\x00" + dst + "\x00" + tupleKey
+}
+
+// keyedTuple pairs a tuple with its canonical key, computed once per
+// pump examination.
+type keyedTuple struct {
+	key   string
+	tuple datalog.Tuple
+}
+
+// pump runs one delivery round: take the accumulated fresh tuples of
+// dirty senders (or rescan senders whose incremental state was
+// invalidated), route them, ship them. It reports whether anything
+// moved. Cost is O(fresh tuples), not O(total facts).
 func (rt *Runtime) pump() (bool, error) {
-	dirty := rt.takeDirty()
+	dirty, pending, rescan := rt.takeWork()
 	if len(dirty) == 0 {
 		return false, nil
 	}
@@ -200,6 +400,7 @@ func (rt *Runtime) pump() (bool, error) {
 	batches := map[routeKey]*Envelope{}
 	srcNodes := map[routeKey]*Node{}
 	keys := map[routeKey][]string{}
+	queued := map[string]struct{}{} // keys batched in this round
 	for _, sender := range dirty {
 		ws := rt.wss[sender]
 		srcNode := rt.placement[sender]
@@ -210,32 +411,80 @@ func (rt *Runtime) pump() (bool, error) {
 		for _, p := range ws.PartitionedPredicates() {
 			partitioned[p] = true
 		}
+		_, full := rescan[sender]
 		for _, srcPred := range srcPreds {
 			if !partitioned[srcPred] {
 				continue
 			}
 			dstPred := rt.delivery[srcPred]
-			for _, tuple := range ws.Facts(srcPred) {
-				key := sender + "\x00" + srcPred + "\x00" + tuple.Key()
-				if _, seen := rt.attempted[key]; seen {
+			var raw []datalog.Tuple
+			if full {
+				raw = ws.Facts(srcPred)
+			} else {
+				raw = pending[sender][srcPred]
+			}
+			tuples := make([]keyedTuple, len(raw))
+			for i, t := range raw {
+				tuples[i] = keyedTuple{key: t.Key(), tuple: t}
+			}
+			if !full {
+				// Facts scans come out sorted; sort deltas the same way so
+				// envelope contents are deterministic either way.
+				sort.Slice(tuples, func(i, j int) bool { return tuples[i].key < tuples[j].key })
+			}
+			for _, kt := range tuples {
+				tuple := kt.tuple
+				rt.scanned++
+				key := shipKey(sender, srcPred, dstPred, kt.key)
+				if _, dup := queued[key]; dup {
+					continue
+				}
+				if _, waiting := rt.parkedKey[key]; waiting {
+					// Already parked for an unplaced target; placement will
+					// requeue it.
+					continue
+				}
+				if rt.shipped.seen(key) {
+					rt.suppress++
 					continue
 				}
 				target, ok := tuple[0].(datalog.Sym)
 				if !ok {
-					// Unroutable: never retryable, mark attempted now.
-					rt.attempted[key] = ""
+					// Unroutable: never retryable, suppress it for good.
+					rt.shipped.add(key, sender, "")
 					srcNode.reject(Rejection{Node: srcNode.name, Sender: sender, Pred: srcPred, Tuple: tuple,
 						Err: fmt.Errorf("dist: partition column of %s%s is not a principal symbol", srcPred, tuple)})
 					continue
 				}
 				dstNode, ok := rt.placement[string(target)]
 				if !ok {
-					rt.attempted[key] = string(target)
-					srcNode.reject(Rejection{Node: srcNode.name, Sender: sender, Target: string(target), Pred: srcPred, Tuple: tuple,
-						Err: fmt.Errorf("dist: principal %s is not placed on any node", target)})
+					// The target is not placed yet. Remember the sender —
+					// without marking the tuple shipped — so placing the
+					// principal later rescans the sender and delivers
+					// whatever it still asserts, and record the refusal:
+					// once per tuple while the dedup keys fit the parked
+					// cap, once per sender/target pair past it, so repeated
+					// rescans cannot grow the rejection log without bound.
+					waiting := rt.parked[string(target)]
+					senderKnown := waiting != nil
+					if !senderKnown {
+						waiting = map[string]struct{}{}
+						rt.parked[string(target)] = waiting
+					}
+					_, senderKnown = waiting[sender]
+					waiting[sender] = struct{}{}
+					recorded := false
+					if len(rt.parkedKey) < rt.parkedCap {
+						rt.parkedKey[key] = string(target)
+						recorded = true
+					}
+					if recorded || !senderKnown {
+						srcNode.reject(Rejection{Node: srcNode.name, Sender: sender, Target: string(target), Pred: srcPred, Tuple: tuple,
+							Err: fmt.Errorf("dist: principal %s is not placed on any node", target)})
+					}
 					continue
 				}
-				rk := routeKey{sender: sender, target: string(target), pred: dstPred}
+				rk := routeKey{sender: sender, target: string(target), src: srcPred, dst: dstPred}
 				env, ok := batches[rk]
 				if !ok {
 					env = &Envelope{
@@ -251,6 +500,7 @@ func (rt *Runtime) pump() (bool, error) {
 				}
 				env.Tuples = append(env.Tuples, tuple)
 				keys[rk] = append(keys[rk], key)
+				queued[key] = struct{}{}
 			}
 		}
 	}
@@ -263,12 +513,20 @@ func (rt *Runtime) pump() (bool, error) {
 	for i, rk := range order {
 		env := batches[rk]
 		if err := srcNodes[rk].ep.Send(env.To, env); err != nil {
-			// Nothing from this envelope on was marked attempted; re-dirty
-			// the affected senders so a later Sync retries the deliveries
+			// Envelopes sent before this one stay delivered and the round
+			// stays counted; the failed envelope and everything after it was
+			// not marked shipped, so requeue those tuples for the next Sync
 			// instead of silently dropping them.
+			rt.mu.Lock()
+			rt.failures++
+			rt.mu.Unlock()
+			rt.dirtyMu.Lock()
 			for _, failed := range order[i:] {
-				rt.markDirty(batches[failed].Sender)
+				for _, t := range batches[failed].Tuples {
+					rt.enqueueLocked(failed.sender, failed.src, t)
+				}
 			}
+			rt.dirtyMu.Unlock()
 			return true, fmt.Errorf("dist: %s -> %s: %w", env.From, env.To, err)
 		}
 		rt.mu.Lock()
@@ -278,7 +536,7 @@ func (rt *Runtime) pump() (bool, error) {
 			counted = true
 		}
 		for _, key := range keys[rk] {
-			rt.attempted[key] = rk.target
+			rt.shipped.add(key, rk.sender, rk.target)
 		}
 		rt.mu.Unlock()
 	}
@@ -326,34 +584,43 @@ func (rt *Runtime) deliver(n *Node, env *Envelope) error {
 }
 
 // ResetDeliveries forgets that tuples addressed to the given principal
-// were ever shipped, and re-dirties their senders, so the next Sync
-// re-delivers them. A receiver that clears its communication history
-// (core's ForgetCommunication) calls this: without it, byte-identical
-// re-exports — same scheme, same signature — would be suppressed by the
-// shipped-tuple set forever.
+// were ever shipped, and schedules a rescan of their senders, so the
+// next Sync re-delivers them. A receiver that clears its communication
+// history (core's ForgetCommunication) calls this: without it,
+// byte-identical re-exports — same scheme, same signature — would be
+// suppressed by the shipped-tuple set forever. While the target's
+// shipping history is intact, its records name the exact senders to
+// rescan; if eviction dropped records for this target, every placed
+// principal is rescanned instead, so an evicted record can degrade a
+// reset to a broader rescan but never to a lost re-delivery.
 func (rt *Runtime) ResetDeliveries(target string) {
 	rt.mu.Lock()
-	var senders []string
-	for key, tgt := range rt.attempted {
-		if tgt != target {
-			continue
-		}
-		delete(rt.attempted, key)
-		// The key is sender \x00 pred \x00 tuple-key.
-		if i := strings.IndexByte(key, 0); i > 0 {
-			senders = append(senders, key[:i])
+	senders, lossy := rt.shipped.resetTarget(target)
+	if lossy {
+		senders = senders[:0]
+		for p := range rt.placement {
+			senders = append(senders, p)
 		}
 	}
 	rt.mu.Unlock()
 	for _, s := range senders {
-		rt.markDirty(s)
+		rt.markRescan(s)
 	}
 }
 
 // Stats snapshots the runtime's counters and per-node transfer totals.
 func (rt *Runtime) Stats() Stats {
 	rt.mu.Lock()
-	s := Stats{Syncs: rt.syncs, Rounds: rt.rounds}
+	s := Stats{
+		Syncs:            rt.syncs,
+		Rounds:           rt.rounds,
+		SendFailures:     rt.failures,
+		DeltaTuples:      rt.delta,
+		ScannedTuples:    rt.scanned,
+		SuppressedTuples: rt.suppress,
+		ShippedRecords:   rt.shipped.len(),
+		ParkedRecords:    rt.parkedLen(),
+	}
 	nodes := make([]*Node, 0, len(rt.nodeOrder))
 	for _, name := range rt.nodeOrder {
 		nodes = append(nodes, rt.nodes[name])

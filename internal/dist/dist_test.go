@@ -1,8 +1,11 @@
 package dist
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"lbtrust/internal/datalog"
 	"lbtrust/internal/workspace"
@@ -354,5 +357,543 @@ func TestSyncRoundCap(t *testing.T) {
 	err := rt.Sync(5)
 	if err == nil || !strings.Contains(err.Error(), "quiesce") {
 		t.Fatalf("unbounded protocol must hit the round cap, got %v", err)
+	}
+}
+
+func TestLatePlacementStillDelivers(t *testing.T) {
+	// Regression: a tuple whose target principal is not yet placed used to
+	// be marked attempted when it was rejected, so placing the principal
+	// later never delivered it. It must instead stay parked and arrive
+	// once the target is placed.
+	net := NewMemNetwork()
+	rt := NewRuntime()
+	rt.SetDeliveryMap("box", "inbox")
+	alice := newWS(t, "alice", "alice", "bob")
+	ep1, _ := net.Endpoint("n1")
+	n1 := rt.AddNode("n1", ep1)
+	n1.AddPrincipal(alice)
+
+	send(t, alice, "box[bob](alice, early)")
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("sync before placement: %v", err)
+	}
+	if rej := n1.Rejected(); len(rej) != 1 || rej[0].Target != "bob" {
+		t.Fatalf("unplaced target must be refused at the source, got %v", rej)
+	}
+
+	// Now bob shows up.
+	bob := newWS(t, "bob", "alice", "bob")
+	ep2, _ := net.Endpoint("n2")
+	rt.AddNode("n2", ep2).AddPrincipal(bob)
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("sync after placement: %v", err)
+	}
+	want := datalog.Tuple{datalog.Sym("bob"), datalog.Sym("alice"), datalog.Sym("early")}
+	if got := bob.Facts("inbox"); len(got) != 1 || !got[0].Equal(want) {
+		t.Fatalf("late-placed bob inbox = %v, want [%v]", got, want)
+	}
+	// The parked tuple was rejected exactly once, not once per sync.
+	if rej := n1.Rejected(); len(rej) != 1 {
+		t.Errorf("parked tuple re-rejected: %d records", len(rej))
+	}
+}
+
+func TestLatePlacementDoesNotRerejectWhileWaiting(t *testing.T) {
+	net := NewMemNetwork()
+	rt := NewRuntime()
+	rt.SetDeliveryMap("box", "inbox")
+	alice := newWS(t, "alice", "alice", "bob")
+	ep1, _ := net.Endpoint("n1")
+	n1 := rt.AddNode("n1", ep1)
+	n1.AddPrincipal(alice)
+	send(t, alice, "box[bob](alice, early)")
+	for i := 0; i < 3; i++ {
+		if err := rt.Sync(10); err != nil {
+			t.Fatalf("sync %d: %v", i, err)
+		}
+		// New unrelated traffic re-dirties alice so pump really runs.
+		send(t, alice, fmt.Sprintf("prin(p%d)", i))
+	}
+	if rej := n1.Rejected(); len(rej) != 1 {
+		t.Errorf("waiting tuple rejected %d times, want once", len(rej))
+	}
+}
+
+// flakyTransport wraps a Transport and fails the Nth Send (1-based)
+// observed across all its endpoints, then recovers.
+type flakyTransport struct {
+	Transport
+	mu     sync.Mutex
+	n      int
+	failAt int
+}
+
+func (f *flakyTransport) Endpoint(name string) (Endpoint, error) {
+	ep, err := f.Transport.Endpoint(name)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyEndpoint{Endpoint: ep, f: f}, nil
+}
+
+type flakyEndpoint struct {
+	Endpoint
+	f *flakyTransport
+}
+
+func (ep *flakyEndpoint) Send(to string, env *Envelope) error {
+	ep.f.mu.Lock()
+	ep.f.n++
+	fail := ep.f.n == ep.f.failAt
+	ep.f.mu.Unlock()
+	if fail {
+		return fmt.Errorf("injected failure")
+	}
+	return ep.Endpoint.Send(to, env)
+}
+
+func TestPartialRoundFailureCountsAndRetries(t *testing.T) {
+	// alice ships to both bob and carol in one round (two envelopes); the
+	// second send fails. The round must still be counted, the failure
+	// recorded in stats, bob's delivery kept, and carol's tuples retried
+	// (not lost, not duplicated) on the next Sync.
+	tr := &flakyTransport{Transport: NewMemNetwork(), failAt: 2}
+	rt := NewRuntime()
+	rt.SetDeliveryMap("box", "inbox")
+	all := []string{"alice", "bob", "carol"}
+	wss := map[string]*workspace.Workspace{}
+	for i, name := range all {
+		wss[name] = newWS(t, name, all...)
+		ep, err := tr.Endpoint("n" + string(rune('1'+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.AddNode("n"+string(rune('1'+i)), ep).AddPrincipal(wss[name])
+	}
+	send(t, wss["alice"], "box[bob](alice, m1)")
+	send(t, wss["alice"], "box[carol](alice, m2)")
+
+	err := rt.Sync(10)
+	if err == nil || !strings.Contains(err.Error(), "injected failure") {
+		t.Fatalf("sync must surface the transport failure, got %v", err)
+	}
+	stats := rt.Stats()
+	if stats.Rounds != 1 {
+		t.Errorf("partially completed round not counted: rounds=%d, want 1", stats.Rounds)
+	}
+	if stats.SendFailures != 1 {
+		t.Errorf("send failures = %d, want 1", stats.SendFailures)
+	}
+	if got := wss["bob"].Facts("inbox"); len(got) != 1 {
+		t.Errorf("bob's delivery (sent before the failure) lost: %v", got)
+	}
+	if got := wss["carol"].Facts("inbox"); len(got) != 0 {
+		t.Errorf("carol received despite the failed send: %v", got)
+	}
+
+	// The transport has recovered; the requeued tuple goes through.
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("retry sync: %v", err)
+	}
+	wantCarol := datalog.Tuple{datalog.Sym("carol"), datalog.Sym("alice"), datalog.Sym("m2")}
+	if got := wss["carol"].Facts("inbox"); len(got) != 1 || !got[0].Equal(wantCarol) {
+		t.Errorf("carol inbox after retry = %v, want [%v]", got, wantCarol)
+	}
+	if got := wss["bob"].Facts("inbox"); len(got) != 1 {
+		t.Errorf("bob's tuple duplicated or lost on retry: %v", got)
+	}
+	if s := rt.Stats(); s.Rounds != 2 || s.SendFailures != 1 {
+		t.Errorf("after retry rounds=%d sendfail=%d, want 2 and 1", s.Rounds, s.SendFailures)
+	}
+}
+
+func TestPumpScalesWithFreshTuplesNotTotalFacts(t *testing.T) {
+	// The acceptance criterion of the delta-driven sync: after a large
+	// synced workload, a Sync carrying one new export must not rescan the
+	// whole relation.
+	const total = 2000
+	rt, alice, bob := buildTwoNode(t, NewMemNetwork())
+	if err := alice.Update(func(tx *workspace.Tx) error {
+		for i := 0; i < total; i++ {
+			if err := tx.Assert(fmt.Sprintf("box[bob](alice, m%d)", i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("bulk sync: %v", err)
+	}
+	if got := bob.Count("inbox"); got != total {
+		t.Fatalf("bob imported %d of %d", got, total)
+	}
+	before := rt.Stats()
+
+	send(t, alice, "box[bob](alice, fresh)")
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("incremental sync: %v", err)
+	}
+	after := rt.Stats()
+	if got := bob.Count("inbox"); got != total+1 {
+		t.Fatalf("fresh tuple not delivered: bob has %d", got)
+	}
+	scanned := after.ScannedTuples - before.ScannedTuples
+	if scanned >= total {
+		t.Errorf("incremental sync scanned %d tuples; want O(fresh), not O(%d total)", scanned, total)
+	}
+	if scanned < 1 || scanned > 16 {
+		t.Errorf("incremental sync scanned %d tuples, want a small number around 1", scanned)
+	}
+	if after.SuppressedTuples != before.SuppressedTuples {
+		t.Errorf("incremental sync consulted the shipped set %d times; deltas should not need suppression",
+			after.SuppressedTuples-before.SuppressedTuples)
+	}
+}
+
+func TestShippedSetCapEviction(t *testing.T) {
+	// With a tiny cap the shipped set must stay bounded, and eviction must
+	// never lose deliveries — at worst a rescan re-sends tuples that the
+	// receiver applies idempotently.
+	rt, alice, bob := buildTwoNode(t, NewMemNetwork())
+	rt.SetShippedCap(8)
+	const total = 50
+	for i := 0; i < total; i++ {
+		send(t, alice, fmt.Sprintf("box[bob](alice, m%d)", i))
+		if err := rt.Sync(10); err != nil {
+			t.Fatalf("sync %d: %v", i, err)
+		}
+	}
+	if got := bob.Count("inbox"); got != total {
+		t.Fatalf("bob imported %d of %d", got, total)
+	}
+	if s := rt.Stats(); s.ShippedRecords > 8 {
+		t.Errorf("shipped set grew to %d records, cap is 8", s.ShippedRecords)
+	}
+	// Force a rescan: most shipped records were evicted, so tuples are
+	// re-sent — but bob must still end with exactly the same relation.
+	rt.ResetDeliveries("bob")
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("post-eviction sync: %v", err)
+	}
+	if got := bob.Count("inbox"); got != total {
+		t.Errorf("idempotent re-delivery changed bob's relation: %d tuples, want %d", got, total)
+	}
+}
+
+func TestShippedSetGenerationRefresh(t *testing.T) {
+	s := newShippedSet(4)
+	s.add("a", "alice", "bob")
+	s.bump()
+	s.add("b", "alice", "bob")
+	s.bump()
+	// Touch "a": its generation refreshes, so it must survive the
+	// eviction that a flood of new records triggers.
+	if !s.seen("a") {
+		t.Fatal("a vanished before eviction")
+	}
+	for i := 0; i < 3; i++ {
+		s.add(fmt.Sprintf("c%d", i), "alice", "bob")
+	}
+	if !s.seen("a") {
+		t.Error("recently consulted record evicted before older ones")
+	}
+	if s.seen("b") {
+		t.Error("oldest untouched record survived eviction past the cap")
+	}
+	if s.len() > 4 {
+		t.Errorf("set holds %d records, cap 4", s.len())
+	}
+}
+
+func TestSyncConcurrentWithResetAndUpdate(t *testing.T) {
+	// The dirty/pending sets and the shipped set are touched by Sync,
+	// ResetDeliveries and workspace Update concurrently; this drives all
+	// three under -race.
+	rt, alice, bob := buildTwoNode(t, NewMemNetwork())
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := alice.Update(func(tx *workspace.Tx) error {
+				return tx.Assert(fmt.Sprintf("box[bob](alice, c%d)", i))
+			}); err != nil {
+				t.Errorf("update: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := rt.Sync(1000); err != nil {
+				t.Errorf("sync: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rt.ResetDeliveries("bob")
+		}
+	}()
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	// Quiesce: after a final sync everything alice asserted must be at bob.
+	if err := rt.Sync(1000); err != nil {
+		t.Fatalf("final sync: %v", err)
+	}
+	if a, b := alice.Count("box"), bob.Count("inbox"); b < a {
+		t.Errorf("bob has %d of alice's %d tuples after quiescing", b, a)
+	}
+}
+
+func TestParkedCapOverflowFallsBackToRescan(t *testing.T) {
+	// With a tiny parked cap, deliveries for an unplaced principal beyond
+	// the cap are not buffered — but placing the principal must still
+	// deliver everything, via a rescan of the overflowed senders.
+	net := NewMemNetwork()
+	rt := NewRuntime()
+	rt.SetDeliveryMap("box", "inbox")
+	rt.SetParkedCap(2)
+	alice := newWS(t, "alice", "alice", "bob")
+	ep1, _ := net.Endpoint("n1")
+	rt.AddNode("n1", ep1).AddPrincipal(alice)
+	const total = 10
+	if err := alice.Update(func(tx *workspace.Tx) error {
+		for i := 0; i < total; i++ {
+			if err := tx.Assert(fmt.Sprintf("box[bob](alice, m%d)", i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("sync before placement: %v", err)
+	}
+	if got := rt.Stats().ParkedRecords; got > 2 {
+		t.Errorf("parked records = %d, cap is 2", got)
+	}
+
+	bob := newWS(t, "bob", "alice", "bob")
+	ep2, _ := net.Endpoint("n2")
+	rt.AddNode("n2", ep2).AddPrincipal(bob)
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("sync after placement: %v", err)
+	}
+	if got := bob.Count("inbox"); got != total {
+		t.Errorf("bob received %d of %d deliveries after late placement with a tiny parked cap", got, total)
+	}
+	if got := rt.Stats().ParkedRecords; got != 0 {
+		t.Errorf("parked records after placement = %d, want 0", got)
+	}
+}
+
+func TestSharedDestinationRequeueKeepsSourcePredicate(t *testing.T) {
+	// Two delivery mappings sharing one destination: a failed send must
+	// requeue each tuple under its own source predicate, and the retry
+	// must deliver everything exactly once.
+	tr := &flakyTransport{Transport: NewMemNetwork(), failAt: 1}
+	rt := NewRuntime()
+	rt.SetDeliveryMap("box", "inbox")
+	rt.SetDeliveryMap("crate", "inbox")
+	prog := `
+b0: box[U1](U2,M) -> prin(U1), prin(U2).
+c0: crate[U1](U2,M) -> prin(U1), prin(U2).
+i0: inbox[U1](U2,M) -> prin(U1), prin(U2).
+`
+	mk := func(name string) *workspace.Workspace {
+		ws := workspace.New(name)
+		if err := ws.LoadProgram(prog); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := ws.Update(func(tx *workspace.Tx) error {
+			for _, k := range []string{"alice", "bob"} {
+				if err := tx.Assert("prin(" + k + ")"); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return ws
+	}
+	alice, bob := mk("alice"), mk("bob")
+	ep1, _ := tr.Endpoint("n1")
+	ep2, _ := tr.Endpoint("n2")
+	rt.AddNode("n1", ep1).AddPrincipal(alice)
+	rt.AddNode("n2", ep2).AddPrincipal(bob)
+
+	send(t, alice, "box[bob](alice, viaBox)")
+	send(t, alice, "crate[bob](alice, viaCrate)")
+	if err := rt.Sync(10); err == nil {
+		t.Fatal("first sync must fail on the injected transport error")
+	}
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("retry sync: %v", err)
+	}
+	got := inboxKeys(bob)
+	if len(got) != 2 {
+		t.Fatalf("bob inbox = %v, want both tuples after retry", got)
+	}
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("idle sync: %v", err)
+	}
+	if again := inboxKeys(bob); len(again) != 2 {
+		t.Errorf("re-sync duplicated deliveries: %v", again)
+	}
+}
+
+func TestRemapDeliversUnderNewDestination(t *testing.T) {
+	// Remapping an already-pumped source predicate to a new destination
+	// must re-deliver existing tuples there: ship keys include the
+	// destination, and the remap triggers a rescan.
+	rt := NewRuntime()
+	rt.SetDeliveryMap("box", "inbox")
+	net := NewMemNetwork()
+	alice := newWS(t, "alice", "alice", "bob")
+	bob := workspace.New("bob")
+	if err := bob.LoadProgram(boxProgram + `m0: mailbox[U1](U2,M) -> prin(U1), prin(U2).`); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Update(func(tx *workspace.Tx) error {
+		for _, k := range []string{"alice", "bob"} {
+			if err := tx.Assert("prin(" + k + ")"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ep1, _ := net.Endpoint("n1")
+	ep2, _ := net.Endpoint("n2")
+	rt.AddNode("n1", ep1).AddPrincipal(alice)
+	rt.AddNode("n2", ep2).AddPrincipal(bob)
+
+	send(t, alice, "box[bob](alice, hi)")
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if got := bob.Count("inbox"); got != 1 {
+		t.Fatalf("bob inbox = %d, want 1", got)
+	}
+
+	rt.SetDeliveryMap("box", "mailbox")
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("sync after remap: %v", err)
+	}
+	if got := bob.Count("mailbox"); got != 1 {
+		t.Errorf("bob mailbox = %d after remap, want the existing tuple re-delivered", got)
+	}
+	if got := bob.Count("inbox"); got != 1 {
+		t.Errorf("bob inbox changed across remap: %d", got)
+	}
+}
+
+func TestLatePartitionDeclarationShipsEarlierFacts(t *testing.T) {
+	// Facts asserted before their predicate is declared partitioned never
+	// appear in a flush delta as shippable; the declaration itself must
+	// trigger a rescan so they ship.
+	rt := NewRuntime()
+	rt.SetDeliveryMap("box", "inbox")
+	net := NewMemNetwork()
+	alice := workspace.New("alice")
+	if err := alice.LoadProgram(`i0: inbox[U1](U2,M) -> prin(U1), prin(U2).`); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Update(func(tx *workspace.Tx) error {
+		for _, k := range []string{"alice", "bob"} {
+			if err := tx.Assert("prin(" + k + ")"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bob := newWS(t, "bob", "alice", "bob")
+	ep1, _ := net.Endpoint("n1")
+	ep2, _ := net.Endpoint("n2")
+	rt.AddNode("n1", ep1).AddPrincipal(alice)
+	rt.AddNode("n2", ep2).AddPrincipal(bob)
+
+	// box is not yet declared partitioned at alice: nothing may ship.
+	send(t, alice, "box[bob](alice, early)")
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("sync before declaration: %v", err)
+	}
+	if got := bob.Count("inbox"); got != 0 {
+		t.Fatalf("undeclared predicate shipped %d tuples", got)
+	}
+
+	// The declaration lands after the fact; the next Sync must deliver it.
+	if err := alice.LoadProgram(`b0: box[U1](U2,M) -> prin(U1), prin(U2).`); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("sync after declaration: %v", err)
+	}
+	want := datalog.Tuple{datalog.Sym("bob"), datalog.Sym("alice"), datalog.Sym("early")}
+	if got := bob.Facts("inbox"); len(got) != 1 || !got[0].Equal(want) {
+		t.Errorf("bob inbox after late declaration = %v, want [%v]", got, want)
+	}
+}
+
+func TestRetractionWhileTargetUnplacedIsNeverDelivered(t *testing.T) {
+	// A statement withdrawn while its target was unplaced must not be
+	// delivered when the target is later placed: placement rescans the
+	// sender's current facts instead of replaying buffered tuples.
+	net := NewMemNetwork()
+	rt := NewRuntime()
+	rt.SetDeliveryMap("box", "inbox")
+	alice := newWS(t, "alice", "alice", "bob")
+	ep1, _ := net.Endpoint("n1")
+	rt.AddNode("n1", ep1).AddPrincipal(alice)
+
+	send(t, alice, "box[bob](alice, secret)")
+	send(t, alice, "box[bob](alice, keep)")
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("sync while bob unplaced: %v", err)
+	}
+	if err := alice.Update(func(tx *workspace.Tx) error {
+		return tx.Retract("box[bob](alice, secret)")
+	}); err != nil {
+		t.Fatalf("retract: %v", err)
+	}
+
+	bob := newWS(t, "bob", "alice", "bob")
+	ep2, _ := net.Endpoint("n2")
+	rt.AddNode("n2", ep2).AddPrincipal(bob)
+	if err := rt.Sync(10); err != nil {
+		t.Fatalf("sync after placement: %v", err)
+	}
+	keep := datalog.Tuple{datalog.Sym("bob"), datalog.Sym("alice"), datalog.Sym("keep")}
+	got := bob.Facts("inbox")
+	if len(got) != 1 || !got[0].Equal(keep) {
+		t.Fatalf("bob inbox = %v, want only [%v]: the retracted statement must not arrive", got, keep)
 	}
 }

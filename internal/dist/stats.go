@@ -14,12 +14,33 @@ type NodeStats struct {
 	TuplesRejected  int64
 }
 
-// Stats is a snapshot of the whole runtime: sync/round counters plus
-// per-node transfer totals, in node creation order.
+// Stats is a snapshot of the whole runtime: sync/round counters, pump
+// work counters, plus per-node transfer totals, in node creation order.
 type Stats struct {
 	Syncs  int64 // Sync invocations
 	Rounds int64 // delivery rounds that moved at least one tuple
-	Nodes  []NodeStats
+	// SendFailures counts envelope sends that returned a transport error.
+	// A failed send aborts its Sync, but envelopes sent earlier in the
+	// round stay delivered (and the round stays counted); the failed
+	// envelope's tuples are requeued for the next Sync.
+	SendFailures int64
+	// DeltaTuples counts fresh outbound tuples the runtime accepted from
+	// workspace flush deltas.
+	DeltaTuples int64
+	// ScannedTuples counts tuples examined by pump rounds: accumulated
+	// deltas plus full rescans. With delta-driven sync this tracks fresh
+	// tuples, not total facts — the incremental-sync benchmark asserts it.
+	ScannedTuples int64
+	// SuppressedTuples counts tuples the shipped set kept from being
+	// re-sent (rescans re-examining already-delivered tuples).
+	SuppressedTuples int64
+	// ShippedRecords is the current size of the bounded shipped set.
+	ShippedRecords int
+	// ParkedRecords counts the refusal-dedup keys currently held for
+	// tuples addressed to not-yet-placed target principals (bounded by
+	// the runtime's parked cap).
+	ParkedRecords int
+	Nodes         []NodeStats
 }
 
 // Totals sums transfer counters over all nodes. Note that with every
@@ -54,8 +75,9 @@ func (s Stats) TuplesRejected() int64 {
 func (s Stats) String() string {
 	var b strings.Builder
 	t := s.Totals()
-	fmt.Fprintf(&b, "syncs=%d rounds=%d delivered=%d rejected=%d wire: %s",
-		s.Syncs, s.Rounds, s.TuplesDelivered(), s.TuplesRejected(), t.String())
+	fmt.Fprintf(&b, "syncs=%d rounds=%d delivered=%d rejected=%d scanned=%d delta=%d suppressed=%d sendfail=%d shipset=%d wire: %s",
+		s.Syncs, s.Rounds, s.TuplesDelivered(), s.TuplesRejected(),
+		s.ScannedTuples, s.DeltaTuples, s.SuppressedTuples, s.SendFailures, s.ShippedRecords, t.String())
 	for _, n := range s.Nodes {
 		fmt.Fprintf(&b, "\n  node %s (%s): delivered=%d rejected=%d, %s",
 			n.Node, strings.Join(n.Principals, ","), n.TuplesDelivered, n.TuplesRejected, n.Transfer.String())

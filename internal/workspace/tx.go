@@ -19,11 +19,12 @@ const maxMetaIterations = 10000
 // subsequent flush and constraint check fail, the workspace is rolled back
 // to its pre-transaction state.
 type Tx struct {
-	w        *Workspace
-	changed  map[string][]datalog.Tuple
-	inserted []factRef
-	removed  []factRef
-	removal  bool
+	w                *Workspace
+	changed          map[string][]datalog.Tuple
+	inserted         []factRef
+	removed          []factRef
+	removal          bool
+	newlyPartitioned []string
 }
 
 type factRef struct {
@@ -37,21 +38,45 @@ func (w *Workspace) Update(fn func(tx *Tx) error) error {
 	w.mu.Lock()
 	snap := w.snapshotLocked()
 	tx := &Tx{w: w, changed: map[string][]datalog.Tuple{}}
+	// Collect the derived-tuple delta only when someone observes flushes;
+	// recordDerived is a no-op while flushNew is nil, so non-distributed
+	// workspaces pay nothing.
+	observed := len(w.onFlush) > 0
+	if observed {
+		w.flushNew = map[string][]datalog.Tuple{}
+	}
+	w.flushRebuilt = false
 	err := fn(tx)
 	if err == nil {
 		err = w.flushLocked(tx)
 	}
 	if err != nil {
+		w.flushNew, w.flushRebuilt = nil, false
 		if rerr := w.restoreLocked(snap, tx); rerr != nil {
 			err = errors.Join(err, fmt.Errorf("workspace: rollback: %w", rerr))
 		}
 		w.mu.Unlock()
 		return err
 	}
-	hooks := append([]func(){}, w.onFlush...)
+	var delta FlushDelta
+	if observed {
+		delta = FlushDelta{Rebuilt: w.flushRebuilt, NewlyPartitioned: tx.newlyPartitioned}
+		if !delta.Rebuilt {
+			// Fold base assertions (and reified meta facts) into the derived
+			// delta accumulated by the evaluator's OnNew hook. Both sides only
+			// record tuples freshly inserted into the database, so no tuple
+			// appears twice.
+			delta.Changed = w.flushNew
+			for pred, tuples := range tx.changed {
+				delta.Changed[pred] = append(delta.Changed[pred], tuples...)
+			}
+		}
+	}
+	w.flushNew, w.flushRebuilt = nil, false
+	hooks := append([]func(FlushDelta){}, w.onFlush...)
 	w.mu.Unlock()
 	for _, h := range hooks {
-		h()
+		h(delta)
 	}
 	return nil
 }
@@ -225,7 +250,11 @@ func (tx *Tx) AddConstraint(c *datalog.Constraint) error {
 		return err
 	}
 	for _, d := range decls {
+		was := w.decls[d.Name].Partitioned
 		w.registerDecl(d)
+		if !was && w.decls[d.Name].Partitioned {
+			tx.newlyPartitioned = append(tx.newlyPartitioned, d.Name)
+		}
 	}
 	if cc != nil {
 		w.constraints = append(w.constraints, cc)
@@ -476,6 +505,7 @@ func (w *Workspace) registerDecl(d Decl) {
 // re-runs all active rules. Derived-activation rule entries are dropped;
 // they will re-activate if still derivable.
 func (w *Workspace) rebuildDerivedLocked() error {
+	w.flushRebuilt = true
 	fresh := datalog.NewDatabase()
 	for _, name := range w.base.Names() {
 		rel, _ := w.base.Get(name)
@@ -489,6 +519,7 @@ func (w *Workspace) rebuildDerivedLocked() error {
 	w.db = fresh
 	w.model = meta.NewModel(fresh)
 	w.userEv = datalog.NewEvaluator(fresh, w.builtins)
+	w.userEv.OnNew = w.recordDerived
 	w.checkEv = datalog.NewEvaluator(fresh, w.builtins)
 	if w.prov != nil {
 		w.prov.Reset()

@@ -60,10 +60,35 @@ type Workspace struct {
 	constraintsChanged bool
 	prov               *Provenance
 
-	// OnFlush hooks run after a successful flush, before constraint
-	// violations would have rolled back; used by the distribution runtime
-	// to ship partitioned tuples.
-	onFlush []func()
+	// OnFlush hooks run after a successful flush with the flush's delta;
+	// used by the distribution runtime to ship partitioned tuples without
+	// rescanning relations.
+	onFlush []func(FlushDelta)
+
+	// flushNew accumulates tuples newly derived by evaluation during the
+	// current flush (fed by the evaluator's OnNew hook); flushRebuilt is
+	// set when the flush rebuilt derived state from scratch, making the
+	// accumulated delta meaningless.
+	flushNew     map[string][]datalog.Tuple
+	flushRebuilt bool
+}
+
+// FlushDelta describes one successful flush to OnFlush observers.
+type FlushDelta struct {
+	// Changed maps predicate name to the tuples that became newly present
+	// in the database during the flush: base facts asserted by the
+	// transaction, meta facts reified from carried code, and tuples derived
+	// by rule evaluation. Nil when Rebuilt is set.
+	Changed map[string][]datalog.Tuple
+	// Rebuilt reports that the flush reconstructed derived state from base
+	// facts (a retraction or rule removal ran): no per-tuple delta exists
+	// and observers tracking incremental state must rescan the workspace.
+	Rebuilt bool
+	// NewlyPartitioned lists predicates that this transaction declared
+	// partitioned for the first time. Facts of such a predicate asserted
+	// before the declaration never appeared in any delta as shippable, so
+	// observers must rescan them.
+	NewlyPartitioned []string
 }
 
 // New creates a workspace for the given local principal (the paper's "me").
@@ -78,8 +103,18 @@ func New(principal string) *Workspace {
 	}
 	w.model = meta.NewModel(w.db)
 	w.userEv = datalog.NewEvaluator(w.db, w.builtins)
+	w.userEv.OnNew = w.recordDerived
 	w.checkEv = datalog.NewEvaluator(w.db, w.builtins)
 	return w
+}
+
+// recordDerived accumulates evaluator insertions into the current flush
+// delta. It runs under w.mu (evaluation holds the workspace lock).
+func (w *Workspace) recordDerived(pred string, t datalog.Tuple) {
+	if w.flushNew == nil || w.flushRebuilt {
+		return
+	}
+	w.flushNew[pred] = append(w.flushNew[pred], t)
 }
 
 // Principal returns the local principal symbol.
@@ -105,8 +140,9 @@ func (w *Workspace) EnableProvenance() {
 // Provenance returns the derivation recorder, if enabled.
 func (w *Workspace) Provenance() *Provenance { return w.prov }
 
-// AddOnFlush registers a hook invoked after each successful flush.
-func (w *Workspace) AddOnFlush(fn func()) {
+// AddOnFlush registers a hook invoked after each successful flush with the
+// flush's delta (see FlushDelta).
+func (w *Workspace) AddOnFlush(fn func(FlushDelta)) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.onFlush = append(w.onFlush, fn)

@@ -465,3 +465,65 @@ func TestErrorInTxFunctionRollsBack(t *testing.T) {
 		t.Errorf("base has %d rows after rollback, want 1", n)
 	}
 }
+
+func TestFlushDeltaReportsAssertedAndDerived(t *testing.T) {
+	w := New("alice")
+	if err := w.LoadProgram(`
+		d0: out[U1](M) -> prin(U1).
+		derive: out[bob](M) <- in(M).
+	`); err != nil {
+		t.Fatal(err)
+	}
+	var deltas []FlushDelta
+	w.AddOnFlush(func(d FlushDelta) { deltas = append(deltas, d) })
+
+	if err := w.Update(func(tx *Tx) error {
+		if err := tx.Assert("prin(bob)"); err != nil {
+			return err
+		}
+		return tx.Assert("in(hello)")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 1 {
+		t.Fatalf("hooks fired %d times, want 1", len(deltas))
+	}
+	d := deltas[0]
+	if d.Rebuilt {
+		t.Fatal("pure insertion flagged as rebuilt")
+	}
+	if got := d.Changed["in"]; len(got) != 1 {
+		t.Errorf("asserted base fact missing from delta: %v", d.Changed)
+	}
+	// The derived out tuple must be in the delta without rescanning.
+	if got := d.Changed["out"]; len(got) != 1 || !got[0].Equal(datalog.Tuple{datalog.Sym("bob"), datalog.Sym("hello")}) {
+		t.Errorf("derived tuple missing from delta: %v", d.Changed["out"])
+	}
+
+	// A second flush reports only the second flush's tuples.
+	if err := w.Update(func(tx *Tx) error { return tx.Assert("in(again)") }); err != nil {
+		t.Fatal(err)
+	}
+	d = deltas[1]
+	if got := d.Changed["out"]; len(got) != 1 || !got[0].Equal(datalog.Tuple{datalog.Sym("bob"), datalog.Sym("again")}) {
+		t.Errorf("second delta = %v, want only the fresh derivation", d.Changed["out"])
+	}
+
+	// Retractions rebuild derived state: no per-tuple delta, Rebuilt set.
+	if err := w.Update(func(tx *Tx) error { return tx.Retract("in(hello)") }); err != nil {
+		t.Fatal(err)
+	}
+	d = deltas[2]
+	if !d.Rebuilt || d.Changed != nil {
+		t.Errorf("retraction delta = %+v, want Rebuilt with nil Changed", d)
+	}
+
+	// Failed transactions fire no hook.
+	n := len(deltas)
+	if err := w.Update(func(tx *Tx) error { return tx.Assert("out[nobody](x)") }); err == nil {
+		t.Fatal("constraint violation expected")
+	}
+	if len(deltas) != n {
+		t.Errorf("hook fired on a rolled-back transaction")
+	}
+}

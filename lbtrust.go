@@ -72,6 +72,12 @@ type Workspace = workspace.Workspace
 // Tx batches workspace updates transactionally.
 type Tx = workspace.Tx
 
+// FlushDelta is the per-predicate change set a successful workspace flush
+// hands to flush observers: the distribution runtime consumes it to ship
+// only fresh tuples, in work proportional to the change rather than the
+// database size (see Workspace.AddOnFlush).
+type FlushDelta = workspace.FlushDelta
+
 // ViolationError reports constraint violations that rolled a transaction
 // back.
 type ViolationError = workspace.ViolationError
@@ -102,9 +108,15 @@ type TCPNetwork = dist.TCPNetwork
 // be placed on nodes with System.AddPrincipalOn.
 type Node = dist.Node
 
-// Stats is a snapshot of the distribution runtime: sync/round counters
-// plus per-node transfer totals (see System.Stats).
+// Stats is a snapshot of the distribution runtime: sync/round counters,
+// pump work counters (tuples scanned, delta tuples accepted, duplicates
+// suppressed, send failures), plus per-node transfer totals (see
+// System.Stats).
 type Stats = dist.Stats
+
+// DefaultShippedCap bounds the runtime's shipped-tuple suppression set;
+// see Runtime.SetShippedCap for the eviction policy.
+const DefaultShippedCap = dist.DefaultShippedCap
 
 // NodeStats is one node's delivery and wire counters.
 type NodeStats = dist.NodeStats
