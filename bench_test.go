@@ -175,8 +175,8 @@ func BenchmarkSeNDlogReachability(b *testing.B) {
 // The distribution runtime accumulates per-flush deltas, so a Sync's pump
 // work tracks the number of fresh tuples, not the size of the already
 // shipped relations: ns/op and scanned/op should be flat across base
-// sizes (receiver-side constraint checking still scales with relation
-// size; see EXPERIMENTS.md).
+// sizes. Receiver-side constraint checking is delta-seeded too, so wall
+// time no longer scales with relation size either (see EXPERIMENTS.md).
 
 func BenchmarkIncrementalSync(b *testing.B) {
 	for _, base := range []int{1000, 10000} {
@@ -198,6 +198,54 @@ func BenchmarkIncrementalSync(b *testing.B) {
 			}
 			b.ReportMetric(float64(scanned)/float64(b.N), "scanned/op")
 		})
+	}
+}
+
+// ---- Incremental constraint checking ----------------------------------------
+//
+// Receiver-side flush checks are delta-seeded: the cost of checking one
+// fresh tuple must be flat across base relation sizes (incr rows), while
+// the forced-full mode recomputes the aux relations from the whole
+// database per flush and grows linearly (full rows).
+
+func BenchmarkIncrementalConstraintCheck(b *testing.B) {
+	for _, base := range []int{1000, 10000} {
+		for _, mode := range []struct {
+			name string
+			incr bool
+		}{{"incr", true}, {"full", false}} {
+			b.Run(fmt.Sprintf("base=%d/%s", base, mode.name), func(b *testing.B) {
+				c, _, err := bench.NewIncrementalConstraints(base, mode.incr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := c.Flush(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestIncrementalConstraintCheckUsesDeltaPath(t *testing.T) {
+	const base, flushes = 2000, 8
+	incr, err := bench.RunIncrementalConstraints(base, flushes, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if incr.Checks.Incremental != flushes || incr.Checks.Full != 0 {
+		t.Errorf("incremental mode check stats = %+v, want %d incremental and 0 full", incr.Checks, flushes)
+	}
+	full, err := bench.RunIncrementalConstraints(base, flushes, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Checks.Full != flushes || full.Checks.Incremental != 0 {
+		t.Errorf("full mode check stats = %+v, want %d full and 0 incremental", full.Checks, flushes)
 	}
 }
 

@@ -1,24 +1,26 @@
 // Command lbtrust-bench regenerates the paper's evaluation. It prints the
 // Figure 2 series (execution time vs number of messages for RSA, HMAC and
-// Plaintext authentication), the incremental-sync series of the
-// delta-driven distribution runtime, and the ablation experiments indexed
-// in DESIGN.md, as plain-text tables.
+// Plaintext authentication), the incremental-sync and incremental-
+// constraint-check series of the delta-driven runtime, and the ablation
+// experiments indexed in DESIGN.md, as plain-text tables.
 //
 // Usage:
 //
 //	lbtrust-bench -experiment fig2 -max 10000 -step 1000
 //	lbtrust-bench -experiment fig2 -transport tcp -max 2000 -step 500
-//	lbtrust-bench -experiment sync -json
+//	lbtrust-bench -experiment sync,constraints -json -short
 //	lbtrust-bench -experiment ablations
 //	lbtrust-bench -experiment all
 //
-// The -transport flag selects the wire layer of the distribution runtime
-// (mem runs the paper's single-host evaluation in-process; tcp ships every
-// tuple over loopback sockets); the protocol and results are identical,
-// only time and wire cost differ. The -json flag switches the sync
-// experiment to machine-readable output (one JSON document on stdout), so
-// CI can track the perf trajectory across commits; -short shrinks the
-// workloads to a smoke test.
+// The -experiment flag takes a comma-separated list. The -transport flag
+// selects the wire layer of the distribution runtime (mem runs the
+// paper's single-host evaluation in-process; tcp ships every tuple over
+// loopback sockets); the protocol and results are identical, only time
+// and wire cost differ. The -json flag switches the sync and constraints
+// experiments to machine-readable output — one JSON array of report
+// documents on stdout, so CI can archive the perf trajectory across
+// commits (experiments without a JSON shape are skipped with a note on
+// stderr); -short shrinks the workloads to a smoke test.
 package main
 
 import (
@@ -26,18 +28,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"lbtrust/internal/bench"
 	"lbtrust/internal/core"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run: fig2, sync, ablations, all")
+	experiment := flag.String("experiment", "all", "comma-separated experiments: fig2, sync, constraints, ablations, all")
 	maxMsgs := flag.Int("max", 10000, "fig2: maximum number of messages")
 	step := flag.Int("step", 1000, "fig2: message count step")
 	transport := flag.String("transport", "mem", "fig2/sync: wire layer, mem or tcp")
-	jsonOut := flag.Bool("json", false, "sync: emit machine-readable JSON instead of a table")
-	short := flag.Bool("short", false, "sync: small workloads (CI smoke test)")
+	jsonOut := flag.Bool("json", false, "sync/constraints: emit a machine-readable JSON array instead of tables")
+	short := flag.Bool("short", false, "sync/constraints: small workloads (CI smoke test)")
 	flag.Parse()
 
 	kind := bench.TransportKind(*transport)
@@ -46,20 +49,50 @@ func main() {
 		os.Exit(2)
 	}
 
-	switch *experiment {
-	case "fig2":
-		runFigure2(kind, *maxMsgs, *step)
-	case "sync":
-		runSync(kind, *jsonOut, *short)
-	case "ablations":
-		runAblations()
-	case "all":
-		runFigure2(kind, *maxMsgs, *step)
-		runSync(kind, *jsonOut, *short)
-		runAblations()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
-		os.Exit(2)
+	var experiments []string
+	for _, e := range strings.Split(*experiment, ",") {
+		e = strings.TrimSpace(e)
+		if e == "" {
+			continue
+		}
+		if e == "all" {
+			experiments = append(experiments, "fig2", "sync", "constraints", "ablations")
+			continue
+		}
+		experiments = append(experiments, e)
+	}
+	reports := []any{} // JSON report documents accumulated in -json mode
+	// (initialized non-nil so -json always emits an array, never null)
+	for _, e := range experiments {
+		switch e {
+		case "fig2":
+			if *jsonOut {
+				fmt.Fprintln(os.Stderr, "fig2 has no JSON shape; skipped in -json mode")
+				continue
+			}
+			runFigure2(kind, *maxMsgs, *step)
+		case "sync":
+			reports = append(reports, runSync(kind, *jsonOut, *short))
+		case "constraints":
+			reports = append(reports, runConstraints(*jsonOut, *short))
+		case "ablations":
+			if *jsonOut {
+				fmt.Fprintln(os.Stderr, "ablations have no JSON shape; skipped in -json mode")
+				continue
+			}
+			runAblations()
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", e)
+			os.Exit(2)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -87,8 +120,8 @@ type syncPointJSON struct {
 // runSync measures the delta-driven pump: a chain workload per base size,
 // reporting the setup shipment next to an incremental Sync carrying a
 // handful of fresh tuples. With the delta pump, incr_scanned tracks
-// fresh x hops regardless of base.
-func runSync(kind bench.TransportKind, jsonOut, short bool) {
+// fresh x hops regardless of base. It returns the JSON report document.
+func runSync(kind bench.TransportKind, jsonOut, short bool) any {
 	bases := []int{1000, 5000, 10000}
 	const principals, fresh = 3, 5
 	if short {
@@ -114,13 +147,7 @@ func runSync(kind bench.TransportKind, jsonOut, short bool) {
 		})
 	}
 	if jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(report); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		return
+		return report
 	}
 	fmt.Printf("== Incremental sync: delta-driven pump (transport=%s, chain=%d, fresh=%d) ==\n", kind, principals, fresh)
 	fmt.Println("(pump work — tuples scanned — must track fresh tuples, not base size)")
@@ -131,6 +158,74 @@ func runSync(kind bench.TransportKind, jsonOut, short bool) {
 			float64(p.SetupNs)/1e9, p.SetupScanned, float64(p.IncrNs)/1e6, p.IncrScanned, p.IncrWireB)
 	}
 	fmt.Println()
+	return report
+}
+
+// constraintsReport is the machine-readable shape of the constraints
+// experiment: per base size, the average per-flush check cost under the
+// delta-seeded and the forced-full checker.
+type constraintsReport struct {
+	Experiment string                 `json:"experiment"`
+	Short      bool                   `json:"short"`
+	Flushes    int                    `json:"flushes"`
+	Points     []constraintsPointJSON `json:"points"`
+}
+
+type constraintsPointJSON struct {
+	Base           int   `json:"base"`
+	IncrPerFlushNs int64 `json:"incr_per_flush_ns"`
+	FullPerFlushNs int64 `json:"full_per_flush_ns"`
+	IncrChecks     int64 `json:"incr_checks_incremental"`
+	FullChecks     int64 `json:"full_checks_full"`
+}
+
+// runConstraints measures flush-time constraint checking: the delta-seeded
+// path must be flat across base sizes while the forced-full path grows
+// linearly. It returns the JSON report document.
+func runConstraints(jsonOut, short bool) any {
+	bases := []int{1000, 5000, 10000}
+	flushes := 50
+	if short {
+		bases = []int{100, 200}
+		flushes = 10
+	}
+	report := constraintsReport{Experiment: "constraints", Short: short, Flushes: flushes}
+	for _, base := range bases {
+		incr, err := bench.RunIncrementalConstraints(base, flushes, true)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "constraints incr (base=%d): %v\n", base, err)
+			os.Exit(1)
+		}
+		full, err := bench.RunIncrementalConstraints(base, flushes, false)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "constraints full (base=%d): %v\n", base, err)
+			os.Exit(1)
+		}
+		report.Points = append(report.Points, constraintsPointJSON{
+			Base:           base,
+			IncrPerFlushNs: incr.PerFlush.Nanoseconds(),
+			FullPerFlushNs: full.PerFlush.Nanoseconds(),
+			IncrChecks:     incr.Checks.Incremental,
+			FullChecks:     full.Checks.Full,
+		})
+	}
+	if jsonOut {
+		return report
+	}
+	fmt.Printf("== Incremental constraint checking (flushes=%d, 1 fresh fact each) ==\n", flushes)
+	fmt.Println("(per-flush check cost: delta-seeded must stay flat in base, full grows linearly)")
+	fmt.Println()
+	fmt.Printf("%10s %16s %16s %10s\n", "base", "incr/flush(us)", "full/flush(us)", "speedup")
+	for _, p := range report.Points {
+		speedup := float64(0)
+		if p.IncrPerFlushNs > 0 {
+			speedup = float64(p.FullPerFlushNs) / float64(p.IncrPerFlushNs)
+		}
+		fmt.Printf("%10d %16.1f %16.1f %9.1fx\n", p.Base,
+			float64(p.IncrPerFlushNs)/1e3, float64(p.FullPerFlushNs)/1e3, speedup)
+	}
+	fmt.Println()
+	return report
 }
 
 func runFigure2(kind bench.TransportKind, maxMsgs, step int) {

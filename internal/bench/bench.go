@@ -536,3 +536,111 @@ func RunIncrementalSync(kind TransportKind, principals, base, fresh int) (Increm
 		Incr:       incr,
 	}, nil
 }
+
+// ---- incremental constraint checking ----------------------------------------
+
+// constraintCheckProgram is the flush-time check workload: a schema
+// constraint (lowered to aux + fail rules) plus a user fail() rule, both
+// over the msg relation that grows to the base size. Every flush must
+// re-establish both checks; the full path rescans all of msg, the
+// delta-seeded path touches only the fresh tuple.
+const constraintCheckProgram = `
+reg: msg(M,U) -> registered(U).
+nb: fail(U) <- msg(_,U), banned(U).
+`
+
+// IncrementalConstraints is a reusable single-workspace workload for
+// measuring flush-time constraint checking against a large base relation.
+type IncrementalConstraints struct {
+	ws  *workspace.Workspace
+	seq int
+}
+
+// NewIncrementalConstraints builds the workspace, optionally forcing the
+// full-check path, and loads base msg facts in one setup transaction
+// (whose cost callers discard). The returned duration is the setup time.
+func NewIncrementalConstraints(base int, incremental bool) (*IncrementalConstraints, time.Duration, error) {
+	ws := workspace.New("alice")
+	ws.SetIncrementalChecks(incremental)
+	if err := ws.LoadProgram(constraintCheckProgram); err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	if err := ws.Update(func(tx *workspace.Tx) error {
+		if err := tx.Assert("registered(u0)"); err != nil {
+			return err
+		}
+		for i := 0; i < base; i++ {
+			if err := tx.Assert(fmt.Sprintf("msg(%d, u0)", i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, 0, err
+	}
+	return &IncrementalConstraints{ws: ws, seq: base}, time.Since(start), nil
+}
+
+// Flush asserts one fresh msg fact — one transaction, one fixpoint, one
+// constraint check — and returns its wall time.
+func (c *IncrementalConstraints) Flush() (time.Duration, error) {
+	c.seq++
+	fact := fmt.Sprintf("msg(%d, u0)", c.seq)
+	start := time.Now()
+	err := c.ws.Update(func(tx *workspace.Tx) error { return tx.Assert(fact) })
+	return time.Since(start), err
+}
+
+// Workspace exposes the underlying workspace (for CheckStats assertions).
+func (c *IncrementalConstraints) Workspace() *workspace.Workspace { return c.ws }
+
+// IncrementalConstraintsResult reports one RunIncrementalConstraints
+// execution.
+type IncrementalConstraintsResult struct {
+	Base        int
+	Flushes     int
+	Incremental bool
+	Setup       time.Duration
+	Total       time.Duration // sum over the measured flushes
+	PerFlush    time.Duration // Total / Flushes
+	Checks      workspace.CheckStats
+}
+
+// RunIncrementalConstraints loads base facts, then measures the given
+// number of single-fact flushes under the selected check mode. With the
+// delta-seeded checker PerFlush is flat in base; with the full checker it
+// grows linearly (the aux relations are recomputed from the whole msg
+// relation every flush).
+func RunIncrementalConstraints(base, flushes int, incremental bool) (IncrementalConstraintsResult, error) {
+	c, setup, err := NewIncrementalConstraints(base, incremental)
+	if err != nil {
+		return IncrementalConstraintsResult{}, err
+	}
+	before := c.ws.CheckStats()
+	var total time.Duration
+	for i := 0; i < flushes; i++ {
+		d, err := c.Flush()
+		if err != nil {
+			return IncrementalConstraintsResult{}, err
+		}
+		total += d
+	}
+	after := c.ws.CheckStats()
+	r := IncrementalConstraintsResult{
+		Base:        base,
+		Flushes:     flushes,
+		Incremental: incremental,
+		Setup:       setup,
+		Total:       total,
+		Checks: workspace.CheckStats{
+			Incremental: after.Incremental - before.Incremental,
+			Full:        after.Full - before.Full,
+			Skipped:     after.Skipped - before.Skipped,
+		},
+	}
+	if flushes > 0 {
+		r.PerFlush = total / time.Duration(flushes)
+	}
+	return r, nil
+}

@@ -36,6 +36,21 @@ type Evaluator struct {
 	// caller). The workspace uses it to expose per-flush deltas to flush
 	// observers without rescanning relations.
 	OnNew func(pred string, t Tuple)
+	// OnDerive, when set, observes every successful body instantiation —
+	// including re-derivations of tuples already present in DB, which Trace
+	// suppresses. The workspace's constraint checker uses it to collect the
+	// complete premise set of every violation, so full and delta evaluation
+	// report identical (deduplicated) violations regardless of which
+	// derivation the tuple-level insert happens to see first.
+	OnDerive TraceFunc
+	// SafeNeg, when set, reports predicates whose growth can only suppress
+	// derivations of the rules that negate them (the caller guarantees the
+	// semantics). RunDelta's needs-full-eval classification skips negated
+	// literals over such predicates: inserting facts can then never create
+	// a derivation through the negation, only remove one, which is exactly
+	// the constraint checker's fail(L) <- LHS, !aux(...) shape where the
+	// aux predicate is maintained in a strictly lower stratum.
+	SafeNeg func(pred string) bool
 	// Naive disables the semi-naive delta optimization: every iteration
 	// re-evaluates all rules against the full database. It exists for the
 	// ablation benchmarks; leave it false otherwise.
@@ -188,6 +203,9 @@ func (ev *Evaluator) RunDelta(changed map[string][]Tuple) error {
 		}
 		for _, l := range cr.body {
 			if l.Negated && !ev.Builtins.Has(l.Atom.Pred) && affected[l.Atom.Pred] {
+				if ev.SafeNeg != nil && ev.SafeNeg(l.Atom.Pred) {
+					continue
+				}
 				return ErrNeedsFullEval
 			}
 		}
@@ -263,6 +281,9 @@ func (ev *Evaluator) runStratum(s int, seed map[string]*Relation) error {
 	emit := func(cr *compiledRule) func(t Tuple, premises []Premise) error {
 		pred := cr.head.Pred
 		return func(t Tuple, premises []Premise) error {
+			if ev.OnDerive != nil {
+				ev.OnDerive(pred, t, cr.src, premises)
+			}
 			rel := ev.DB.Rel(pred, len(t))
 			if !rel.Insert(t) {
 				return nil
@@ -344,9 +365,27 @@ func (ev *Evaluator) runStratum(s int, seed map[string]*Relation) error {
 		}
 	}
 
+	// mergeSeed folds a round's derived tuples into the cross-stratum seed:
+	// tuples derived in this stratum must drive the rules of higher strata
+	// too (their bodies are only evaluated forced-first over seeded
+	// predicates, so DB visibility alone is not enough).
+	mergeSeed := func(m map[string]*Relation) {
+		if seed == nil {
+			return
+		}
+		for p, d := range m {
+			if ex := seed[p]; ex != nil {
+				d.Each(func(t Tuple) bool { ex.Insert(t); return true })
+			} else {
+				seed[p] = d
+			}
+		}
+	}
+
 	// Semi-naive iteration within the stratum.
 	delta := newDelta
 	for len(delta) > 0 {
+		mergeSeed(delta)
 		newDelta = map[string]*Relation{}
 		for _, cr := range rules {
 			if cr.agg != nil {
@@ -371,16 +410,6 @@ func (ev *Evaluator) runStratum(s int, seed map[string]*Relation) error {
 		}
 		delta = newDelta
 	}
-
-	if seed != nil {
-		// Tuples derived in this stratum seed the next ones.
-		// (newDelta was folded into seed as we went via DB inserts; rebuild
-		// from scratch is unnecessary because lower-stratum deltas remain
-		// relevant for higher strata bodies.)
-		for p, d := range newDelta {
-			seed[p] = d
-		}
-	}
 	return nil
 }
 
@@ -404,7 +433,7 @@ func (cr *compiledRule) forcedPlan(j int, builtins *BuiltinSet) ([]int, error) {
 func (ev *Evaluator) evalRule(cr *compiledRule, order []int, forced int, delta *Relation, out func(Tuple, []Premise) error) error {
 	en := newEnv()
 	var premises []Premise
-	collect := ev.Trace != nil
+	collect := ev.Trace != nil || ev.OnDerive != nil
 
 	var step func(k int) error
 	step = func(k int) error {

@@ -1,0 +1,67 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lbtrust/internal/workspace"
+)
+
+// TestConcurrentQueryDuringSync hammers receiver workspaces with reads
+// while Sync delivers into them. Deliveries run receiver-side incremental
+// constraint checks (aux relations are mutated in place during the flush),
+// so this pins down that the workspace lock covers the whole check path;
+// run under -race (the CI race step covers internal/dist).
+func TestConcurrentQueryDuringSync(t *testing.T) {
+	tr := NewMemNetwork()
+	defer tr.Close()
+	rt, alice, bob := buildTwoNode(t, tr)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for _, ws := range []*workspace.Workspace{alice, bob} {
+		ws := ws
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if _, err := ws.Query(`inbox[me](U, M)`); err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+				ws.Count("box")
+			}
+		}()
+	}
+
+	const rounds, perRound = 20, 5
+	sent := 0
+	for r := 0; r < rounds; r++ {
+		if err := alice.Update(func(tx *workspace.Tx) error {
+			for i := 0; i < perRound; i++ {
+				sent++
+				if err := tx.Assert(fmt.Sprintf("box[bob](alice, m%d)", sent)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		if err := rt.Sync(4); err != nil {
+			t.Fatalf("sync %d: %v", r, err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if got := bob.Count("inbox"); got != sent {
+		t.Fatalf("bob inbox = %d, want %d", got, sent)
+	}
+	// The deliveries must have ridden the incremental check path.
+	if s := bob.CheckStats(); s.Incremental == 0 {
+		t.Errorf("receiver never used incremental checks: %+v", s)
+	}
+}

@@ -188,10 +188,11 @@ func (m *Model) reifyArg(ae datalog.Entity, pos int, t datalog.Term, add func(st
 
 // ReifyDatabaseCodes scans the database for code values stored in tuples
 // (for example, rules carried by says or export facts) and reifies any that
-// are new. It returns true when new meta facts were added. The scan is
+// are new. It returns the meta facts that were newly added (empty when
+// nothing changed), so callers can fold them into flush deltas. The scan is
 // incremental in effect because reified codes are remembered.
-func (m *Model) ReifyDatabaseCodes() bool {
-	added := false
+func (m *Model) ReifyDatabaseCodes() []Fact {
+	var added []Fact
 	for _, name := range m.db.Names() {
 		if name == PredValue {
 			continue // value's own code entries are handled during Reify
@@ -207,9 +208,7 @@ func (m *Model) ReifyDatabaseCodes() bool {
 			return true
 		})
 		for _, c := range codes {
-			if len(m.Reify(c)) > 0 {
-				added = true
-			}
+			added = append(added, m.Reify(c)...)
 		}
 	}
 	return added

@@ -38,13 +38,11 @@ func (w *Workspace) Update(fn func(tx *Tx) error) error {
 	w.mu.Lock()
 	snap := w.snapshotLocked()
 	tx := &Tx{w: w, changed: map[string][]datalog.Tuple{}}
-	// Collect the derived-tuple delta only when someone observes flushes;
-	// recordDerived is a no-op while flushNew is nil, so non-distributed
-	// workspaces pay nothing.
-	observed := len(w.onFlush) > 0
-	if observed {
-		w.flushNew = map[string][]datalog.Tuple{}
-	}
+	// The flush delta — every tuple that becomes newly present during the
+	// flush — seeds the incremental constraint check and is handed to flush
+	// observers; recordDerived appends each tuple the evaluator freshly
+	// inserts, and flushLocked folds the base assertions in.
+	w.flushNew = map[string][]datalog.Tuple{}
 	w.flushRebuilt = false
 	err := fn(tx)
 	if err == nil {
@@ -58,19 +56,9 @@ func (w *Workspace) Update(fn func(tx *Tx) error) error {
 		w.mu.Unlock()
 		return err
 	}
-	var delta FlushDelta
-	if observed {
-		delta = FlushDelta{Rebuilt: w.flushRebuilt, NewlyPartitioned: tx.newlyPartitioned}
-		if !delta.Rebuilt {
-			// Fold base assertions (and reified meta facts) into the derived
-			// delta accumulated by the evaluator's OnNew hook. Both sides only
-			// record tuples freshly inserted into the database, so no tuple
-			// appears twice.
-			delta.Changed = w.flushNew
-			for pred, tuples := range tx.changed {
-				delta.Changed[pred] = append(delta.Changed[pred], tuples...)
-			}
-		}
+	delta := FlushDelta{Rebuilt: w.flushRebuilt, NewlyPartitioned: tx.newlyPartitioned}
+	if !delta.Rebuilt {
+		delta.Changed = w.flushNew // merged with tx.changed by flushLocked
 	}
 	w.flushNew, w.flushRebuilt = nil, false
 	hooks := append([]func(FlushDelta){}, w.onFlush...)
@@ -191,6 +179,9 @@ func (tx *Tx) AddRuleAs(r *datalog.Rule, owner datalog.Sym) error {
 	w.active[code.Key()] = entry
 	w.activeOrder = append(w.activeOrder, code.Key())
 	w.rulesChanged = true
+	if entry.isCheck {
+		w.constraintsChanged = true // the check-rule set itself changed
+	}
 	// Record activation and ownership as base facts so recomputation
 	// rebuilds them; reification happens against the live database.
 	if err := tx.AssertTuple(meta.PredActive, datalog.Tuple{code}); err != nil {
@@ -245,7 +236,8 @@ func (tx *Tx) RemoveRule(code datalog.Code) error {
 // AddConstraint compiles and installs a schema constraint.
 func (tx *Tx) AddConstraint(c *datalog.Constraint) error {
 	w := tx.w
-	cc, decls, err := compileConstraint(c, len(w.constraints), w.principal)
+	w.auxSeq++
+	cc, decls, err := compileConstraint(c, w.auxSeq, w.principal)
 	if err != nil {
 		return err
 	}
@@ -366,16 +358,30 @@ func (w *Workspace) flushLocked(tx *Tx) error {
 		if err := w.runFixpointLocked(nil); err != nil {
 			return err
 		}
-	} else {
-		delta := tx.changed
-		if len(delta) == 0 {
-			delta = nil
-		}
-		if err := w.runFixpointLocked(delta); err != nil {
-			return err
-		}
+		// Retractions can create violations among the remaining old tuples,
+		// which only the full check sees.
+		return w.checkConstraintsLocked(nil, false)
 	}
-	return w.checkConstraintsLocked()
+	delta := tx.changed
+	if len(delta) == 0 {
+		delta = nil
+	}
+	if err := w.runFixpointLocked(delta); err != nil {
+		return err
+	}
+	if w.flushRebuilt {
+		// The fixpoint fell back to a rebuild (negation/aggregation hit by
+		// the user-rule delta): the accumulated per-tuple delta is void.
+		return w.checkConstraintsLocked(nil, false)
+	}
+	// Fold base assertions (and reified meta facts) into the derived delta
+	// accumulated by the evaluator's OnNew hook. Both sides only record
+	// tuples freshly inserted into the database, so no tuple appears
+	// twice; Update hands the same merged map to flush observers.
+	for pred, tuples := range tx.changed {
+		w.flushNew[pred] = append(w.flushNew[pred], tuples...)
+	}
+	return w.checkConstraintsLocked(w.flushNew, true)
 }
 
 // runFixpointLocked runs rule evaluation, code reification, and rule
@@ -413,12 +419,19 @@ func (w *Workspace) runFixpointLocked(delta map[string][]datalog.Tuple) error {
 			return err
 		}
 	}
+	scanCursor := map[string]int{}
 	for iter := 0; ; iter++ {
 		if iter > maxMetaIterations {
 			return fmt.Errorf("workspace: meta-evaluation did not converge after %d iterations (non-terminating code generation?)", maxMetaIterations)
 		}
 		changed := false
-		if w.model.ReifyDatabaseCodes() {
+		if facts := w.reifyFreshCodesLocked(scanCursor); len(facts) > 0 {
+			// Code values arriving inside derived tuples reify here; their
+			// meta facts must join the flush delta or the incremental check
+			// would miss them (meta-constraints consult rule/head/body/...).
+			for _, f := range facts {
+				w.recordDerived(f.Pred, f.Tuple)
+			}
 			changed = true
 		}
 		activated, err := w.activateDerivedLocked()
@@ -440,6 +453,36 @@ func (w *Workspace) runFixpointLocked(delta map[string][]datalog.Tuple) error {
 	}
 }
 
+// reifyFreshCodesLocked reifies code values occurring in tuples appended
+// to the flush delta since the last call (the cursor records how far each
+// predicate's slice has been scanned). Base assertions reify their codes
+// inline in AssertTuple and rebuilds rescan everything, so only tuples the
+// evaluator freshly derived can carry unreified codes — scanning the
+// delta instead of the whole database keeps the meta loop O(fresh
+// tuples). When no per-flush delta is being tracked (mid-rebuild), it
+// falls back to the full database scan.
+func (w *Workspace) reifyFreshCodesLocked(cursor map[string]int) []meta.Fact {
+	if w.flushNew == nil || w.flushRebuilt {
+		return w.model.ReifyDatabaseCodes()
+	}
+	var facts []meta.Fact
+	for pred, tuples := range w.flushNew {
+		from := cursor[pred]
+		if from >= len(tuples) {
+			continue
+		}
+		cursor[pred] = len(tuples)
+		for _, t := range tuples[from:] {
+			for _, v := range t {
+				if c, ok := v.(datalog.Code); ok && !w.model.Reified(c) {
+					facts = append(facts, w.model.Reify(c)...)
+				}
+			}
+		}
+	}
+	return facts
+}
+
 // activateDerivedLocked scans the active table for code values derived by
 // rules (for example via says1: active(R) <- says(_,me,R)) that are not yet
 // activated, and installs them.
@@ -456,6 +499,9 @@ func (w *Workspace) activateDerivedLocked() (bool, error) {
 		entry.derived = true
 		w.active[code.Key()] = entry
 		w.activeOrder = append(w.activeOrder, code.Key())
+		if entry.isCheck {
+			w.constraintsChanged = true
+		}
 		w.model.Reify(code)
 		activated = true
 	}
@@ -474,7 +520,11 @@ func (w *Workspace) refreshRulesLocked() error {
 		return err
 	}
 	w.rulesChanged = false
-	w.constraintsChanged = true // check rules may reference new predicates
+	// constraintsChanged is NOT set here: the check evaluator only needs
+	// recompiling when the check rules themselves change (AddConstraint,
+	// RemoveConstraint, fail()-headed rule entries, rebuilds), and leaving
+	// it clear keeps flushes that merely activate ordinary rules — every
+	// says-import does — on the incremental check path.
 	return nil
 }
 
@@ -520,7 +570,7 @@ func (w *Workspace) rebuildDerivedLocked() error {
 	w.model = meta.NewModel(fresh)
 	w.userEv = datalog.NewEvaluator(fresh, w.builtins)
 	w.userEv.OnNew = w.recordDerived
-	w.checkEv = datalog.NewEvaluator(fresh, w.builtins)
+	w.checkEv = newCheckEvaluator(fresh, w.builtins)
 	if w.prov != nil {
 		w.prov.Reset()
 		w.userEv.Trace = w.prov.record

@@ -60,6 +60,19 @@ type Workspace struct {
 	constraintsChanged bool
 	prov               *Provenance
 
+	// auxSeq issues workspace-lifetime-unique ids for constraint aux
+	// predicates; ids are never reused so persistent aux relations cannot
+	// alias across RemoveConstraint/AddConstraint cycles.
+	auxSeq int
+	// checkDeps maps each predicate consulted by some check rule to the
+	// labels of the constraints / fail() rules depending on it. A flush
+	// whose delta misses this index entirely needs no check evaluation.
+	checkDeps map[string][]string
+	// incrementalChecks gates the delta-seeded constraint check path; it
+	// is on by default and disabled only for A/B measurement.
+	incrementalChecks bool
+	checkStats        CheckStats
+
 	// OnFlush hooks run after a successful flush with the flush's delta;
 	// used by the distribution runtime to ship partitioned tuples without
 	// rescanning relations.
@@ -94,18 +107,46 @@ type FlushDelta struct {
 // New creates a workspace for the given local principal (the paper's "me").
 func New(principal string) *Workspace {
 	w := &Workspace{
-		principal: datalog.Sym(principal),
-		db:        datalog.NewDatabase(),
-		base:      datalog.NewDatabase(),
-		builtins:  datalog.NewBuiltinSet(),
-		active:    map[string]*ruleEntry{},
-		decls:     map[string]Decl{},
+		principal:         datalog.Sym(principal),
+		db:                datalog.NewDatabase(),
+		base:              datalog.NewDatabase(),
+		builtins:          datalog.NewBuiltinSet(),
+		active:            map[string]*ruleEntry{},
+		decls:             map[string]Decl{},
+		incrementalChecks: true,
 	}
 	w.model = meta.NewModel(w.db)
 	w.userEv = datalog.NewEvaluator(w.db, w.builtins)
 	w.userEv.OnNew = w.recordDerived
-	w.checkEv = datalog.NewEvaluator(w.db, w.builtins)
+	w.checkEv = newCheckEvaluator(w.db, w.builtins)
 	return w
+}
+
+// newCheckEvaluator builds the evaluator running constraint and fail()
+// rules. Aux predicates are marked growth-safe for delta classification:
+// they live strictly below the fail rules that negate them, so fresh aux
+// facts can only suppress violations, never create them.
+func newCheckEvaluator(db *datalog.Database, builtins *datalog.BuiltinSet) *datalog.Evaluator {
+	ev := datalog.NewEvaluator(db, builtins)
+	ev.SafeNeg = func(pred string) bool { return strings.HasPrefix(pred, auxPredPrefix) }
+	return ev
+}
+
+// SetIncrementalChecks toggles the delta-seeded constraint check path
+// (enabled by default). Disabling forces every flush through the full
+// re-evaluation, as the incremental-vs-full benchmarks and equivalence
+// tests require.
+func (w *Workspace) SetIncrementalChecks(on bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.incrementalChecks = on
+}
+
+// CheckStats reports how constraint checking resolved the flushes so far.
+func (w *Workspace) CheckStats() CheckStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.checkStats
 }
 
 // recordDerived accumulates evaluator insertions into the current flush
