@@ -32,10 +32,11 @@ import (
 
 	"lbtrust/internal/bench"
 	"lbtrust/internal/core"
+	"lbtrust/internal/store"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "comma-separated experiments: fig2, sync, constraints, ablations, all")
+	experiment := flag.String("experiment", "all", "comma-separated experiments: fig2, sync, constraints, wal, ablations, all")
 	maxMsgs := flag.Int("max", 10000, "fig2: maximum number of messages")
 	step := flag.Int("step", 1000, "fig2: message count step")
 	transport := flag.String("transport", "mem", "fig2/sync: wire layer, mem or tcp")
@@ -75,6 +76,8 @@ func main() {
 			reports = append(reports, runSync(kind, *jsonOut, *short))
 		case "constraints":
 			reports = append(reports, runConstraints(*jsonOut, *short))
+		case "wal":
+			reports = append(reports, runWAL(kind, *jsonOut, *short))
 		case "ablations":
 			if *jsonOut {
 				fmt.Fprintln(os.Stderr, "ablations have no JSON shape; skipped in -json mode")
@@ -223,6 +226,93 @@ func runConstraints(jsonOut, short bool) any {
 		}
 		fmt.Printf("%10d %16.1f %16.1f %9.1fx\n", p.Base,
 			float64(p.IncrPerFlushNs)/1e3, float64(p.FullPerFlushNs)/1e3, speedup)
+	}
+	fmt.Println()
+	return report
+}
+
+// walReport is the machine-readable shape of the wal experiment: the
+// write-ahead log's overhead on the incremental-sync hot path, and
+// recovery times from log replay and from a fresh snapshot.
+type walReport struct {
+	Experiment string            `json:"experiment"`
+	Short      bool              `json:"short"`
+	Overhead   []walOverheadJSON `json:"overhead"`
+	Recovery   []walRecoveryJSON `json:"recovery"`
+}
+
+type walOverheadJSON struct {
+	Base        int     `json:"base"`
+	Fresh       int     `json:"fresh"`
+	Rounds      int     `json:"rounds"`
+	Fsync       string  `json:"fsync"`
+	OffNs       int64   `json:"off_ns"`
+	OnNs        int64   `json:"on_ns"`
+	OverheadPct float64 `json:"overhead_pct"`
+	WALBytes    int64   `json:"wal_bytes"`
+}
+
+type walRecoveryJSON struct {
+	Base          int   `json:"base_messages"`
+	Tuples        int   `json:"tuples"`
+	WALBytes      int64 `json:"wal_bytes"`
+	WALRecoverNs  int64 `json:"wal_recover_ns"`
+	CheckpointNs  int64 `json:"checkpoint_ns"`
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	SnapRecoverNs int64 `json:"snap_recover_ns"`
+}
+
+// runWAL measures durability: the log's cost on the incremental-sync hot
+// path (interval fsync, expected close to zero against the machine's
+// noise floor) and recovery time from log replay vs a fresh snapshot.
+func runWAL(kind bench.TransportKind, jsonOut, short bool) any {
+	bases := []int{1000, 10000}
+	recBases := []int{350, 1000, 2000}
+	rounds := 200
+	if short {
+		bases = []int{200}
+		recBases = []int{100}
+		rounds = 30
+	}
+	report := walReport{Experiment: "wal", Short: short}
+	for _, base := range bases {
+		r, err := bench.RunWALOverhead(kind, 3, base, 1, rounds, store.FsyncInterval)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wal overhead (base=%d): %v\n", base, err)
+			os.Exit(1)
+		}
+		report.Overhead = append(report.Overhead, walOverheadJSON{
+			Base: r.Base, Fresh: r.Fresh, Rounds: r.Rounds, Fsync: r.Fsync,
+			OffNs: r.OffNs, OnNs: r.OnNs, OverheadPct: r.OverheadPct, WALBytes: r.WALBytes,
+		})
+	}
+	for _, base := range recBases {
+		r, err := bench.RunRecovery(base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wal recovery (base=%d): %v\n", base, err)
+			os.Exit(1)
+		}
+		report.Recovery = append(report.Recovery, walRecoveryJSON{
+			Base: r.Base, Tuples: r.Tuples, WALBytes: r.WALBytes,
+			WALRecoverNs: r.WALRecoverNs, CheckpointNs: r.CheckpointNs,
+			SnapshotBytes: r.SnapshotBytes, SnapRecoverNs: r.SnapRecoverNs,
+		})
+	}
+	if jsonOut {
+		return report
+	}
+	fmt.Printf("== WAL overhead on incremental sync (transport=%s, fresh=1, interval fsync) ==\n", kind)
+	fmt.Printf("%10s %12s %12s %12s %12s\n", "base", "off(us)", "on(us)", "overhead", "wal(B)")
+	for _, p := range report.Overhead {
+		fmt.Printf("%10d %12.1f %12.1f %11.1f%% %12d\n", p.Base,
+			float64(p.OffNs)/1e3, float64(p.OnNs)/1e3, p.OverheadPct, p.WALBytes)
+	}
+	fmt.Println()
+	fmt.Println("== Recovery time: 3-node system, log replay vs fresh snapshot ==")
+	fmt.Printf("%10s %10s %12s %14s %12s %14s %14s\n", "messages", "tuples", "wal(B)", "wal-rec(ms)", "ckpt(ms)", "snap(B)", "snap-rec(ms)")
+	for _, p := range report.Recovery {
+		fmt.Printf("%10d %10d %12d %14.1f %12.1f %14d %14.1f\n", p.Base, p.Tuples, p.WALBytes,
+			float64(p.WALRecoverNs)/1e6, float64(p.CheckpointNs)/1e6, p.SnapshotBytes, float64(p.SnapRecoverNs)/1e6)
 	}
 	fmt.Println()
 	return report

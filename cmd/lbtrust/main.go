@@ -4,6 +4,15 @@
 //	lbtrust -principal alice -query 'path(a, X)' program.lb
 //	lbtrust -principal alice -dump path program.lb
 //	lbtrust -principal alice -rules program.lb
+//
+// With -data-dir the program runs in a durable system: loads are recorded
+// in a write-ahead log under the directory, -checkpoint compacts it into
+// a snapshot, and re-invocations recover the prior state (the program
+// file becomes optional — queries run against what the log replays).
+//
+//	lbtrust -data-dir ./trust.db -principal alice program.lb
+//	lbtrust -data-dir ./trust.db -principal alice -query 'path(a, X)'
+//	lbtrust -data-dir ./trust.db -fsync always -checkpoint -principal alice more.lb
 package main
 
 import (
@@ -15,33 +24,73 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	principal := flag.String("principal", "me", "local principal name (binds the me keyword)")
 	query := flag.String("query", "", "atom to query after loading, e.g. 'path(a, X)'")
 	dump := flag.String("dump", "", "predicate to dump after loading")
 	rules := flag.Bool("rules", false, "list active rules after loading")
+	dataDir := flag.String("data-dir", "", "durable store directory: state persists across invocations")
+	fsyncMode := flag.String("fsync", "interval", "WAL fsync policy with -data-dir: always, interval, or off")
+	checkpoint := flag.Bool("checkpoint", false, "with -data-dir: write a compacting snapshot and rotate the WAL before exiting")
 	flag.Parse()
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: lbtrust [-principal P] [-query ATOM | -dump PRED | -rules] program.lb")
+	if *dataDir == "" && flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lbtrust [-data-dir DIR [-fsync MODE] [-checkpoint]] [-principal P] [-query ATOM | -dump PRED | -rules] [program.lb]")
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+
+	// The durable system is closed on every exit path — Close drains the
+	// write-ahead log, so even an invocation that fails its query keeps
+	// the program it successfully loaded.
+	var ws *lbtrust.Workspace
+	var sys *lbtrust.System
+	if *dataDir != "" {
+		policy, err := lbtrust.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			return err
+		}
+		sys, err = lbtrust.OpenSystem(*dataDir, lbtrust.DurableOptions{Fsync: policy})
+		if err != nil {
+			return fmt.Errorf("open %s: %w", *dataDir, err)
+		}
+		defer func() {
+			if err := sys.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "close: %v\n", err)
+			}
+		}()
+		p, ok := sys.Principal(*principal)
+		if !ok {
+			var err error
+			if p, err = sys.AddPrincipal(*principal); err != nil {
+				return fmt.Errorf("principal %s: %w", *principal, err)
+			}
+		}
+		ws = p.Workspace()
+	} else {
+		ws = lbtrust.NewWorkspace(*principal)
 	}
-	ws := lbtrust.NewWorkspace(*principal)
-	if err := ws.LoadProgram(string(src)); err != nil {
-		fmt.Fprintf(os.Stderr, "load: %v\n", err)
-		os.Exit(1)
+
+	if flag.NArg() == 1 {
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		if err := ws.LoadProgram(string(src)); err != nil {
+			return fmt.Errorf("load: %w", err)
+		}
 	}
 
 	switch {
 	case *query != "":
 		rows, err := ws.Query(*query)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "query: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("query: %w", err)
 		}
 		for _, r := range rows {
 			fmt.Println(r.String())
@@ -62,4 +111,10 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "loaded %d active rule(s)\n", len(ws.ActiveRules()))
 	}
+	if *checkpoint && sys != nil {
+		if err := sys.Checkpoint(); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+	return nil
 }

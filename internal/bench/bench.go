@@ -13,6 +13,7 @@ import (
 	"lbtrust/internal/datalog"
 	"lbtrust/internal/dist"
 	"lbtrust/internal/sendlog"
+	"lbtrust/internal/store"
 	"lbtrust/internal/workspace"
 )
 
@@ -193,10 +194,10 @@ func RunFigure2On(kind TransportKind, scheme core.Scheme, counts []int) (*Figure
 func ChainEdges(n int) []datalog.Tuple {
 	out := make([]datalog.Tuple, 0, n)
 	for i := 0; i < n; i++ {
-		out = append(out, datalog.Tuple{
+		out = append(out, datalog.NewTuple(
 			datalog.Sym(fmt.Sprintf("v%d", i)),
 			datalog.Sym(fmt.Sprintf("v%d", i+1)),
-		})
+		))
 	}
 	return out
 }
@@ -251,10 +252,10 @@ func RunIncremental(base, inserts int, incremental bool) (time.Duration, error) 
 	}
 	start := time.Now()
 	for i := 0; i < inserts; i++ {
-		t := datalog.Tuple{
+		t := datalog.NewTuple(
 			datalog.Sym(fmt.Sprintf("w%d", i)),
 			datalog.Sym(fmt.Sprintf("v%d", i%base)),
-		}
+		)
 		edge.Insert(t)
 		if incremental {
 			if err := ev.RunDelta(map[string][]datalog.Tuple{"edge": {t}}); err != nil {
@@ -406,6 +407,7 @@ type IncrementalSyncResult struct {
 type IncrementalSync struct {
 	tr    dist.Transport
 	rt    *dist.Runtime
+	st    *store.Store // non-nil when a write-ahead log is attached
 	names []string
 	chain []*workspace.Workspace
 	seq   int
@@ -416,6 +418,12 @@ type IncrementalSync struct {
 // NewIncrementalSync builds the chain and ships base announcements
 // through it (the setup Sync whose cost SyncPoint callers can discard).
 func NewIncrementalSync(kind TransportKind, principals, base int) (*IncrementalSync, *SyncPoint, error) {
+	return newIncrementalSync(kind, principals, base, nil)
+}
+
+// newIncrementalSync optionally attaches a write-ahead log before any
+// data loads, so the log sees every flush (see NewIncrementalSyncWAL).
+func newIncrementalSync(kind TransportKind, principals, base int, st *store.Store) (*IncrementalSync, *SyncPoint, error) {
 	if principals < 2 {
 		return nil, nil, fmt.Errorf("bench: incremental sync needs at least 2 principals, got %d", principals)
 	}
@@ -431,6 +439,7 @@ func NewIncrementalSync(kind TransportKind, principals, base int) (*IncrementalS
 	}
 	for i, name := range s.names {
 		ws := workspace.New(name)
+		s.chainAdd(ws, name, st, i == 0)
 		if err := ws.LoadProgram(pathVectorProgram); err != nil {
 			tr.Close()
 			return nil, nil, err
@@ -458,7 +467,6 @@ func NewIncrementalSync(kind TransportKind, principals, base int) (*IncrementalS
 			return nil, nil, err
 		}
 		rt.AddNode("nd"+name, ep).AddPrincipal(ws)
-		s.chain = append(s.chain, ws)
 	}
 	s.last = rt.Stats()
 	setup, err := s.Sync(base)
@@ -510,8 +518,31 @@ func (s *IncrementalSync) Sync(fresh int) (SyncPoint, error) {
 	return p, nil
 }
 
-// Close releases the workload's transport.
-func (s *IncrementalSync) Close() error { return s.tr.Close() }
+// chainAdd appends a workspace to the chain, wiring its flush journal
+// (and, once, the runtime journal) when a write-ahead log is attached.
+func (s *IncrementalSync) chainAdd(ws *workspace.Workspace, name string, st *store.Store, first bool) {
+	s.chain = append(s.chain, ws)
+	if st == nil {
+		return
+	}
+	if first {
+		s.st = st
+		s.rt.SetJournal(walRuntimeJournal(st))
+	}
+	ws.SetJournal(walFlushJournal(st, name))
+}
+
+// Close releases the workload's transport (and write-ahead log, when
+// attached).
+func (s *IncrementalSync) Close() error {
+	err := s.tr.Close()
+	if s.st != nil {
+		if serr := s.st.Close(); err == nil {
+			err = serr
+		}
+	}
+	return err
+}
 
 // RunIncrementalSync ships base announcements down a chain of the given
 // length, then measures a Sync carrying only fresh new announcements.

@@ -1,0 +1,310 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lbtrust/internal/core"
+	"lbtrust/internal/dist"
+	"lbtrust/internal/store"
+	"lbtrust/internal/workspace"
+)
+
+// ---- WAL overhead -----------------------------------------------------------
+
+// walFlushJournal and walRuntimeJournal wire a workload to a write-ahead
+// log exactly the way core.OpenSystem wires a durable system, so measured
+// Sync cost includes journal encoding and the (group-committed,
+// policy-dependent) log writes.
+func walFlushJournal(st *store.Store, name string) func(*workspace.FlushJournal) {
+	return func(j *workspace.FlushJournal) {
+		_ = st.LogFlush(name, j)
+	}
+}
+
+func walRuntimeJournal(st *store.Store) func(dist.Event) {
+	return func(ev dist.Event) {
+		_ = st.LogDistEvent(ev)
+	}
+}
+
+// FlushWAL forces everything logged so far to disk, draining the setup
+// backlog so measured loops see only their own records. No-op without an
+// attached store.
+func (s *IncrementalSync) FlushWAL() error {
+	if s.st == nil {
+		return nil
+	}
+	return s.st.Sync()
+}
+
+// NewIncrementalSyncWAL builds the incremental-sync chain workload with a
+// write-ahead log attached under dir: every flush and shipment is
+// journaled, so the delta between this and NewIncrementalSync is the
+// durability overhead on the hot path.
+func NewIncrementalSyncWAL(kind TransportKind, principals, base int, dir string, fsync store.FsyncPolicy) (*IncrementalSync, *SyncPoint, error) {
+	st, _, err := store.Open(dir, store.Options{Fsync: fsync})
+	if err != nil {
+		return nil, nil, err
+	}
+	s, setup, err := newIncrementalSync(kind, principals, base, st)
+	if err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	return s, setup, nil
+}
+
+// WALOverheadResult compares the incremental Sync cost of the chain
+// workload with and without the write-ahead log attached.
+type WALOverheadResult struct {
+	Transport  TransportKind
+	Fsync      string
+	Principals int
+	Base       int
+	Fresh      int
+	Rounds     int
+	// OffNs and OnNs are the average wall time of one incremental Sync
+	// (assert fresh tuples at the head, pump to quiescence) without and
+	// with the WAL.
+	OffNs int64
+	OnNs  int64
+	// OverheadPct is (OnNs-OffNs)/OffNs in percent.
+	OverheadPct float64
+	// WALBytes is the log size after the measured rounds.
+	WALBytes int64
+}
+
+// RunWALOverhead measures the WAL's cost on the incremental-sync hot
+// path: rounds incremental Syncs of fresh tuples each, against a chain
+// preloaded with base announcements, with the log off and then on.
+func RunWALOverhead(kind TransportKind, principals, base, fresh, rounds int, fsync store.FsyncPolicy) (WALOverheadResult, error) {
+	res := WALOverheadResult{
+		Transport: kind, Fsync: fsync.String(),
+		Principals: principals, Base: base, Fresh: fresh, Rounds: rounds,
+	}
+	off, _, err := NewIncrementalSync(kind, principals, base)
+	if err != nil {
+		return res, err
+	}
+	defer off.Close()
+	dir, err := os.MkdirTemp("", "lbtrust-wal-bench-")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	on, _, err := NewIncrementalSyncWAL(kind, principals, base, dir, fsync)
+	if err != nil {
+		return res, err
+	}
+	defer on.Close()
+
+	// Both instances run the same rounds, interleaved in blocks, so
+	// allocator state and relation growth drift identically and cancel in
+	// the comparison (measuring them back to back conflates durability
+	// cost with whichever instance ran hotter).
+	const block = 10
+	warm := func(s *IncrementalSync) error {
+		for i := 0; i < block; i++ {
+			if _, err := s.Sync(fresh); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := warm(off); err != nil {
+		return res, err
+	}
+	if err := warm(on); err != nil {
+		return res, err
+	}
+	var offTotal, onTotal time.Duration
+	done := 0
+	for done < rounds {
+		n := block
+		if rounds-done < n {
+			n = rounds - done
+		}
+		for i := 0; i < n; i++ {
+			p, err := off.Sync(fresh)
+			if err != nil {
+				return res, err
+			}
+			offTotal += p.Duration
+		}
+		for i := 0; i < n; i++ {
+			p, err := on.Sync(fresh)
+			if err != nil {
+				return res, err
+			}
+			onTotal += p.Duration
+		}
+		done += n
+	}
+	res.OffNs = offTotal.Nanoseconds() / int64(rounds)
+	res.OnNs = onTotal.Nanoseconds() / int64(rounds)
+	if err := on.FlushWAL(); err != nil {
+		return res, err
+	}
+	res.WALBytes = dirBytes(dir)
+	if res.OffNs > 0 {
+		res.OverheadPct = 100 * float64(res.OnNs-res.OffNs) / float64(res.OffNs)
+	}
+	return res, nil
+}
+
+func dirBytes(dir string) int64 {
+	var total int64
+	filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total
+}
+
+// ---- recovery time ----------------------------------------------------------
+
+// RecoveryResult reports how long rebuilding a system takes from the
+// write-ahead log alone and from a fresh snapshot.
+type RecoveryResult struct {
+	Principals int
+	Base       int // messages shipped through the system pre-crash
+	Tuples     int // total database tuples across workspaces
+	// WALBytes/WALRecoverNs: log size and reopen time before any
+	// checkpoint (the whole history replays).
+	WALBytes     int64
+	WALRecoverNs int64
+	// CheckpointNs is the cost of writing the snapshot + rotating.
+	CheckpointNs  int64
+	SnapshotBytes int64
+	// SnapRecoverNs is the reopen time from the fresh snapshot.
+	SnapRecoverNs int64
+}
+
+// BuildRecoverySystem stands up a 3-node durable system and pushes base
+// messages through it: p0 says to p1 and p1 says to p2 (base/2 each), so
+// every node holds asserted, derived, and delivered state.
+func BuildRecoverySystem(dir string, base int) (*core.System, error) {
+	sys, err := core.OpenSystem(dir, core.DurableOptions{Fsync: store.FsyncOff})
+	if err != nil {
+		return nil, err
+	}
+	names := []string{"p0", "p1", "p2"}
+	prins := make([]*core.Principal, len(names))
+	for i, name := range names {
+		node, err := sys.AddNode("nd-" + name)
+		if err != nil {
+			sys.Close()
+			return nil, err
+		}
+		if prins[i], err = sys.AddPrincipalOn(name, node); err != nil {
+			sys.Close()
+			return nil, err
+		}
+	}
+	for _, p := range prins[1:] {
+		if err := p.TrustAll(); err != nil {
+			sys.Close()
+			return nil, err
+		}
+	}
+	half := base / 2
+	msgs := make([]string, half)
+	for i := range msgs {
+		msgs[i] = fmt.Sprintf("hop1(m%d).", i)
+	}
+	if err := prins[0].SayAll("p1", msgs); err != nil {
+		sys.Close()
+		return nil, err
+	}
+	for i := range msgs {
+		msgs[i] = fmt.Sprintf("hop2(m%d).", i)
+	}
+	if err := prins[1].SayAll("p2", msgs); err != nil {
+		sys.Close()
+		return nil, err
+	}
+	if err := sys.Sync(); err != nil {
+		sys.Close()
+		return nil, err
+	}
+	return sys, nil
+}
+
+// SystemTuples sums database tuples across all workspaces.
+func SystemTuples(sys *core.System) int {
+	total := 0
+	for _, name := range sys.Principals() {
+		p, _ := sys.Principal(name)
+		total += p.Workspace().DB().TupleCount()
+	}
+	return total
+}
+
+// RunRecovery builds a base-message 3-node system, then measures (1)
+// recovery time replaying the full write-ahead log, (2) checkpoint cost,
+// and (3) recovery time from the fresh snapshot. The recovered system is
+// checked against the original: same per-predicate counts at the tail
+// principal.
+func RunRecovery(base int) (RecoveryResult, error) {
+	res := RecoveryResult{Principals: 3, Base: base}
+	dir, err := os.MkdirTemp("", "lbtrust-recover-bench-")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+
+	sys, err := BuildRecoverySystem(dir, base)
+	if err != nil {
+		return res, err
+	}
+	res.Tuples = SystemTuples(sys)
+	tail, _ := sys.Principal("p2")
+	wantTail := tail.Count("hop2")
+	if err := sys.Close(); err != nil {
+		return res, err
+	}
+	res.WALBytes = dirBytes(dir)
+
+	// Recovery 1: replay the whole log.
+	start := time.Now()
+	re, err := core.OpenSystem(dir, core.DurableOptions{Fsync: store.FsyncOff})
+	if err != nil {
+		return res, err
+	}
+	res.WALRecoverNs = time.Since(start).Nanoseconds()
+	tail2, _ := re.Principal("p2")
+	if tail2 == nil || tail2.Count("hop2") != wantTail {
+		re.Close()
+		return res, fmt.Errorf("bench: WAL recovery lost state: tail hop2 = %v, want %d", tail2, wantTail)
+	}
+
+	// Checkpoint, then recover from the snapshot.
+	start = time.Now()
+	if err := re.Checkpoint(); err != nil {
+		re.Close()
+		return res, err
+	}
+	res.CheckpointNs = time.Since(start).Nanoseconds()
+	if err := re.Close(); err != nil {
+		return res, err
+	}
+	res.SnapshotBytes = dirBytes(dir)
+
+	start = time.Now()
+	re2, err := core.OpenSystem(dir, core.DurableOptions{Fsync: store.FsyncOff})
+	if err != nil {
+		return res, err
+	}
+	res.SnapRecoverNs = time.Since(start).Nanoseconds()
+	defer re2.Close()
+	tail3, _ := re2.Principal("p2")
+	if tail3 == nil || tail3.Count("hop2") != wantTail {
+		return res, fmt.Errorf("bench: snapshot recovery lost state: tail hop2 != %d", wantTail)
+	}
+	return res, nil
+}

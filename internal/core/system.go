@@ -8,6 +8,7 @@ import (
 	"lbtrust/internal/datalog"
 	"lbtrust/internal/dist"
 	"lbtrust/internal/lbcrypto"
+	"lbtrust/internal/store"
 	"lbtrust/internal/workspace"
 )
 
@@ -24,6 +25,9 @@ type System struct {
 	defaultNd  *dist.Node
 	principals map[string]*Principal
 	order      []string
+	// durable is non-nil for systems opened with OpenSystem: the store
+	// that logs flushes, distribution events, and key material.
+	durable *durableState
 }
 
 // Principal is one LBTrust context: a workspace plus cryptographic
@@ -78,7 +82,15 @@ func (s *System) defaultNode() (*dist.Node, error) {
 		return nil, fmt.Errorf("core: default node: %w", err)
 	}
 	s.defaultNd = s.runtime.AddNode("local", ep)
+	s.logNode("local")
 	return s.defaultNd, nil
+}
+
+// logNode records node creation for durable systems.
+func (s *System) logNode(name string) {
+	if s.durable != nil {
+		s.durable.note(s.durable.st.Append(&store.Record{Kind: store.KindNode, Fields: []string{name}}))
+	}
 }
 
 // Runtime exposes the distribution runtime.
@@ -90,9 +102,22 @@ func (s *System) Transport() dist.Transport { return s.transport }
 // Stats snapshots the distribution runtime's delivery and wire counters.
 func (s *System) Stats() dist.Stats { return s.runtime.Stats() }
 
-// Close shuts down the transport (listeners, connections). The system
-// remains queryable locally afterwards; only distribution stops.
-func (s *System) Close() error { return s.transport.Close() }
+// Close flushes and closes the write-ahead log (for durable systems) and
+// shuts down the transport (listeners, connections). The system remains
+// queryable locally afterwards; only distribution and logging stop.
+func (s *System) Close() error {
+	var err error
+	if s.durable != nil {
+		err = s.durable.sticky()
+		if cerr := s.durable.st.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if terr := s.transport.Close(); err == nil {
+		err = terr
+	}
+	return err
+}
 
 // AddNode registers an additional node on the system's transport;
 // principals can be placed on it via AddPrincipalOn.
@@ -101,7 +126,9 @@ func (s *System) AddNode(name string) (*dist.Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: node %s: %w", name, err)
 	}
-	return s.runtime.AddNode(name, ep), nil
+	n := s.runtime.AddNode(name, ep)
+	s.logNode(name)
+	return n, nil
 }
 
 // AddPrincipal creates a principal on the default node with the plaintext
@@ -131,6 +158,17 @@ func (s *System) AddPrincipalOn(name string, node *dist.Node) (*Principal, error
 		scheme: SchemePlaintext,
 	}
 	lbcrypto.Register(p.ws.Builtins(), p.keys)
+	if s.durable != nil {
+		// The prin record precedes the base-program flushes the journal is
+		// about to log, so replay can route them to the right workspace.
+		if err := s.durable.st.Append(&store.Record{Kind: store.KindPrin, Fields: []string{name, node.Name()}}); err != nil {
+			return nil, fmt.Errorf("core: logging principal %s: %w", name, err)
+		}
+		d := s.durable
+		p.ws.SetJournal(func(j *workspace.FlushJournal) {
+			d.note(d.st.LogFlush(name, j))
+		})
+	}
 	if err := p.ws.LoadProgram(BaseProgram); err != nil {
 		return nil, fmt.Errorf("core: base program: %w", err)
 	}
@@ -192,6 +230,11 @@ func (s *System) EstablishRSA(name string) error {
 		return err
 	}
 	key, _ := p.keys.RSAKey(name)
+	if s.durable != nil {
+		if der, ok := p.keys.ExportRSAPrivate(name); ok {
+			s.durable.note(s.durable.st.Append(store.EncodeKey(store.KeyRecord{Kind: "rsa-priv", Name: name, Data: der})))
+		}
+	}
 	if err := p.ws.Update(func(tx *workspace.Tx) error {
 		if err := tx.Assert(fmt.Sprintf("rsaprivkey(me, %s)", lbcrypto.PrivHandle(name))); err != nil {
 			return err
@@ -233,6 +276,9 @@ func (s *System) EstablishSharedSecret(a, b string) error {
 	}
 	secret, _ := pa.keys.Shared(a, b)
 	pb.keys.SetShared(a, b, secret)
+	if s.durable != nil {
+		s.durable.note(s.durable.st.Append(store.EncodeKey(store.KeyRecord{Kind: "shared", Name: lbcrypto.PairOf(a, b), Data: secret})))
+	}
 	handle := lbcrypto.SharedHandle(a, b)
 	for _, pair := range [][2]*Principal{{pa, pb}, {pb, pa}} {
 		self, peer := pair[0], pair[1]
@@ -307,7 +353,7 @@ func (p *Principal) UseScheme(sc Scheme) error {
 	if sc == p.scheme {
 		return nil
 	}
-	return p.ws.Update(func(tx *workspace.Tx) error {
+	if err := p.ws.Update(func(tx *workspace.Tx) error {
 		for _, code := range p.schemeRules {
 			if err := tx.RemoveRule(code); err != nil {
 				return err
@@ -318,11 +364,28 @@ func (p *Principal) UseScheme(sc Scheme) error {
 			return err
 		}
 		return nil
-	})
+	}); err != nil {
+		return err
+	}
+	p.logScheme()
+	return nil
 }
 
 func (p *Principal) installScheme(sc Scheme) error {
-	return p.ws.Update(func(tx *workspace.Tx) error { return p.installSchemeTx(tx, sc) })
+	if err := p.ws.Update(func(tx *workspace.Tx) error { return p.installSchemeTx(tx, sc) }); err != nil {
+		return err
+	}
+	p.logScheme()
+	return nil
+}
+
+// logScheme records the principal's current scheme for durable systems,
+// so recovery can restore the swap-out bookkeeping UseScheme needs.
+func (p *Principal) logScheme() {
+	s := p.sys
+	if s.durable != nil {
+		s.durable.note(s.durable.st.Append(&store.Record{Kind: store.KindScheme, Fields: []string{p.name, string(p.scheme)}}))
+	}
 }
 
 func (p *Principal) installSchemeTx(tx *workspace.Tx, sc Scheme) error {

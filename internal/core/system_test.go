@@ -58,7 +58,7 @@ func testSchemeRoundTrip(t *testing.T, scheme Scheme) {
 	if err != nil {
 		t.Fatalf("query: %v", err)
 	}
-	if len(got) != 1 || got[0][0].Key() != datalog.Sym("hello").Key() {
+	if len(got) != 1 || got[0].At(0).Key() != datalog.Sym("hello").Key() {
 		t.Errorf("bob's greeting = %v, want [hello] (scheme %s)", got, scheme)
 	}
 	// The says fact at bob must record alice as the source.
@@ -99,9 +99,9 @@ func TestForgedExportRejected(t *testing.T) {
 	// signature does not verify.
 	forged := datalog.NewCode(datalog.MustParseClause(`evil(1).`))
 	err := bob.Update(func(tx *workspace.Tx) error {
-		return tx.AssertTuple("import", datalog.Tuple{
+		return tx.AssertTuple("import", datalog.NewTuple(
 			datalog.Sym("bob"), datalog.Sym("alice"), forged, datalog.String(strings.Repeat("00", 128)),
-		})
+		))
 	})
 	if err == nil {
 		t.Fatal("forged export should violate exp3")
@@ -139,9 +139,9 @@ func TestWrongKeySignatureRejected(t *testing.T) {
 	}
 	// Inject into bob as if from alice.
 	err = bob.Update(func(tx *workspace.Tx) error {
-		return tx.AssertTuple("import", datalog.Tuple{
+		return tx.AssertTuple("import", datalog.NewTuple(
 			datalog.Sym("bob"), datalog.Sym("alice"), code, datalog.String(sig),
-		})
+		))
 	})
 	if err == nil {
 		t.Fatal("signature under the wrong principal's key must be rejected")

@@ -23,9 +23,9 @@ type Builtin struct {
 	// available.
 	NeedBound []int
 	// Eval receives argument values with nil at unbound positions and
-	// returns all consistent full bindings. A bound-only builtin returns
-	// zero or one row equal to its input.
-	Eval func(args []Value) ([]Tuple, error)
+	// returns all consistent full bindings (one value slice per row). A
+	// bound-only builtin returns zero or one row equal to its input.
+	Eval func(args []Value) ([][]Value, error)
 }
 
 // BuiltinSet is a registry of built-in predicates.
@@ -70,12 +70,12 @@ func baseBuiltins() []*Builtin {
 		return &Builtin{
 			Name:  name,
 			Arity: 2,
-			Eval: func(args []Value) ([]Tuple, error) {
+			Eval: func(args []Value) ([][]Value, error) {
 				if args[0] == nil || args[1] == nil {
 					return nil, fmt.Errorf("%w: %s", ErrUnbound, name)
 				}
 				if ok(CompareValues(args[0], args[1])) {
-					return []Tuple{{args[0], args[1]}}, nil
+					return [][]Value{{args[0], args[1]}}, nil
 				}
 				return nil, nil
 			},
@@ -85,12 +85,12 @@ func baseBuiltins() []*Builtin {
 		return &Builtin{
 			Name:  name,
 			Arity: 1,
-			Eval: func(args []Value) ([]Tuple, error) {
+			Eval: func(args []Value) ([][]Value, error) {
 				if args[0] == nil {
 					return nil, fmt.Errorf("%w: %s", ErrUnbound, name)
 				}
 				if args[0].Kind() == k {
-					return []Tuple{{args[0]}}, nil
+					return [][]Value{{args[0]}}, nil
 				}
 				return nil, nil
 			},
@@ -99,17 +99,17 @@ func baseBuiltins() []*Builtin {
 	eq := &Builtin{
 		Name:  "=",
 		Arity: 2,
-		Eval: func(args []Value) ([]Tuple, error) {
+		Eval: func(args []Value) ([][]Value, error) {
 			switch {
 			case args[0] != nil && args[1] != nil:
 				if ValueEqual(args[0], args[1]) {
-					return []Tuple{{args[0], args[1]}}, nil
+					return [][]Value{{args[0], args[1]}}, nil
 				}
 				return nil, nil
 			case args[0] != nil:
-				return []Tuple{{args[0], args[0]}}, nil
+				return [][]Value{{args[0], args[0]}}, nil
 			case args[1] != nil:
-				return []Tuple{{args[1], args[1]}}, nil
+				return [][]Value{{args[1], args[1]}}, nil
 			}
 			return nil, fmt.Errorf("%w: =", ErrUnbound)
 		},

@@ -95,11 +95,18 @@ func (c *canonizer) term(b *strings.Builder, t Term) {
 	case Const:
 		b.WriteString(canonValue(t.Val))
 	case Quote:
-		// Nested quotes canonicalize with their own variable scope, which
-		// matches the paper's treatment of inner patterns as separate
-		// clauses.
+		// Quote patterns (and head templates) share the enclosing rule's
+		// variable scope: a pattern variable binds in the outer rule, so
+		// renaming it in a separate scope would let it collide with an
+		// outer variable on re-parse and change the rule's meaning (for
+		// example R = [| reach(me,D). |] would canonicalize R and D to
+		// the same name). Sharing the scope also keeps semantically
+		// different rules from collapsing onto one canonical identity —
+		// the byte string signatures are computed over. Only ground Code
+		// values (Const) are independent clauses with their own scope,
+		// handled by canonValue.
 		b.WriteString("[|")
-		b.WriteString(canonRule(t.Pat))
+		b.WriteString(c.rule(t.Pat))
 		b.WriteString("|]")
 	case Arith:
 		b.WriteString("(")

@@ -19,8 +19,8 @@ func TestSafeNegExemptsDeclaredPredicates(t *testing.T) {
 	if err := ev.SetRules(prog.Rules); err != nil {
 		t.Fatalf("set rules: %v", err)
 	}
-	db.Rel("lhs", 1).Insert(Tuple{Sym("a")})
-	db.Rel("rhs", 1).Insert(Tuple{Sym("a")})
+	db.Rel("lhs", 1).Insert(NewTuple(Sym("a")))
+	db.Rel("rhs", 1).Insert(NewTuple(Sym("a")))
 	if err := ev.Run(); err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -28,7 +28,7 @@ func TestSafeNegExemptsDeclaredPredicates(t *testing.T) {
 		t.Fatalf("bad = %q, want empty (aux(a) suppresses)", got)
 	}
 
-	fresh := Tuple{Sym("b")}
+	fresh := NewTuple(Sym("b"))
 	db.Rel("lhs", 1).Insert(fresh)
 	delta := map[string][]Tuple{"lhs": {fresh}}
 	if err := ev.RunDelta(delta); err != ErrNeedsFullEval {
@@ -45,7 +45,7 @@ func TestSafeNegExemptsDeclaredPredicates(t *testing.T) {
 	// With the exemption withdrawn the same delta bails again: aux is in
 	// the affected closure of rhs and is consulted under negation.
 	ev.SafeNeg = nil
-	nt := Tuple{Sym("b")}
+	nt := NewTuple(Sym("b"))
 	db.Rel("rhs", 1).Insert(nt)
 	if err := ev.RunDelta(map[string][]Tuple{"rhs": {nt}}); err != ErrNeedsFullEval {
 		t.Errorf("rhs delta = %v, want ErrNeedsFullEval (aux affected under negation)", err)
@@ -71,7 +71,7 @@ func TestRunDeltaPropagatesAcrossStrata(t *testing.T) {
 	if err := ev.Run(); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	nt := Tuple{Sym("a")}
+	nt := NewTuple(Sym("a"))
 	db.Rel("q", 1).Insert(nt)
 	// s is untouched by the delta, so the classification admits it.
 	if err := ev.RunDelta(map[string][]Tuple{"q": {nt}}); err != nil {
@@ -99,8 +99,8 @@ func TestOnDeriveObservesEveryDerivation(t *testing.T) {
 	if err := ev.SetRules(prog.Rules); err != nil {
 		t.Fatalf("set rules: %v", err)
 	}
-	db.Rel("a", 1).Insert(Tuple{Sym("x")})
-	db.Rel("b", 1).Insert(Tuple{Sym("x")})
+	db.Rel("a", 1).Insert(NewTuple(Sym("x")))
+	db.Rel("b", 1).Insert(NewTuple(Sym("x")))
 
 	traced, derived := 0, 0
 	var preds []string

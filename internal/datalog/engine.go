@@ -214,7 +214,7 @@ func (ev *Evaluator) RunDelta(changed map[string][]Tuple) error {
 	for pred, tuples := range changed {
 		arity := 0
 		if len(tuples) > 0 {
-			arity = len(tuples[0])
+			arity = tuples[0].Len()
 		} else {
 			continue
 		}
@@ -284,13 +284,13 @@ func (ev *Evaluator) runStratum(s int, seed map[string]*Relation) error {
 			if ev.OnDerive != nil {
 				ev.OnDerive(pred, t, cr.src, premises)
 			}
-			rel := ev.DB.Rel(pred, len(t))
+			rel := ev.DB.Rel(pred, t.Len())
 			if !rel.Insert(t) {
 				return nil
 			}
 			d := newDelta[pred]
 			if d == nil {
-				d = NewRelation(pred, len(t))
+				d = NewRelation(pred, t.Len())
 				newDelta[pred] = d
 			}
 			d.Insert(t)
@@ -489,7 +489,7 @@ func (ev *Evaluator) evalRule(cr *compiledRule, order []int, forced int, delta *
 			mark := en.mark()
 			ok := true
 			for i, at := range args {
-				m, err := matchTerm(at, t[i], en)
+				m, err := matchTerm(at, t.At(i), en)
 				if err != nil {
 					iterErr = err
 					return false
@@ -603,18 +603,18 @@ func (ev *Evaluator) negExists(a *Atom, en *env) (bool, error) {
 
 func (ev *Evaluator) instantiateHead(a *Atom, en *env) (Tuple, error) {
 	args := a.AllArgs()
-	t := make(Tuple, len(args))
+	vs := make([]Value, len(args))
 	for i, at := range args {
 		v, ground, err := evalTerm(at, en)
 		if err != nil {
-			return nil, err
+			return Tuple{}, err
 		}
 		if !ground {
-			return nil, fmt.Errorf("head argument %s not bound", at.String())
+			return Tuple{}, fmt.Errorf("head argument %s not bound", at.String())
 		}
-		t[i] = v
+		vs[i] = v
 	}
-	return t, nil
+	return TupleOf(vs), nil
 }
 
 // evalAggRule evaluates an aggregation rule: all body solutions are
@@ -689,7 +689,7 @@ func (ev *Evaluator) evalAggRule(cr *compiledRule, out func(Tuple, []Premise) er
 			mark := en.mark()
 			ok := true
 			for i, at := range args {
-				m, err := matchTerm(at, t[i], en)
+				m, err := matchTerm(at, t.At(i), en)
 				if err != nil {
 					iterErr = err
 					return false
@@ -790,7 +790,7 @@ func (ev *Evaluator) Query(a *Atom) ([]Tuple, error) {
 		mark := en.mark()
 		ok := true
 		for i, at := range args {
-			m, err := matchTerm(at, t[i], en)
+			m, err := matchTerm(at, t.At(i), en)
 			if err != nil {
 				iterErr = err
 				return false

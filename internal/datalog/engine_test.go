@@ -23,7 +23,7 @@ func mustEval(t *testing.T, src string) *Evaluator {
 			if err != nil {
 				t.Fatalf("fact %s: %v", r.Heads[0].String(), err)
 			}
-			db.Rel(r.Heads[0].Pred, len(tuple)).Insert(tuple)
+			db.Rel(r.Heads[0].Pred, tuple.Len()).Insert(tuple)
 			continue
 		}
 		rules = append(rules, r)
@@ -51,15 +51,15 @@ func groundAtom(a *Atom) bool {
 func factTuple(a *Atom) (Tuple, error) {
 	en := newEnv()
 	args := a.AllArgs()
-	tu := make(Tuple, len(args))
+	vs := make([]Value, len(args))
 	for i, t := range args {
 		v, _, err := evalTerm(t, en)
 		if err != nil {
-			return nil, err
+			return Tuple{}, err
 		}
-		tu[i] = v
+		vs[i] = v
 	}
-	return tu, nil
+	return TupleOf(vs), nil
 }
 
 // rows renders a relation's sorted contents compactly for comparison.
@@ -71,7 +71,7 @@ func rows(ev *Evaluator, pred string) string {
 	var out []string
 	for _, t := range rel.Sorted() {
 		var parts []string
-		for _, v := range t {
+		for _, v := range t.Values() {
 			parts = append(parts, v.String())
 		}
 		out = append(out, strings.Join(parts, ","))
@@ -197,8 +197,8 @@ func TestIncrementalInsertion(t *testing.T) {
 		t.Fatalf("set rules: %v", err)
 	}
 	edge := db.Rel("edge", 2)
-	edge.Insert(Tuple{Sym("a"), Sym("b")})
-	edge.Insert(Tuple{Sym("b"), Sym("c")})
+	edge.Insert(NewTuple(Sym("a"), Sym("b")))
+	edge.Insert(NewTuple(Sym("b"), Sym("c")))
 	if err := ev.Run(); err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -206,7 +206,7 @@ func TestIncrementalInsertion(t *testing.T) {
 		t.Fatalf("path = %q", got)
 	}
 	// Incremental: add edge(c,d); paths a-d, b-d, c-d should appear.
-	nt := Tuple{Sym("c"), Sym("d")}
+	nt := NewTuple(Sym("c"), Sym("d"))
 	edge.Insert(nt)
 	if err := ev.RunDelta(map[string][]Tuple{"edge": {nt}}); err != nil {
 		t.Fatalf("run delta: %v", err)
@@ -227,11 +227,11 @@ func TestIncrementalRefusesNegation(t *testing.T) {
 	if err := ev.SetRules(prog.Rules); err != nil {
 		t.Fatalf("set rules: %v", err)
 	}
-	db.Rel("all", 1).Insert(Tuple{Sym("a")})
+	db.Rel("all", 1).Insert(NewTuple(Sym("a")))
 	if err := ev.Run(); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	nt := Tuple{Sym("a")}
+	nt := NewTuple(Sym("a"))
 	db.Rel("base", 1).Insert(nt)
 	err := ev.RunDelta(map[string][]Tuple{"base": {nt}})
 	if err != ErrNeedsFullEval {
@@ -301,7 +301,7 @@ func TestHeadQuoteTemplateInstantiation(t *testing.T) {
 	}
 	var code Code
 	rel.Each(func(tu Tuple) bool {
-		code = tu[1].(Code)
+		code = tu.At(1).(Code)
 		return false
 	})
 	want := NewCode(MustParseClause("notify(n1, 5).")).Key()

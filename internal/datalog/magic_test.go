@@ -10,7 +10,7 @@ func tcDatabase(n int) (*Database, []*Rule) {
 	db := NewDatabase()
 	edge := db.Rel("edge", 2)
 	for i := 0; i < n; i++ {
-		edge.Insert(Tuple{Sym(fmt.Sprintf("v%d", i)), Sym(fmt.Sprintf("v%d", i+1))})
+		edge.Insert(NewTuple(Sym(fmt.Sprintf("v%d", i)), Sym(fmt.Sprintf("v%d", i+1))))
 	}
 	prog := MustParseProgram(`
 		path(X,Y) <- edge(X,Y).
@@ -181,8 +181,8 @@ func TestPropertyCanonReparse(t *testing.T) {
 // equal tuples equal keys.
 func TestPropertyTupleKeyInjective(t *testing.T) {
 	f := func(a, b int64, s1, s2 string) bool {
-		t1 := Tuple{Int(a), String(s1)}
-		t2 := Tuple{Int(b), String(s2)}
+		t1 := NewTuple(Int(a), String(s1))
+		t2 := NewTuple(Int(b), String(s2))
 		if a == b && s1 == s2 {
 			return t1.Key() == t2.Key()
 		}
@@ -200,9 +200,9 @@ func TestPropertyRelationSetSemantics(t *testing.T) {
 		r1 := NewRelation("t", 1)
 		r2 := NewRelation("t", 1)
 		for _, x := range xs {
-			r1.Insert(Tuple{Int(x)})
-			r2.Insert(Tuple{Int(x)})
-			r2.Insert(Tuple{Int(x)})
+			r1.Insert(NewTuple(Int(x)))
+			r2.Insert(NewTuple(Int(x)))
+			r2.Insert(NewTuple(Int(x)))
 		}
 		if r1.Len() != r2.Len() {
 			return false
@@ -251,7 +251,7 @@ func TestPropertyTCMatchesReference(t *testing.T) {
 		db := NewDatabase()
 		rel := db.Rel("edge", 2)
 		for _, e := range edges {
-			rel.Insert(Tuple{Int(e.a), Int(e.b)})
+			rel.Insert(NewTuple(Int(e.a), Int(e.b)))
 		}
 		ev := NewEvaluator(db, NewBuiltinSet())
 		prog := MustParseProgram(`

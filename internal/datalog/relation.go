@@ -40,7 +40,7 @@ func (r *Relation) Contains(t Tuple) bool {
 
 // Insert adds a tuple, reporting whether it was new.
 func (r *Relation) Insert(t Tuple) bool {
-	if len(t) != r.Arity {
+	if t.Len() != r.Arity {
 		panic(fmt.Sprintf("datalog: arity mismatch inserting %v into %s/%d", t, r.Name, r.Arity))
 	}
 	k := t.Key()
@@ -49,7 +49,7 @@ func (r *Relation) Insert(t Tuple) bool {
 	}
 	r.rows[k] = t
 	for col, idx := range r.indexes {
-		vk := t[col].Key()
+		vk := t.At(col).Key()
 		m := idx[vk]
 		if m == nil {
 			m = map[string]Tuple{}
@@ -68,7 +68,7 @@ func (r *Relation) Delete(t Tuple) bool {
 	}
 	delete(r.rows, k)
 	for col, idx := range r.indexes {
-		vk := t[col].Key()
+		vk := t.At(col).Key()
 		if m := idx[vk]; m != nil {
 			delete(m, k)
 			if len(m) == 0 {
@@ -102,8 +102,8 @@ func (r *Relation) All() []Tuple {
 func (r *Relation) Sorted() []Tuple {
 	out := r.All()
 	sort.Slice(out, func(i, j int) bool {
-		for k := 0; k < len(out[i]) && k < len(out[j]); k++ {
-			if c := CompareValues(out[i][k], out[j][k]); c != 0 {
+		for k := 0; k < out[i].Len() && k < out[j].Len(); k++ {
+			if c := CompareValues(out[i].At(k), out[j].At(k)); c != 0 {
 				return c < 0
 			}
 		}
@@ -119,7 +119,7 @@ func (r *Relation) ensureIndex(col int) map[string]map[string]Tuple {
 	}
 	idx := map[string]map[string]Tuple{}
 	for k, t := range r.rows {
-		vk := t[col].Key()
+		vk := t.At(col).Key()
 		m := idx[vk]
 		if m == nil {
 			m = map[string]Tuple{}
@@ -152,7 +152,7 @@ func (r *Relation) MatchEach(bound []Value, fn func(Tuple) bool) {
 	}
 	match := func(t Tuple) bool {
 		for col, v := range bound {
-			if v != nil && t[col].Key() != v.Key() {
+			if v != nil && t.At(col).Key() != v.Key() {
 				return false
 			}
 		}

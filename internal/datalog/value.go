@@ -158,27 +158,53 @@ func (p PartRef) Key() string { return "p:" + p.Pred + "[" + p.Arg.Key() + "]" }
 
 func (p PartRef) String() string { return p.Pred + "[" + p.Arg.String() + "]" }
 
-// Tuple is an immutable row of values.
-type Tuple []Value
+// Tuple is an immutable row of values. The canonical key — the
+// concatenation of the value keys that identifies the tuple in relations,
+// indexes, shipped-tuple sets, and the write-ahead log — is computed once
+// at construction and memoized, so the hot paths that repeatedly consult
+// it (relation inserts, delta routing, constraint dedup, WAL encoding) do
+// no per-call string building. Construct tuples with NewTuple or TupleOf;
+// the zero Tuple is the empty tuple.
+type Tuple struct {
+	vals []Value
+	key  string
+}
 
-// Key returns the canonical identity of the tuple, used as the hash key in
-// relations.
-func (t Tuple) Key() string {
+// NewTuple builds a tuple from values, memoizing its canonical key.
+func NewTuple(vs ...Value) Tuple { return TupleOf(vs) }
+
+// TupleOf builds a tuple taking ownership of the slice (callers must not
+// mutate it afterwards), memoizing its canonical key.
+func TupleOf(vs []Value) Tuple {
 	n := 0
-	for _, v := range t {
+	for _, v := range vs {
 		n += len(v.Key()) + 1
 	}
 	b := make([]byte, 0, n)
-	for _, v := range t {
+	for _, v := range vs {
 		b = append(b, v.Key()...)
 		b = append(b, 0)
 	}
-	return string(b)
+	return Tuple{vals: vs, key: string(b)}
 }
+
+// Len reports the number of values in the tuple.
+func (t Tuple) Len() int { return len(t.vals) }
+
+// At returns the value at position i.
+func (t Tuple) At(i int) Value { return t.vals[i] }
+
+// Values returns the underlying value slice, borrowed: callers must not
+// mutate it.
+func (t Tuple) Values() []Value { return t.vals }
+
+// Key returns the canonical identity of the tuple, used as the hash key in
+// relations. It is memoized at construction.
+func (t Tuple) Key() string { return t.key }
 
 func (t Tuple) String() string {
 	s := "("
-	for i, v := range t {
+	for i, v := range t.vals {
 		if i > 0 {
 			s += ", "
 		}
@@ -187,18 +213,9 @@ func (t Tuple) String() string {
 	return s + ")"
 }
 
-// Equal reports whether two tuples have identical values.
-func (t Tuple) Equal(o Tuple) bool {
-	if len(t) != len(o) {
-		return false
-	}
-	for i := range t {
-		if t[i].Key() != o[i].Key() {
-			return false
-		}
-	}
-	return true
-}
+// Equal reports whether two tuples have identical values. Keys are unique
+// across values, so the memoized tuple keys decide equality directly.
+func (t Tuple) Equal(o Tuple) bool { return t.key == o.key }
 
 // ValueEqual reports whether two values are equal.
 func ValueEqual(a, b Value) bool {

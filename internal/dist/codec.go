@@ -85,7 +85,7 @@ func EncodeTuple(t datalog.Tuple) string {
 	var b strings.Builder
 	b.WriteString(tuplePred)
 	b.WriteByte('(')
-	for i, v := range t {
+	for i, v := range t.Values() {
 		if i > 0 {
 			b.WriteByte(',')
 		}
@@ -101,22 +101,22 @@ func EncodeTuple(t datalog.Tuple) string {
 func DecodeTuple(line string) (datalog.Tuple, error) {
 	clause, err := datalog.ParseClause(line + ".")
 	if err != nil {
-		return nil, err
+		return datalog.Tuple{}, err
 	}
 	if !clause.IsFact() {
-		return nil, fmt.Errorf("dist: wire line %q is not a fact", line)
+		return datalog.Tuple{}, fmt.Errorf("dist: wire line %q is not a fact", line)
 	}
 	args := clause.Heads[0].AllArgs()
-	tuple := make(datalog.Tuple, len(args))
+	vs := make([]datalog.Value, len(args))
 	for i, term := range args {
 		v, ground, err := datalog.EvalGroundTerm(term)
 		if err != nil {
-			return nil, err
+			return datalog.Tuple{}, err
 		}
 		if !ground {
-			return nil, fmt.Errorf("dist: wire tuple %q has non-ground argument %d", line, i)
+			return datalog.Tuple{}, fmt.Errorf("dist: wire tuple %q has non-ground argument %d", line, i)
 		}
-		tuple[i] = v
+		vs[i] = v
 	}
-	return tuple, nil
+	return datalog.TupleOf(vs), nil
 }

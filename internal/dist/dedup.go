@@ -39,6 +39,10 @@ type shippedSet struct {
 	// evictions are pointless until the generation advances.
 	stuckGen uint64
 	stuck    bool
+	// lossyAll marks the whole set as possibly incomplete: set after a
+	// recovery restore, whose source predates any eviction marks. Every
+	// resetTarget then reports lossy, forcing the safe broad rescan.
+	lossyAll bool
 }
 
 func newShippedSet(cap int) *shippedSet {
@@ -127,6 +131,7 @@ func (s *shippedSet) evict() {
 // restarts from nothing either way.
 func (s *shippedSet) resetTarget(target string) (senders []string, lossy bool) {
 	_, lossy = s.evictedTargets[target]
+	lossy = lossy || s.lossyAll
 	delete(s.evictedTargets, target)
 	set := map[string]struct{}{}
 	for k, r := range s.records {

@@ -64,12 +64,16 @@ type Runtime struct {
 	// sender/target pair instead of once per tuple.
 	parkedKey map[string]string
 	parkedCap int
-	syncs     int64
-	rounds    int64
-	failures  int64 // envelope sends that returned an error
-	delta     int64 // fresh tuples accepted from flush deltas
-	scanned   int64 // tuples examined by pump rounds (deltas + rescans)
-	suppress  int64 // tuples skipped by the shipped set
+	// journal, when set, observes placements, delivery-map changes,
+	// shipped records, and delivery resets for the durability layer (see
+	// persist.go).
+	journal  func(Event)
+	syncs    int64
+	rounds   int64
+	failures int64 // envelope sends that returned an error
+	delta    int64 // fresh tuples accepted from flush deltas
+	scanned  int64 // tuples examined by pump rounds (deltas + rescans)
+	suppress int64 // tuples skipped by the shipped set
 
 	dirtyMu sync.Mutex
 	dirty   map[string]struct{}                   // principals with unpumped changes
@@ -188,6 +192,7 @@ func (rt *Runtime) SetDeliveryMap(src, dst string) {
 	for _, p := range placed {
 		rt.markRescan(p)
 	}
+	rt.emit(Event{Kind: EventMap, Src: src, Dst: dst})
 }
 
 // Placement returns the node hosting a principal.
@@ -235,6 +240,7 @@ func (rt *Runtime) place(ws *workspace.Workspace, n *Node) {
 	rt.rescan[name] = struct{}{}
 	rt.dirty[name] = struct{}{}
 	rt.dirtyMu.Unlock()
+	rt.emit(Event{Kind: EventPlace, Principal: name, Node: n.name})
 }
 
 // enqueueLocked appends one fresh tuple to a sender's pending set and
@@ -389,6 +395,9 @@ func (rt *Runtime) pump() (bool, error) {
 
 	// Collect outbound envelopes under the runtime lock. Workspace locks
 	// nest inside rt.mu here; the delivery path takes them separately.
+	// journalShips accumulates the shipped records this round adds, for
+	// the durability journal (emitted once per round, outside the lock).
+	var journalShips []ShipState
 	rt.mu.Lock()
 	srcPreds := make([]string, 0, len(rt.delivery))
 	for p := range rt.delivery {
@@ -448,10 +457,11 @@ func (rt *Runtime) pump() (bool, error) {
 					rt.suppress++
 					continue
 				}
-				target, ok := tuple[0].(datalog.Sym)
+				target, ok := tuple.At(0).(datalog.Sym)
 				if !ok {
 					// Unroutable: never retryable, suppress it for good.
 					rt.shipped.add(key, sender, "")
+					journalShips = append(journalShips, ShipState{Key: key, Sender: sender, Gen: rt.shipped.gen})
 					srcNode.reject(Rejection{Node: srcNode.name, Sender: sender, Pred: srcPred, Tuple: tuple,
 						Err: fmt.Errorf("dist: partition column of %s%s is not a principal symbol", srcPred, tuple)})
 					continue
@@ -507,6 +517,7 @@ func (rt *Runtime) pump() (bool, error) {
 	rt.mu.Unlock()
 
 	if len(order) == 0 {
+		rt.emitShips(journalShips) // unroutable refusals still suppress
 		return false, nil
 	}
 	counted := false
@@ -527,6 +538,7 @@ func (rt *Runtime) pump() (bool, error) {
 				}
 			}
 			rt.dirtyMu.Unlock()
+			rt.emitShips(journalShips)
 			return true, fmt.Errorf("dist: %s -> %s: %w", env.From, env.To, err)
 		}
 		rt.mu.Lock()
@@ -537,9 +549,11 @@ func (rt *Runtime) pump() (bool, error) {
 		}
 		for _, key := range keys[rk] {
 			rt.shipped.add(key, rk.sender, rk.target)
+			journalShips = append(journalShips, ShipState{Key: key, Sender: rk.sender, Target: rk.target, Gen: rt.shipped.gen})
 		}
 		rt.mu.Unlock()
 	}
+	rt.emitShips(journalShips)
 	return true, nil
 }
 
@@ -606,6 +620,7 @@ func (rt *Runtime) ResetDeliveries(target string) {
 	for _, s := range senders {
 		rt.markRescan(s)
 	}
+	rt.emit(Event{Kind: EventReset, Target: target})
 }
 
 // Stats snapshots the runtime's counters and per-node transfer totals.

@@ -93,7 +93,7 @@ func TestMultiNodePlacementAndDeliveryMap(t *testing.T) {
 	if len(got) != 1 {
 		t.Fatalf("bob inbox = %v, want one tuple", got)
 	}
-	want := datalog.Tuple{datalog.Sym("bob"), datalog.Sym("alice"), datalog.Sym("hi")}
+	want := datalog.NewTuple(datalog.Sym("bob"), datalog.Sym("alice"), datalog.Sym("hi"))
 	if !got[0].Equal(want) {
 		t.Errorf("bob inbox tuple = %v, want %v", got[0], want)
 	}
@@ -126,7 +126,7 @@ func TestMultiHopSyncRoundCounting(t *testing.T) {
 		t.Fatalf("sync: %v", err)
 	}
 	got := wss["carol"].Facts("inbox")
-	want := datalog.Tuple{datalog.Sym("carol"), datalog.Sym("bob"), datalog.Sym("m1")}
+	want := datalog.NewTuple(datalog.Sym("carol"), datalog.Sym("bob"), datalog.Sym("m1"))
 	if len(got) != 1 || !got[0].Equal(want) {
 		t.Fatalf("carol inbox = %v, want [%v]", got, want)
 	}
@@ -247,7 +247,7 @@ func TestBatchRejectionDoesNotCensorCohort(t *testing.T) {
 	if err := rt.Sync(10); err != nil {
 		t.Fatalf("sync: %v", err)
 	}
-	good := datalog.Tuple{datalog.Sym("bob"), datalog.Sym("alice"), datalog.Sym("good")}
+	good := datalog.NewTuple(datalog.Sym("bob"), datalog.Sym("alice"), datalog.Sym("good"))
 	got := bob.Facts("inbox")
 	if len(got) != 1 || !got[0].Equal(good) {
 		t.Errorf("bob inbox = %v, want only %v", got, good)
@@ -311,7 +311,7 @@ func TestResetDeliveriesReships(t *testing.T) {
 	if err := rt.Sync(10); err != nil {
 		t.Fatalf("sync: %v", err)
 	}
-	tuple := datalog.Tuple{datalog.Sym("bob"), datalog.Sym("alice"), datalog.Sym("hi")}
+	tuple := datalog.NewTuple(datalog.Sym("bob"), datalog.Sym("alice"), datalog.Sym("hi"))
 	if err := bob.Update(func(tx *workspace.Tx) error {
 		return tx.RetractTuple("inbox", tuple)
 	}); err != nil {
@@ -388,7 +388,7 @@ func TestLatePlacementStillDelivers(t *testing.T) {
 	if err := rt.Sync(10); err != nil {
 		t.Fatalf("sync after placement: %v", err)
 	}
-	want := datalog.Tuple{datalog.Sym("bob"), datalog.Sym("alice"), datalog.Sym("early")}
+	want := datalog.NewTuple(datalog.Sym("bob"), datalog.Sym("alice"), datalog.Sym("early"))
 	if got := bob.Facts("inbox"); len(got) != 1 || !got[0].Equal(want) {
 		t.Fatalf("late-placed bob inbox = %v, want [%v]", got, want)
 	}
@@ -495,7 +495,7 @@ func TestPartialRoundFailureCountsAndRetries(t *testing.T) {
 	if err := rt.Sync(10); err != nil {
 		t.Fatalf("retry sync: %v", err)
 	}
-	wantCarol := datalog.Tuple{datalog.Sym("carol"), datalog.Sym("alice"), datalog.Sym("m2")}
+	wantCarol := datalog.NewTuple(datalog.Sym("carol"), datalog.Sym("alice"), datalog.Sym("m2"))
 	if got := wss["carol"].Facts("inbox"); len(got) != 1 || !got[0].Equal(wantCarol) {
 		t.Errorf("carol inbox after retry = %v, want [%v]", got, wantCarol)
 	}
@@ -857,7 +857,7 @@ func TestLatePartitionDeclarationShipsEarlierFacts(t *testing.T) {
 	if err := rt.Sync(10); err != nil {
 		t.Fatalf("sync after declaration: %v", err)
 	}
-	want := datalog.Tuple{datalog.Sym("bob"), datalog.Sym("alice"), datalog.Sym("early")}
+	want := datalog.NewTuple(datalog.Sym("bob"), datalog.Sym("alice"), datalog.Sym("early"))
 	if got := bob.Facts("inbox"); len(got) != 1 || !got[0].Equal(want) {
 		t.Errorf("bob inbox after late declaration = %v, want [%v]", got, want)
 	}
@@ -891,7 +891,7 @@ func TestRetractionWhileTargetUnplacedIsNeverDelivered(t *testing.T) {
 	if err := rt.Sync(10); err != nil {
 		t.Fatalf("sync after placement: %v", err)
 	}
-	keep := datalog.Tuple{datalog.Sym("bob"), datalog.Sym("alice"), datalog.Sym("keep")}
+	keep := datalog.NewTuple(datalog.Sym("bob"), datalog.Sym("alice"), datalog.Sym("keep"))
 	got := bob.Facts("inbox")
 	if len(got) != 1 || !got[0].Equal(keep) {
 		t.Fatalf("bob inbox = %v, want only [%v]: the retracted statement must not arrive", got, keep)

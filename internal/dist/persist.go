@@ -1,0 +1,126 @@
+// Durability support for the distribution runtime: a journal of the
+// events that must survive a restart (placements, delivery mappings,
+// shipped-tuple records, delivery resets) and capture/restore of the
+// runtime's suppression state. Restoring the shipped set is what lets a
+// recovered system Sync without re-delivering everything already applied
+// at receivers, while the rescan that placement schedules guarantees
+// nothing asserted-but-unshipped is lost: the first post-recovery Sync
+// walks the partitioned relations once and ships exactly the suppressed
+// set's complement.
+package dist
+
+import "sort"
+
+// EventKind tags a runtime journal event.
+type EventKind string
+
+// Runtime journal event kinds.
+const (
+	EventPlace EventKind = "place"
+	EventMap   EventKind = "map"
+	EventShip  EventKind = "ship"
+	EventReset EventKind = "reset"
+)
+
+// Event is one journaled runtime change.
+type Event struct {
+	Kind      EventKind
+	Principal string // place
+	Node      string // place
+	Src, Dst  string // map
+	Target    string // reset
+	Ships     []ShipState
+}
+
+// ShipState mirrors one shipped-set record for persistence.
+type ShipState struct {
+	Key    string
+	Sender string
+	Target string
+	Gen    uint64
+}
+
+// SetJournal installs the runtime journal observer (at most one; the
+// durability layer owns it). Install it only after recovery replay is
+// complete — events replayed from the log must not be re-logged.
+func (rt *Runtime) SetJournal(fn func(Event)) {
+	rt.mu.Lock()
+	rt.journal = fn
+	rt.mu.Unlock()
+}
+
+// emit invokes the journal hook outside the runtime lock (the hook may
+// block on a log fsync).
+func (rt *Runtime) emit(ev Event) {
+	rt.mu.Lock()
+	fn := rt.journal
+	rt.mu.Unlock()
+	if fn != nil {
+		fn(ev)
+	}
+}
+
+// emitShips journals a batch of shipped records, if any.
+func (rt *Runtime) emitShips(ships []ShipState) {
+	if len(ships) == 0 {
+		return
+	}
+	rt.emit(Event{Kind: EventShip, Ships: ships})
+}
+
+// RuntimeState is the serializable distribution state for snapshots.
+type RuntimeState struct {
+	// Placements maps principal to hosting node name, sorted by principal.
+	Placements [][2]string
+	// DeliveryMaps lists source→destination routes, sorted by source.
+	DeliveryMaps [][2]string
+	// Gen is the shipped set's current generation; Ships its records.
+	Gen   uint64
+	Ships []ShipState
+}
+
+// CaptureState snapshots placements, delivery maps, and the shipped set.
+// Counters (Stats) and the parked rejection-dedup keys are not captured:
+// the former are observability, the latter only deduplicate rejection
+// records and regenerate on the post-recovery rescan.
+func (rt *Runtime) CaptureState() *RuntimeState {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	st := &RuntimeState{Gen: rt.shipped.gen}
+	for p, n := range rt.placement {
+		st.Placements = append(st.Placements, [2]string{p, n.name})
+	}
+	sort.Slice(st.Placements, func(i, j int) bool { return st.Placements[i][0] < st.Placements[j][0] })
+	for src, dst := range rt.delivery {
+		st.DeliveryMaps = append(st.DeliveryMaps, [2]string{src, dst})
+	}
+	sort.Slice(st.DeliveryMaps, func(i, j int) bool { return st.DeliveryMaps[i][0] < st.DeliveryMaps[j][0] })
+	for key, r := range rt.shipped.records {
+		st.Ships = append(st.Ships, ShipState{Key: key, Sender: r.sender, Target: r.target, Gen: r.gen})
+	}
+	sort.Slice(st.Ships, func(i, j int) bool { return st.Ships[i].Key < st.Ships[j].Key })
+	return st
+}
+
+// RestoreShipped reloads shipped-set records during recovery. The set is
+// marked wholly lossy afterwards: eviction marks recorded before the
+// crash are gone, so every future ResetDeliveries falls back to the broad
+// rescan rather than trusting a possibly incomplete sender list.
+func (rt *Runtime) RestoreShipped(gen uint64, ships []ShipState) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if gen > rt.shipped.gen {
+		rt.shipped.gen = gen
+	}
+	for _, s := range ships {
+		g := s.Gen
+		if g > rt.shipped.gen {
+			g = rt.shipped.gen
+		}
+		rt.shipped.records[s.Key] = shipRecord{sender: s.Sender, target: s.Target, gen: g}
+	}
+	rt.shipped.lossyAll = true
+	if rt.shipped.len() > rt.shipped.cap {
+		rt.shipped.evict()
+	}
+}

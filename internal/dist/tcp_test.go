@@ -16,9 +16,9 @@ func TestCodecRoundTrip(t *testing.T) {
 		Principal: "bob",
 		Pred:      "import",
 		Tuples: []datalog.Tuple{
-			{datalog.Sym("bob"), datalog.Sym("alice"), code, datalog.String(`sig with "quotes" and
-newline`)},
-			{datalog.Sym("bob"), datalog.Sym("alice"), datalog.Int(42), datalog.String("plain")},
+			datalog.NewTuple(datalog.Sym("bob"), datalog.Sym("alice"), code, datalog.String(`sig with "quotes" and
+newline`)),
+			datalog.NewTuple(datalog.Sym("bob"), datalog.Sym("alice"), datalog.Int(42), datalog.String("plain")),
 		},
 	}
 	data := EncodeEnvelope(env)

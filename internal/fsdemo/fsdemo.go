@@ -285,10 +285,10 @@ func (d *Demo) RequestRead(fileName string) (string, error) {
 // extractContent pulls the data argument out of a says tuple carrying a
 // fileContent(name, data) fact.
 func extractContent(row datalog.Tuple) string {
-	if len(row) < 3 {
+	if row.Len() < 3 {
 		return ""
 	}
-	code, ok := row[2].(datalog.Code)
+	code, ok := row.At(2).(datalog.Code)
 	if !ok {
 		return ""
 	}

@@ -25,7 +25,7 @@ func Register(set *datalog.BuiltinSet, ks *KeyStore) {
 		Name:      "rsasign",
 		Arity:     3,
 		NeedBound: []int{0, 2},
-		Eval: func(args []datalog.Value) ([]datalog.Tuple, error) {
+		Eval: func(args []datalog.Value) ([][]datalog.Value, error) {
 			if args[0] == nil || args[2] == nil {
 				return nil, fmt.Errorf("%w: rsasign", datalog.ErrUnbound)
 			}
@@ -41,7 +41,7 @@ func Register(set *datalog.BuiltinSet, ks *KeyStore) {
 			if args[1] != nil && !datalog.ValueEqual(args[1], s) {
 				return nil, nil
 			}
-			return []datalog.Tuple{{args[0], s, args[2]}}, nil
+			return [][]datalog.Value{{args[0], s, args[2]}}, nil
 		},
 	})
 	datalog.RegisterBinding("rsasign")
@@ -50,7 +50,7 @@ func Register(set *datalog.BuiltinSet, ks *KeyStore) {
 		Name:      "rsaverify",
 		Arity:     3,
 		NeedBound: []int{0, 1, 2},
-		Eval: func(args []datalog.Value) ([]datalog.Tuple, error) {
+		Eval: func(args []datalog.Value) ([][]datalog.Value, error) {
 			if args[0] == nil || args[1] == nil || args[2] == nil {
 				return nil, fmt.Errorf("%w: rsaverify", datalog.ErrUnbound)
 			}
@@ -63,7 +63,7 @@ func Register(set *datalog.BuiltinSet, ks *KeyStore) {
 				return nil, nil
 			}
 			if ks.VerifyRSA(args[0], string(sig), pub) {
-				return []datalog.Tuple{{args[0], args[1], args[2]}}, nil
+				return [][]datalog.Value{{args[0], args[1], args[2]}}, nil
 			}
 			return nil, nil
 		},
@@ -73,7 +73,7 @@ func Register(set *datalog.BuiltinSet, ks *KeyStore) {
 		Name:      "hmacsign",
 		Arity:     3,
 		NeedBound: []int{0, 1},
-		Eval: func(args []datalog.Value) ([]datalog.Tuple, error) {
+		Eval: func(args []datalog.Value) ([][]datalog.Value, error) {
 			if args[0] == nil || args[1] == nil {
 				return nil, fmt.Errorf("%w: hmacsign", datalog.ErrUnbound)
 			}
@@ -85,7 +85,7 @@ func Register(set *datalog.BuiltinSet, ks *KeyStore) {
 			if args[2] != nil && !datalog.ValueEqual(args[2], s) {
 				return nil, nil
 			}
-			return []datalog.Tuple{{args[0], args[1], s}}, nil
+			return [][]datalog.Value{{args[0], args[1], s}}, nil
 		},
 	})
 	datalog.RegisterBinding("hmacsign")
@@ -94,7 +94,7 @@ func Register(set *datalog.BuiltinSet, ks *KeyStore) {
 		Name:      "hmacverify",
 		Arity:     3,
 		NeedBound: []int{0, 1, 2},
-		Eval: func(args []datalog.Value) ([]datalog.Tuple, error) {
+		Eval: func(args []datalog.Value) ([][]datalog.Value, error) {
 			if args[0] == nil || args[1] == nil || args[2] == nil {
 				return nil, fmt.Errorf("%w: hmacverify", datalog.ErrUnbound)
 			}
@@ -107,7 +107,7 @@ func Register(set *datalog.BuiltinSet, ks *KeyStore) {
 				return nil, nil
 			}
 			if VerifyHMAC(args[0], string(tag), secret) {
-				return []datalog.Tuple{{args[0], args[1], args[2]}}, nil
+				return [][]datalog.Value{{args[0], args[1], args[2]}}, nil
 			}
 			return nil, nil
 		},
@@ -117,7 +117,7 @@ func Register(set *datalog.BuiltinSet, ks *KeyStore) {
 		Name:      "encrypt",
 		Arity:     3,
 		NeedBound: []int{0, 1},
-		Eval: func(args []datalog.Value) ([]datalog.Tuple, error) {
+		Eval: func(args []datalog.Value) ([][]datalog.Value, error) {
 			if args[0] == nil || args[1] == nil {
 				return nil, fmt.Errorf("%w: encrypt", datalog.ErrUnbound)
 			}
@@ -133,7 +133,7 @@ func Register(set *datalog.BuiltinSet, ks *KeyStore) {
 			if args[2] != nil && !datalog.ValueEqual(args[2], c) {
 				return nil, nil
 			}
-			return []datalog.Tuple{{args[0], args[1], c}}, nil
+			return [][]datalog.Value{{args[0], args[1], c}}, nil
 		},
 	})
 	datalog.RegisterBinding("encrypt")
@@ -142,7 +142,7 @@ func Register(set *datalog.BuiltinSet, ks *KeyStore) {
 		Name:      "decryptok",
 		Arity:     2,
 		NeedBound: []int{0, 1},
-		Eval: func(args []datalog.Value) ([]datalog.Tuple, error) {
+		Eval: func(args []datalog.Value) ([][]datalog.Value, error) {
 			if args[0] == nil || args[1] == nil {
 				return nil, fmt.Errorf("%w: decryptok", datalog.ErrUnbound)
 			}
@@ -157,7 +157,7 @@ func Register(set *datalog.BuiltinSet, ks *KeyStore) {
 			if _, err := Decrypt(string(ct), secret); err != nil {
 				return nil, nil
 			}
-			return []datalog.Tuple{{args[0], args[1]}}, nil
+			return [][]datalog.Value{{args[0], args[1]}}, nil
 		},
 	})
 
@@ -165,7 +165,7 @@ func Register(set *datalog.BuiltinSet, ks *KeyStore) {
 		Name:      "checksum",
 		Arity:     2,
 		NeedBound: []int{0},
-		Eval: func(args []datalog.Value) ([]datalog.Tuple, error) {
+		Eval: func(args []datalog.Value) ([][]datalog.Value, error) {
 			if args[0] == nil {
 				return nil, fmt.Errorf("%w: checksum", datalog.ErrUnbound)
 			}
@@ -173,7 +173,7 @@ func Register(set *datalog.BuiltinSet, ks *KeyStore) {
 			if args[1] != nil && !datalog.ValueEqual(args[1], c) {
 				return nil, nil
 			}
-			return []datalog.Tuple{{args[0], c}}, nil
+			return [][]datalog.Value{{args[0], c}}, nil
 		},
 	})
 	datalog.RegisterBinding("checksum")
@@ -182,13 +182,13 @@ func Register(set *datalog.BuiltinSet, ks *KeyStore) {
 		Name:      "checksumverify",
 		Arity:     2,
 		NeedBound: []int{0, 1},
-		Eval: func(args []datalog.Value) ([]datalog.Tuple, error) {
+		Eval: func(args []datalog.Value) ([][]datalog.Value, error) {
 			if args[0] == nil || args[1] == nil {
 				return nil, fmt.Errorf("%w: checksumverify", datalog.ErrUnbound)
 			}
 			c := datalog.String(Checksum(args[0]))
 			if datalog.ValueEqual(args[1], c) {
-				return []datalog.Tuple{{args[0], args[1]}}, nil
+				return [][]datalog.Value{{args[0], args[1]}}, nil
 			}
 			return nil, nil
 		},
@@ -198,7 +198,7 @@ func Register(set *datalog.BuiltinSet, ks *KeyStore) {
 		Name:      "crc32",
 		Arity:     2,
 		NeedBound: []int{0},
-		Eval: func(args []datalog.Value) ([]datalog.Tuple, error) {
+		Eval: func(args []datalog.Value) ([][]datalog.Value, error) {
 			if args[0] == nil {
 				return nil, fmt.Errorf("%w: crc32", datalog.ErrUnbound)
 			}
@@ -206,7 +206,7 @@ func Register(set *datalog.BuiltinSet, ks *KeyStore) {
 			if args[1] != nil && !datalog.ValueEqual(args[1], c) {
 				return nil, nil
 			}
-			return []datalog.Tuple{{args[0], c}}, nil
+			return [][]datalog.Value{{args[0], c}}, nil
 		},
 	})
 	datalog.RegisterBinding("crc32")

@@ -20,10 +20,12 @@ import (
 	"crypto/rsa"
 	"crypto/sha1"
 	"crypto/sha256"
+	"crypto/x509"
 	"encoding/hex"
 	"fmt"
 	"hash/crc32"
 	"sort"
+	"strings"
 	"sync"
 
 	"lbtrust/internal/datalog"
@@ -320,4 +322,62 @@ func Checksum(v datalog.Value) string {
 // integrity alternative.
 func CRC32(v datalog.Value) int64 {
 	return int64(crc32.ChecksumIEEE(messageBytes(v)))
+}
+
+// ---- durability export/import ----------------------------------------------
+
+// ExportRSAPrivate returns the PKCS#1 DER encoding of the principal's RSA
+// private key, or false when the store only holds the public half (or
+// nothing).
+func (ks *KeyStore) ExportRSAPrivate(principal string) ([]byte, bool) {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	key, ok := ks.rsa[principal]
+	if !ok || key.D == nil {
+		return nil, false
+	}
+	return x509.MarshalPKCS1PrivateKey(key), true
+}
+
+// ImportRSAPrivateDER installs a PKCS#1-encoded RSA private key for a
+// principal, as recovery replays logged key material.
+func (ks *KeyStore) ImportRSAPrivateDER(principal string, der []byte) error {
+	key, err := x509.ParsePKCS1PrivateKey(der)
+	if err != nil {
+		return fmt.Errorf("lbcrypto: importing RSA key for %s: %w", principal, err)
+	}
+	ks.ImportRSA(principal, key)
+	return nil
+}
+
+// ExportShared returns a copy of every shared secret, keyed by the
+// store's canonical pair key (see SplitPair).
+func (ks *KeyStore) ExportShared() map[string][]byte {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	out := make(map[string][]byte, len(ks.shared))
+	for pair, secret := range ks.shared {
+		out[pair] = append([]byte{}, secret...)
+	}
+	return out
+}
+
+// ImportSharedPair installs a shared secret under its canonical pair key.
+func (ks *KeyStore) ImportSharedPair(pair string, secret []byte) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	ks.shared[pair] = append([]byte{}, secret...)
+}
+
+// PairOf returns the canonical pair key for two principals (order
+// independent), the Name under which shared-secret key records log.
+func PairOf(a, b string) string { return pairKey(a, b) }
+
+// SplitPair decomposes a canonical pair key into its two principals.
+func SplitPair(pair string) (a, b string, ok bool) {
+	i := strings.IndexByte(pair, 0)
+	if i < 0 {
+		return "", "", false
+	}
+	return pair[:i], pair[i+1:], true
 }

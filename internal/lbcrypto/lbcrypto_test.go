@@ -138,10 +138,10 @@ func TestBuiltinsEndToEnd(t *testing.T) {
 
 	db := datalog.NewDatabase()
 	msg := datalog.NewCode(datalog.MustParseClause(`fact(1).`))
-	db.Rel("msg", 1).Insert(datalog.Tuple{msg})
-	db.Rel("rsaprivkey", 2).Insert(datalog.Tuple{datalog.Sym("alice"), PrivHandle("alice")})
-	db.Rel("rsapubkey", 2).Insert(datalog.Tuple{datalog.Sym("alice"), PubHandle("alice")})
-	db.Rel("sharedsecret", 3).Insert(datalog.Tuple{datalog.Sym("alice"), datalog.Sym("bob"), SharedHandle("alice", "bob")})
+	db.Rel("msg", 1).Insert(datalog.NewTuple(msg))
+	db.Rel("rsaprivkey", 2).Insert(datalog.NewTuple(datalog.Sym("alice"), PrivHandle("alice")))
+	db.Rel("rsapubkey", 2).Insert(datalog.NewTuple(datalog.Sym("alice"), PubHandle("alice")))
+	db.Rel("sharedsecret", 3).Insert(datalog.NewTuple(datalog.Sym("alice"), datalog.Sym("bob"), SharedHandle("alice", "bob")))
 
 	prog := datalog.MustParseProgram(`
 		signed(R,S) <- msg(R), rsasign(R,S,K), rsaprivkey(alice,K).
@@ -175,8 +175,8 @@ func TestForgedSignatureRejected(t *testing.T) {
 
 	db := datalog.NewDatabase()
 	msg := datalog.NewCode(datalog.MustParseClause(`fact(1).`))
-	db.Rel("got", 2).Insert(datalog.Tuple{msg, datalog.String(strings.Repeat("ab", 128))})
-	db.Rel("rsapubkey", 2).Insert(datalog.Tuple{datalog.Sym("alice"), PubHandle("alice")})
+	db.Rel("got", 2).Insert(datalog.NewTuple(msg, datalog.String(strings.Repeat("ab", 128))))
+	db.Rel("rsapubkey", 2).Insert(datalog.NewTuple(datalog.Sym("alice"), PubHandle("alice")))
 
 	prog := datalog.MustParseProgram(`
 		verified(R) <- got(R,S), rsapubkey(alice,K), rsaverify(R,S,K).

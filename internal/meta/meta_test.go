@@ -117,7 +117,7 @@ func TestPatternMatchingEndToEnd(t *testing.T) {
 	m := NewModel(db)
 
 	said := datalog.NewCode(datalog.MustParseClause(`access(p1, o1, read).`))
-	db.Rel("says", 3).Insert(datalog.Tuple{datalog.Sym("bob"), datalog.Sym("alice"), said})
+	db.Rel("says", 3).Insert(datalog.NewTuple(datalog.Sym("bob"), datalog.Sym("alice"), said))
 	m.ReifyDatabaseCodes()
 
 	rule := datalog.MustParseClause(`granted(P,O) <- says(bob, alice, [| access(P, O, read). |]).`)
@@ -136,14 +136,14 @@ func TestPatternMatchingEndToEnd(t *testing.T) {
 	if !ok || rel.Len() != 1 {
 		t.Fatalf("granted not derived")
 	}
-	want := datalog.Tuple{datalog.Sym("p1"), datalog.Sym("o1")}
+	want := datalog.NewTuple(datalog.Sym("p1"), datalog.Sym("o1"))
 	if !rel.Contains(want) {
 		t.Errorf("granted does not contain %v", want)
 	}
 
 	// A fact with a different mode must not match.
 	other := datalog.NewCode(datalog.MustParseClause(`access(p2, o2, write).`))
-	db.Rel("says", 3).Insert(datalog.Tuple{datalog.Sym("bob"), datalog.Sym("alice"), other})
+	db.Rel("says", 3).Insert(datalog.NewTuple(datalog.Sym("bob"), datalog.Sym("alice"), other))
 	m.ReifyDatabaseCodes()
 	if err := ev.Run(); err != nil {
 		t.Fatalf("rerun: %v", err)
@@ -160,8 +160,8 @@ func TestPatternRestOfBodyStar(t *testing.T) {
 
 	withBody := datalog.NewCode(datalog.MustParseClause(`q(X) <- secret(X), other(X).`))
 	fact := datalog.NewCode(datalog.MustParseClause(`q(a).`))
-	db.Rel("owner", 2).Insert(datalog.Tuple{datalog.Sym("u1"), withBody})
-	db.Rel("owner", 2).Insert(datalog.Tuple{datalog.Sym("u2"), fact})
+	db.Rel("owner", 2).Insert(datalog.NewTuple(datalog.Sym("u1"), withBody))
+	db.Rel("owner", 2).Insert(datalog.NewTuple(datalog.Sym("u2"), fact))
 	m.ReifyDatabaseCodes()
 
 	rule := datalog.MustParseClause(`reads(U,P) <- owner(U, [| A <- P(T*), A*. |]).`)
@@ -181,8 +181,8 @@ func TestPatternRestOfBodyStar(t *testing.T) {
 		t.Fatalf("reads should bind each body predicate of u1's rule, got %v", rel)
 	}
 	for _, want := range []datalog.Tuple{
-		{datalog.Sym("u1"), datalog.Sym("secret")},
-		{datalog.Sym("u1"), datalog.Sym("other")},
+		datalog.NewTuple(datalog.Sym("u1"), datalog.Sym("secret")),
+		datalog.NewTuple(datalog.Sym("u1"), datalog.Sym("other")),
 	} {
 		if !rel.Contains(want) {
 			t.Errorf("reads missing %v", want)
@@ -197,8 +197,8 @@ func TestEqualityAnchoredPattern(t *testing.T) {
 
 	pRule := datalog.NewCode(datalog.MustParseClause(`p(a).`))
 	qRule := datalog.NewCode(datalog.MustParseClause(`q(a).`))
-	db.Rel("said", 1).Insert(datalog.Tuple{pRule})
-	db.Rel("said", 1).Insert(datalog.Tuple{qRule})
+	db.Rel("said", 1).Insert(datalog.NewTuple(pRule))
+	db.Rel("said", 1).Insert(datalog.NewTuple(qRule))
 	m.ReifyDatabaseCodes()
 
 	rule := datalog.MustParseClause(`accept(R) <- said(R), R = [| p(T*) <- A*. |].`)
@@ -217,7 +217,7 @@ func TestEqualityAnchoredPattern(t *testing.T) {
 	if rel == nil || rel.Len() != 1 {
 		t.Fatalf("accept = %v, want exactly the p rule", rel)
 	}
-	if !rel.Contains(datalog.Tuple{pRule}) {
+	if !rel.Contains(datalog.NewTuple(pRule)) {
 		t.Error("accept should contain the p rule")
 	}
 }

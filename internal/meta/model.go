@@ -97,6 +97,35 @@ func NewModel(db *datalog.Database) *Model {
 	return &Model{db: db, reified: map[string]bool{}}
 }
 
+// AdoptModel rebuilds a model's bookkeeping from a restored database: the
+// reified set is exactly the codes recorded in the rule relation (Reify
+// inserts a rule fact for every code, including nested ones), and the
+// entity counter resumes past the largest entity id present anywhere, so
+// later reifications cannot collide with restored entities.
+func AdoptModel(db *datalog.Database) *Model {
+	m := NewModel(db)
+	if rel, ok := db.Get(PredRule); ok {
+		rel.Each(func(t datalog.Tuple) bool {
+			if c, ok := t.At(0).(datalog.Code); ok {
+				m.reified[c.Key()] = true
+			}
+			return true
+		})
+	}
+	for _, name := range db.Names() {
+		rel, _ := db.Get(name)
+		rel.Each(func(t datalog.Tuple) bool {
+			for _, v := range t.Values() {
+				if e, ok := v.(datalog.Entity); ok && e.ID > m.nextEntity {
+					m.nextEntity = e.ID
+				}
+			}
+			return true
+		})
+	}
+	return m
+}
+
 func (m *Model) entity(sort string) datalog.Entity {
 	m.nextEntity++
 	return datalog.Entity{Sort: sort, ID: m.nextEntity}
@@ -113,22 +142,22 @@ func (m *Model) Reify(c datalog.Code) []Fact {
 	m.reified[c.Key()] = true
 	var out []Fact
 	add := func(pred string, tuple datalog.Tuple) {
-		rel := m.db.Rel(pred, len(tuple))
+		rel := m.db.Rel(pred, tuple.Len())
 		if rel.Insert(tuple) {
 			out = append(out, Fact{Pred: pred, Tuple: tuple})
 		}
 	}
 	r := c.Rule()
-	add(PredRule, datalog.Tuple{c})
+	add(PredRule, datalog.NewTuple(c))
 	for i := range r.Heads {
 		a := m.reifyAtom(&r.Heads[i], &out, add)
-		add(PredHead, datalog.Tuple{c, a})
+		add(PredHead, datalog.NewTuple(c, a))
 	}
 	for i := range r.Body {
 		a := m.reifyAtom(&r.Body[i].Atom, &out, add)
-		add(PredBody, datalog.Tuple{c, a})
+		add(PredBody, datalog.NewTuple(c, a))
 		if r.Body[i].Negated {
-			add(PredNegated, datalog.Tuple{a})
+			add(PredNegated, datalog.NewTuple(a))
 		}
 	}
 	return out
@@ -139,12 +168,12 @@ func (m *Model) Reify(c datalog.Code) []Fact {
 // position 0.
 func (m *Model) reifyAtom(a *datalog.Atom, out *[]Fact, add func(string, datalog.Tuple)) datalog.Entity {
 	ae := m.entity("atom")
-	add(PredAtom, datalog.Tuple{ae})
+	add(PredAtom, datalog.NewTuple(ae))
 	if a.Pred != "" {
 		p := datalog.Sym(a.Pred)
-		add(PredFunctor, datalog.Tuple{ae, p})
-		add(PredPredicate, datalog.Tuple{p})
-		add(PredPName, datalog.Tuple{p, datalog.String(a.Pred)})
+		add(PredFunctor, datalog.NewTuple(ae, p))
+		add(PredPredicate, datalog.NewTuple(p))
+		add(PredPName, datalog.NewTuple(p, datalog.String(a.Pred)))
 	}
 	pos := 1
 	if a.Part != nil {
@@ -159,15 +188,15 @@ func (m *Model) reifyAtom(a *datalog.Atom, out *[]Fact, add func(string, datalog
 
 func (m *Model) reifyArg(ae datalog.Entity, pos int, t datalog.Term, add func(string, datalog.Tuple)) {
 	te := m.entity("term")
-	add(PredArg, datalog.Tuple{ae, datalog.Int(pos), te})
-	add(PredTerm, datalog.Tuple{te})
+	add(PredArg, datalog.NewTuple(ae, datalog.Int(pos), te))
+	add(PredTerm, datalog.NewTuple(te))
 	switch t := t.(type) {
 	case datalog.Var:
-		add(PredVariable, datalog.Tuple{te})
-		add(PredVName, datalog.Tuple{te, datalog.String(string(t))})
+		add(PredVariable, datalog.NewTuple(te))
+		add(PredVName, datalog.NewTuple(te, datalog.String(string(t))))
 	case datalog.Const:
-		add(PredConstant, datalog.Tuple{te})
-		add(PredValue, datalog.Tuple{te, t.Val})
+		add(PredConstant, datalog.NewTuple(te))
+		add(PredValue, datalog.NewTuple(te, t.Val))
 		if inner, ok := t.Val.(datalog.Code); ok {
 			for _, f := range m.Reify(inner) {
 				add(f.Pred, f.Tuple)
@@ -175,8 +204,8 @@ func (m *Model) reifyArg(ae datalog.Entity, pos int, t datalog.Term, add func(st
 		}
 	case datalog.Quote:
 		inner := datalog.NewCode(t.Pat)
-		add(PredConstant, datalog.Tuple{te})
-		add(PredValue, datalog.Tuple{te, inner})
+		add(PredConstant, datalog.NewTuple(te))
+		add(PredValue, datalog.NewTuple(te, inner))
 		for _, f := range m.Reify(inner) {
 			add(f.Pred, f.Tuple)
 		}
@@ -200,7 +229,7 @@ func (m *Model) ReifyDatabaseCodes() []Fact {
 		rel, _ := m.db.Get(name)
 		var codes []datalog.Code
 		rel.Each(func(t datalog.Tuple) bool {
-			for _, v := range t {
+			for _, v := range t.Values() {
 				if c, ok := v.(datalog.Code); ok && !m.reified[c.Key()] {
 					codes = append(codes, c)
 				}
@@ -226,7 +255,7 @@ func (m *Model) ActiveCodes() []datalog.Code {
 	}
 	var out []datalog.Code
 	rel.Each(func(t datalog.Tuple) bool {
-		if c, ok := t[0].(datalog.Code); ok {
+		if c, ok := t.At(0).(datalog.Code); ok {
 			out = append(out, c)
 		}
 		return true
@@ -239,7 +268,7 @@ func (m *Model) ActiveCodes() []datalog.Code {
 func (m *Model) Activate(c datalog.Code) bool {
 	m.Reify(c)
 	rel := m.db.Rel(PredActive, 1)
-	return rel.Insert(datalog.Tuple{c})
+	return rel.Insert(datalog.NewTuple(c))
 }
 
 var _ = fmt.Sprintf

@@ -185,9 +185,32 @@ func (nw *Network) BestCost(from, to string) (int, error) {
 	if len(rows) == 0 {
 		return -1, nil
 	}
-	c, ok := rows[0][1].(interface{ String() string })
+	c, ok := rows[0].At(1).(interface{ String() string })
 	_ = ok
 	var n int
 	fmt.Sscanf(c.String(), "%d", &n)
 	return n, nil
+}
+
+// NewNetworkOn builds the network over an existing system — typically a
+// durable one opened with core.OpenSystem — placing each protocol node's
+// principal on its own distribution node. The caller owns the system's
+// lifecycle.
+func NewNetworkOn(sys *core.System, nodeNames []string, scheme core.Scheme) (*Network, error) {
+	return populate(sys, nodeNames, scheme, true)
+}
+
+// Reattach wraps the already-present principals of a recovered system as
+// a Network. Nothing is loaded or established: the system's replayed
+// state carries the protocol programs, links, and key material.
+func Reattach(sys *core.System, nodeNames []string) (*Network, error) {
+	nw := &Network{sys: sys, nodes: map[string]*core.Principal{}}
+	for _, name := range nodeNames {
+		p, ok := sys.Principal(name)
+		if !ok {
+			return nil, fmt.Errorf("sendlog: principal %s missing from recovered system", name)
+		}
+		nw.nodes[name] = p
+	}
+	return nw, nil
 }

@@ -1,0 +1,484 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lbtrust/internal/datalog"
+	"lbtrust/internal/workspace"
+)
+
+func testJournal() *workspace.FlushJournal {
+	code := datalog.NewCode(datalog.MustParseClause(`says(alice, bob, [| access(P, o1, read). |]).`))
+	return &workspace.FlushJournal{
+		Facts: []workspace.FactChange{
+			{Pred: "says", Tuple: datalog.NewTuple(datalog.Sym("alice"), datalog.Sym("bob"), code)},
+			{Pred: "old", Tuple: datalog.NewTuple(datalog.Int(-3), datalog.String("x\ty\nz")), Retract: true},
+			{Pred: "prin", Tuple: datalog.NewTuple(datalog.Sym("alice"))},
+		},
+		Changed: map[string][]datalog.Tuple{
+			"rule": {datalog.NewTuple(code)},
+			"arg":  {datalog.NewTuple(datalog.Entity{Sort: "atom", ID: 4}, datalog.Int(1), datalog.Entity{Sort: "term", ID: 5})},
+		},
+		Schema: []workspace.SchemaChange{
+			{Kind: workspace.SchemaRuleAdd, Rule: workspace.RuleChange{Code: code, Owner: datalog.Sym("alice")}},
+			{Kind: workspace.SchemaRuleAdd, Rule: workspace.RuleChange{Code: code, Derived: true}},
+			{Kind: workspace.SchemaRuleRemove, Code: code},
+			{Kind: workspace.SchemaConstraintAdd, Constraint: workspace.ConstraintChange{AuxID: 3, Label: "exp3", Source: "p(V0)->q(V0)."}},
+			{Kind: workspace.SchemaConstraintRemove, Label: "exp3"},
+		},
+	}
+}
+
+func TestFlushRecordRoundTrip(t *testing.T) {
+	j := testJournal()
+	payload := EncodeFlushPayload("alice", j)
+	r, err := parseRecord(payload)
+	if err != nil {
+		t.Fatalf("parseRecord: %v", err)
+	}
+	principal, back, err := DecodeFlush(r)
+	if err != nil {
+		t.Fatalf("DecodeFlush: %v", err)
+	}
+	if principal != "alice" {
+		t.Errorf("principal = %q", principal)
+	}
+	if len(back.Facts) != len(j.Facts) {
+		t.Fatalf("facts round trip: %d ops, want %d", len(back.Facts), len(j.Facts))
+	}
+	for i, f := range back.Facts {
+		want := j.Facts[i]
+		if f.Pred != want.Pred || f.Retract != want.Retract || !f.Tuple.Equal(want.Tuple) {
+			t.Errorf("facts[%d] = %+v, want %+v (order and retract flags must survive)", i, f, want)
+		}
+	}
+	if len(back.Changed["rule"]) != 1 || len(back.Changed["arg"]) != 1 {
+		t.Errorf("changed round trip: %+v", back.Changed)
+	}
+	if !back.Changed["arg"][0].Equal(j.Changed["arg"][0]) {
+		t.Errorf("entity tuple changed: %v vs %v", back.Changed["arg"][0], j.Changed["arg"][0])
+	}
+	if len(back.Schema) != len(j.Schema) {
+		t.Fatalf("schema round trip: %d ops, want %d", len(back.Schema), len(j.Schema))
+	}
+	for i, op := range back.Schema {
+		want := j.Schema[i]
+		if op.Kind != want.Kind {
+			t.Errorf("schema[%d] kind = %d, want %d (order must be preserved)", i, op.Kind, want.Kind)
+		}
+		switch op.Kind {
+		case workspace.SchemaRuleAdd:
+			if op.Rule.Owner != want.Rule.Owner || op.Rule.Derived != want.Rule.Derived || op.Rule.Code.Key() != want.Rule.Code.Key() {
+				t.Errorf("schema[%d] rule round trip: %+v", i, op.Rule)
+			}
+		case workspace.SchemaRuleRemove:
+			if op.Code.Key() != want.Code.Key() {
+				t.Errorf("schema[%d] rule-remove round trip", i)
+			}
+		case workspace.SchemaConstraintAdd:
+			if op.Constraint != want.Constraint {
+				t.Errorf("schema[%d] constraint round trip: %+v", i, op.Constraint)
+			}
+		case workspace.SchemaConstraintRemove:
+			if op.Label != want.Label {
+				t.Errorf("schema[%d] constraint-remove round trip", i)
+			}
+		}
+	}
+}
+
+// TestWALTruncationAtEveryOffset simulates a crash after every possible
+// byte count: the recovered prefix must always be a clean record
+// sequence, never an error or panic.
+func TestWALTruncationAtEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir, Options{Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := testJournal()
+	const records = 5
+	for i := 0; i < records; i++ {
+		if err := st.LogFlush("alice", j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := walPath(dir, 0)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordSize := len(full) / records
+
+	for cut := 0; cut <= len(full); cut += 7 {
+		sub := t.TempDir()
+		cutPath := walPath(sub, 0)
+		if err := os.WriteFile(cutPath, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st2, rec, err := Open(sub, Options{Fsync: FsyncOff})
+		if err != nil {
+			t.Fatalf("cut=%d: open: %v", cut, err)
+		}
+		wantRecords := cut / recordSize
+		if len(rec.Records) != wantRecords {
+			t.Errorf("cut=%d: recovered %d records, want %d", cut, len(rec.Records), wantRecords)
+		}
+		if (cut%recordSize != 0) != rec.Truncated {
+			t.Errorf("cut=%d: truncated=%v", cut, rec.Truncated)
+		}
+		// The reopened log must accept appends after the truncation point
+		// and recover them on the next open.
+		if err := st2.LogFlush("alice", j); err != nil {
+			t.Fatalf("cut=%d: append after truncate: %v", cut, err)
+		}
+		if err := st2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, rec2, err := Open(sub, Options{Fsync: FsyncOff})
+		if err != nil {
+			t.Fatalf("cut=%d: reopen: %v", cut, err)
+		}
+		if len(rec2.Records) != wantRecords+1 {
+			t.Errorf("cut=%d: after re-append recovered %d records, want %d", cut, len(rec2.Records), wantRecords+1)
+		}
+	}
+}
+
+// TestWALBitFlipEndsPrefix flips one byte in the middle of the log: the
+// CRC must reject the damaged record and everything after it.
+func TestWALBitFlipEndsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir, Options{Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := testJournal()
+	for i := 0; i < 4; i++ {
+		if err := st.LogFlush("alice", j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	path := walPath(dir, 0)
+	data, _ := os.ReadFile(path)
+	recordSize := len(data) / 4
+	// Flip a payload byte inside the third record.
+	data[2*recordSize+frameHeaderSize+10] ^= 0x40
+	os.WriteFile(path, data, 0o644)
+
+	_, rec, err := Open(dir, Options{Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 2 || !rec.Truncated {
+		t.Errorf("recovered %d records (truncated=%v), want 2 truncated", len(rec.Records), rec.Truncated)
+	}
+}
+
+// TestTornSnapshotFallsBack verifies that a snapshot missing its end
+// marker is ignored in favor of the previous generation.
+func TestTornSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir, Options{Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap1 := &Snapshot{System: SystemState{Nodes: []string{"n1"}}}
+	if err := st.Checkpoint(func() (*Snapshot, error) { return snap1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	snap2 := &Snapshot{System: SystemState{Nodes: []string{"n1", "n2"}}}
+	if err := st.Checkpoint(func() (*Snapshot, error) { return snap2, nil }); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Only the newest generation survives a checkpoint; recreate an older
+	// one, then tear the newest snapshot.
+	if err := writeSnapshotFile(dir, snapPath(dir, 1), snap1); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(walPath(dir, 1), nil, 0o644)
+	data, err := os.ReadFile(snapPath(dir, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(snapPath(dir, 2), data[:len(data)-4], 0o644) // cut the end marker's frame
+
+	_, rec, err := Open(dir, Options{Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Snapshot == nil || len(rec.Snapshot.System.Nodes) != 1 {
+		t.Fatalf("recovery did not fall back to generation 1: %+v", rec.Snapshot)
+	}
+}
+
+func TestCheckpointRotatesAndDeletes(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir, Options{Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := testJournal()
+	st.LogFlush("alice", j)
+	if err := st.Checkpoint(func() (*Snapshot, error) {
+		return &Snapshot{System: SystemState{Nodes: []string{"local"}}}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st.LogFlush("alice", j)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) != 2 {
+		t.Fatalf("dir holds %v, want exactly one snapshot + one log", names)
+	}
+	if _, err := os.Stat(walPath(dir, 0)); !os.IsNotExist(err) {
+		t.Error("old log generation not deleted")
+	}
+	_, rec, err := Open(dir, Options{Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Snapshot == nil || len(rec.Records) != 1 {
+		t.Errorf("recovered snapshot=%v records=%d, want snapshot + 1 record", rec.Snapshot != nil, len(rec.Records))
+	}
+}
+
+// TestFsyncAlwaysDurableBeforeReturn checks the record is on disk when
+// Append returns under FsyncAlways.
+func TestFsyncAlwaysDurableBeforeReturn(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.LogFlush("alice", testJournal()); err != nil {
+		t.Fatal(err)
+	}
+	// Read the file without closing the store: the record must be there.
+	f, err := os.Open(walPath(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	payloads, _, truncated, err := readFrames(f)
+	if err != nil || truncated || len(payloads) != 1 {
+		t.Fatalf("on-disk log after FsyncAlways append: %d records, truncated=%v, err=%v", len(payloads), truncated, err)
+	}
+}
+
+func TestSnapshotWorkspaceStateRoundTrip(t *testing.T) {
+	ws := workspace.New("alice")
+	if err := ws.LoadProgram(`
+		e0: export[U1](U2) -> prin(U1), prin(U2).
+		r1: out(X) <- src(X).
+		c1: src(X) -> allowed(X).
+		allowed(a). allowed(b). src(a). prin(alice). prin(bob).
+	`); err != nil {
+		t.Fatal(err)
+	}
+	st := ws.CaptureState()
+	records := encodeWorkspaceState(st)
+	b := newWSBuilder(datalog.NewDecoder())
+	for _, r := range records {
+		payload := r.encode()
+		parsed, err := parseRecord(payload)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if err := b.apply(parsed); err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+	}
+	states := b.states2()
+	if len(states) != 1 {
+		t.Fatalf("rebuilt %d states", len(states))
+	}
+	got := states[0]
+	re := workspace.New("alice")
+	if err := re.RestoreState(got); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if err := re.FinishRestore(); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	for _, pred := range []string{"allowed", "src", "out", "prin", "active"} {
+		want := ws.Facts(pred)
+		gotFacts := re.Facts(pred)
+		if len(want) != len(gotFacts) {
+			t.Errorf("%s: %d vs %d facts", pred, len(gotFacts), len(want))
+			continue
+		}
+		for i := range want {
+			if !want[i].Equal(gotFacts[i]) {
+				t.Errorf("%s[%d]: %v vs %v", pred, i, gotFacts[i], want[i])
+			}
+		}
+	}
+	// The restored workspace enforces the restored constraint.
+	err := re.Update(func(tx *workspace.Tx) error { return tx.Assert("src(zzz)") })
+	if err == nil {
+		t.Error("restored constraint c1 not enforced")
+	}
+	if err := ws.Update(func(tx *workspace.Tx) error { return tx.Assert("src(zzz)") }); err == nil {
+		t.Error("original constraint c1 not enforced (test invalid)")
+	}
+}
+
+func TestGenerationsScan(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"snap-00000003.snap", "wal-00000003.log", "wal-00000007.log", "junk.txt"} {
+		os.WriteFile(filepath.Join(dir, name), nil, 0o644)
+	}
+	got, err := generations(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Errorf("generations = %v, want [3 7]", got)
+	}
+}
+
+func TestRecordHeaderRejectsGarbage(t *testing.T) {
+	for _, bad := range [][]byte{
+		[]byte(""),
+		[]byte(`flush "unterminated`),
+		[]byte("flush noquotes"),
+	} {
+		if r, err := parseRecord(bad); err == nil && len(r.Fields) > 0 {
+			t.Errorf("parseRecord(%q) accepted fields %v", bad, r.Fields)
+		}
+	}
+	// A record with a bad op line must error in DecodeFlush, not panic.
+	r, err := parseRecord([]byte("flush \"alice\" \"0\"\n?? bogus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeFlush(r); err == nil {
+		t.Error("DecodeFlush accepted bogus op line")
+	}
+}
+
+func TestFrameScannerStopsAtOversizedLength(t *testing.T) {
+	var buf bytes.Buffer
+	frame := appendFrame(nil, []byte("hello"))
+	buf.Write(frame)
+	// A frame claiming 2GB: scanner must stop, not allocate.
+	buf.Write([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0})
+	payloads, _, truncated, err := readFrames(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payloads) != 1 || !truncated {
+		t.Errorf("scan = %d records truncated=%v, want 1 truncated", len(payloads), truncated)
+	}
+}
+
+// TestCorruptOnlySnapshotErrors: a directory whose only snapshot is
+// unreadable must fail to open, not come up as a silently empty system.
+func TestCorruptOnlySnapshotErrors(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir, Options{Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.LogFlush("alice", testJournal())
+	if err := st.Checkpoint(func() (*Snapshot, error) {
+		return &Snapshot{System: SystemState{Nodes: []string{"local"}}}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	data, err := os.ReadFile(snapPath(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	os.WriteFile(snapPath(dir, 1), data, 0o600)
+	if _, _, err := Open(dir, Options{Fsync: FsyncOff}); err == nil {
+		t.Fatal("Open accepted a directory whose only snapshot is corrupt")
+	}
+}
+
+// TestInterruptedCheckpointReplaysBothSegments: a crash between log
+// rotation and the snapshot write leaves snap-N, wal-N, wal-N+1;
+// recovery must replay both segments on top of snap-N.
+func TestInterruptedCheckpointReplaysBothSegments(t *testing.T) {
+	dir := t.TempDir()
+	snap := &Snapshot{System: SystemState{Nodes: []string{"local"}}}
+	if err := writeSnapshotFile(dir, snapPath(dir, 1), snap); err != nil {
+		t.Fatal(err)
+	}
+	j := testJournal()
+	var walA, walB []byte
+	walA = appendFrame(walA, EncodeFlushPayload("alice", j))
+	walA = appendFrame(walA, EncodeFlushPayload("alice", j))
+	walB = appendFrame(walB, EncodeFlushPayload("bob", j))
+	os.WriteFile(walPath(dir, 1), walA, 0o600)
+	os.WriteFile(walPath(dir, 2), walB, 0o600)
+
+	st, rec, err := Open(dir, Options{Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Snapshot == nil || len(rec.Records) != 3 {
+		t.Fatalf("recovered snapshot=%v records=%d, want snapshot + 3 records across both segments", rec.Snapshot != nil, len(rec.Records))
+	}
+	if p, _, _ := DecodeFlush(rec.Records[2]); p != "bob" {
+		t.Errorf("segment order wrong: last record from %q, want bob", p)
+	}
+	// New appends must land in the newest segment.
+	if err := st.LogFlush("carol", j); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec2, err := Open(dir, Options{Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec2.Records) != 4 {
+		t.Errorf("after append: %d records, want 4", len(rec2.Records))
+	}
+}
+
+// TestWALFilePermissions: the log carries key material; it must not be
+// world-readable.
+func TestWALFilePermissions(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir, Options{Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.LogFlush("alice", testJournal())
+	if err := st.Checkpoint(func() (*Snapshot, error) { return &Snapshot{}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Mode().Perm()&0o077 != 0 {
+			t.Errorf("%s has mode %v, want no group/other access", e.Name(), info.Mode())
+		}
+	}
+}

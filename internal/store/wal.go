@@ -1,0 +1,279 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// FsyncPolicy selects when the write-ahead log is forced to stable
+// storage.
+type FsyncPolicy int
+
+const (
+	// FsyncInterval (the default) flushes and syncs the log on a timer
+	// (Options.FsyncInterval): a crash can lose at most the last interval
+	// of flushes, and the flush hot path never waits on the disk — not
+	// even for a write syscall, since records buffer in the appender
+	// until the next sync point.
+	FsyncInterval FsyncPolicy = iota
+	// FsyncAlways syncs before an append returns. Concurrent appends are
+	// group-committed: the log writer batches everything queued and pays
+	// one write + one fsync for the batch.
+	FsyncAlways
+	// FsyncOff never calls fsync; records are still handed to the OS on
+	// the interval timer, so a process crash loses at most the last
+	// interval, but power loss can lose anything not yet written back.
+	FsyncOff
+)
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncOff:
+		return "off"
+	}
+	return "unknown"
+}
+
+// ParseFsyncPolicy parses "always", "interval", or "off".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval", "":
+		return FsyncInterval, nil
+	case "off":
+		return FsyncOff, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync policy %q (want always, interval, or off)", s)
+}
+
+// Log framing: every record is [u32 length][u32 CRC32(payload)][payload],
+// little-endian. The frame is what makes torn tails detectable: a record
+// whose length header, payload, or checksum is cut off or corrupted ends
+// the valid prefix, and recovery truncates the file there.
+const frameHeaderSize = 8
+
+// maxRecordSize bounds a single record so a corrupted length header
+// cannot make the scanner attempt a multi-gigabyte allocation.
+const maxRecordSize = 1 << 30
+
+func appendFrame(dst []byte, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// readFrames scans framed records from r, stopping cleanly at the first
+// torn or corrupt frame. It returns the record payloads, the byte length
+// of the valid prefix, and whether a torn tail was dropped.
+func readFrames(r io.Reader) (payloads [][]byte, valid int64, truncated bool, err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	for {
+		var hdr [frameHeaderSize]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return payloads, valid, false, nil
+			}
+			return payloads, valid, true, nil // short header: torn tail
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxRecordSize {
+			return payloads, valid, true, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return payloads, valid, true, nil // short payload: torn tail
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return payloads, valid, true, nil // bit rot or torn overwrite
+		}
+		payloads = append(payloads, payload)
+		valid += frameHeaderSize + int64(n)
+	}
+}
+
+// walAppender is the append side of one log segment. Non-waiting appends
+// (the FsyncInterval / FsyncOff hot path) only append the framed record
+// to an in-memory buffer under a mutex — no syscall, no goroutine wakeup
+// — and the commit goroutine drains the buffer to the file at each sync
+// point: the interval tick, a durability-demanding append (FsyncAlways),
+// or a barrier. Waiters are group-committed: everything buffered up to
+// the commit rides the same write and fsync.
+type walAppender struct {
+	f        *os.File
+	bw       *bufio.Writer
+	policy   FsyncPolicy
+	interval time.Duration
+
+	mu    sync.Mutex
+	buf   []byte // framed records not yet handed to the file
+	spare []byte // recycled buffer, swapped in by commits
+	err   error  // sticky write/sync error
+
+	commitC chan chan error
+	kickC   chan struct{} // oversized-buffer nudge, no ack
+	closeC  chan struct{}
+	done    chan struct{}
+}
+
+// walBufCap hands an oversized pending buffer to the file inline (still
+// no fsync), bounding memory between ticks under bursts.
+const walBufCap = 4 << 20
+
+func newWALAppender(f *os.File, policy FsyncPolicy, interval time.Duration) *walAppender {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	w := &walAppender{
+		f:        f,
+		bw:       bufio.NewWriterSize(f, 1<<18),
+		policy:   policy,
+		interval: interval,
+		commitC:  make(chan chan error, 64),
+		kickC:    make(chan struct{}, 1),
+		closeC:   make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go w.run()
+	return w
+}
+
+func (w *walAppender) setErrLocked(err error) {
+	if err != nil && w.err == nil {
+		w.err = err
+	}
+}
+
+// Err returns the sticky write error, if any.
+func (w *walAppender) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// commit swaps the pending buffer out under the lock, then writes,
+// flushes, and — unless the policy is FsyncOff — syncs outside it, so
+// appenders never block behind the disk. Only the commit goroutine calls
+// it (the bufio writer and file are confined to that goroutine).
+func (w *walAppender) commit() error {
+	w.mu.Lock()
+	buf := w.buf
+	w.buf = w.spare[:0]
+	w.spare = nil
+	w.mu.Unlock()
+
+	var err error
+	if len(buf) > 0 {
+		_, err = w.bw.Write(buf)
+	}
+	if ferr := w.bw.Flush(); err == nil {
+		err = ferr
+	}
+	if w.policy != FsyncOff {
+		if serr := w.f.Sync(); err == nil {
+			err = serr
+		}
+	}
+	w.mu.Lock()
+	w.setErrLocked(err)
+	if w.spare == nil {
+		w.spare = buf[:0] // recycle for the next swap
+	}
+	err = w.err
+	w.mu.Unlock()
+	return err
+}
+
+// run is the commit goroutine: it fires on the interval tick and on
+// explicit commit requests, group-acknowledging every waiter that
+// arrived while a commit was pending.
+func (w *walAppender) run() {
+	defer close(w.done)
+	ticker := time.NewTicker(w.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case ack := <-w.commitC:
+			waiters := []chan error{ack}
+		drain:
+			for {
+				select {
+				case more := <-w.commitC:
+					waiters = append(waiters, more)
+				default:
+					break drain
+				}
+			}
+			err := w.commit()
+			for _, c := range waiters {
+				c <- err
+			}
+		case <-ticker.C:
+			w.mu.Lock()
+			dirty := len(w.buf) > 0
+			w.mu.Unlock()
+			if dirty || w.bw.Buffered() > 0 {
+				w.commit()
+			}
+		case <-w.kickC:
+			w.commit()
+		case <-w.closeC:
+			w.commit()
+			return
+		}
+	}
+}
+
+// Append queues one record. With FsyncAlways (or wait=true) it blocks
+// until the record — and everything buffered with it — is on disk.
+func (w *walAppender) Append(payload []byte, wait bool) error {
+	w.mu.Lock()
+	w.buf = appendFrame(w.buf, payload)
+	kick := len(w.buf) > walBufCap
+	err := w.err
+	w.mu.Unlock()
+	if kick {
+		// Bound memory under bursts: nudge the commit goroutine without
+		// waiting for it.
+		select {
+		case w.kickC <- struct{}{}:
+		default:
+		}
+	}
+	if wait || w.policy == FsyncAlways {
+		return w.Barrier()
+	}
+	return err
+}
+
+// Barrier blocks until everything appended before it is written and
+// synced (group commit: concurrent barriers share one fsync).
+func (w *walAppender) Barrier() error {
+	ack := make(chan error, 1)
+	w.commitC <- ack
+	return <-ack
+}
+
+// Close drains, flushes, syncs, and closes the segment file.
+func (w *walAppender) Close() error {
+	close(w.closeC)
+	<-w.done
+	err := w.Err()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -32,6 +32,11 @@ type compiledConstraint struct {
 	auxPred  string
 	rules    []*datalog.Rule
 	declOnly bool
+	// auxID and source identify the constraint for durability: auxID is
+	// the workspace-unique id its aux predicate was compiled with, source
+	// the canonical re-parseable rendering (label carried separately).
+	auxID  int
+	source string
 }
 
 // compileConstraint lowers one constraint. It also extracts predicate
@@ -371,7 +376,7 @@ func (w *Workspace) runChecksLocked(seed map[string][]datalog.Tuple) ([]Violatio
 		switch pred {
 		case failPred:
 			label := ""
-			if s, ok := t[0].(datalog.String); ok {
+			if s, ok := t.At(0).(datalog.String); ok {
 				label = string(s)
 			}
 			raw = append(raw, Violation{Constraint: label, Premises: filterMetaPremises(premises)})

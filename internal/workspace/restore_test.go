@@ -1,0 +1,225 @@
+package workspace
+
+import (
+	"testing"
+
+	"lbtrust/internal/datalog"
+)
+
+// TestRestoreRebuildKeepsPatternActivations is the sendlog recovery shape
+// in miniature: a pattern rule activates codes carried by says facts; a
+// restore followed by a rebuild must re-derive the same activations.
+func TestRestoreRebuildKeepsPatternActivations(t *testing.T) {
+	src := `
+		s0: says(U1,U2,R) -> prin(U1), prin(U2).
+		lsAct: active(R) <- says(_, me, R), R = [| reach(me,D). |].
+		prin(alice). prin(bob).
+		says(bob, me, [| reach(me, x1). |]).
+		says(bob, me, [| reach(me, x2). |]).
+	`
+	live := New("alice")
+	if err := live.LoadProgram(src); err != nil {
+		t.Fatal(err)
+	}
+	if got := live.Count("reach"); got != 2 {
+		t.Fatalf("live reach = %d, want 2", got)
+	}
+
+	st := live.CaptureState()
+	re := New("alice")
+	if err := re.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.FinishRestore(); err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Count("reach"); got != 2 {
+		t.Errorf("restored reach = %d, want 2", got)
+	}
+	// Force a rebuild on both and compare.
+	for name, w := range map[string]*Workspace{"live": live, "restored": re} {
+		if err := w.Update(func(tx *Tx) error { return tx.Assert("scratch(s)") }); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Update(func(tx *Tx) error { return tx.Retract("scratch(s)") }); err != nil {
+			t.Fatal(err)
+		}
+		if got := w.Count("reach"); got != 2 {
+			t.Errorf("%s after rebuild: reach = %d, want 2", name, got)
+		}
+		if got := w.Count("active"); got != live.Count("active") {
+			t.Errorf("%s after rebuild: active = %d, want %d", name, got, live.Count("active"))
+		}
+	}
+}
+
+// TestRestoreRebuildImportedPatternActivations mirrors the sendlog
+// recovery shape exactly: codes arrive in base import tuples, says is
+// derived, and the pattern rule activates the carried codes.
+func TestRestoreRebuildImportedPatternActivations(t *testing.T) {
+	src := `
+		imp0: import[U1](U2,R,S) -> prin(U1), prin(U2), string(S).
+		exp2: says(U,me,R) <- import[me](U,R,S).
+		lsAct: active(R) <- says(_, me, R), R = [| reach(me,D). |].
+		prin(alice). prin(bob).
+		import[me](bob, [| reach(me, x1). |], "sig1").
+		import[me](bob, [| reach(me, x2). |], "sig2").
+	`
+	live := New("alice")
+	if err := live.LoadProgram(src); err != nil {
+		t.Fatal(err)
+	}
+	if got := live.Count("reach"); got != 2 {
+		t.Fatalf("live reach = %d, want 2", got)
+	}
+	st := live.CaptureState()
+	re := New("alice")
+	if err := re.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.FinishRestore(); err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Count("reach"); got != 2 {
+		t.Errorf("restored reach = %d, want 2", got)
+	}
+	for name, w := range map[string]*Workspace{"live": live, "restored": re} {
+		if err := w.Update(func(tx *Tx) error { return tx.Assert("scratch(s)") }); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Update(func(tx *Tx) error { return tx.Retract("scratch(s)") }); err != nil {
+			t.Fatal(err)
+		}
+		if got := w.Count("reach"); got != 2 {
+			t.Errorf("%s after rebuild: reach = %d, want 2", name, got)
+		}
+	}
+}
+
+// TestFinishRestoreRebuildPath forces the rebuild path (as a logged
+// scheme-change does) and checks pattern activations re-derive.
+func TestFinishRestoreRebuildPath(t *testing.T) {
+	src := `
+		imp0: import[U1](U2,R,S) -> prin(U1), prin(U2), string(S).
+		exp2: says(U,me,R) <- import[me](U,R,S).
+		lsAct: active(R) <- says(_, me, R), R = [| reach(me,D). |].
+		prin(alice). prin(bob).
+		import[me](bob, [| reach(me, x1). |], "sig1").
+		import[me](bob, [| reach(me, x2). |], "sig2").
+	`
+	live := New("alice")
+	if err := live.LoadProgram(src); err != nil {
+		t.Fatal(err)
+	}
+	st := live.CaptureState()
+	re := New("alice")
+	if err := re.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.ApplyJournal(&FlushJournal{Rebuilt: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.FinishRestore(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := re.Count("reach"), live.Count("reach"); got != want {
+		t.Errorf("rebuild-restored reach = %d, want %d", got, want)
+	}
+	if got, want := re.Count("active"), live.Count("active"); got != want {
+		t.Errorf("rebuild-restored active = %d, want %d", got, want)
+	}
+	if got, want := re.Count("says"), live.Count("says"); got != want {
+		t.Errorf("rebuild-restored says = %d, want %d", got, want)
+	}
+}
+
+// TestFinishRestoreRebuildPathReparsedCodes mirrors real recovery: rule
+// codes are re-parsed from their canonical text (as WAL/snapshot records
+// store them), not shared with the live AST.
+func TestFinishRestoreRebuildPathReparsedCodes(t *testing.T) {
+	src := `
+		imp0: import[U1](U2,R,S) -> prin(U1), prin(U2), string(S).
+		exp2: says(U,me,R) <- import[me](U,R,S).
+		lsAct: active(R) <- says(_, me, R), R = [| reach(me,D). |].
+		prin(alice). prin(bob).
+		import[me](bob, [| reach(me, x1). |], "sig1").
+		import[me](bob, [| reach(me, x2). |], "sig2").
+	`
+	live := New("alice")
+	if err := live.LoadProgram(src); err != nil {
+		t.Fatal(err)
+	}
+	st := live.CaptureState()
+	for i, rc := range st.Rules {
+		reparsed, err := datalog.ParseClause(string(rc.Code.Canonical()))
+		if err != nil {
+			t.Fatalf("reparse %s: %v", rc.Code.Canonical(), err)
+		}
+		st.Rules[i].Code = datalog.NewCode(reparsed)
+		if st.Rules[i].Code.Key() != rc.Code.Key() {
+			t.Fatalf("canonical key drift for %s", rc.Code.Canonical())
+		}
+	}
+	re := New("alice")
+	if err := re.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.ApplyJournal(&FlushJournal{Rebuilt: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.FinishRestore(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := re.Count("reach"), live.Count("reach"); got != want {
+		t.Errorf("reparsed-rebuild reach = %d, want %d", got, want)
+	}
+	if got, want := re.Count("active"), live.Count("active"); got != want {
+		t.Errorf("reparsed-rebuild active = %d, want %d", got, want)
+	}
+}
+
+// TestApplyJournalAddThenRemoveSameRule replays a transaction that adds
+// and then removes the same rule: the recovered workspace must end with
+// the rule inactive, exactly as it committed.
+func TestApplyJournalAddThenRemoveSameRule(t *testing.T) {
+	live := New("alice")
+	if err := live.LoadProgram("src(a)."); err != nil {
+		t.Fatal(err)
+	}
+	var captured *FlushJournal
+	live.SetJournal(func(j *FlushJournal) { captured = j })
+	r, err := datalog.ParseClause("out(X) <- src(X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := SpecializeCode(r, "alice")
+	if err := live.Update(func(tx *Tx) error {
+		if err := tx.AddRule(r); err != nil {
+			return err
+		}
+		return tx.RemoveRule(code)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if captured == nil {
+		t.Fatal("no journal captured")
+	}
+	if n := len(live.ActiveRules()); n != 0 {
+		t.Fatalf("live has %d active rules, want 0", n)
+	}
+	re := New("alice")
+	if err := re.ApplyJournal(captured); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.FinishRestore(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range re.ActiveRules() {
+		if c.Key() == code.Key() {
+			t.Error("removed rule resurrected by replay")
+		}
+	}
+	if got := re.Count("out"); got != 0 {
+		t.Errorf("replayed workspace derives out (%d tuples) through a removed rule", got)
+	}
+}

@@ -21,15 +21,24 @@ const maxMetaIterations = 10000
 type Tx struct {
 	w                *Workspace
 	changed          map[string][]datalog.Tuple
-	inserted         []factRef
-	removed          []factRef
 	removal          bool
 	newlyPartitioned []string
+
+	// facts records base-fact changes in application order — one list,
+	// not separate insert/remove groups, so both rollback (applied in
+	// reverse) and journal replay (applied forward) land in exactly the
+	// committed state when one transaction asserts and retracts the same
+	// fact.
+	facts []factRef
+	// schema records rule and constraint changes in application order,
+	// for the flush journal (see FlushJournal.Schema).
+	schema []SchemaChange
 }
 
 type factRef struct {
-	pred  string
-	tuple datalog.Tuple
+	pred    string
+	tuple   datalog.Tuple
+	retract bool
 }
 
 // Update runs fn inside a transaction, then flushes rules to fixpoint and
@@ -44,12 +53,13 @@ func (w *Workspace) Update(fn func(tx *Tx) error) error {
 	// inserts, and flushLocked folds the base assertions in.
 	w.flushNew = map[string][]datalog.Tuple{}
 	w.flushRebuilt = false
+	w.flushActivated = nil
 	err := fn(tx)
 	if err == nil {
 		err = w.flushLocked(tx)
 	}
 	if err != nil {
-		w.flushNew, w.flushRebuilt = nil, false
+		w.flushNew, w.flushRebuilt, w.flushActivated = nil, false, nil
 		if rerr := w.restoreLocked(snap, tx); rerr != nil {
 			err = errors.Join(err, fmt.Errorf("workspace: rollback: %w", rerr))
 		}
@@ -60,7 +70,30 @@ func (w *Workspace) Update(fn func(tx *Tx) error) error {
 	if !delta.Rebuilt {
 		delta.Changed = w.flushNew // merged with tx.changed by flushLocked
 	}
-	w.flushNew, w.flushRebuilt = nil, false
+	var journal *FlushJournal
+	if w.journal != nil {
+		journal = &FlushJournal{
+			Changed: delta.Changed,
+			Rebuilt: delta.Rebuilt,
+			Schema:  append(tx.schema, w.flushActivated...),
+		}
+		if len(tx.facts) > 0 {
+			journal.Facts = make([]FactChange, len(tx.facts))
+			for i, f := range tx.facts {
+				journal.Facts[i] = FactChange{Pred: f.pred, Tuple: f.tuple, Retract: f.retract}
+			}
+		}
+	}
+	w.flushNew, w.flushRebuilt, w.flushActivated = nil, false, nil
+	// The journal observer runs under the workspace lock: concurrent
+	// transactions on one workspace must reach the write-ahead log in
+	// commit order, or replay would interleave them differently than the
+	// live system did (an assert/retract pair could resurrect). The hook
+	// only appends to the log's in-memory buffer (and, under FsyncAlways,
+	// waits for the group commit), never re-enters the workspace.
+	if w.journal != nil && journal != nil && !journal.Empty() {
+		w.journal(journal)
+	}
 	hooks := append([]func(FlushDelta){}, w.onFlush...)
 	w.mu.Unlock()
 	for _, h := range hooks {
@@ -95,15 +128,15 @@ func (tx *Tx) AssertAtom(a *datalog.Atom) error {
 // AssertTuple inserts a base tuple directly.
 func (tx *Tx) AssertTuple(pred string, tuple datalog.Tuple) error {
 	w := tx.w
-	base := w.baseRel(pred, len(tuple))
+	base := w.baseRel(pred, tuple.Len())
 	if !base.Insert(tuple) {
 		return nil // already present
 	}
-	w.db.Rel(pred, len(tuple)).Insert(tuple)
+	w.db.Rel(pred, tuple.Len()).Insert(tuple)
 	tx.changed[pred] = append(tx.changed[pred], tuple)
-	tx.inserted = append(tx.inserted, factRef{pred, tuple})
+	tx.facts = append(tx.facts, factRef{pred: pred, tuple: tuple})
 	// Reify carried code values now so the delta includes their meta facts.
-	for _, v := range tuple {
+	for _, v := range tuple.Values() {
 		if c, ok := v.(datalog.Code); ok {
 			for _, f := range w.model.Reify(c) {
 				tx.changed[f.Pred] = append(tx.changed[f.Pred], f.Tuple)
@@ -133,7 +166,7 @@ func (tx *Tx) Retract(src string) error {
 	if !ok || !base.Delete(tuple) {
 		return nil
 	}
-	tx.removed = append(tx.removed, factRef{pred, tuple})
+	tx.facts = append(tx.facts, factRef{pred: pred, tuple: tuple, retract: true})
 	tx.removal = true
 	return nil
 }
@@ -144,7 +177,7 @@ func (tx *Tx) RetractTuple(pred string, tuple datalog.Tuple) error {
 	if !ok || !base.Delete(tuple) {
 		return nil
 	}
-	tx.removed = append(tx.removed, factRef{pred, tuple})
+	tx.facts = append(tx.facts, factRef{pred: pred, tuple: tuple, retract: true})
 	tx.removal = true
 	return nil
 }
@@ -182,13 +215,14 @@ func (tx *Tx) AddRuleAs(r *datalog.Rule, owner datalog.Sym) error {
 	if entry.isCheck {
 		w.constraintsChanged = true // the check-rule set itself changed
 	}
+	tx.schema = append(tx.schema, SchemaChange{Kind: SchemaRuleAdd, Rule: RuleChange{Code: code, Owner: owner}})
 	// Record activation and ownership as base facts so recomputation
 	// rebuilds them; reification happens against the live database.
-	if err := tx.AssertTuple(meta.PredActive, datalog.Tuple{code}); err != nil {
+	if err := tx.AssertTuple(meta.PredActive, datalog.NewTuple(code)); err != nil {
 		return err
 	}
 	if owner != "" {
-		if err := tx.AssertTuple("owner", datalog.Tuple{code, owner}); err != nil {
+		if err := tx.AssertTuple("owner", datalog.NewTuple(code, owner)); err != nil {
 			return err
 		}
 	}
@@ -214,20 +248,27 @@ func (tx *Tx) RemoveRule(code datalog.Code) error {
 	}
 	w.rulesChanged = true
 	tx.removal = true
+	tx.schema = append(tx.schema, SchemaChange{Kind: SchemaRuleRemove, Code: code})
 	if rel, ok := w.base.Get(meta.PredActive); ok {
-		rel.Delete(datalog.Tuple{code})
+		// Record the deletion so rollback re-inserts the active fact and
+		// journal replay retracts it (a restored active table would
+		// otherwise re-activate the removed rule during recovery).
+		t := datalog.NewTuple(code)
+		if rel.Delete(t) {
+			tx.facts = append(tx.facts, factRef{pred: meta.PredActive, tuple: t, retract: true})
+		}
 	}
 	if rel, ok := w.base.Get("owner"); ok {
 		var drop []datalog.Tuple
 		rel.Each(func(t datalog.Tuple) bool {
-			if datalog.ValueEqual(t[0], code) {
+			if datalog.ValueEqual(t.At(0), code) {
 				drop = append(drop, t)
 			}
 			return true
 		})
 		for _, t := range drop {
 			rel.Delete(t)
-			tx.removed = append(tx.removed, factRef{"owner", t})
+			tx.facts = append(tx.facts, factRef{pred: "owner", tuple: t, retract: true})
 		}
 	}
 	return nil
@@ -241,6 +282,18 @@ func (tx *Tx) AddConstraint(c *datalog.Constraint) error {
 	if err != nil {
 		return err
 	}
+	label := c.Label
+	source := datalog.CanonicalConstraint(c)
+	if cc != nil {
+		label = cc.label // auto-generated when the source had none
+		cc.auxID = w.auxSeq
+		cc.source = source
+	}
+	tx.schema = append(tx.schema, SchemaChange{Kind: SchemaConstraintAdd, Constraint: ConstraintChange{
+		AuxID:  w.auxSeq,
+		Label:  label,
+		Source: source,
+	}})
 	for _, d := range decls {
 		was := w.decls[d.Name].Partitioned
 		w.registerDecl(d)
@@ -275,6 +328,7 @@ func (tx *Tx) RemoveConstraint(label string) bool {
 	w.constraints = kept
 	if removed {
 		w.constraintsChanged = true
+		tx.schema = append(tx.schema, SchemaChange{Kind: SchemaConstraintRemove, Label: label})
 	}
 	return removed
 }
@@ -310,21 +364,21 @@ func ensureDot(src string) string {
 // atomTuple evaluates a ground atom into a tuple.
 func atomTuple(a *datalog.Atom) (datalog.Tuple, error) {
 	if a.Pred == "" {
-		return nil, fmt.Errorf("workspace: fact must have a concrete predicate")
+		return datalog.Tuple{}, fmt.Errorf("workspace: fact must have a concrete predicate")
 	}
 	args := a.AllArgs()
-	tuple := make(datalog.Tuple, len(args))
+	vs := make([]datalog.Value, len(args))
 	for i, t := range args {
 		v, ground, err := datalog.EvalGroundTerm(t)
 		if err != nil {
-			return nil, err
+			return datalog.Tuple{}, err
 		}
 		if !ground {
-			return nil, fmt.Errorf("workspace: fact %s is not ground", a.String())
+			return datalog.Tuple{}, fmt.Errorf("workspace: fact %s is not ground", a.String())
 		}
-		tuple[i] = v
+		vs[i] = v
 	}
-	return tuple, nil
+	return datalog.TupleOf(vs), nil
 }
 
 // newRuleEntry translates a specialized rule for the engine.
@@ -473,7 +527,7 @@ func (w *Workspace) reifyFreshCodesLocked(cursor map[string]int) []meta.Fact {
 		}
 		cursor[pred] = len(tuples)
 		for _, t := range tuples[from:] {
-			for _, v := range t {
+			for _, v := range t.Values() {
 				if c, ok := v.(datalog.Code); ok && !w.model.Reified(c) {
 					facts = append(facts, w.model.Reify(c)...)
 				}
@@ -503,6 +557,7 @@ func (w *Workspace) activateDerivedLocked() (bool, error) {
 			w.constraintsChanged = true
 		}
 		w.model.Reify(code)
+		w.flushActivated = append(w.flushActivated, SchemaChange{Kind: SchemaRuleAdd, Rule: RuleChange{Code: code, Derived: true}})
 		activated = true
 	}
 	return activated, nil
@@ -630,14 +685,16 @@ func (w *Workspace) restoreLocked(s *wsSnapshot, tx *Tx) error {
 	w.decls = s.decls
 	w.rulesChanged = s.rulesChanged
 	w.constraintsChanged = s.constraintsChanged
-	// Revert base fact changes.
-	for _, f := range tx.inserted {
-		if rel, ok := w.base.Get(f.pred); ok {
+	// Revert base fact changes in reverse order, inverting each op, so an
+	// assert/retract pair over one fact unwinds to the pre-transaction
+	// state.
+	for i := len(tx.facts) - 1; i >= 0; i-- {
+		f := tx.facts[i]
+		if f.retract {
+			w.baseRel(f.pred, f.tuple.Len()).Insert(f.tuple)
+		} else if rel, ok := w.base.Get(f.pred); ok {
 			rel.Delete(f.tuple)
 		}
-	}
-	for _, f := range tx.removed {
-		w.baseRel(f.pred, len(f.tuple)).Insert(f.tuple)
 	}
 	if err := w.rebuildDerivedLocked(); err != nil {
 		return err

@@ -77,13 +77,118 @@ type Workspace struct {
 	// used by the distribution runtime to ship partitioned tuples without
 	// rescanning relations.
 	onFlush []func(FlushDelta)
+	// journal, when set, observes every successful flush at the base level
+	// (asserted and retracted facts, rule and constraint changes, plus the
+	// derived delta); the durability layer records it in the write-ahead
+	// log. It runs before the OnFlush hooks, so a flush is durable before
+	// the distribution runtime can act on it.
+	journal func(*FlushJournal)
 
 	// flushNew accumulates tuples newly derived by evaluation during the
 	// current flush (fed by the evaluator's OnNew hook); flushRebuilt is
 	// set when the flush rebuilt derived state from scratch, making the
-	// accumulated delta meaningless.
-	flushNew     map[string][]datalog.Tuple
-	flushRebuilt bool
+	// accumulated delta meaningless. flushActivated records rules the meta
+	// loop activated through the active table (they carry no Tx record).
+	flushNew       map[string][]datalog.Tuple
+	flushRebuilt   bool
+	flushActivated []SchemaChange
+
+	// restoreRebuild marks, during a store recovery, that a replayed
+	// journal contained a retraction or rebuilt flush, so the logged
+	// per-tuple deltas stop being authoritative and FinishRestore must
+	// recompute derived state from base facts.
+	restoreRebuild bool
+}
+
+// RuleChange records one active-rule addition for journal observers and
+// snapshots: the activated code, its owner (empty for derived
+// activations), and whether it was activated through the active table.
+type RuleChange struct {
+	Code    datalog.Code
+	Owner   datalog.Sym
+	Derived bool
+}
+
+// ConstraintChange records one installed constraint for journal observers
+// and snapshots. Source is the datalog.CanonicalConstraint rendering (the
+// label is carried separately: labels are not always lexable), and AuxID
+// is the workspace-unique id of the constraint's aux predicate, preserved
+// across recovery so restored aux state cannot alias.
+type ConstraintChange struct {
+	AuxID  int
+	Label  string
+	Source string
+}
+
+// FactChange is one base-fact change in a flush journal: an assertion,
+// or a retraction when Retract is set.
+type FactChange struct {
+	Pred    string
+	Tuple   datalog.Tuple
+	Retract bool
+}
+
+// SchemaKind tags one entry of a flush journal's ordered schema-change
+// list.
+type SchemaKind int
+
+// The schema change kinds.
+const (
+	SchemaRuleAdd SchemaKind = iota
+	SchemaRuleRemove
+	SchemaConstraintAdd
+	SchemaConstraintRemove
+)
+
+// SchemaChange is one rule or constraint change. Exactly the field named
+// by Kind is meaningful. Changes are journaled as one ordered list —
+// not per-kind groups — because a single transaction may add and remove
+// the same rule (or same-label constraint) and replay must apply the
+// operations in the order they happened to land in the same state.
+type SchemaChange struct {
+	Kind       SchemaKind
+	Rule       RuleChange       // SchemaRuleAdd
+	Code       datalog.Code     // SchemaRuleRemove
+	Constraint ConstraintChange // SchemaConstraintAdd
+	Label      string           // SchemaConstraintRemove
+}
+
+// FlushJournal describes one successful flush to the journal observer:
+// everything needed to replay the flush against a restored workspace
+// without re-running evaluation. Asserted and Retracted are ordered
+// slices (transaction order), not maps: the journal is built on every
+// committed flush, so it stays allocation-light.
+type FlushJournal struct {
+	// Facts is the transaction's base-fact changes in application order
+	// (one list, so an assert/retract pair over the same fact replays to
+	// the committed state).
+	Facts []FactChange
+	// Changed is the full flush delta (base assertions, reified meta
+	// facts, derived tuples) — the same map handed to FlushDelta
+	// observers. Nil when Rebuilt is set.
+	Changed map[string][]datalog.Tuple
+	// Rebuilt reports that the flush reconstructed derived state from
+	// base facts; replay must do the same.
+	Rebuilt bool
+	// Schema is the transaction's rule and constraint changes, in
+	// application order (derived activations by the meta loop follow the
+	// transaction's own changes).
+	Schema []SchemaChange
+}
+
+// Empty reports whether the journal records no changes at all, so the
+// durability layer can skip logging a no-op flush.
+func (j *FlushJournal) Empty() bool {
+	return len(j.Facts) == 0 && len(j.Changed) == 0 && !j.Rebuilt && len(j.Schema) == 0
+}
+
+// SetJournal installs the flush journal observer (at most one; the
+// durability layer owns it). It must be set before data is loaded —
+// flushes preceding it are never logged.
+func (w *Workspace) SetJournal(fn func(*FlushJournal)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.journal = fn
 }
 
 // FlushDelta describes one successful flush to OnFlush observers.

@@ -347,7 +347,7 @@ func TestProvenance(t *testing.T) {
 	`); err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	tup := datalog.Tuple{datalog.Sym("a"), datalog.Sym("c")}
+	tup := datalog.NewTuple(datalog.Sym("a"), datalog.Sym("c"))
 	ds := w.Provenance().Explain("path", tup)
 	if len(ds) == 0 {
 		t.Fatal("no derivations recorded for path(a,c)")
@@ -373,7 +373,7 @@ func TestMeSpecialization(t *testing.T) {
 	if err != nil {
 		t.Fatalf("query: %v", err)
 	}
-	if len(got) != 1 || got[0][0].Key() != datalog.Sym("key1").Key() {
+	if len(got) != 1 || got[0].At(0).Key() != datalog.Sym("key1").Key() {
 		t.Errorf("mine = %v, want [key1]", got)
 	}
 	// me in queries also resolves to the local principal.
@@ -496,7 +496,7 @@ func TestFlushDeltaReportsAssertedAndDerived(t *testing.T) {
 		t.Errorf("asserted base fact missing from delta: %v", d.Changed)
 	}
 	// The derived out tuple must be in the delta without rescanning.
-	if got := d.Changed["out"]; len(got) != 1 || !got[0].Equal(datalog.Tuple{datalog.Sym("bob"), datalog.Sym("hello")}) {
+	if got := d.Changed["out"]; len(got) != 1 || !got[0].Equal(datalog.NewTuple(datalog.Sym("bob"), datalog.Sym("hello"))) {
 		t.Errorf("derived tuple missing from delta: %v", d.Changed["out"])
 	}
 
@@ -505,7 +505,7 @@ func TestFlushDeltaReportsAssertedAndDerived(t *testing.T) {
 		t.Fatal(err)
 	}
 	d = deltas[1]
-	if got := d.Changed["out"]; len(got) != 1 || !got[0].Equal(datalog.Tuple{datalog.Sym("bob"), datalog.Sym("again")}) {
+	if got := d.Changed["out"]; len(got) != 1 || !got[0].Equal(datalog.NewTuple(datalog.Sym("bob"), datalog.Sym("again"))) {
 		t.Errorf("second delta = %v, want only the fresh derivation", d.Changed["out"])
 	}
 

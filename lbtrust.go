@@ -43,6 +43,7 @@ import (
 	"lbtrust/internal/datalog"
 	"lbtrust/internal/dist"
 	"lbtrust/internal/sendlog"
+	"lbtrust/internal/store"
 	"lbtrust/internal/workspace"
 )
 
@@ -134,6 +135,37 @@ type BinderContext = binder.Context
 // SeNDlogNetwork runs SeNDlog protocols over LBTrust principals
 // (Section 5.2).
 type SeNDlogNetwork = sendlog.Network
+
+// DurableOptions configures OpenSystem: the transport and the
+// write-ahead-log fsync policy.
+type DurableOptions = core.DurableOptions
+
+// FsyncPolicy selects when the write-ahead log is forced to stable
+// storage.
+type FsyncPolicy = store.FsyncPolicy
+
+// The write-ahead-log sync policies: FsyncAlways makes every flush wait
+// for (group-committed) durability, FsyncInterval (the default) syncs on
+// a timer off the hot path, FsyncOff leaves writeback to the OS.
+const (
+	FsyncAlways   = store.FsyncAlways
+	FsyncInterval = store.FsyncInterval
+	FsyncOff      = store.FsyncOff
+)
+
+// ParseFsyncPolicy parses "always", "interval", or "off".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return store.ParseFsyncPolicy(s) }
+
+// OpenSystem opens (creating if needed) a durable system rooted at dir:
+// every workspace flush, shipment, and key establishment is recorded in a
+// write-ahead log under dir, System.Checkpoint() writes a compacting
+// snapshot and rotates the log, and reopening the directory rebuilds the
+// system — workspaces answer queries byte-identically to the pre-crash
+// system, and the next Sync re-delivers nothing already applied. Close
+// the system to flush the log.
+func OpenSystem(dir string, opts DurableOptions) (*System, error) {
+	return core.OpenSystem(dir, opts)
+}
 
 // NewSystem creates a system with a single in-memory node.
 func NewSystem() *System { return core.NewSystem() }
