@@ -2,6 +2,7 @@ package lbtrust
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"lbtrust/internal/bench"
@@ -367,5 +368,58 @@ func BenchmarkRecovery(b *testing.B) {
 			}
 			b.ReportMetric(float64(tuples), "tuples")
 		})
+	}
+}
+
+// ---- serve throughput -------------------------------------------------------
+//
+// Queries/sec against the trust service at increasing client
+// concurrency: each client is an authenticated session issuing point
+// queries answered from workspace snapshots.
+
+func BenchmarkServe(b *testing.B) {
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := bench.RunServe(bench.ServeOptions{
+					Base: 2000, PerClient: 200, Clients: []int{clients},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				p := r.Scaling[0]
+				b.ReportMetric(p.QPS, "queries/s")
+				b.ReportMetric(float64(p.P99.Microseconds()), "p99-us")
+			}
+		})
+	}
+}
+
+// TestServeReadScaling asserts the serving layer's reason to exist:
+// concurrent readers must not serialize behind the workspace lock. The
+// CPU-parallel speedup this manifests as is physically bounded by the
+// core count, so the threshold scales with (and is skipped below 4)
+// available CPUs; the recorded BENCH_serve.json carries the full curve
+// either way.
+func TestServeReadScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve scaling is a perf assertion; skipped in -short")
+	}
+	r, err := bench.RunServe(bench.ServeOptions{Base: 2000, PerClient: 300, Clients: []int{1, 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("serve scaling: 1 client %.0f qps, 16 clients %.0f qps (%.2fx, NumCPU=%d)",
+		r.Scaling[0].QPS, r.Scaling[1].QPS, r.ScalingX, runtime.NumCPU())
+	// On any machine, 16 clients must not collapse throughput (a lock
+	// convoy would); the generous floor absorbs 1-CPU and -race jitter.
+	if r.ScalingX < 0.5 {
+		t.Fatalf("16-client throughput collapsed to %.2fx of single-client", r.ScalingX)
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("NumCPU=%d: the >=4x read-scaling assertion needs >=4 cores", runtime.NumCPU())
+	}
+	if want := 4.0; r.ScalingX < want {
+		t.Fatalf("16-client throughput only %.2fx single-client, want >= %.1fx (readers serializing?)", r.ScalingX, want)
 	}
 }

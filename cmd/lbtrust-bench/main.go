@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"lbtrust/internal/bench"
@@ -36,7 +37,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "comma-separated experiments: fig2, sync, constraints, wal, ablations, all")
+	experiment := flag.String("experiment", "all", "comma-separated experiments: fig2, sync, constraints, wal, serve, ablations, all")
 	maxMsgs := flag.Int("max", 10000, "fig2: maximum number of messages")
 	step := flag.Int("step", 1000, "fig2: message count step")
 	transport := flag.String("transport", "mem", "fig2/sync: wire layer, mem or tcp")
@@ -78,6 +79,8 @@ func main() {
 			reports = append(reports, runConstraints(*jsonOut, *short))
 		case "wal":
 			reports = append(reports, runWAL(kind, *jsonOut, *short))
+		case "serve":
+			reports = append(reports, runServe(*jsonOut, *short))
 		case "ablations":
 			if *jsonOut {
 				fmt.Fprintln(os.Stderr, "ablations have no JSON shape; skipped in -json mode")
@@ -315,6 +318,89 @@ func runWAL(kind bench.TransportKind, jsonOut, short bool) any {
 			float64(p.WALRecoverNs)/1e6, float64(p.CheckpointNs)/1e6, p.SnapshotBytes, float64(p.SnapRecoverNs)/1e6)
 	}
 	fmt.Println()
+	return report
+}
+
+// serveReport is the machine-readable shape of the serve experiment:
+// queries/sec against a loaded workspace at increasing concurrency
+// (snapshot reads, no writer), plus the locked-vs-snapshot contention A/B
+// under a signing writer.
+type serveReport struct {
+	Experiment string                `json:"experiment"`
+	Short      bool                  `json:"short"`
+	Base       int                   `json:"base"`
+	PerClient  int                   `json:"per_client"`
+	NumCPU     int                   `json:"num_cpu"`
+	ScalingX   float64               `json:"scaling_x"` // top-concurrency QPS / 1-client QPS
+	Scaling    []servePointJSON      `json:"scaling"`
+	Contention []serveContentionJSON `json:"contention"`
+}
+
+type servePointJSON struct {
+	Clients int     `json:"clients"`
+	Queries int64   `json:"queries"`
+	QPS     float64 `json:"qps"`
+	P50Ns   int64   `json:"p50_ns"`
+	P99Ns   int64   `json:"p99_ns"`
+}
+
+type serveContentionJSON struct {
+	Mode          string  `json:"mode"`
+	Clients       int     `json:"clients"`
+	WriterFlushes int64   `json:"writer_flushes"`
+	QPS           float64 `json:"qps"`
+	P50Ns         int64   `json:"p50_ns"`
+	P99Ns         int64   `json:"p99_ns"`
+}
+
+// runServe measures the serving layer: read scaling across 1/4/16
+// concurrent authenticated sessions, and tail latency with a writer
+// committing signed says batches. It returns the JSON report document.
+func runServe(jsonOut, short bool) any {
+	opts := bench.ServeOptions{Base: 10000, PerClient: 500, Clients: []int{1, 4, 16}, Contention: true}
+	if short {
+		opts = bench.ServeOptions{Base: 1000, PerClient: 100, Clients: []int{1, 4, 16}, Contention: true}
+	}
+	r, err := bench.RunServe(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(1)
+	}
+	report := serveReport{
+		Experiment: "serve", Short: short, Base: r.Base, PerClient: r.PerClient,
+		NumCPU: runtime.NumCPU(), ScalingX: r.ScalingX,
+	}
+	for _, p := range r.Scaling {
+		report.Scaling = append(report.Scaling, servePointJSON{
+			Clients: p.Clients, Queries: p.Queries, QPS: p.QPS,
+			P50Ns: p.P50.Nanoseconds(), P99Ns: p.P99.Nanoseconds(),
+		})
+	}
+	for _, c := range r.Contention {
+		report.Contention = append(report.Contention, serveContentionJSON{
+			Mode: c.Mode, Clients: c.Clients, WriterFlushes: c.WriterFlushes,
+			QPS: c.QPS, P50Ns: c.P50.Nanoseconds(), P99Ns: c.P99.Nanoseconds(),
+		})
+	}
+	if jsonOut {
+		return report
+	}
+	fmt.Printf("== Serve throughput: snapshot reads, %d-fact workspace (GOMAXPROCS=%d) ==\n", r.Base, runtime.NumCPU())
+	fmt.Printf("%10s %10s %12s %12s %12s\n", "clients", "queries", "qps", "p50(us)", "p99(us)")
+	for _, p := range report.Scaling {
+		fmt.Printf("%10d %10d %12.0f %12.1f %12.1f\n", p.Clients, p.Queries, p.QPS,
+			float64(p.P50Ns)/1e3, float64(p.P99Ns)/1e3)
+	}
+	fmt.Printf("\nread scaling (top concurrency vs 1 client): %.2fx\n\n", r.ScalingX)
+	if len(report.Contention) > 0 {
+		fmt.Println("== Contention: reads while a writer commits RSA-signed says batches ==")
+		fmt.Printf("%10s %10s %12s %12s %12s %10s\n", "mode", "clients", "qps", "p50(us)", "p99(us)", "flushes")
+		for _, c := range report.Contention {
+			fmt.Printf("%10s %10d %12.0f %12.1f %12.1f %10d\n", c.Mode, c.Clients, c.QPS,
+				float64(c.P50Ns)/1e3, float64(c.P99Ns)/1e3, c.WriterFlushes)
+		}
+		fmt.Println()
+	}
 	return report
 }
 

@@ -1,0 +1,149 @@
+// Command lbtrust-serve hosts a trust system as a network service:
+// principals connect over the length-prefixed wire protocol of
+// internal/server, authenticate with their established RSA keys, and run
+// queries (snapshot reads), assertions, says statements, and syncs.
+//
+//	lbtrust-serve -listen 127.0.0.1:7461 -principals alice,bob -trust-all \
+//	    -export-keys ./keys
+//	lbtrust-serve -data-dir ./trust.db -listen 127.0.0.1:7461 \
+//	    -auto-checkpoint-mb 64 -auto-checkpoint-interval 5m
+//
+// With -data-dir the served system is durable: every flush is logged,
+// automatic checkpoints (size- and/or time-triggered) bound recovery, and
+// restarting the server restores the exact pre-crash state — sessions
+// re-authenticate with the same keys and see identical query results.
+//
+// -principals creates the named principals (with RSA identities) if they
+// do not exist yet; -export-keys writes each principal's private key DER
+// to <dir>/<name>.key (0600) so out-of-process clients can authenticate
+// (see `lbtrust -connect`). -anon names a principal whose context answers
+// queries from unauthenticated sessions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"lbtrust"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", "127.0.0.1:7461", "TCP listen address")
+	dataDir := flag.String("data-dir", "", "durable store directory (state survives restarts)")
+	fsyncMode := flag.String("fsync", "interval", "WAL fsync policy with -data-dir: always, interval, or off")
+	autoMB := flag.Int64("auto-checkpoint-mb", 0, "with -data-dir: checkpoint when the log exceeds this many MiB (0 = off)")
+	autoEvery := flag.Duration("auto-checkpoint-interval", 0, "with -data-dir: checkpoint on this interval when the log grew (0 = off)")
+	principals := flag.String("principals", "", "comma-separated principals to create (with RSA identities) if missing")
+	trustAll := flag.Bool("trust-all", false, "install the says1 trust-all rule in every created principal")
+	anon := flag.String("anon", "", "principal context answering unauthenticated queries")
+	exportKeys := flag.String("export-keys", "", "write each principal's private key DER to DIR/<name>.key (0600)")
+	program := flag.String("program", "", "LBTrust program file loaded into every created principal")
+	addrFile := flag.String("addr-file", "", "write the bound listen address to this file (for scripts using :0)")
+	flag.Parse()
+
+	var sys *lbtrust.System
+	if *dataDir != "" {
+		policy, err := lbtrust.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			return err
+		}
+		sys, err = lbtrust.OpenSystem(*dataDir, lbtrust.DurableOptions{
+			Fsync:                  policy,
+			AutoCheckpointBytes:    *autoMB << 20,
+			AutoCheckpointInterval: *autoEvery,
+		})
+		if err != nil {
+			return fmt.Errorf("open %s: %w", *dataDir, err)
+		}
+	} else {
+		sys = lbtrust.NewSystem()
+	}
+	defer func() {
+		if err := sys.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "close: %v\n", err)
+		}
+	}()
+
+	var src []byte
+	if *program != "" {
+		var err error
+		if src, err = os.ReadFile(*program); err != nil {
+			return err
+		}
+	}
+	for _, name := range strings.Split(*principals, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		p, ok := sys.Principal(name)
+		if !ok {
+			var err error
+			if p, err = sys.AddPrincipal(name); err != nil {
+				return fmt.Errorf("principal %s: %w", name, err)
+			}
+			if *trustAll {
+				if err := p.TrustAll(); err != nil {
+					return fmt.Errorf("trust-all for %s: %w", name, err)
+				}
+			}
+			if len(src) > 0 {
+				if err := p.LoadProgram(string(src)); err != nil {
+					return fmt.Errorf("loading %s into %s: %w", *program, name, err)
+				}
+			}
+		}
+		if err := sys.EstablishRSA(name); err != nil {
+			return fmt.Errorf("establishing %s: %w", name, err)
+		}
+	}
+	if *exportKeys != "" {
+		if err := os.MkdirAll(*exportKeys, 0o700); err != nil {
+			return err
+		}
+		for _, name := range sys.Principals() {
+			p, _ := sys.Principal(name)
+			der, ok := p.Keys().ExportRSAPrivate(name)
+			if !ok {
+				continue
+			}
+			path := filepath.Join(*exportKeys, name+".key")
+			if err := os.WriteFile(path, der, 0o600); err != nil {
+				return err
+			}
+		}
+	}
+
+	srv, err := lbtrust.Serve(sys, *listen, lbtrust.ServerOptions{Anonymous: *anon})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(srv.Addr()), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("serving on %s (%d principals)\n", srv.Addr(), len(sys.Principals()))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	// Give in-flight requests a beat before the deferred closes run.
+	time.Sleep(50 * time.Millisecond)
+	return nil
+}

@@ -13,12 +13,23 @@
 //	lbtrust -data-dir ./trust.db -principal alice program.lb
 //	lbtrust -data-dir ./trust.db -principal alice -query 'path(a, X)'
 //	lbtrust -data-dir ./trust.db -fsync always -checkpoint -principal alice more.lb
+//
+// With -connect the command is a client of a running lbtrust-serve
+// instance instead of a local workspace: it authenticates as -principal
+// using the key file written by the server's -export-keys, then runs its
+// actions over the wire (queries are served from workspace snapshots).
+//
+//	lbtrust -connect 127.0.0.1:7461 -principal alice -key keys/alice.key \
+//	    -say 'bob: greeting(hello).' -sync
+//	lbtrust -connect 127.0.0.1:7461 -principal bob -key keys/bob.key \
+//	    -query 'greeting(X)'
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"lbtrust"
 )
@@ -38,7 +49,16 @@ func run() error {
 	dataDir := flag.String("data-dir", "", "durable store directory: state persists across invocations")
 	fsyncMode := flag.String("fsync", "interval", "WAL fsync policy with -data-dir: always, interval, or off")
 	checkpoint := flag.Bool("checkpoint", false, "with -data-dir: write a compacting snapshot and rotate the WAL before exiting")
+	connect := flag.String("connect", "", "address of a running lbtrust-serve instance (client mode)")
+	keyFile := flag.String("key", "", "with -connect: the principal's private key DER (lbtrust-serve -export-keys)")
+	say := flag.String("say", "", "with -connect: 'to: clause' said as the authenticated principal")
+	assert := flag.String("assert", "", "with -connect: fact asserted in the principal's workspace")
+	doSync := flag.Bool("sync", false, "with -connect: pump the service's distribution runtime")
 	flag.Parse()
+
+	if *connect != "" {
+		return runConnect(*connect, *principal, *keyFile, *say, *assert, *doSync, *query)
+	}
 
 	if *dataDir == "" && flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: lbtrust [-data-dir DIR [-fsync MODE] [-checkpoint]] [-principal P] [-query ATOM | -dump PRED | -rules] [program.lb]")
@@ -115,6 +135,59 @@ func run() error {
 		if err := sys.Checkpoint(); err != nil {
 			return fmt.Errorf("checkpoint: %w", err)
 		}
+	}
+	return nil
+}
+
+// runConnect drives a running trust service: authenticate (when a key is
+// given), then say / assert / sync / query in that order.
+func runConnect(addr, principal, keyFile, say, assert string, doSync bool, query string) error {
+	c, err := lbtrust.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if keyFile != "" {
+		der, err := os.ReadFile(keyFile)
+		if err != nil {
+			return err
+		}
+		keys := lbtrust.NewKeyStore()
+		if err := keys.ImportRSAPrivateDER(principal, der); err != nil {
+			return err
+		}
+		if err := c.Authenticate(principal, keys); err != nil {
+			return fmt.Errorf("authenticating as %s: %w", principal, err)
+		}
+	}
+	if say != "" {
+		to, clause, ok := strings.Cut(say, ":")
+		if !ok {
+			return fmt.Errorf("-say wants 'to: clause', got %q", say)
+		}
+		if err := c.Say(strings.TrimSpace(to), strings.TrimSpace(clause)); err != nil {
+			return fmt.Errorf("say: %w", err)
+		}
+	}
+	if assert != "" {
+		if err := c.Assert(assert); err != nil {
+			return fmt.Errorf("assert: %w", err)
+		}
+	}
+	if doSync {
+		if err := c.Sync(); err != nil {
+			return fmt.Errorf("sync: %w", err)
+		}
+	}
+	if query != "" {
+		rows, err := c.Query(query)
+		if err != nil {
+			return fmt.Errorf("query: %w", err)
+		}
+		for _, r := range rows {
+			fmt.Println(r.String())
+		}
+		fmt.Fprintf(os.Stderr, "%d row(s)\n", len(rows))
 	}
 	return nil
 }

@@ -29,6 +29,15 @@ type DurableOptions struct {
 	Fsync store.FsyncPolicy
 	// FsyncInterval is the timer for the interval policy (default 50ms).
 	FsyncInterval time.Duration
+	// AutoCheckpointBytes, when positive, checkpoints automatically once
+	// the active log segment reaches this many bytes, so an unattended
+	// server never replays an ever-growing log on restart.
+	AutoCheckpointBytes int64
+	// AutoCheckpointInterval, when positive, checkpoints automatically
+	// whenever this much time has passed since the last checkpoint and the
+	// log has grown in between (an idle system is never checkpointed).
+	// Bytes and interval triggers compose; either alone suffices.
+	AutoCheckpointInterval time.Duration
 }
 
 // durableState is the store side of a System, kept in its own struct so
@@ -37,6 +46,11 @@ type durableState struct {
 	st  *store.Store
 	mu  sync.Mutex
 	err error // sticky background log error, surfaced on Checkpoint/Close
+
+	// Auto-checkpoint trigger goroutine lifecycle (nil channels when the
+	// trigger is not configured).
+	stopAuto chan struct{}
+	autoDone chan struct{}
 }
 
 func (d *durableState) note(err error) {
@@ -90,11 +104,72 @@ func OpenSystem(dir string, opts DurableOptions) (*System, error) {
 		p := sys.principals[name]
 		pname := name
 		p.ws.SetJournal(func(j *workspace.FlushJournal) {
-			sys.durable.note(st.LogFlush(pname, j))
+			sys.durable.note(st.LogFlushNoWait(pname, j))
 		})
+		p.ws.SetJournalSync(func() { sys.durable.note(st.WaitDurable()) })
 	}
 	sys.runtime.SetJournal(sys.logDistEvent)
+	if opts.AutoCheckpointBytes > 0 || opts.AutoCheckpointInterval > 0 {
+		sys.durable.startAutoCheckpoint(sys, opts.AutoCheckpointBytes, opts.AutoCheckpointInterval)
+	}
 	return sys, nil
+}
+
+// autoCheckpointPoll is how often the trigger goroutine re-reads the log
+// size. Polling a counter is cheap; the actual checkpoint work only runs
+// when a threshold trips.
+const autoCheckpointPoll = 100 * time.Millisecond
+
+// startAutoCheckpoint launches the background trigger: checkpoint when
+// the active log segment exceeds maxBytes (if positive), or when interval
+// has elapsed since the last checkpoint with the log non-empty (if
+// positive). Checkpoint errors are sticky, surfaced on the next explicit
+// Checkpoint or Close like background log errors.
+func (d *durableState) startAutoCheckpoint(sys *System, maxBytes int64, interval time.Duration) {
+	d.stopAuto = make(chan struct{})
+	d.autoDone = make(chan struct{})
+	go func() {
+		defer close(d.autoDone)
+		ticker := time.NewTicker(autoCheckpointPoll)
+		defer ticker.Stop()
+		last := time.Now()
+		var retryAt time.Time
+		for {
+			select {
+			case <-d.stopAuto:
+				return
+			case <-ticker.C:
+			}
+			size := d.st.LogSize()
+			due := maxBytes > 0 && size >= maxBytes
+			due = due || (interval > 0 && size > 0 && time.Since(last) >= interval)
+			if !due || time.Now().Before(retryAt) {
+				continue
+			}
+			if err := d.st.Checkpoint(sys.captureSnapshot); err != nil {
+				// A failed checkpoint (disk full, permissions) is retried on
+				// a backoff, not once per poll tick (a bytes trigger stays
+				// tripped) and not a whole interval later (the condition
+				// may clear in seconds while the log keeps growing).
+				d.note(err)
+				retryAt = time.Now().Add(5 * time.Second)
+				continue
+			}
+			retryAt = time.Time{}
+			last = time.Now()
+		}
+	}()
+}
+
+// stopAutoCheckpoint stops the trigger goroutine and waits for any
+// in-flight checkpoint to finish, so Close never races a capture.
+func (d *durableState) stopAutoCheckpoint() {
+	if d.stopAuto == nil {
+		return
+	}
+	close(d.stopAuto)
+	<-d.autoDone
+	d.stopAuto = nil
 }
 
 // logDistEvent records one distribution runtime event in the log.

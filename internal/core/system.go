@@ -108,6 +108,7 @@ func (s *System) Stats() dist.Stats { return s.runtime.Stats() }
 func (s *System) Close() error {
 	var err error
 	if s.durable != nil {
+		s.durable.stopAutoCheckpoint()
 		err = s.durable.sticky()
 		if cerr := s.durable.st.Close(); err == nil {
 			err = cerr
@@ -166,8 +167,9 @@ func (s *System) AddPrincipalOn(name string, node *dist.Node) (*Principal, error
 		}
 		d := s.durable
 		p.ws.SetJournal(func(j *workspace.FlushJournal) {
-			d.note(d.st.LogFlush(name, j))
+			d.note(d.st.LogFlushNoWait(name, j))
 		})
+		p.ws.SetJournalSync(func() { d.note(d.st.WaitDurable()) })
 	}
 	if err := p.ws.LoadProgram(BaseProgram); err != nil {
 		return nil, fmt.Errorf("core: base program: %w", err)

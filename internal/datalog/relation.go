@@ -3,6 +3,8 @@ package datalog
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Relation is a set of tuples with a fixed arity, hash-keyed on the full
@@ -17,6 +19,17 @@ type Relation struct {
 
 	rows    map[string]Tuple
 	indexes map[int]map[string]map[string]Tuple // col -> value key -> row key -> tuple
+
+	// frozen marks the relation immutable: mutations panic, and any number
+	// of goroutines can read the relation concurrently. Snapshot reads
+	// rely on this — a frozen clone is published to readers that hold no
+	// lock. Index access on a frozen relation goes through frozenIdx, an
+	// atomically published immutable col→index map: lookups are lock-free;
+	// only the rare construction of a missing index takes idxMu (and
+	// republishes a copied map).
+	frozen    bool
+	idxMu     sync.Mutex
+	frozenIdx atomic.Pointer[map[int]map[string]map[string]Tuple]
 }
 
 // NewRelation creates an empty relation.
@@ -40,6 +53,9 @@ func (r *Relation) Contains(t Tuple) bool {
 
 // Insert adds a tuple, reporting whether it was new.
 func (r *Relation) Insert(t Tuple) bool {
+	if r.frozen {
+		panic(fmt.Sprintf("datalog: insert into frozen relation %s", r.Name))
+	}
 	if t.Len() != r.Arity {
 		panic(fmt.Sprintf("datalog: arity mismatch inserting %v into %s/%d", t, r.Name, r.Arity))
 	}
@@ -62,6 +78,9 @@ func (r *Relation) Insert(t Tuple) bool {
 
 // Delete removes a tuple, reporting whether it was present.
 func (r *Relation) Delete(t Tuple) bool {
+	if r.frozen {
+		panic(fmt.Sprintf("datalog: delete from frozen relation %s", r.Name))
+	}
 	k := t.Key()
 	if _, ok := r.rows[k]; !ok {
 		return false
@@ -112,11 +131,46 @@ func (r *Relation) Sorted() []Tuple {
 	return out
 }
 
-// ensureIndex builds (once) a hash index on the column.
+// ensureIndex builds (once) a hash index on the column. On a frozen
+// relation the index map is published atomically: the hot path is one
+// atomic load with no lock; a missing index is built under idxMu and
+// republished as a copied map, and once published an index is never
+// mutated again.
 func (r *Relation) ensureIndex(col int) map[string]map[string]Tuple {
+	if r.frozen {
+		if m := r.frozenIdx.Load(); m != nil {
+			if idx, ok := (*m)[col]; ok {
+				return idx
+			}
+		}
+		r.idxMu.Lock()
+		defer r.idxMu.Unlock()
+		var prev map[int]map[string]map[string]Tuple
+		if m := r.frozenIdx.Load(); m != nil {
+			prev = *m
+			if idx, ok := prev[col]; ok {
+				return idx
+			}
+		}
+		idx := r.buildIndex(col)
+		next := make(map[int]map[string]map[string]Tuple, len(prev)+1)
+		for c, i := range prev {
+			next[c] = i
+		}
+		next[col] = idx
+		r.frozenIdx.Store(&next)
+		return idx
+	}
 	if idx, ok := r.indexes[col]; ok {
 		return idx
 	}
+	idx := r.buildIndex(col)
+	r.indexes[col] = idx
+	return idx
+}
+
+// buildIndex constructs the column's hash index from the rows.
+func (r *Relation) buildIndex(col int) map[string]map[string]Tuple {
 	idx := map[string]map[string]Tuple{}
 	for k, t := range r.rows {
 		vk := t.At(col).Key()
@@ -127,7 +181,6 @@ func (r *Relation) ensureIndex(col int) map[string]map[string]Tuple {
 		}
 		m[k] = t
 	}
-	r.indexes[col] = idx
 	return idx
 }
 
@@ -178,12 +231,15 @@ func (r *Relation) MatchEach(bound []Value, fn func(Tuple) bool) {
 
 // Clear removes all tuples.
 func (r *Relation) Clear() {
+	if r.frozen {
+		panic(fmt.Sprintf("datalog: clear of frozen relation %s", r.Name))
+	}
 	r.rows = map[string]Tuple{}
 	r.indexes = map[int]map[string]map[string]Tuple{}
 }
 
 // Clone deep-copies the relation's rows (tuples are shared; they are
-// immutable).
+// immutable). The clone starts unfrozen with no indexes.
 func (r *Relation) Clone() *Relation {
 	c := NewRelation(r.Name, r.Arity)
 	c.Partitioned = r.Partitioned
@@ -192,6 +248,27 @@ func (r *Relation) Clone() *Relation {
 	}
 	return c
 }
+
+// Freeze marks the relation immutable. Afterwards any number of
+// goroutines may read it concurrently (index lookups are lock-free once
+// built); mutations panic. Freezing is one-way and must happen before
+// the relation is shared. Indexes built while mutable carry over.
+func (r *Relation) Freeze() {
+	if r.frozen {
+		return
+	}
+	if len(r.indexes) > 0 {
+		seed := make(map[int]map[string]map[string]Tuple, len(r.indexes))
+		for c, i := range r.indexes {
+			seed[c] = i
+		}
+		r.frozenIdx.Store(&seed)
+	}
+	r.frozen = true
+}
+
+// Frozen reports whether the relation has been frozen.
+func (r *Relation) Frozen() bool { return r.frozen }
 
 // Database is a set of relations keyed by predicate name. It is the
 // "workspace" storage of Section 3.1; the transactional layer lives in
@@ -236,6 +313,23 @@ func (db *Database) Names() []string {
 
 // Drop removes a relation entirely.
 func (db *Database) Drop(name string) { delete(db.rels, name) }
+
+// Put installs a relation under its own name, replacing any existing one.
+// Snapshot publication uses it to assemble databases out of frozen
+// relation versions.
+func (db *Database) Put(r *Relation) { db.rels[r.Name] = r }
+
+// Shallow returns a database with a fresh relation map sharing the
+// receiver's relations. Transient evaluations (pattern queries against a
+// frozen snapshot) use it as an overlay: new relations — the query's
+// result — land in the private map and never touch the shared snapshot.
+func (db *Database) Shallow() *Database {
+	c := &Database{rels: make(map[string]*Relation, len(db.rels)+1)}
+	for n, r := range db.rels {
+		c.rels[n] = r
+	}
+	return c
+}
 
 // Clone deep-copies the database.
 func (db *Database) Clone() *Database {

@@ -1,0 +1,82 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+
+	"lbtrust/internal/datalog"
+)
+
+// TestRejectionCap floods a node with refusals and checks the record
+// list stays bounded, keeps the newest records, and accounts for every
+// drop.
+func TestRejectionCap(t *testing.T) {
+	rt := NewRuntime()
+	tr := NewMemNetwork()
+	ep, err := tr.Endpoint("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := rt.AddNode("n1", ep)
+	n.SetRejectionCap(10)
+
+	for i := 0; i < 35; i++ {
+		n.reject(Rejection{Node: "n1", Sender: "s", Pred: "p",
+			Tuple: datalog.NewTuple(datalog.Sym(fmt.Sprintf("t%d", i))),
+			Err:   fmt.Errorf("refused %d", i)})
+	}
+	recs := n.Rejected()
+	if len(recs) != 10 {
+		t.Fatalf("retained %d records, want 10", len(recs))
+	}
+	// Newest-first retention: the survivors are exactly t25..t34, oldest
+	// first.
+	for i, r := range recs {
+		want := fmt.Sprintf("y:t%d", 25+i)
+		if r.Tuple.At(0).Key() != want {
+			t.Fatalf("record %d = %v, want tuple %s", i, r, want)
+		}
+	}
+	st := n.Stats()
+	if st.TuplesRejected != 35 {
+		t.Fatalf("TuplesRejected = %d, want 35 (drops still counted)", st.TuplesRejected)
+	}
+	if st.RejectionsDropped != 25 {
+		t.Fatalf("RejectionsDropped = %d, want 25", st.RejectionsDropped)
+	}
+}
+
+// TestRejectionCapShrink shrinks the cap below the current record count.
+func TestRejectionCapShrink(t *testing.T) {
+	rt := NewRuntime()
+	tr := NewMemNetwork()
+	ep, err := tr.Endpoint("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := rt.AddNode("n1", ep)
+	for i := 0; i < 8; i++ {
+		n.reject(Rejection{Node: "n1", Sender: "s", Pred: "p",
+			Tuple: datalog.NewTuple(datalog.Sym(fmt.Sprintf("t%d", i)))})
+	}
+	n.SetRejectionCap(3)
+	recs := n.Rejected()
+	if len(recs) != 3 {
+		t.Fatalf("retained %d records after shrink, want 3", len(recs))
+	}
+	for i, r := range recs {
+		want := fmt.Sprintf("y:t%d", 5+i)
+		if r.Tuple.At(0).Key() != want {
+			t.Fatalf("record %d = %v, want tuple %s", i, r, want)
+		}
+	}
+	if st := n.Stats(); st.TuplesRejected != 8 || st.RejectionsDropped != 5 {
+		t.Fatalf("stats after shrink: %+v", st)
+	}
+	// Default cap keeps behaving after a reset.
+	n.SetRejectionCap(0)
+	n.reject(Rejection{Node: "n1", Sender: "s", Pred: "p", Tuple: datalog.NewTuple(datalog.Sym("fresh"))})
+	if got := len(n.Rejected()); got != 4 {
+		t.Fatalf("after reset to default cap: %d records, want 4", got)
+	}
+}

@@ -11,7 +11,13 @@ type NodeStats struct {
 	Principals      []string
 	Transfer        TransferStats
 	TuplesDelivered int64
-	TuplesRejected  int64
+	// TuplesRejected counts every refused delivery, including those whose
+	// records the rejection cap has since dropped.
+	TuplesRejected int64
+	// RejectionsDropped counts rejection records evicted by the node's
+	// bounded record list (see Node.SetRejectionCap): the difference
+	// between refusals that happened and records still inspectable.
+	RejectionsDropped int64
 }
 
 // Stats is a snapshot of the whole runtime: sync/round counters, pump

@@ -291,6 +291,23 @@ func (ep *tcpEndpoint) apply(data []byte) error {
 // prefixes, not a protocol limit worth tuning).
 const maxFrame = 1 << 30
 
+// WriteFrame writes one length-prefixed frame: the wire framing shared by
+// the TCP transport and the serving layer (internal/server).
+func WriteFrame(w io.Writer, data []byte) error { return writeFrame(w, data) }
+
+// ReadFrame reads one length-prefixed frame written by WriteFrame, up to
+// the transport's own 1 GiB safety net. Readers of untrusted input
+// should use ReadFrameLimit with a bound sized to their protocol.
+func ReadFrame(r io.Reader) ([]byte, error) { return readFrame(r) }
+
+// ReadFrameLimit reads one frame, rejecting any whose declared length
+// exceeds limit — the allocation happens only after the check, so an
+// unauthenticated peer cannot make the reader allocate a huge buffer
+// with a 4-byte header.
+func ReadFrameLimit(r io.Reader, limit uint32) ([]byte, error) {
+	return readFrameLimit(r, limit)
+}
+
 func writeFrame(w io.Writer, data []byte) error {
 	// Mirror the receiver's limit so an oversized envelope fails loudly at
 	// the sender instead of being rejected (or length-wrapped) remotely
@@ -307,14 +324,16 @@ func writeFrame(w io.Writer, data []byte) error {
 	return err
 }
 
-func readFrame(r io.Reader) ([]byte, error) {
+func readFrame(r io.Reader) ([]byte, error) { return readFrameLimit(r, maxFrame) }
+
+func readFrameLimit(r io.Reader, limit uint32) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return nil, fmt.Errorf("dist: frame of %d bytes exceeds limit", n)
+	if n > limit {
+		return nil, fmt.Errorf("dist: frame of %d bytes exceeds limit %d", n, limit)
 	}
 	data := make([]byte, n)
 	if _, err := io.ReadFull(r, data); err != nil {

@@ -1,0 +1,161 @@
+// Wire protocol of the serving layer. Requests and responses travel as
+// the length-prefixed frames of internal/dist (dist.WriteFrame /
+// dist.ReadFrame), and result tuples ride in the same canonical encoding
+// the distribution codec uses (dist.EncodeTuple / dist.DecodeTuple), so
+// the service speaks the byte-stable dialect the rest of the system
+// already ships between nodes.
+//
+// On connect the server sends one greeting frame:
+//
+//	lbtrust-serve/1 <system kind>
+//
+// after which the client drives a strict request/response exchange. A
+// request frame is a verb line, optionally followed by free text (the
+// atom, fact, or clause — which may span lines):
+//
+//	hello <principal>          begin challenge-response authentication
+//	auth <hex signature>       answer the pending challenge
+//	query <atom>               snapshot read in the session's context
+//	assert <fact>              transactional write (authenticated only)
+//	retract <fact>             transactional retraction (authenticated only)
+//	say <to> <clause>          says(me, to, [| clause |]) (authenticated only)
+//	sync                       pump the distribution runtime to fixpoint
+//	stats                      server + distribution counters as JSON
+//
+// A response frame is one of:
+//
+//	ok [detail]
+//	challenge <hex nonce>
+//	rows <n>\n<canonical tuple per line>
+//	json <n>\n<n bytes of JSON>
+//	err <message>
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lbtrust/internal/datalog"
+	"lbtrust/internal/dist"
+)
+
+// Magic is the protocol greeting and version tag.
+const Magic = "lbtrust-serve/1"
+
+// nonceHexLen is the exact length of a challenge nonce (32 random bytes,
+// hex-encoded). Clients refuse challenges of any other shape: a session
+// signature must never be obtainable over attacker-chosen bytes.
+const nonceHexLen = 64
+
+// authPrefix domain-separates session-authentication signatures from
+// statement signatures: a says export signs a clause's canonical text,
+// a session proof signs authPrefix + nonce. Without the prefix, a rogue
+// or man-in-the-middle server could present a crafted "challenge" whose
+// signature doubles as a signed statement.
+const authPrefix = "lbtrust-auth/1:"
+
+// authMessage is the value both sides sign/verify for a challenge.
+func authMessage(nonceHex string) datalog.Value {
+	return datalog.String(authPrefix + nonceHex)
+}
+
+// validNonce reports whether a challenge has the exact required shape.
+func validNonce(nonceHex string) bool {
+	if len(nonceHex) != nonceHexLen {
+		return false
+	}
+	for i := 0; i < len(nonceHex); i++ {
+		c := nonceHex[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// request is one decoded client frame.
+type request struct {
+	verb string
+	// to is the destination principal of a say request.
+	to string
+	// text is the free-text payload (atom, fact, clause, hex blob).
+	text string
+}
+
+// parseRequest decodes a request frame.
+func parseRequest(data []byte) (request, error) {
+	s := string(data)
+	verb := s
+	rest := ""
+	if i := strings.IndexAny(s, " \n"); i >= 0 {
+		verb, rest = s[:i], s[i+1:]
+	}
+	req := request{verb: verb}
+	switch verb {
+	case "hello", "auth", "query", "assert", "retract":
+		req.text = strings.TrimSpace(rest)
+		if req.text == "" {
+			return req, fmt.Errorf("server: %s needs an argument", verb)
+		}
+	case "say":
+		to := rest
+		if i := strings.IndexAny(rest, " \n"); i >= 0 {
+			to, req.text = rest[:i], strings.TrimSpace(rest[i+1:])
+		}
+		req.to = strings.TrimSpace(to)
+		if req.to == "" || req.text == "" {
+			return req, fmt.Errorf("server: say needs a destination principal and a clause")
+		}
+	case "sync", "stats":
+		if strings.TrimSpace(rest) != "" {
+			return req, fmt.Errorf("server: %s takes no argument", verb)
+		}
+	default:
+		return req, fmt.Errorf("server: unknown verb %q", verb)
+	}
+	return req, nil
+}
+
+// encodeRows renders a result-tuple response frame. Rows are sorted by
+// canonical key: queries evaluate in map-iteration order, and the wire
+// answer must be deterministic (the restart smoke literally diffs two
+// servers' outputs).
+func encodeRows(rows []datalog.Tuple) []byte {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Key() < rows[j].Key() })
+	var b strings.Builder
+	fmt.Fprintf(&b, "rows %d", len(rows))
+	for _, t := range rows {
+		b.WriteByte('\n')
+		b.WriteString(dist.EncodeTuple(t))
+	}
+	return []byte(b.String())
+}
+
+// decodeRows parses a rows response payload (the part after "rows ").
+func decodeRows(payload string) ([]datalog.Tuple, error) {
+	lines := strings.Split(payload, "\n")
+	var n int
+	if _, err := fmt.Sscanf(lines[0], "%d", &n); err != nil || n < 0 {
+		return nil, fmt.Errorf("server: malformed rows header %q", lines[0])
+	}
+	if len(lines)-1 < n {
+		return nil, fmt.Errorf("server: rows response truncated: %d declared, %d lines", n, len(lines)-1)
+	}
+	out := make([]datalog.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		t, err := dist.DecodeTuple(lines[1+i])
+		if err != nil {
+			return nil, fmt.Errorf("server: row %d: %w", i, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// errFrame renders an error response. The message is flattened to one
+// line so the status line stays parseable.
+func errFrame(err error) []byte {
+	msg := strings.ReplaceAll(err.Error(), "\n", " / ")
+	return []byte("err " + msg)
+}

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lbtrust/internal/core"
+	"lbtrust/internal/workspace"
+)
+
+// TestConcurrentSessionsRace drives parallel reader sessions while a
+// writer session flushes transactions and pumps Syncs: queries must run
+// against consistent snapshots (never a torn view, never an engine
+// panic) while writes proceed. Run under -race in CI.
+func TestConcurrentSessionsRace(t *testing.T) {
+	sys, srv := newTestSystem(t, Options{})
+	aliceP, _ := sys.Principal("alice")
+
+	// Base load so snapshots have something to chew on.
+	if err := aliceP.Update(func(tx *workspace.Tx) error {
+		for i := 0; i < 200; i++ {
+			if err := tx.Assert(fmt.Sprintf("item(%d, batch0)", i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 8
+	const queriesEach = 60
+	const writerBatches = 30
+
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+2)
+
+	// Writer session: asserts fresh facts and says statements, syncing as
+	// it goes, so flushes and shipping overlap the readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w := authedClient(t, sys, srv, "alice")
+		for i := 0; i < writerBatches; i++ {
+			if err := w.Assert(fmt.Sprintf("item(%d, live)", 1000+i)); err != nil {
+				errs <- err
+				return
+			}
+			if err := w.Say("bob", fmt.Sprintf("note(%d).", i)); err != nil {
+				errs <- err
+				return
+			}
+			if i%5 == 0 {
+				if err := w.Sync(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}
+	}()
+
+	// A second writer drives flushes directly on the workspace (not
+	// through the server), so server snapshot publication races real
+	// in-process transactions too.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writerBatches; i++ {
+			if err := aliceP.Update(func(tx *workspace.Tx) error {
+				return tx.Assert(fmt.Sprintf("item(%d, direct)", 2000+i))
+			}); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := authedClient(t, sys, srv, "alice")
+			for i := 0; i < queriesEach; i++ {
+				rows, err := c.Query(fmt.Sprintf("item(%d, X)", i%200))
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+				if len(rows) != 1 {
+					errs <- fmt.Errorf("reader %d: item(%d, X) returned %d rows", r, i%200, len(rows))
+					return
+				}
+				// Pattern queries exercise the snapshot's transient
+				// evaluator overlay concurrently.
+				if i%10 == 0 {
+					if _, err := c.Query(`says(me, bob, [| note(N). |])`); err != nil {
+						errs <- fmt.Errorf("reader %d pattern: %w", r, err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestServerRestartDurable proves the serving layer composes with the
+// durability subsystem: a served durable system is killed and reopened,
+// sessions re-authenticate with the recovered key material, and queries
+// answer identically.
+func TestServerRestartDurable(t *testing.T) {
+	dir := t.TempDir()
+
+	open := func() (*core.System, *Server) {
+		sys, err := core.OpenSystem(dir, core.DurableOptions{})
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		srv, err := Serve(sys, "127.0.0.1:0", Options{})
+		if err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+		return sys, srv
+	}
+
+	sys, srv := open()
+	for _, name := range []string{"alice", "bob"} {
+		if _, err := sys.AddPrincipal(name); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.EstablishRSA(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bobP, _ := sys.Principal("bob")
+	if err := bobP.TrustAll(); err != nil {
+		t.Fatal(err)
+	}
+	alice := authedClient(t, sys, srv, "alice")
+	if err := alice.Say("bob", `grant(chris, door1).`); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Assert(`local(note)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	bobC := authedClient(t, sys, srv, "bob")
+	before, err := bobC.Query(`grant(U, D)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != 1 {
+		t.Fatalf("pre-restart rows = %v", before)
+	}
+	srv.Close()
+	if err := sys.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Restart: recovered system, fresh server, fresh sessions.
+	sys2, srv2 := open()
+	defer func() { srv2.Close(); sys2.Close() }()
+	alice2 := authedClient(t, sys2, srv2, "alice")
+	bob2 := authedClient(t, sys2, srv2, "bob")
+
+	after, err := bob2.Query(`grant(U, D)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) || after[0].Key() != before[0].Key() {
+		t.Fatalf("post-restart rows %v != pre-restart rows %v", after, before)
+	}
+	rows, err := alice2.Query(`local(X)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("alice's local fact lost across restart: %v", rows)
+	}
+	// The recovered key material still authenticates new writes, and they
+	// flow end to end.
+	if err := alice2.Say("bob", `grant(dana, door2).`); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = bob2.Query(`grant(U, D)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("post-restart say did not land: %v", rows)
+	}
+}

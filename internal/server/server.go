@@ -1,0 +1,346 @@
+// Package server is the serving layer: a concurrent trust service that
+// exposes a running core.System to network clients. It is what turns the
+// library of PRs 1–4 into the paper's pitch — trust management as a
+// service principals talk to — in the mold of SAFE's logical trust
+// services answering authorization requests for many clients.
+//
+// Sessions authenticate through the trust system itself: a client proves
+// it is principal p by answering a random challenge with p's established
+// RSA key (the same lbcrypto key material the says schemes sign with),
+// and from then on its writes run in p's workspace — its statements land
+// as `p says ...` and ship under p's signature on the next sync. An
+// unauthenticated (or failed) session can only run queries, and only in
+// the designated anonymous principal's context, if the server configured
+// one.
+//
+// Queries are snapshot reads (workspace.Snapshot): each query evaluates
+// against an immutable view published by the queried workspace, so any
+// number of sessions read in parallel and never serialize behind a
+// writer's flush. Writes (assert / retract / say) are ordinary workspace
+// transactions with full constraint checking.
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"lbtrust/internal/core"
+	"lbtrust/internal/datalog"
+	"lbtrust/internal/dist"
+	"lbtrust/internal/workspace"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Anonymous names the principal whose context answers queries from
+	// unauthenticated sessions. Empty (the default) refuses them.
+	Anonymous string
+	// LockedReads serves queries through the workspace lock
+	// (Workspace.Query) instead of snapshot reads — the serializing
+	// behavior the snapshot path exists to remove. Only the serve
+	// benchmark's A/B comparison sets it.
+	LockedReads bool
+}
+
+// Stats is a snapshot of the server's counters.
+type Stats struct {
+	Sessions     int64 `json:"sessions"`      // connections accepted
+	Active       int64 `json:"active"`        // connections currently open
+	AuthOK       int64 `json:"auth_ok"`       // successful authentications
+	AuthFailures int64 `json:"auth_failures"` // refused hellos and bad signatures
+	Queries      int64 `json:"queries"`
+	Writes       int64 `json:"writes"` // asserts + retracts + says
+	Syncs        int64 `json:"syncs"`
+	Refused      int64 `json:"refused"` // requests denied for missing authentication
+	// Dist carries the distribution runtime's counters, so one stats call
+	// shows the whole system.
+	Dist dist.Stats `json:"dist"`
+}
+
+// Server hosts one core.System behind a TCP listener.
+type Server struct {
+	sys  *core.System
+	opts Options
+	ln   net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	sessions, active, authOK, authFail int64
+	queries, writes, syncs, refused    int64
+}
+
+// Serve starts a server for the system on the given TCP address (e.g.
+// "127.0.0.1:0") and begins accepting sessions in the background.
+func Serve(sys *core.System, addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s := &Server{sys: sys, opts: opts, ln: ln, conns: map[net.Conn]struct{}{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// System returns the served system.
+func (s *Server) System() *core.System { return s.sys }
+
+// Stats snapshots the server's counters (the served system is not
+// touched beyond its own stats snapshot).
+func (s *Server) Stats() Stats {
+	return Stats{
+		Sessions:     atomic.LoadInt64(&s.sessions),
+		Active:       atomic.LoadInt64(&s.active),
+		AuthOK:       atomic.LoadInt64(&s.authOK),
+		AuthFailures: atomic.LoadInt64(&s.authFail),
+		Queries:      atomic.LoadInt64(&s.queries),
+		Writes:       atomic.LoadInt64(&s.writes),
+		Syncs:        atomic.LoadInt64(&s.syncs),
+		Refused:      atomic.LoadInt64(&s.refused),
+		Dist:         s.sys.Stats(),
+	}
+}
+
+// Close stops accepting, closes every open session, and waits for their
+// handlers to return. The served system itself stays open (the caller
+// owns it).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		atomic.AddInt64(&s.sessions, 1)
+		atomic.AddInt64(&s.active, 1)
+		go s.serve(conn)
+	}
+}
+
+// maxRequestFrame bounds one client request (a verb line plus a clause).
+// Requests are read from unauthenticated peers, so the bound is checked
+// before any allocation — the transport's 1 GiB safety net is sized for
+// trusted inter-node envelopes, not the open serving port.
+const maxRequestFrame = 1 << 20
+
+// session is one connection's authentication state.
+type session struct {
+	claim     string // principal named by a pending hello
+	nonce     string // hex challenge awaiting its signature
+	principal *core.Principal
+}
+
+// serve runs one session: greeting, then request/response frames until
+// the client disconnects. A malformed frame or request produces an err
+// response, never a dropped connection; only wire errors end the session.
+func (s *Server) serve(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+		atomic.AddInt64(&s.active, -1)
+		s.wg.Done()
+	}()
+	if err := dist.WriteFrame(conn, []byte(Magic+" system")); err != nil {
+		return
+	}
+	sess := &session{}
+	for {
+		data, err := dist.ReadFrameLimit(conn, maxRequestFrame)
+		if err != nil {
+			return // EOF, oversized/mid-frame request, or broken peer
+		}
+		resp := s.handle(sess, data)
+		if err := dist.WriteFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// handle dispatches one request frame and returns the response frame.
+func (s *Server) handle(sess *session, data []byte) []byte {
+	req, err := parseRequest(data)
+	if err != nil {
+		return errFrame(err)
+	}
+	switch req.verb {
+	case "hello":
+		return s.hello(sess, req.text)
+	case "auth":
+		return s.auth(sess, req.text)
+	case "query":
+		return s.query(sess, req.text)
+	case "assert", "retract":
+		return s.write(sess, req.verb, req.text)
+	case "say":
+		return s.say(sess, req.to, req.text)
+	case "sync":
+		if sess.principal == nil {
+			atomic.AddInt64(&s.refused, 1)
+			return errFrame(fmt.Errorf("server: sync requires an authenticated session"))
+		}
+		atomic.AddInt64(&s.syncs, 1)
+		if err := s.sys.Sync(); err != nil {
+			return errFrame(err)
+		}
+		return []byte("ok")
+	case "stats":
+		blob, err := json.Marshal(s.Stats())
+		if err != nil {
+			return errFrame(err)
+		}
+		return append([]byte(fmt.Sprintf("json %d\n", len(blob))), blob...)
+	}
+	return errFrame(fmt.Errorf("server: unknown verb %q", req.verb))
+}
+
+// hello begins challenge–response authentication: the claimed principal
+// must exist and have established RSA key material; the response carries
+// a fresh random challenge for the client to sign.
+func (s *Server) hello(sess *session, principal string) []byte {
+	sess.claim, sess.nonce, sess.principal = "", "", nil
+	p, ok := s.sys.Principal(principal)
+	if !ok {
+		atomic.AddInt64(&s.authFail, 1)
+		return errFrame(fmt.Errorf("server: unknown principal %q", principal))
+	}
+	if _, ok := p.Keys().RSAKey(principal); !ok {
+		atomic.AddInt64(&s.authFail, 1)
+		return errFrame(fmt.Errorf("server: principal %q has no established key", principal))
+	}
+	var nonce [32]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return errFrame(fmt.Errorf("server: generating challenge: %w", err))
+	}
+	sess.claim = principal
+	sess.nonce = hex.EncodeToString(nonce[:])
+	return []byte("challenge " + sess.nonce)
+}
+
+// auth completes authentication: the signature must verify against the
+// claimed principal's established public key. A failed signature clears
+// the pending challenge — the session stays unauthenticated and must
+// start over with a fresh hello (and a fresh nonce).
+func (s *Server) auth(sess *session, sigHex string) []byte {
+	claim, nonce := sess.claim, sess.nonce
+	sess.claim, sess.nonce = "", ""
+	if claim == "" {
+		atomic.AddInt64(&s.authFail, 1)
+		return errFrame(fmt.Errorf("server: auth without a pending hello"))
+	}
+	p, ok := s.sys.Principal(claim)
+	if !ok {
+		atomic.AddInt64(&s.authFail, 1)
+		return errFrame(fmt.Errorf("server: unknown principal %q", claim))
+	}
+	key, ok := p.Keys().RSAKey(claim)
+	if !ok || !p.Keys().VerifyRSA(authMessage(nonce), sigHex, &key.PublicKey) {
+		atomic.AddInt64(&s.authFail, 1)
+		return errFrame(fmt.Errorf("server: signature does not prove %q", claim))
+	}
+	sess.principal = p
+	atomic.AddInt64(&s.authOK, 1)
+	return []byte("ok " + claim)
+}
+
+// query answers a read in the session's principal context — the
+// authenticated principal, or the configured anonymous principal for
+// unauthenticated sessions.
+func (s *Server) query(sess *session, src string) []byte {
+	p := sess.principal
+	if p == nil {
+		if s.opts.Anonymous == "" {
+			atomic.AddInt64(&s.refused, 1)
+			return errFrame(fmt.Errorf("server: queries require authentication (no anonymous principal configured)"))
+		}
+		anon, ok := s.sys.Principal(s.opts.Anonymous)
+		if !ok {
+			return errFrame(fmt.Errorf("server: anonymous principal %q does not exist", s.opts.Anonymous))
+		}
+		p = anon
+	}
+	atomic.AddInt64(&s.queries, 1)
+	var rows []datalog.Tuple
+	var err error
+	if s.opts.LockedReads {
+		rows, err = p.Workspace().Query(src)
+	} else {
+		rows, err = p.Workspace().Snapshot().Query(src)
+	}
+	if err != nil {
+		return errFrame(err)
+	}
+	return encodeRows(rows)
+}
+
+// write runs an assert or retract transaction in the authenticated
+// principal's workspace.
+func (s *Server) write(sess *session, verb, src string) []byte {
+	if sess.principal == nil {
+		atomic.AddInt64(&s.refused, 1)
+		return errFrame(fmt.Errorf("server: %s requires an authenticated session", verb))
+	}
+	atomic.AddInt64(&s.writes, 1)
+	err := sess.principal.Update(func(tx *workspace.Tx) error {
+		if verb == "assert" {
+			return tx.Assert(src)
+		}
+		return tx.Retract(src)
+	})
+	if err != nil {
+		return errFrame(err)
+	}
+	return []byte("ok")
+}
+
+// say asserts says(me, to, [| clause |]) as the authenticated principal.
+// The session cannot speak for anyone else: the sender identity is the
+// proven principal, full stop.
+func (s *Server) say(sess *session, to, clause string) []byte {
+	if sess.principal == nil {
+		atomic.AddInt64(&s.refused, 1)
+		return errFrame(fmt.Errorf("server: say requires an authenticated session"))
+	}
+	atomic.AddInt64(&s.writes, 1)
+	if err := sess.principal.Say(to, clause); err != nil {
+		return errFrame(err)
+	}
+	return []byte("ok")
+}

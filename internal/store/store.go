@@ -59,10 +59,11 @@ type Store struct {
 	// log, so holding the store lock across capture would deadlock.
 	ckptMu sync.Mutex
 
-	mu     sync.RWMutex
-	seq    uint64
-	wal    *walAppender
-	closed bool
+	mu      sync.RWMutex
+	seq     uint64
+	wal     *walAppender
+	tipSize int64 // recovered byte length of the tip segment at open
+	closed  bool
 }
 
 // Recovered is what Open found on disk: the newest valid snapshot (nil on
@@ -198,8 +199,10 @@ func Open(dir string, opts Options) (*Store, *Recovered, error) {
 			return nil, nil, err
 		}
 		tip = f
+		s.tipSize = valid
 	}
 	s.wal = newWALAppender(tip, opts.Fsync, opts.FsyncInterval)
+	s.wal.setSize(s.tipSize)
 	return s, rec, nil
 }
 
@@ -230,6 +233,26 @@ func generations(dir string) ([]uint64, error) {
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }
 
+// Seq returns the current snapshot/log generation number; Checkpoint
+// increments it.
+func (s *Store) Seq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq
+}
+
+// LogSize returns the byte length of the active log segment (recovered
+// prefix plus appends, buffered or written). It resets on Checkpoint's
+// rotation; automatic checkpoint triggers poll it.
+func (s *Store) LogSize() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0
+	}
+	return s.wal.Size()
+}
+
 // Policy returns the configured fsync policy.
 func (s *Store) Policy() FsyncPolicy { return s.opts.Fsync }
 
@@ -257,14 +280,63 @@ func (s *Store) AppendPayload(payload []byte) error {
 // show up as Sync latency at large database sizes.
 var payloadPool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
 
-// LogFlush logs one workspace flush journal.
+// LogFlush logs one workspace flush journal, honoring the fsync policy
+// (under FsyncAlways it returns only once durable).
 func (s *Store) LogFlush(principal string, j *workspace.FlushJournal) error {
+	return s.logFlush(principal, j, false)
+}
+
+// LogFlushNoWait enqueues one workspace flush journal without waiting
+// for durability even under FsyncAlways. It exists for callers that log
+// while holding locks readers contend on: enqueue under the lock (commit
+// order), then make the transaction wait with WaitDurable after
+// releasing it, so concurrent commits group into one fsync instead of
+// serializing the workspace behind the disk.
+func (s *Store) LogFlushNoWait(principal string, j *workspace.FlushJournal) error {
+	return s.logFlush(principal, j, true)
+}
+
+func (s *Store) logFlush(principal string, j *workspace.FlushJournal, noWait bool) error {
 	bp := payloadPool.Get().(*[]byte)
 	buf := AppendFlushPayload((*bp)[:0], principal, j)
-	err := s.AppendPayload(buf)
+	var err error
+	if noWait {
+		s.mu.RLock()
+		if s.closed {
+			err = fmt.Errorf("store: store is closed")
+		} else {
+			err = s.wal.AppendNoSync(buf)
+		}
+		s.mu.RUnlock()
+	} else {
+		err = s.AppendPayload(buf)
+	}
 	*bp = buf[:0]
 	payloadPool.Put(bp)
 	return err
+}
+
+// WaitDurable blocks until everything enqueued so far is durable under
+// the store's policy. It is a no-op unless the policy is FsyncAlways
+// (interval and off policies never make commits wait). The fsync wait
+// happens with NO store lock held — holding even the read lock across a
+// disk sync would let a concurrent Checkpoint (a writer) queue behind it
+// and stall every other commit's append. If the segment is rotated away
+// while we wait, its Close drained and synced everything we appended, so
+// the barrier degrades to collecting its sticky error.
+func (s *Store) WaitDurable() error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return fmt.Errorf("store: store is closed")
+	}
+	wal := s.wal
+	always := s.opts.Fsync == FsyncAlways
+	s.mu.RUnlock()
+	if !always {
+		return nil
+	}
+	return wal.Barrier()
 }
 
 // LogDistEvent logs one distribution runtime event, mapping it to its
@@ -318,24 +390,35 @@ func (s *Store) Checkpoint(capture func() (*Snapshot, error)) error {
 		return fmt.Errorf("store: store is closed")
 	}
 	// Drain the old segment to disk before anything depends on it, then
-	// swap in the new one.
+	// swap in the new one. An empty tip segment is reused instead of
+	// rotated: a checkpoint retry after a failed snapshot write (disk
+	// full, permissions) must not mint a fresh near-empty generation per
+	// attempt — records racing into the reused segment during capture
+	// replay idempotently over the snapshot, exactly as with a rotated
+	// one.
 	if err := s.wal.Barrier(); err != nil {
 		s.mu.Unlock()
 		return fmt.Errorf("store: draining log before checkpoint: %w", err)
 	}
-	newSeq := s.seq + 1
-	f, err := os.OpenFile(walPath(s.dir, newSeq), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
-	if err != nil {
-		s.mu.Unlock()
-		return fmt.Errorf("store: rotating log: %w", err)
+	newSeq := s.seq
+	var old *walAppender
+	if s.wal.Size() > 0 {
+		newSeq = s.seq + 1
+		f, err := os.OpenFile(walPath(s.dir, newSeq), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+		if err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("store: rotating log: %w", err)
+		}
+		old = s.wal
+		s.wal = newWALAppender(f, s.opts.Fsync, s.opts.FsyncInterval)
+		s.seq = newSeq
 	}
-	old := s.wal
-	s.wal = newWALAppender(f, s.opts.Fsync, s.opts.FsyncInterval)
-	s.seq = newSeq
 	s.mu.Unlock()
 
-	if err := old.Close(); err != nil {
-		return fmt.Errorf("store: closing rotated log: %w", err)
+	if old != nil {
+		if err := old.Close(); err != nil {
+			return fmt.Errorf("store: closing rotated log: %w", err)
+		}
 	}
 	snap, err := capture()
 	if err != nil {

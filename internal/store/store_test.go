@@ -194,23 +194,33 @@ func TestTornSnapshotFallsBack(t *testing.T) {
 	if err := st.Checkpoint(func() (*Snapshot, error) { return snap1, nil }); err != nil {
 		t.Fatal(err)
 	}
+	oldSeq := st.Seq()
+	// Grow the log so the next checkpoint rotates to a new generation (an
+	// empty tip segment is reused, not rotated).
+	if err := st.LogFlush("alice", testJournal()); err != nil {
+		t.Fatal(err)
+	}
 	snap2 := &Snapshot{System: SystemState{Nodes: []string{"n1", "n2"}}}
 	if err := st.Checkpoint(func() (*Snapshot, error) { return snap2, nil }); err != nil {
 		t.Fatal(err)
+	}
+	newSeq := st.Seq()
+	if newSeq == oldSeq {
+		t.Fatalf("checkpoint over a grown log did not rotate (seq %d)", newSeq)
 	}
 	st.Close()
 
 	// Only the newest generation survives a checkpoint; recreate an older
 	// one, then tear the newest snapshot.
-	if err := writeSnapshotFile(dir, snapPath(dir, 1), snap1); err != nil {
+	if err := writeSnapshotFile(dir, snapPath(dir, oldSeq), snap1); err != nil {
 		t.Fatal(err)
 	}
-	os.WriteFile(walPath(dir, 1), nil, 0o644)
-	data, err := os.ReadFile(snapPath(dir, 2))
+	os.WriteFile(walPath(dir, oldSeq), nil, 0o644)
+	data, err := os.ReadFile(snapPath(dir, newSeq))
 	if err != nil {
 		t.Fatal(err)
 	}
-	os.WriteFile(snapPath(dir, 2), data[:len(data)-4], 0o644) // cut the end marker's frame
+	os.WriteFile(snapPath(dir, newSeq), data[:len(data)-4], 0o644) // cut the end marker's frame
 
 	_, rec, err := Open(dir, Options{Fsync: FsyncOff})
 	if err != nil {

@@ -121,6 +121,7 @@ type walAppender struct {
 	mu    sync.Mutex
 	buf   []byte // framed records not yet handed to the file
 	spare []byte // recycled buffer, swapped in by commits
+	size  int64  // segment bytes: recovered prefix + framed appends
 	err   error  // sticky write/sync error
 
 	commitC chan chan error
@@ -231,17 +232,59 @@ func (w *walAppender) run() {
 		case <-w.kickC:
 			w.commit()
 		case <-w.closeC:
-			w.commit()
-			return
+			err := w.commit()
+			// Serve any barrier that raced into the queue before exiting:
+			// the commit above drained the whole buffer, so their records
+			// are durable and they get the batch's error.
+			for {
+				select {
+				case ack := <-w.commitC:
+					ack <- err
+				default:
+					return
+				}
+			}
 		}
 	}
+}
+
+// Size returns the segment's byte length: the valid prefix recovered at
+// open plus everything appended since (buffered or written). The
+// auto-checkpoint trigger reads it to decide when the log is worth
+// compacting.
+func (w *walAppender) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// setSize records the recovered prefix length of a reopened segment.
+func (w *walAppender) setSize(n int64) {
+	w.mu.Lock()
+	w.size = n
+	w.mu.Unlock()
 }
 
 // Append queues one record. With FsyncAlways (or wait=true) it blocks
 // until the record — and everything buffered with it — is on disk.
 func (w *walAppender) Append(payload []byte, wait bool) error {
+	err := w.enqueue(payload)
+	if wait || w.policy == FsyncAlways {
+		return w.Barrier()
+	}
+	return err
+}
+
+// AppendNoSync queues one record without ever waiting for durability,
+// regardless of policy. Callers that must commit under a lock use it and
+// run Barrier after releasing the lock, so concurrent appenders behind
+// them share the batch's fsync instead of serializing on it.
+func (w *walAppender) AppendNoSync(payload []byte) error { return w.enqueue(payload) }
+
+func (w *walAppender) enqueue(payload []byte) error {
 	w.mu.Lock()
 	w.buf = appendFrame(w.buf, payload)
+	w.size += frameHeaderSize + int64(len(payload))
 	kick := len(w.buf) > walBufCap
 	err := w.err
 	w.mu.Unlock()
@@ -253,18 +296,34 @@ func (w *walAppender) Append(payload []byte, wait bool) error {
 		default:
 		}
 	}
-	if wait || w.policy == FsyncAlways {
-		return w.Barrier()
-	}
 	return err
 }
 
 // Barrier blocks until everything appended before it is written and
-// synced (group commit: concurrent barriers share one fsync).
+// synced (group commit: concurrent barriers share one fsync). A barrier
+// racing the appender's Close never hangs: Close's final commit drains
+// the whole buffer, so a late barrier's records are already durable and
+// it returns the sticky error.
 func (w *walAppender) Barrier() error {
 	ack := make(chan error, 1)
-	w.commitC <- ack
-	return <-ack
+	select {
+	case w.commitC <- ack:
+	case <-w.done:
+		return w.Err()
+	}
+	select {
+	case err := <-ack:
+		return err
+	case <-w.done:
+		// The commit goroutine exited; its close path drained the queue
+		// and the buffer before closing done.
+		select {
+		case err := <-ack:
+			return err
+		default:
+			return w.Err()
+		}
+	}
 }
 
 // Close drains, flushes, syncs, and closes the segment file.

@@ -163,6 +163,8 @@ func (w *Workspace) RestoreState(st *WorkspaceState) error {
 	}
 	w.rulesChanged = true
 	w.constraintsChanged = true
+	w.snapAll = true
+	w.snapClean.Store(false)
 	return nil
 }
 
@@ -295,6 +297,8 @@ func (w *Workspace) ApplyJournal(j *FlushJournal) error {
 			}
 		}
 	}
+	w.snapAll = true
+	w.snapClean.Store(false)
 	return nil
 }
 

@@ -1,0 +1,242 @@
+// Snapshot reads: queries against an immutable view of the workspace.
+//
+// A workspace serializes every operation behind one mutex, which is right
+// for transactions but makes N concurrent readers take turns — and makes
+// every reader wait out any in-flight flush. Snapshot() publishes an
+// immutable database view assembled from frozen clones of the live
+// relations; any number of goroutines can then query the view with no
+// lock held, while writers keep flushing the live workspace.
+//
+// Publication is copy-on-demand, not copy-on-flush: a flush only records
+// which predicates it touched (O(changed predicates), so the write hot
+// path — which PRs 2–3 made O(fresh tuples) — stays O(fresh)), and the
+// next Snapshot() call re-clones exactly the stale relations. Readers
+// arriving between flushes share the cached view, so a read-heavy
+// workload pays one clone per (relation, flush) pair at worst, and a
+// write-only workload pays almost nothing.
+package workspace
+
+import (
+	"fmt"
+	"strings"
+
+	"lbtrust/internal/datalog"
+	"lbtrust/internal/meta"
+)
+
+// Snapshot is an immutable view of a workspace at one publication point.
+// All methods are safe for concurrent use by any number of goroutines;
+// none of them take the workspace lock (or any lock beyond the frozen
+// relations' internal index latches).
+type Snapshot struct {
+	principal datalog.Sym
+	db        *datalog.Database
+	builtins  *datalog.BuiltinSet
+	version   uint64
+}
+
+// Version identifies the publication: it increments each time Snapshot()
+// has to publish a fresh view and is stable while the cached view is
+// reused.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Principal returns the owning workspace's principal symbol.
+func (s *Snapshot) Principal() datalog.Sym { return s.principal }
+
+// parseQueryAtom is the query preamble shared by the live path
+// (Workspace.Query) and snapshot reads: parse, require a single atom,
+// specialize me to the principal. Both paths must stay in lockstep — the
+// server exposes them as two modes of the same verb.
+func parseQueryAtom(src string, principal datalog.Sym) (*datalog.Atom, error) {
+	clause, err := datalog.ParseClause(strings.TrimRight(strings.TrimSpace(src), ".") + ".")
+	if err != nil {
+		return nil, err
+	}
+	if len(clause.Heads) != 1 || len(clause.Body) != 0 {
+		return nil, fmt.Errorf("workspace: query must be a single atom")
+	}
+	return &substMe(clause, principal).Heads[0], nil
+}
+
+// Query evaluates a single atom against the snapshot, in the same surface
+// syntax as Workspace.Query (quoted-code arguments act as patterns).
+func (s *Snapshot) Query(src string) ([]datalog.Tuple, error) {
+	atom, err := parseQueryAtom(src, s.principal)
+	if err != nil {
+		return nil, err
+	}
+	if !atomHasQuote(atom) {
+		return datalog.NewEvaluator(s.db, s.builtins).Query(atom)
+	}
+	return queryPattern(s.db, s.builtins, atom)
+}
+
+// Facts returns the sorted tuples of a predicate in the snapshot.
+func (s *Snapshot) Facts(pred string) []datalog.Tuple {
+	rel, ok := s.db.Get(pred)
+	if !ok {
+		return nil
+	}
+	return rel.Sorted()
+}
+
+// Count returns the number of tuples of a predicate in the snapshot.
+func (s *Snapshot) Count(pred string) int {
+	rel, ok := s.db.Get(pred)
+	if !ok {
+		return 0
+	}
+	return rel.Len()
+}
+
+// Snapshot returns the current immutable view of the workspace,
+// publishing a fresh one only if a flush has touched relations since the
+// last publication. While the cached view is current the call is
+// lock-free (one atomic load) — readers must never stall behind an
+// in-flight flush that hasn't changed anything they could see yet. Only
+// publication (the view is stale) takes the workspace lock, to clone the
+// stale relations consistently.
+func (w *Workspace) Snapshot() *Snapshot {
+	// Order matters: check cleanliness before loading the pointer. A
+	// writer marks dirty (snapClean=false) while committing under w.mu
+	// and before the commit is observable; if we read clean=true, the
+	// published pointer is at least as fresh as every commit that
+	// completed before this call.
+	if w.snapClean.Load() {
+		if s := w.snapPtr.Load(); s != nil {
+			return s
+		}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.snapCached != nil && !w.snapAll && len(w.snapStale) == 0 {
+		return w.snapCached
+	}
+	if w.snapAll {
+		// Rebuild (or first publication): every relation version is stale,
+		// and relations dropped from the live database must leave the view.
+		fresh := map[string]*datalog.Relation{}
+		for _, name := range w.db.Names() {
+			if checkStatePred(name) {
+				continue
+			}
+			rel, _ := w.db.Get(name)
+			c := rel.Clone()
+			c.Freeze()
+			fresh[name] = c
+		}
+		w.snapRels = fresh
+	} else {
+		if w.snapRels == nil {
+			w.snapRels = map[string]*datalog.Relation{}
+		}
+		for pred := range w.snapStale {
+			if checkStatePred(pred) {
+				continue
+			}
+			rel, ok := w.db.Get(pred)
+			if !ok {
+				delete(w.snapRels, pred)
+				continue
+			}
+			c := rel.Clone()
+			c.Freeze()
+			w.snapRels[pred] = c
+		}
+	}
+	w.snapAll = false
+	w.snapStale = nil
+	w.snapVer++
+	// The published database gets its own relation map: older snapshots
+	// keep whatever versions they were built from.
+	db := datalog.NewDatabase()
+	for _, r := range w.snapRels {
+		db.Put(r)
+	}
+	w.snapCached = &Snapshot{
+		principal: w.principal,
+		db:        db,
+		builtins:  w.builtins,
+		version:   w.snapVer,
+	}
+	// Publish for the lock-free fast path: pointer first, then the clean
+	// flag, so a reader that observes clean=true loads this (or a newer)
+	// view. Writers marking dirty also hold w.mu, so nothing can
+	// interleave between these stores and the state they describe.
+	w.snapPtr.Store(w.snapCached)
+	w.snapClean.Store(true)
+	return w.snapCached
+}
+
+// markSnapStaleLocked records a committed flush's touched predicates so
+// the next Snapshot() re-clones exactly those relations. Caller holds
+// w.mu.
+func (w *Workspace) markSnapStaleLocked(changed map[string][]datalog.Tuple, rebuilt bool) {
+	if rebuilt {
+		w.snapAll = true
+		w.snapClean.Store(false)
+		return
+	}
+	if w.snapAll || len(changed) == 0 {
+		return
+	}
+	if w.snapStale == nil {
+		w.snapStale = map[string]struct{}{}
+	}
+	for pred := range changed {
+		w.snapStale[pred] = struct{}{}
+	}
+	w.snapClean.Store(false)
+}
+
+// queryPattern evaluates an atom whose arguments contain quoted-code
+// patterns by compiling it into a transient rule, translating the
+// patterns into meta-model literals, and running it against an overlay of
+// the given database. The overlay keeps the transient result relation out
+// of the shared database, so the same code serves the locked live path
+// and lock-free snapshot reads.
+func queryPattern(db *datalog.Database, builtins *datalog.BuiltinSet, a *datalog.Atom) ([]datalog.Tuple, error) {
+	// Blank variables cannot appear in rule heads; name them apart.
+	q := *a
+	q.Args = append([]datalog.Term{}, a.Args...)
+	n := 0
+	fix := func(t datalog.Term) datalog.Term {
+		if v, ok := t.(datalog.Var); ok && v.IsBlank() {
+			n++
+			return datalog.Var(fmt.Sprintf("QV%d", n))
+		}
+		return t
+	}
+	if q.Part != nil {
+		q.Part = fix(q.Part)
+	}
+	for i, t := range q.Args {
+		q.Args[i] = fix(t)
+	}
+	const resultPred = "lb:queryresult"
+	rule := &datalog.Rule{
+		Heads: []datalog.Atom{{Pred: resultPred}},
+		Body:  []datalog.Literal{{Atom: q}},
+	}
+	tr, err := meta.TranslatePatterns(rule)
+	if err != nil {
+		return nil, err
+	}
+	// The rewritten query literal keeps position 0; its arguments (with
+	// pattern positions replaced by fresh variables) become the result
+	// shape.
+	tr.Heads[0].Args = tr.Body[0].Atom.AllArgs()
+	overlay := db.Shallow()
+	ev := datalog.NewEvaluator(overlay, builtins)
+	if err := ev.SetRules([]*datalog.Rule{tr}); err != nil {
+		return nil, err
+	}
+	if err := ev.Run(); err != nil {
+		return nil, err
+	}
+	var out []datalog.Tuple
+	if rel, ok := overlay.Get(resultPred); ok {
+		out = rel.Sorted()
+	}
+	return out, nil
+}

@@ -70,6 +70,7 @@ func (w *Workspace) Update(fn func(tx *Tx) error) error {
 	if !delta.Rebuilt {
 		delta.Changed = w.flushNew // merged with tx.changed by flushLocked
 	}
+	w.markSnapStaleLocked(delta.Changed, delta.Rebuilt)
 	var journal *FlushJournal
 	if w.journal != nil {
 		journal = &FlushJournal{
@@ -89,13 +90,23 @@ func (w *Workspace) Update(fn func(tx *Tx) error) error {
 	// transactions on one workspace must reach the write-ahead log in
 	// commit order, or replay would interleave them differently than the
 	// live system did (an assert/retract pair could resurrect). The hook
-	// only appends to the log's in-memory buffer (and, under FsyncAlways,
-	// waits for the group commit), never re-enters the workspace.
+	// only appends to the log's in-memory buffer, never waits for the
+	// disk and never re-enters the workspace; the durability barrier
+	// (journalSync, e.g. the FsyncAlways group commit) runs after the
+	// unlock, so a flush waiting out an fsync does not serialize readers
+	// or concurrent commits — they append behind it and share the batch's
+	// sync.
+	journaled := false
 	if w.journal != nil && journal != nil && !journal.Empty() {
 		w.journal(journal)
+		journaled = true
 	}
+	sync := w.journalSync
 	hooks := append([]func(FlushDelta){}, w.onFlush...)
 	w.mu.Unlock()
+	if journaled && sync != nil {
+		sync()
+	}
 	for _, h := range hooks {
 		h(delta)
 	}
@@ -611,6 +622,11 @@ func (w *Workspace) registerDecl(d Decl) {
 // they will re-activate if still derivable.
 func (w *Workspace) rebuildDerivedLocked() error {
 	w.flushRebuilt = true
+	// The database is replaced wholesale: every published relation version
+	// is stale (rollbacks land here too — conservative, merely an extra
+	// clone on the next Snapshot call).
+	w.snapAll = true
+	w.snapClean.Store(false)
 	fresh := datalog.NewDatabase()
 	for _, name := range w.base.Names() {
 		rel, _ := w.base.Get(name)

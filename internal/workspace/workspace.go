@@ -11,10 +11,10 @@
 package workspace
 
 import (
-	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"lbtrust/internal/datalog"
 	"lbtrust/internal/meta"
@@ -80,9 +80,14 @@ type Workspace struct {
 	// journal, when set, observes every successful flush at the base level
 	// (asserted and retracted facts, rule and constraint changes, plus the
 	// derived delta); the durability layer records it in the write-ahead
-	// log. It runs before the OnFlush hooks, so a flush is durable before
-	// the distribution runtime can act on it.
-	journal func(*FlushJournal)
+	// log. It runs under the workspace lock (commit order) but must only
+	// append — never wait for the disk; journalSync, when set, runs after
+	// the lock is released and blocks until everything appended so far is
+	// durable. Both run before the OnFlush hooks, so a flush is durable
+	// before the distribution runtime can act on it, without serializing
+	// concurrent sessions behind an fsync.
+	journal     func(*FlushJournal)
+	journalSync func()
 
 	// flushNew accumulates tuples newly derived by evaluation during the
 	// current flush (fed by the evaluator's OnNew hook); flushRebuilt is
@@ -98,6 +103,23 @@ type Workspace struct {
 	// per-tuple deltas stop being authoritative and FinishRestore must
 	// recompute derived state from base facts.
 	restoreRebuild bool
+
+	// Snapshot-read state (see snapshot.go): snapRels holds the frozen
+	// relation versions of the last published snapshot, snapStale the
+	// predicates flushed since then, snapAll that everything is stale (a
+	// rebuild or restore replaced the database wholesale), snapCached the
+	// current published view and snapVer its publication counter. All of
+	// these are guarded by w.mu; snapPtr/snapClean additionally publish
+	// the view atomically so readers whose cache is current never touch
+	// w.mu at all (they must not stall behind an unrelated in-flight
+	// flush).
+	snapRels   map[string]*datalog.Relation
+	snapStale  map[string]struct{}
+	snapAll    bool
+	snapCached *Snapshot
+	snapVer    uint64
+	snapPtr    atomic.Pointer[Snapshot]
+	snapClean  atomic.Bool
 }
 
 // RuleChange records one active-rule addition for journal observers and
@@ -184,11 +206,23 @@ func (j *FlushJournal) Empty() bool {
 
 // SetJournal installs the flush journal observer (at most one; the
 // durability layer owns it). It must be set before data is loaded —
-// flushes preceding it are never logged.
+// flushes preceding it are never logged. The observer runs under the
+// workspace lock and must only enqueue the record; pair it with
+// SetJournalSync when commits must wait for durability.
 func (w *Workspace) SetJournal(fn func(*FlushJournal)) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.journal = fn
+}
+
+// SetJournalSync installs the durability barrier run after each journaled
+// flush, outside the workspace lock: Update blocks on it before
+// returning (and before OnFlush hooks fire), so the flush is durable
+// without the workspace serializing concurrent sessions behind the disk.
+func (w *Workspace) SetJournalSync(fn func()) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.journalSync = fn
 }
 
 // FlushDelta describes one successful flush to OnFlush observers.
@@ -219,6 +253,7 @@ func New(principal string) *Workspace {
 		active:            map[string]*ruleEntry{},
 		decls:             map[string]Decl{},
 		incrementalChecks: true,
+		snapAll:           true,
 	}
 	w.model = meta.NewModel(w.db)
 	w.userEv = datalog.NewEvaluator(w.db, w.builtins)
@@ -417,20 +452,16 @@ func isGroundAtom(a *datalog.Atom) bool {
 // tuples whose carried rule matches the pattern. The returned tuples have
 // the relation's shape (code values stay in their argument positions).
 func (w *Workspace) Query(src string) ([]datalog.Tuple, error) {
-	clause, err := datalog.ParseClause(strings.TrimRight(strings.TrimSpace(src), ".") + ".")
+	atom, err := parseQueryAtom(src, w.principal)
 	if err != nil {
 		return nil, err
 	}
-	if len(clause.Heads) != 1 || len(clause.Body) != 0 {
-		return nil, fmt.Errorf("workspace: query must be a single atom")
-	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	atom := substMe(clause, w.principal).Heads[0]
-	if !atomHasQuote(&atom) {
-		return w.userEv.Query(&atom)
+	if !atomHasQuote(atom) {
+		return w.userEv.Query(atom)
 	}
-	return w.queryPatternLocked(&atom)
+	return w.queryPatternLocked(atom)
 }
 
 func atomHasQuote(a *datalog.Atom) bool {
@@ -443,53 +474,10 @@ func atomHasQuote(a *datalog.Atom) bool {
 }
 
 // queryPatternLocked evaluates an atom whose arguments contain quoted-code
-// patterns by compiling it into a transient rule, translating the patterns
-// into meta-model literals, and running it against the current database.
+// patterns against the current database. The shared overlay-based helper
+// (see snapshot.go) keeps the transient result relation out of w.db.
 func (w *Workspace) queryPatternLocked(a *datalog.Atom) ([]datalog.Tuple, error) {
-	// Blank variables cannot appear in rule heads; name them apart.
-	q := *a
-	q.Args = append([]datalog.Term{}, a.Args...)
-	n := 0
-	fix := func(t datalog.Term) datalog.Term {
-		if v, ok := t.(datalog.Var); ok && v.IsBlank() {
-			n++
-			return datalog.Var(fmt.Sprintf("QV%d", n))
-		}
-		return t
-	}
-	if q.Part != nil {
-		q.Part = fix(q.Part)
-	}
-	for i, t := range q.Args {
-		q.Args[i] = fix(t)
-	}
-	const resultPred = "lb:queryresult"
-	rule := &datalog.Rule{
-		Heads: []datalog.Atom{{Pred: resultPred}},
-		Body:  []datalog.Literal{{Atom: q}},
-	}
-	tr, err := meta.TranslatePatterns(rule)
-	if err != nil {
-		return nil, err
-	}
-	// The rewritten query literal keeps position 0; its arguments (with
-	// pattern positions replaced by fresh variables) become the result
-	// shape.
-	tr.Heads[0].Args = tr.Body[0].Atom.AllArgs()
-	ev := datalog.NewEvaluator(w.db, w.builtins)
-	if err := ev.SetRules([]*datalog.Rule{tr}); err != nil {
-		return nil, err
-	}
-	if err := ev.Run(); err != nil {
-		w.db.Drop(resultPred)
-		return nil, err
-	}
-	var out []datalog.Tuple
-	if rel, ok := w.db.Get(resultPred); ok {
-		out = rel.Sorted()
-	}
-	w.db.Drop(resultPred)
-	return out, nil
+	return queryPattern(w.db, w.builtins, a)
 }
 
 // BaseFacts returns the sorted asserted (non-derived) tuples of a

@@ -42,7 +42,9 @@ import (
 	"lbtrust/internal/d1lp"
 	"lbtrust/internal/datalog"
 	"lbtrust/internal/dist"
+	"lbtrust/internal/lbcrypto"
 	"lbtrust/internal/sendlog"
+	"lbtrust/internal/server"
 	"lbtrust/internal/store"
 	"lbtrust/internal/workspace"
 )
@@ -185,6 +187,46 @@ func NewTCPNetwork() *TCPNetwork { return dist.NewTCPNetwork() }
 // NewWorkspace creates a standalone workspace for the given principal
 // name.
 func NewWorkspace(principal string) *Workspace { return workspace.New(principal) }
+
+// ---- serving layer ----------------------------------------------------------
+
+// Snapshot is an immutable view of a workspace: any number of goroutines
+// query it concurrently with no lock held, while writers keep flushing
+// the live workspace (see Workspace.Snapshot).
+type Snapshot = workspace.Snapshot
+
+// Server hosts a System as a network trust service: sessions
+// authenticate as principals via challenge–response over their
+// established RSA keys, queries run as parallel snapshot reads, and
+// writes land as the proven principal's statements.
+type Server = server.Server
+
+// ServerOptions configures Serve (the anonymous-query principal, and the
+// locked-reads A/B switch the serve benchmark uses).
+type ServerOptions = server.Options
+
+// ServeStats is a snapshot of a server's session and request counters.
+type ServeStats = server.Stats
+
+// Client is one authenticated session against a served trust system.
+type Client = server.Client
+
+// KeyStore holds principal key material; clients authenticate with a
+// store holding their principal's private key (see
+// KeyStore.ImportRSAPrivateDER for key files written by
+// lbtrust-serve -export-keys).
+type KeyStore = lbcrypto.KeyStore
+
+// NewKeyStore creates an empty key store.
+func NewKeyStore() *KeyStore { return lbcrypto.NewKeyStore() }
+
+// Serve starts a trust service for the system on a TCP address.
+func Serve(sys *System, addr string, opts ServerOptions) (*Server, error) {
+	return server.Serve(sys, addr, opts)
+}
+
+// Dial connects to a served trust system.
+func Dial(addr string) (*Client, error) { return server.Dial(addr) }
 
 // NewBinderContext wraps a principal as a Binder context.
 func NewBinderContext(p *Principal) *BinderContext { return binder.NewContext(p) }

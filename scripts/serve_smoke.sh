@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Serve smoke: build both binaries, start a durable lbtrust-serve, drive
+# three concurrent authenticated clients against it over real sockets,
+# and assert the statements landed. Exercises the full out-of-process
+# path: key export, challenge-response auth, say/sync/query, durability.
+set -euo pipefail
+
+workdir=$(mktemp -d)
+trap 'kill $server_pid 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/lbtrust" ./cmd/lbtrust
+go build -o "$workdir/lbtrust-serve" ./cmd/lbtrust-serve
+
+"$workdir/lbtrust-serve" \
+  -listen 127.0.0.1:0 -addr-file "$workdir/addr" \
+  -data-dir "$workdir/trust.db" \
+  -principals alice,bob,carol -trust-all \
+  -export-keys "$workdir/keys" &
+server_pid=$!
+
+for _ in $(seq 1 100); do
+  [ -s "$workdir/addr" ] && break
+  kill -0 $server_pid || { echo "server died during startup"; exit 1; }
+  sleep 0.1
+done
+addr=$(cat "$workdir/addr")
+echo "server at $addr"
+
+# Three concurrent authenticated clients: alice and carol each say a
+# greeting to bob while bob polls with queries.
+"$workdir/lbtrust" -connect "$addr" -principal alice -key "$workdir/keys/alice.key" \
+  -say 'bob: greeting(from_alice).' -sync &
+a=$!
+"$workdir/lbtrust" -connect "$addr" -principal carol -key "$workdir/keys/carol.key" \
+  -say 'bob: greeting(from_carol).' -sync &
+b=$!
+"$workdir/lbtrust" -connect "$addr" -principal bob -key "$workdir/keys/bob.key" \
+  -query 'prin(X)' > "$workdir/prin.out" &
+c=$!
+wait $a $b $c
+
+grep -q "(alice)" "$workdir/prin.out" || { echo "bob cannot see principals"; exit 1; }
+
+# One more sync makes sure everything shipped, then bob reads the greetings.
+"$workdir/lbtrust" -connect "$addr" -principal bob -key "$workdir/keys/bob.key" -sync \
+  -query 'greeting(X)' > "$workdir/greetings.out"
+grep -q "(from_alice)" "$workdir/greetings.out" || { echo "alice's greeting missing"; cat "$workdir/greetings.out"; exit 1; }
+grep -q "(from_carol)" "$workdir/greetings.out" || { echo "carol's greeting missing"; cat "$workdir/greetings.out"; exit 1; }
+
+# Wrong-key sessions are rejected: bob's key cannot prove alice.
+if "$workdir/lbtrust" -connect "$addr" -principal alice -key "$workdir/keys/bob.key" \
+    -say 'bob: forged(x).' 2>"$workdir/forge.err"; then
+  echo "forged authentication was accepted"; exit 1
+fi
+grep -q "does not prove" "$workdir/forge.err" || { echo "unexpected rejection:"; cat "$workdir/forge.err"; exit 1; }
+
+# Restart the server on the same data dir: state and keys recover, the
+# same client keys still authenticate, and the greetings are still there.
+kill $server_pid
+wait $server_pid 2>/dev/null || true
+rm -f "$workdir/addr"
+"$workdir/lbtrust-serve" \
+  -listen 127.0.0.1:0 -addr-file "$workdir/addr" \
+  -data-dir "$workdir/trust.db" &
+server_pid=$!
+for _ in $(seq 1 100); do
+  [ -s "$workdir/addr" ] && break
+  kill -0 $server_pid || { echo "server died on restart"; exit 1; }
+  sleep 0.1
+done
+addr=$(cat "$workdir/addr")
+"$workdir/lbtrust" -connect "$addr" -principal bob -key "$workdir/keys/bob.key" \
+  -query 'greeting(X)' > "$workdir/recovered.out"
+diff "$workdir/greetings.out" "$workdir/recovered.out" || { echo "recovered greetings differ"; exit 1; }
+
+echo "serve smoke OK"
