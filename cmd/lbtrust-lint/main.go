@@ -1,0 +1,127 @@
+// Command lbtrust-lint runs the whole-program static analyzer over
+// LBTrust programs and reports findings from the diagnostic catalog in
+// docs/DIAGNOSTICS.md.
+//
+//	lbtrust-lint policy.lb other.lb
+//	lbtrust-lint -json policy.lb
+//	lbtrust-lint -entry access,grant policy.lb
+//	lbtrust-lint -no-base standalone.lb
+//
+// By default each file is analyzed as it would load into a principal's
+// workspace: the embedded core base program (says/export/import) provides
+// trusted context and the crypto built-ins (rsasign, hmacverify, ...) are
+// registered. -no-base analyzes the file in isolation instead.
+//
+// Entry points — predicates consumed by queries rather than by other
+// rules — can be declared on the command line (-entry) or in the program
+// itself with a `% lint:entry pred...` comment directive.
+//
+// Exit status is 1 when any error-severity diagnostic is reported, 2 on
+// usage or I/O failure, 0 otherwise (warnings do not fail the lint).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lbtrust/internal/analysis"
+	"lbtrust/internal/core"
+	"lbtrust/internal/datalog"
+	"lbtrust/internal/lbcrypto"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON, one array for all files")
+	noBase := flag.Bool("no-base", false, "analyze files in isolation, without the core base program or crypto built-ins")
+	entry := flag.String("entry", "", "comma-separated entry-point predicates (consumed from outside the program)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: lbtrust-lint [-json] [-no-base] [-entry p1,p2] program.lb...")
+		return 2
+	}
+
+	opts, err := buildOptions(*noBase, *entry)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	type fileDiag struct {
+		File string `json:"file"`
+		analysis.Diagnostic
+	}
+	var all []fileDiag
+	hadErrors := false
+	for _, file := range flag.Args() {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		diags := analysis.AnalyzeSource(string(src), opts)
+		if analysis.HasErrors(diags) {
+			hadErrors = true
+		}
+		for _, d := range diags {
+			all = append(all, fileDiag{File: file, Diagnostic: d})
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []fileDiag{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range all {
+			fmt.Printf("%s:%s\n", d.File, d.Diagnostic)
+		}
+		if len(all) > 0 {
+			errs := 0
+			for _, d := range all {
+				if d.Severity == analysis.SevError {
+					errs++
+				}
+			}
+			fmt.Fprintf(os.Stderr, "%d diagnostic(s), %d error(s)\n", len(all), errs)
+		}
+	}
+	if hadErrors {
+		return 1
+	}
+	return 0
+}
+
+// buildOptions assembles the analyzer context: the core base program and
+// crypto built-ins unless -no-base, plus command-line entry points.
+func buildOptions(noBase bool, entry string) (analysis.Options, error) {
+	var opts analysis.Options
+	if !noBase {
+		builtins := datalog.NewBuiltinSet()
+		lbcrypto.Register(builtins, lbcrypto.NewKeyStore())
+		base, err := datalog.ParseProgram(core.BaseProgram)
+		if err != nil {
+			return opts, fmt.Errorf("lbtrust-lint: parsing embedded base program: %w", err)
+		}
+		opts.Builtins = builtins
+		opts.Base = []*datalog.Program{base}
+	}
+	for _, p := range strings.Split(entry, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			opts.EntryPoints = append(opts.EntryPoints, p)
+		}
+	}
+	return opts, nil
+}

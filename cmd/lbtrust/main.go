@@ -101,6 +101,16 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		// Static analysis runs before the load: every diagnostic is
+		// reported with its position and code, and error severity refuses
+		// the program before it can touch the workspace.
+		diags := ws.AnalyzeSource(string(src))
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s:%s\n", flag.Arg(0), d)
+		}
+		if lbtrust.HasDiagnosticErrors(diags) {
+			return fmt.Errorf("load: %s refused by static analysis (see diagnostics above)", flag.Arg(0))
+		}
 		if err := ws.LoadProgram(string(src)); err != nil {
 			return fmt.Errorf("load: %w", err)
 		}

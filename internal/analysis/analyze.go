@@ -1,0 +1,766 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"lbtrust/internal/datalog"
+	"lbtrust/internal/meta"
+)
+
+// PredInfo describes a predicate known to the surrounding system (for
+// example a workspace declaration) without its defining source.
+type PredInfo struct {
+	Name        string
+	Arity       int // full arity, counting the partition column
+	Partitioned bool
+}
+
+// Options configures an analysis run.
+type Options struct {
+	// Builtins is the built-in registry the program will run against.
+	// Nil means the base set (comparisons and type tests) only.
+	Builtins *datalog.BuiltinSet
+	// Base holds trusted context programs — e.g. the active rules of the
+	// workspace the program is being loaded into, or the embedded core
+	// rule sets. Base clauses contribute definitions, consumption, and
+	// stratification edges but are never themselves reported on.
+	Base []*datalog.Program
+	// Known lists predicates the surrounding system declares (workspace
+	// decls); they count as defined with the given arity.
+	Known []PredInfo
+	// EntryPoints names predicates consumed from outside the program
+	// (queried by clients), suppressing dead-rule warnings for them.
+	EntryPoints []string
+}
+
+// AnalyzeSource parses and analyzes program text. Parse failures are
+// returned as an LB-PARSE-001 diagnostic rather than an error, so every
+// outcome is a diagnostic list. `% lint:entry p q` comment directives in
+// the source add entry points.
+func AnalyzeSource(src string, opts Options) []Diagnostic {
+	opts.EntryPoints = append(opts.EntryPoints, scanEntryDirectives(src)...)
+	prog, err := datalog.ParseProgram(src)
+	if err != nil {
+		d := Diagnostic{Code: datalog.CodeParse, Severity: SevError, Message: err.Error()}
+		var se *datalog.SyntaxError
+		if errors.As(err, &se) {
+			d.Pos, d.Message = se.Pos, se.Msg
+		}
+		return []Diagnostic{d}
+	}
+	return Analyze(prog, opts)
+}
+
+// scanEntryDirectives extracts `% lint:entry pred...` comment directives.
+func scanEntryDirectives(src string) []string {
+	var out []string
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if !strings.HasPrefix(t, "%") {
+			continue
+		}
+		t = strings.TrimSpace(strings.TrimLeft(t, "%"))
+		if rest, ok := strings.CutPrefix(t, "lint:entry"); ok {
+			out = append(out, strings.Fields(rest)...)
+		}
+	}
+	return out
+}
+
+// Analyze runs every whole-program check over prog and returns the
+// findings sorted by position. Base programs in opts contribute context
+// but produce no diagnostics of their own.
+func Analyze(prog *datalog.Program, opts Options) []Diagnostic {
+	c := newChecker(prog, opts)
+	c.collect()
+	c.checkMetaAndSafety()
+	c.checkArityAndDist()
+	c.checkStratification()
+	c.checkUnknownPreds()
+	c.checkDeadRules()
+	c.checkRecursiveGrowth()
+	c.checkConstraints()
+	sortDiagnostics(c.diags)
+	return c.diags
+}
+
+// comparison builtins that bound a value (for LB-REC-001 guards).
+var boundingCmps = map[string]bool{"<": true, "<=": true, ">": true, ">=": true, "!=": false}
+
+// systemPreds are predicates given meaning by the runtime itself rather
+// than by rules of the analyzed program: the authentication core,
+// rule-activation machinery, constraint plumbing, and code ownership.
+var systemPreds = map[string]bool{
+	"says": true, "saysOut": true, "active": true,
+	"owner": true, "fail": true, "lb:fail": true,
+}
+
+func isSystemPred(name string) bool {
+	return systemPreds[name] || meta.IsMetaPredicate(name) || strings.HasPrefix(name, "lb:aux:")
+}
+
+// occ is one occurrence of a predicate in the analyzed clauses.
+type occ struct {
+	pred     string
+	arity    int
+	pos      datalog.Pos
+	head     bool // head of a rule, or positive LHS atom of a constraint
+	neg      bool
+	inQuote  bool
+	inCons   bool          // occurrence inside a constraint
+	varArity bool          // trailing T* — matches any arity
+	hasPart  bool          // written with p[X] partition syntax
+	base     bool          // from a trusted base program
+	rule     *datalog.Rule // owning rule; nil for constraint occurrences
+	src      string        // rendering of the owning clause
+}
+
+type checker struct {
+	prog     *datalog.Program
+	opts     Options
+	builtins *datalog.BuiltinSet
+	diags    []Diagnostic
+
+	occs []occ
+
+	defined     map[string]bool // preds with a definition, declaration, or quote generation
+	consumed    map[string]bool
+	partitioned map[string]int // pred -> full arity (counting partition column)
+	entries     map[string]bool
+
+	seen map[string]bool // diagnostic dedupe
+}
+
+func newChecker(prog *datalog.Program, opts Options) *checker {
+	b := opts.Builtins
+	if b == nil {
+		b = datalog.NewBuiltinSet()
+	}
+	c := &checker{
+		prog:        prog,
+		opts:        opts,
+		builtins:    b,
+		defined:     map[string]bool{},
+		consumed:    map[string]bool{},
+		partitioned: map[string]int{},
+		entries:     map[string]bool{},
+		seen:        map[string]bool{},
+	}
+	for _, e := range opts.EntryPoints {
+		c.entries[e] = true
+	}
+	return c
+}
+
+func (c *checker) report(d Diagnostic) {
+	key := fmt.Sprintf("%s|%d|%d|%s", d.Code, d.Pos.Line, d.Pos.Col, d.Message)
+	if c.seen[key] {
+		return
+	}
+	c.seen[key] = true
+	c.diags = append(c.diags, d)
+}
+
+// ---- occurrence collection --------------------------------------------------
+
+func (c *checker) collect() {
+	for _, bp := range c.opts.Base {
+		for _, r := range bp.Rules {
+			c.collectRule(r, true)
+		}
+		for _, cons := range bp.Constraints {
+			c.collectConstraint(cons, true)
+		}
+	}
+	for _, r := range c.prog.Rules {
+		c.collectRule(r, false)
+	}
+	for _, cons := range c.prog.Constraints {
+		c.collectConstraint(cons, false)
+	}
+
+	for _, k := range c.opts.Known {
+		c.defined[k.Name] = true
+		if k.Partitioned {
+			c.partitioned[k.Name] = k.Arity
+		}
+	}
+	for _, o := range c.occs {
+		if o.pred == "" {
+			continue
+		}
+		if o.hasPart {
+			c.partitioned[o.pred] = o.arity
+		}
+		if o.inQuote || (o.head && !o.neg) {
+			// Rule heads, constraint LHS atoms (declarations), and any
+			// predicate mentioned in quoted code (generated or matched at
+			// runtime) count as defined.
+			c.defined[o.pred] = true
+		}
+		if o.inQuote || !o.head || o.inCons {
+			c.consumed[o.pred] = true
+		}
+	}
+}
+
+func (c *checker) collectRule(r *datalog.Rule, base bool) {
+	src := r.String()
+	for i := range r.Heads {
+		c.collectAtom(&r.Heads[i], occ{head: true, base: base, rule: r, src: src}, r.Pos)
+	}
+	for i := range r.Body {
+		l := &r.Body[i]
+		c.collectAtom(&l.Atom, occ{neg: l.Negated, base: base, rule: r, src: src}, r.Pos)
+	}
+}
+
+func (c *checker) collectConstraint(cons *datalog.Constraint, base bool) {
+	src := cons.String()
+	for i := range cons.LHS {
+		l := &cons.LHS[i]
+		c.collectAtom(&l.Atom, occ{head: !l.Negated, neg: l.Negated, inCons: true, base: base, src: src}, cons.Pos)
+	}
+	for _, alt := range cons.RHS {
+		for i := range alt {
+			c.collectAtom(&alt[i].Atom, occ{neg: alt[i].Negated, inCons: true, base: base, src: src}, cons.Pos)
+		}
+	}
+}
+
+// collectAtom records the atom's own occurrence (when its functor is
+// concrete) and descends into its terms for quoted code and partition
+// references.
+func (c *checker) collectAtom(a *datalog.Atom, proto occ, fallback datalog.Pos) {
+	if a.Pred != "" {
+		o := proto
+		o.pred = a.Pred
+		o.arity = a.Arity()
+		o.varArity = a.ArgStar
+		o.hasPart = a.Part != nil
+		o.pos = a.Pos
+		if !o.pos.IsValid() {
+			o.pos = fallback
+		}
+		c.occs = append(c.occs, o)
+	}
+	for _, t := range a.AllArgs() {
+		c.collectTerm(t, proto, fallback)
+	}
+}
+
+func (c *checker) collectTerm(t datalog.Term, proto occ, fallback datalog.Pos) {
+	switch t := t.(type) {
+	case datalog.Quote:
+		q := proto
+		q.inQuote = true
+		q.head = false
+		q.neg = false
+		for i := range t.Pat.Heads {
+			c.collectAtom(&t.Pat.Heads[i], q, fallback)
+		}
+		for i := range t.Pat.Body {
+			c.collectAtom(&t.Pat.Body[i].Atom, q, fallback)
+		}
+	case datalog.Arith:
+		c.collectTerm(t.L, proto, fallback)
+		c.collectTerm(t.R, proto, fallback)
+	case datalog.TermPart:
+		// A partition reference term (export[P]) reads the partitioned
+		// relation's placement; count it as consumption.
+		o := proto
+		o.pred = t.Pred
+		o.inQuote = true // treated like a quoted mention: consume, don't lint
+		o.varArity = true
+		o.pos = fallback
+		c.occs = append(c.occs, o)
+		c.collectTerm(t.Arg, proto, fallback)
+	}
+}
+
+// ---- per-rule checks: pattern translation and safety ------------------------
+
+func (c *checker) checkMetaAndSafety() {
+	for _, r := range c.prog.Rules {
+		t, err := meta.TranslatePatterns(r)
+		if err != nil {
+			c.report(Diagnostic{
+				Code:       CodeMetaPattern,
+				Severity:   catalogSeverity(CodeMetaPattern),
+				Pos:        r.Pos,
+				RuleSource: r.String(),
+				Message:    err.Error(),
+			})
+			continue
+		}
+		for _, s := range t.SplitHeads() {
+			if err := datalog.CheckSafety(s, c.builtins); err != nil {
+				c.reportCheckError(err, r)
+			}
+		}
+	}
+}
+
+// reportCheckError converts a datalog.CheckError into a diagnostic,
+// falling back to the rule's own position and source.
+func (c *checker) reportCheckError(err error, r *datalog.Rule) {
+	var ce *datalog.CheckError
+	if !errors.As(err, &ce) {
+		c.report(Diagnostic{Code: "LB-CHECK-000", Severity: SevError, Message: err.Error()})
+		return
+	}
+	d := Diagnostic{
+		Code:       ce.Code,
+		Severity:   catalogSeverity(ce.Code),
+		Pos:        ce.Pos,
+		RuleSource: ce.RuleSource,
+		Message:    ce.Msg,
+	}
+	if r != nil {
+		if !d.Pos.IsValid() {
+			d.Pos = r.Pos
+		}
+		d.RuleSource = r.String()
+	}
+	c.report(d)
+}
+
+// ---- arity consistency and partition-column binding -------------------------
+
+func (c *checker) checkArityAndDist() {
+	type arityRec struct {
+		arity int
+		where string // "" for context entries
+	}
+	table := map[string]arityRec{}
+	for name, n := range meta.ModelPredicates {
+		table[name] = arityRec{arity: n}
+	}
+	for _, k := range c.opts.Known {
+		table[k.Name] = arityRec{arity: k.Arity}
+	}
+
+	check := func(o occ, reportable bool) {
+		if o.pred == "" || o.varArity {
+			return
+		}
+		if b, ok := c.builtins.Get(o.pred); ok {
+			if reportable && !o.inQuote && o.arity != b.Arity {
+				c.report(Diagnostic{
+					Code:       datalog.CodeBuiltinArity,
+					Severity:   catalogSeverity(datalog.CodeBuiltinArity),
+					Pos:        o.pos,
+					RuleSource: o.src,
+					Message:    fmt.Sprintf("built-in %s expects %d arguments, called with %d", o.pred, b.Arity, o.arity),
+				})
+			}
+			return
+		}
+		if full, ok := c.partitioned[o.pred]; ok && !o.hasPart {
+			// Written without p[X] syntax. Heads of shipped relations must
+			// bind the partition column explicitly; a head one column short
+			// cannot be routed at all.
+			if o.head && !o.inQuote && !o.inCons {
+				if reportable {
+					c.reportDist(o, full)
+				}
+				return
+			}
+			// Body/constraint reads of the full relation (partition column
+			// as an ordinary leading argument) are legal.
+		}
+		prev, ok := table[o.pred]
+		if !ok {
+			table[o.pred] = arityRec{arity: o.arity, where: o.src}
+			return
+		}
+		if prev.arity != o.arity && reportable {
+			msg := fmt.Sprintf("predicate %s used with arity %d here but arity %d elsewhere", o.pred, o.arity, prev.arity)
+			if prev.where != "" {
+				msg += fmt.Sprintf(" (as in %s)", prev.where)
+			}
+			c.report(Diagnostic{
+				Code:       datalog.CodeArity,
+				Severity:   catalogSeverity(datalog.CodeArity),
+				Pos:        o.pos,
+				RuleSource: o.src,
+				Message:    msg,
+			})
+		}
+	}
+	// Trusted context first (fills the table, reports nothing), then the
+	// analyzed program.
+	for _, o := range c.occs {
+		if o.base {
+			check(o, false)
+		}
+	}
+	for _, o := range c.occs {
+		if !o.base {
+			check(o, true)
+		}
+	}
+}
+
+func (c *checker) reportDist(o occ, fullArity int) {
+	if o.arity == fullArity-1 {
+		c.report(Diagnostic{
+			Code:       CodeDistUnbound,
+			Severity:   catalogSeverity(CodeDistUnbound),
+			Pos:        o.pos,
+			RuleSource: o.src,
+			Message: fmt.Sprintf("partitioned predicate %s is missing its partition column (%s[X](...) needs %d arguments, head has %d)",
+				o.pred, o.pred, fullArity, o.arity),
+			Hint: fmt.Sprintf("write the head as %s[Part](...) so the runtime knows where to ship the tuple", o.pred),
+		})
+		return
+	}
+	c.report(Diagnostic{
+		Code:       CodeDistBare,
+		Severity:   catalogSeverity(CodeDistBare),
+		Pos:        o.pos,
+		RuleSource: o.src,
+		Message:    fmt.Sprintf("partitioned predicate %s is written without %s[Part](...) syntax", o.pred, o.pred),
+		Hint:       "the leading argument is silently treated as the partition column; make the routing explicit",
+	})
+}
+
+// ---- stratification ---------------------------------------------------------
+
+func (c *checker) checkStratification() {
+	var combined []*datalog.Rule
+	for _, bp := range c.opts.Base {
+		for _, r := range bp.Rules {
+			combined = append(combined, stripPos(translated(r)))
+		}
+	}
+	for _, r := range c.prog.Rules {
+		combined = append(combined, translated(r))
+	}
+	if _, err := datalog.Stratify(combined, c.builtins); err != nil {
+		c.reportCheckError(err, nil)
+	}
+}
+
+// translated returns the meta-translated form of a rule, or the rule
+// itself when translation fails (the failure is reported elsewhere).
+func translated(r *datalog.Rule) *datalog.Rule {
+	t, err := meta.TranslatePatterns(r)
+	if err != nil {
+		return r
+	}
+	return t
+}
+
+// stripPos clears source positions from a trusted context rule, so any
+// positioned finding necessarily points into the analyzed program.
+func stripPos(r *datalog.Rule) *datalog.Rule {
+	s := r.Clone()
+	s.Pos = datalog.Pos{}
+	for i := range s.Heads {
+		s.Heads[i].Pos = datalog.Pos{}
+	}
+	for i := range s.Body {
+		s.Body[i].Atom.Pos = datalog.Pos{}
+	}
+	return s
+}
+
+// ---- unknown predicates and dead rules --------------------------------------
+
+func (c *checker) checkUnknownPreds() {
+	knownForSuggest := map[string]bool{}
+	for p := range c.defined {
+		knownForSuggest[p] = true
+	}
+	for _, o := range c.occs {
+		if o.base || o.inQuote || o.inCons || o.head || o.neg || o.pred == "" {
+			continue
+		}
+		p := o.pred
+		if c.builtins.Has(p) || isSystemPred(p) || c.defined[p] {
+			continue
+		}
+		if s := suggest(p, knownForSuggest); s != "" {
+			c.report(Diagnostic{
+				Code:       CodeUnknownPred,
+				Severity:   catalogSeverity(CodeUnknownPred),
+				Pos:        o.pos,
+				RuleSource: o.src,
+				Message:    fmt.Sprintf("unknown predicate %s", p),
+				Hint:       fmt.Sprintf("did you mean %s?", s),
+			})
+			continue
+		}
+		c.report(Diagnostic{
+			Code:       CodeUnreachable,
+			Severity:   catalogSeverity(CodeUnreachable),
+			Pos:        o.pos,
+			RuleSource: o.src,
+			Message:    fmt.Sprintf("rule can never fire: predicate %s has no rules, facts, or declaration", p),
+		})
+	}
+}
+
+func (c *checker) checkDeadRules() {
+	for _, r := range c.prog.Rules {
+		if len(r.Body) == 0 {
+			continue // facts are data, not derivations
+		}
+		for i := range r.Heads {
+			h := r.Heads[i].Pred
+			if h == "" || isSystemPred(h) || c.builtins.Has(h) {
+				continue
+			}
+			if _, part := c.partitioned[h]; part {
+				continue // shipped to other nodes
+			}
+			if c.entries[h] || c.consumed[h] {
+				continue
+			}
+			pos := r.Heads[i].Pos
+			if !pos.IsValid() {
+				pos = r.Pos
+			}
+			c.report(Diagnostic{
+				Code:       CodeDeadRule,
+				Severity:   catalogSeverity(CodeDeadRule),
+				Pos:        pos,
+				RuleSource: r.String(),
+				Message:    fmt.Sprintf("rule derives %s, which nothing consumes", h),
+				Hint:       fmt.Sprintf("query it, consume it in a rule or constraint, or declare it an entry point with `%% lint:entry %s`", h),
+			})
+		}
+	}
+}
+
+// ---- value growth through recursion -----------------------------------------
+
+func (c *checker) checkRecursiveGrowth() {
+	g := newDepGraph()
+	addRules := func(rules []*datalog.Rule) {
+		for _, r := range rules {
+			for i := range r.Heads {
+				h := r.Heads[i].Pred
+				if h == "" {
+					continue
+				}
+				for _, l := range r.Body {
+					if l.Atom.Pred == "" || c.builtins.Has(l.Atom.Pred) {
+						continue
+					}
+					g.addEdge(l.Atom.Pred, h)
+				}
+			}
+		}
+	}
+	for _, bp := range c.opts.Base {
+		addRules(bp.Rules)
+	}
+	addRules(c.prog.Rules)
+	rec := g.recursive()
+
+	for _, r := range c.prog.Rules {
+		if len(r.Body) == 0 {
+			continue
+		}
+		for i := range r.Heads {
+			h := &r.Heads[i]
+			if h.Pred == "" || !rec[h.Pred] {
+				continue
+			}
+			arithVars := map[string]bool{}
+			for _, t := range h.AllArgs() {
+				collectArithVars(t, arithVars)
+			}
+			if len(arithVars) == 0 {
+				continue
+			}
+			if hasBoundingGuard(r, arithVars) {
+				continue
+			}
+			pos := h.Pos
+			if !pos.IsValid() {
+				pos = r.Pos
+			}
+			vars := sortedKeys(arithVars)
+			c.report(Diagnostic{
+				Code:       CodeRecGrowth,
+				Severity:   catalogSeverity(CodeRecGrowth),
+				Pos:        pos,
+				RuleSource: r.String(),
+				Message: fmt.Sprintf("recursive rule for %s computes a new value from %s with no bounding comparison; evaluation may not terminate",
+					h.Pred, strings.Join(vars, ", ")),
+				Hint: "add a comparison such as N > 0 or N < limit over the value being changed",
+			})
+		}
+	}
+}
+
+// collectArithVars gathers variables under top-level arithmetic terms of
+// a head argument (the values being computed), not descending into
+// quoted code.
+func collectArithVars(t datalog.Term, into map[string]bool) {
+	a, ok := t.(datalog.Arith)
+	if !ok {
+		return
+	}
+	var walk func(datalog.Term)
+	walk = func(t datalog.Term) {
+		switch t := t.(type) {
+		case datalog.Var:
+			if !t.IsBlank() {
+				into[string(t)] = true
+			}
+		case datalog.Arith:
+			walk(t.L)
+			walk(t.R)
+		case datalog.TermPart:
+			walk(t.Arg)
+		}
+	}
+	walk(a)
+}
+
+// hasBoundingGuard reports whether some body comparison constrains one
+// of the given variables.
+func hasBoundingGuard(r *datalog.Rule, vars map[string]bool) bool {
+	for _, l := range r.Body {
+		if l.Negated || !boundingCmps[l.Atom.Pred] {
+			continue
+		}
+		seen := map[string]bool{}
+		for _, t := range l.Atom.Args {
+			collectTermVars(t, seen)
+		}
+		for v := range seen {
+			if vars[v] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---- constraint lints -------------------------------------------------------
+
+func (c *checker) checkConstraints() {
+	// LB-CONS-001: a ground fail() fact (or one derived unconditionally)
+	// makes every database state a violation.
+	for _, r := range c.prog.Rules {
+		for i := range r.Heads {
+			h := r.Heads[i].Pred
+			if (h == "fail" || h == "lb:fail") && len(r.Body) == 0 {
+				pos := r.Heads[i].Pos
+				if !pos.IsValid() {
+					pos = r.Pos
+				}
+				c.report(Diagnostic{
+					Code:       CodeConsAlways,
+					Severity:   catalogSeverity(CodeConsAlways),
+					Pos:        pos,
+					RuleSource: r.String(),
+					Message:    "fail() is asserted unconditionally: every transaction will be rolled back",
+					Hint:       "give the constraint a body describing the states that violate it",
+				})
+			}
+		}
+	}
+	// LB-CONS-002: an RHS alternative whose variables are disjoint from
+	// the LHS checks something unrelated to the matched tuple — usually a
+	// misspelled variable.
+	for _, cons := range c.prog.Constraints {
+		if len(cons.RHS) == 0 {
+			continue
+		}
+		lhsVars := map[string]bool{}
+		for i := range cons.LHS {
+			for _, t := range cons.LHS[i].Atom.AllArgs() {
+				collectTermVars(t, lhsVars)
+			}
+		}
+		for _, alt := range cons.RHS {
+			altVars := map[string]bool{}
+			for i := range alt {
+				for _, t := range alt[i].Atom.AllArgs() {
+					collectTermVars(t, altVars)
+				}
+			}
+			if len(altVars) == 0 {
+				continue
+			}
+			shared := false
+			for v := range altVars {
+				if lhsVars[v] {
+					shared = true
+					break
+				}
+			}
+			if !shared {
+				c.report(Diagnostic{
+					Code:       CodeConsFloat,
+					Severity:   catalogSeverity(CodeConsFloat),
+					Pos:        cons.Pos,
+					RuleSource: cons.String(),
+					Message: fmt.Sprintf("constraint alternative shares no variables with the left-hand side (checks %s independently of the matched tuple)",
+						strings.Join(sortedKeys(altVars), ", ")),
+					Hint: "bind the alternative to the matched tuple, or split it into its own constraint",
+				})
+				break // one report per constraint
+			}
+		}
+	}
+}
+
+// collectTermVars gathers named variables of a term, descending into
+// quoted code (constraint quote patterns bind their variables).
+func collectTermVars(t datalog.Term, into map[string]bool) {
+	switch t := t.(type) {
+	case datalog.Var:
+		if !t.IsBlank() {
+			into[string(t)] = true
+		}
+	case datalog.StarVar:
+		into[string(t)] = true
+	case datalog.Arith:
+		collectTermVars(t.L, into)
+		collectTermVars(t.R, into)
+	case datalog.TermPart:
+		collectTermVars(t.Arg, into)
+	case datalog.Quote:
+		for i := range t.Pat.Heads {
+			collectAtomVars(&t.Pat.Heads[i], into)
+		}
+		for i := range t.Pat.Body {
+			collectAtomVars(&t.Pat.Body[i].Atom, into)
+		}
+	}
+}
+
+func collectAtomVars(a *datalog.Atom, into map[string]bool) {
+	if a.PredVar != "" {
+		into[a.PredVar] = true
+	}
+	if a.AtomVar != "" {
+		into[a.AtomVar] = true
+	}
+	for _, t := range a.AllArgs() {
+		collectTermVars(t, into)
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// small slices; simple insertion keeps the import list short
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import "lbtrust/internal/datalog"
+
+// Info is one catalog entry: the stable identity of a diagnostic code.
+// docs/DIAGNOSTICS.md is the human-readable rendering of this table; a
+// test keeps the two in sync.
+type Info struct {
+	Code     string
+	Severity Severity
+	// Summary is the one-line description shown in the catalog heading.
+	Summary string
+}
+
+// Codes emitted by the whole-program checks in this package. Per-rule
+// codes (parse, safety, stratification, arity) are declared in
+// internal/datalog and re-exported here so the catalog is complete.
+const (
+	CodeUnknownPred = "LB-PRED-001" // body predicate unknown, close match exists
+	CodeUnreachable = "LB-DEAD-001" // body predicate has no definition anywhere
+	CodeDeadRule    = "LB-DEAD-002" // head predicate is never consumed
+	CodeDistUnbound = "LB-DIST-001" // partitioned predicate written without its partition column
+	CodeDistBare    = "LB-DIST-002" // partitioned predicate written without p[X] syntax
+	CodeRecGrowth   = "LB-REC-001"  // value growth through recursion without a bound
+	CodeConsAlways  = "LB-CONS-001" // fail() asserted unconditionally
+	CodeConsFloat   = "LB-CONS-002" // constraint RHS unrelated to its LHS
+	CodeMetaPattern = "LB-META-001" // unsupported quoted-code pattern
+)
+
+// Catalog lists every diagnostic code the analyzer can emit, in order.
+var Catalog = []Info{
+	{datalog.CodeParse, SevError, "syntax error"},
+	{datalog.CodeUnboundHead, SevError, "head variable not bound by a positive body literal"},
+	{datalog.CodeNegUnbound, SevError, "variable occurs only in a negated literal"},
+	{datalog.CodeBlankHead, SevError, "blank variable in rule head"},
+	{datalog.CodeAggUnbound, SevError, "aggregation variable not bound by the body"},
+	{datalog.CodeStratNeg, SevError, "negation through recursion"},
+	{datalog.CodeStratAgg, SevError, "aggregation through recursion"},
+	{datalog.CodeArity, SevError, "predicate used with inconsistent arities"},
+	{datalog.CodeBuiltinArity, SevError, "built-in called with the wrong number of arguments"},
+	{CodeMetaPattern, SevError, "unsupported quoted-code pattern"},
+	{CodeUnknownPred, SevWarning, "unknown predicate (close match exists)"},
+	{CodeUnreachable, SevWarning, "rule can never fire: body predicate is defined nowhere"},
+	{CodeDeadRule, SevWarning, "rule derives a predicate nothing consumes"},
+	{CodeDistUnbound, SevError, "partitioned predicate used without its partition column"},
+	{CodeDistBare, SevWarning, "partitioned predicate written without p[X] syntax"},
+	{CodeRecGrowth, SevWarning, "value growth through recursion without a bound"},
+	{CodeConsAlways, SevError, "constraint violation asserted unconditionally"},
+	{CodeConsFloat, SevWarning, "constraint right-hand side unrelated to its left-hand side"},
+}
+
+// catalogSeverity returns the cataloged severity for a code, defaulting
+// to error for unknown codes (fail safe).
+func catalogSeverity(code string) Severity {
+	for _, info := range Catalog {
+		if info.Code == code {
+			return info.Severity
+		}
+	}
+	return SevError
+}

@@ -1,0 +1,50 @@
+package analysis_test
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"lbtrust/internal/analysis"
+)
+
+// TestCatalogMatchesDocs keeps docs/DIAGNOSTICS.md and the in-code
+// catalog in lockstep: every code has a doc heading with the cataloged
+// severity, and the doc describes no codes the analyzer cannot emit.
+func TestCatalogMatchesDocs(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/DIAGNOSTICS.md")
+	if err != nil {
+		t.Fatalf("reading docs/DIAGNOSTICS.md: %v", err)
+	}
+	heading := regexp.MustCompile(`(?m)^## (LB-[A-Z]+-\d+) — .* \((warning|error)\)$`)
+	documented := map[string]string{}
+	for _, m := range heading.FindAllStringSubmatch(string(doc), -1) {
+		documented[m[1]] = m[2]
+	}
+	for _, info := range analysis.Catalog {
+		sev, ok := documented[info.Code]
+		if !ok {
+			t.Errorf("%s is in the catalog but has no docs/DIAGNOSTICS.md heading", info.Code)
+			continue
+		}
+		if sev != info.Severity.String() {
+			t.Errorf("%s documented as %s, catalog says %s", info.Code, sev, info.Severity)
+		}
+		delete(documented, info.Code)
+	}
+	for code := range documented {
+		t.Errorf("%s is documented but not in the catalog", code)
+	}
+	// Catalog codes must be unique.
+	seen := map[string]bool{}
+	for _, info := range analysis.Catalog {
+		if seen[info.Code] {
+			t.Errorf("duplicate catalog entry %s", info.Code)
+		}
+		seen[info.Code] = true
+		if !strings.HasPrefix(info.Code, "LB-") {
+			t.Errorf("catalog code %q lacks the LB- prefix", info.Code)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"lbtrust/internal/analysis"
+	"lbtrust/internal/core"
+	"lbtrust/internal/datalog"
+)
+
+// TestCorePrograms asserts that the embedded trust-management rule sets
+// analyze without error-severity diagnostics: the analyzer gates every
+// workspace program load, so a false positive here would brick the system.
+func TestCorePrograms(t *testing.T) {
+	progs := map[string]string{
+		"base":          core.BaseProgram,
+		"trustall":      core.TrustAllProgram,
+		"delegation":    core.DelegationProgram,
+		"width":         core.WidthProgram,
+		"authorization": core.AuthorizationProgram,
+		"pull":          core.PullProgram,
+	}
+	// Later programs reference predicates the base program defines, so
+	// analyze each against the base as trusted context.
+	base, err := datalog.ParseProgram(core.BaseProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range progs {
+		t.Run(name, func(t *testing.T) {
+			opts := analysis.Options{}
+			if name != "base" {
+				opts.Base = []*datalog.Program{base}
+			}
+			diags := analysis.AnalyzeSource(src, opts)
+			for _, d := range diags {
+				if d.Severity == analysis.SevError {
+					t.Errorf("unexpected error diagnostic: %s", d)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,142 @@
+// Package analysis is the whole-program static analyzer: it takes a
+// parsed LBTrust program (plus optional trusted context — the active
+// rules and declarations of a live workspace) and returns structured
+// diagnostics with stable, documented codes.
+//
+// The paper's premise is that trust policy is a declarative program;
+// this package is where policy bugs are caught at load time instead of
+// surfacing as runtime surprises. Every code is cataloged — exact
+// message, cause, and fix — in docs/DIAGNOSTICS.md, in the style of the
+// Mangle error reference. The per-rule checks (safety, stratification,
+// arity) are shared with the evaluator (internal/datalog); the
+// whole-program checks (dependency graph, dead rules, unknown
+// predicates, partition-column binding, constraint lints) live here.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"lbtrust/internal/datalog"
+)
+
+// Severity classifies a diagnostic: errors make the program unloadable,
+// warnings are reported but do not block.
+type Severity int
+
+const (
+	SevWarning Severity = iota
+	SevError
+)
+
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// MarshalJSON renders the severity as its lowercase name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// Diagnostic is one finding of the analyzer.
+type Diagnostic struct {
+	Code       string      `json:"code"`
+	Severity   Severity    `json:"severity"`
+	Pos        datalog.Pos `json:"pos"`
+	RuleSource string      `json:"rule,omitempty"` // rendering of the offending clause
+	Message    string      `json:"message"`
+	Hint       string      `json:"hint,omitempty"`
+}
+
+// String renders the diagnostic in the fixed single-line format used by
+// lbtrust-lint and the golden tests:
+//
+//	<line>:<col>: <severity> <code>: <message> [hint: <hint>]
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s %s: %s", d.Pos, d.Severity, d.Code, d.Message)
+	if d.Hint != "" {
+		b.WriteString(" [hint: ")
+		b.WriteString(d.Hint)
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// HasErrors reports whether any diagnostic has error severity.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returns only the error-severity diagnostics.
+func Errors(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Severity == SevError {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Error wraps the diagnostics of a refused program load as an error
+// value. Its code (for the wire protocol) is the first error-severity
+// diagnostic's code.
+type Error struct {
+	Diagnostics []Diagnostic // all findings, errors and warnings
+}
+
+// NewError wraps diagnostics that include at least one error.
+func NewError(diags []Diagnostic) *Error { return &Error{Diagnostics: diags} }
+
+func (e *Error) Error() string {
+	errs := Errors(e.Diagnostics)
+	if len(errs) == 0 {
+		return "analysis: no errors"
+	}
+	parts := make([]string, len(errs))
+	for i, d := range errs {
+		parts[i] = d.String()
+	}
+	if len(parts) == 1 {
+		return "analysis: " + parts[0]
+	}
+	return fmt.Sprintf("analysis: %d errors: %s", len(parts), strings.Join(parts, "; "))
+}
+
+// DiagnosticCode returns the first error's catalog code, implementing
+// the datalog.Coder interface the serving layer ships over the wire.
+func (e *Error) DiagnosticCode() string {
+	for _, d := range e.Diagnostics {
+		if d.Severity == SevError {
+			return d.Code
+		}
+	}
+	return ""
+}
+
+// sortDiagnostics orders findings by position, then code, then message,
+// so output is deterministic regardless of check order.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,117 @@
+package analysis_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lbtrust/internal/analysis"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/*.golden files")
+
+func render(diags []analysis.Diagnostic) string {
+	if len(diags) == 0 {
+		return "no diagnostics\n"
+	}
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestGolden runs the analyzer over every testdata/*.lb fixture and
+// compares the rendered diagnostics against the matching .golden file.
+// Run with -update to regenerate the goldens after an intentional change.
+func TestGolden(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.lb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata/*.lb fixtures found")
+	}
+	for _, f := range files {
+		name := strings.TrimSuffix(filepath.Base(f), ".lb")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := render(analysis.AnalyzeSource(string(src), analysis.Options{}))
+			golden := strings.TrimSuffix(f, ".lb") + ".golden"
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run go test -run TestGolden -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch for %s\ngot:\n%swant:\n%s", f, got, want)
+			}
+		})
+	}
+}
+
+// TestCatalogCovered asserts that every code in the diagnostic catalog is
+// exercised by at least one golden fixture, so no code can be added
+// without a test demonstrating it.
+func TestCatalogCovered(t *testing.T) {
+	goldens, err := filepath.Glob(filepath.Join("testdata", "*.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all strings.Builder
+	for _, g := range goldens {
+		b, err := os.ReadFile(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all.Write(b)
+	}
+	text := all.String()
+	var missing []string
+	for _, info := range analysis.Catalog {
+		if !strings.Contains(text, info.Code) {
+			missing = append(missing, info.Code)
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("catalog codes with no golden fixture: %s", strings.Join(missing, ", "))
+	}
+}
+
+// TestFixtureSeverityMatchesCatalog checks that each fixture's primary
+// diagnostic (named in its leading comment) renders with the severity the
+// catalog declares for that code.
+func TestFixtureSeverityMatchesCatalog(t *testing.T) {
+	goldens, err := filepath.Glob(filepath.Join("testdata", "*.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range goldens {
+		b, err := os.ReadFile(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, info := range analysis.Catalog {
+			for _, line := range strings.Split(string(b), "\n") {
+				if !strings.Contains(line, info.Code+":") {
+					continue
+				}
+				want := info.Severity.String() + " " + info.Code + ":"
+				if !strings.Contains(line, want) {
+					t.Errorf("%s: %q renders with the wrong severity, want %q", g, line, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import "sort"
+
+// depGraph is the predicate dependency graph: an arc u -> v means v is
+// defined by a rule whose body mentions u (derivation flows u to v).
+type depGraph struct {
+	adj map[string]map[string]bool
+}
+
+func newDepGraph() *depGraph { return &depGraph{adj: map[string]map[string]bool{}} }
+
+func (g *depGraph) addEdge(from, to string) {
+	next, ok := g.adj[from]
+	if !ok {
+		next = map[string]bool{}
+		g.adj[from] = next
+	}
+	next[to] = true
+}
+
+func (g *depGraph) nodes() []string {
+	set := map[string]bool{}
+	for u, next := range g.adj {
+		set[u] = true
+		for v := range next {
+			set[v] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (g *depGraph) succ(u string) []string {
+	next := g.adj[u]
+	out := make([]string, 0, len(next))
+	for v := range next {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// recursive returns the set of predicates that participate in a cycle:
+// members of a strongly connected component of size > 1, or nodes with a
+// self-loop.
+func (g *depGraph) recursive() map[string]bool {
+	comp := g.scc()
+	size := map[int]int{}
+	for _, c := range comp {
+		size[c]++
+	}
+	out := map[string]bool{}
+	for n, c := range comp {
+		if size[c] > 1 || g.adj[n][n] {
+			out[n] = true
+		}
+	}
+	return out
+}
+
+// scc assigns strongly-connected-component ids (Tarjan, iterative over
+// sorted nodes for determinism).
+func (g *depGraph) scc() map[string]int {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	comp := map[string]int{}
+	var stack []string
+	next, nComp := 0, 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range g.succ(v) {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = nComp
+				if w == v {
+					break
+				}
+			}
+			nComp++
+		}
+	}
+	for _, v := range g.nodes() {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return comp
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import "sort"
+
+// suggest returns the closest known predicate name within edit distance
+// 2 (1 for very short names), or "" when nothing is close enough to be a
+// plausible misspelling. Candidates are scanned in sorted order so ties
+// resolve deterministically.
+func suggest(name string, known map[string]bool) string {
+	maxDist := 2
+	if len(name) <= 4 {
+		maxDist = 1
+	}
+	cands := make([]string, 0, len(known))
+	for k := range known {
+		cands = append(cands, k)
+	}
+	sort.Strings(cands)
+	best, bestDist := "", maxDist+1
+	for _, c := range cands {
+		if c == name {
+			continue
+		}
+		if d := levenshtein(name, c, maxDist); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	if bestDist > maxDist {
+		return ""
+	}
+	return best
+}
+
+// levenshtein computes edit distance with early exit once the distance
+// provably exceeds bound (returns bound+1 in that case).
+func levenshtein(a, b string, bound int) int {
+	if d := len(a) - len(b); d > bound || d < -bound {
+		return bound + 1
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost
+			if v := prev[j] + 1; v < m {
+				m = v
+			}
+			if v := cur[j-1] + 1; v < m {
+				m = v
+			}
+			cur[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if rowMin > bound {
+			return bound + 1
+		}
+		prev, cur = cur, prev
+	}
+	if prev[len(b)] > bound {
+		return bound + 1
+	}
+	return prev[len(b)]
+}

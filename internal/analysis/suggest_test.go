@@ -1,0 +1,41 @@
+package analysis
+
+import "testing"
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b  string
+		bound int
+		want  int
+	}{
+		{"", "", 2, 0},
+		{"abc", "abc", 2, 0},
+		{"abc", "abd", 2, 1},
+		{"greeting", "greetings", 2, 1},
+		{"kitten", "sitting", 3, 3},
+		{"abc", "xyz", 2, 3}, // over bound: any value > bound is fine
+	}
+	for _, c := range cases {
+		got := levenshtein(c.a, c.b, c.bound)
+		if c.want <= c.bound && got != c.want {
+			t.Errorf("levenshtein(%q,%q,%d) = %d, want %d", c.a, c.b, c.bound, got, c.want)
+		}
+		if c.want > c.bound && got <= c.bound {
+			t.Errorf("levenshtein(%q,%q,%d) = %d, want > bound", c.a, c.b, c.bound, got)
+		}
+	}
+}
+
+func TestSuggest(t *testing.T) {
+	known := map[string]bool{"greeting": true, "export": true, "says": true}
+	if got := suggest("greetings", known); got != "greeting" {
+		t.Errorf("suggest(greetings) = %q, want greeting", got)
+	}
+	if got := suggest("zorble", known); got != "" {
+		t.Errorf("suggest(zorble) = %q, want no suggestion", got)
+	}
+	// Short names only allow distance 1.
+	if got := suggest("sez", known); got != "" {
+		t.Errorf("suggest(sez) = %q, want no suggestion (distance 2 on short name)", got)
+	}
+}

@@ -82,6 +82,7 @@ type Atom struct {
 	Part    Term   // partition argument of a curried predicate p[X](..)
 	Args    []Term
 	ArgStar bool // trailing argument is a StarVar matching any suffix
+	Pos     Pos  // source position of the functor token; zero if synthetic
 }
 
 // Functor returns the concrete predicate name, or "" when the functor is a
@@ -176,6 +177,7 @@ type Rule struct {
 	Heads []Atom
 	Body  []Literal
 	Agg   *AggSpec
+	Pos   Pos // source position of the clause start; zero if synthetic
 }
 
 // IsFact reports whether the rule has an empty body and a single head.
@@ -214,6 +216,7 @@ type Constraint struct {
 	Label string
 	LHS   []Literal
 	RHS   [][]Literal // alternatives; empty means pure declaration
+	Pos   Pos         // source position of the constraint start; zero if synthetic
 }
 
 func (c *Constraint) String() string {
@@ -251,7 +254,7 @@ func (r *Rule) Clone() *Rule {
 	if r == nil {
 		return nil
 	}
-	c := &Rule{Label: r.Label}
+	c := &Rule{Label: r.Label, Pos: r.Pos}
 	c.Heads = make([]Atom, len(r.Heads))
 	for i := range r.Heads {
 		c.Heads[i] = cloneAtom(&r.Heads[i])

@@ -1,0 +1,92 @@
+package datalog
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Pos is a source position: 1-based line and column of the first token of
+// a syntactic element. The zero Pos means "position unknown" (e.g. a rule
+// constructed programmatically rather than parsed).
+type Pos struct {
+	Line int `json:"line"`
+	Col  int `json:"col"`
+}
+
+// IsValid reports whether the position refers to real source text.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// Diagnostic codes emitted by this package's static checks. The full
+// catalog — message, cause and fix for every code — is docs/DIAGNOSTICS.md.
+const (
+	CodeParse        = "LB-PARSE-001" // syntax error
+	CodeUnboundHead  = "LB-SAFE-001"  // head variable not bound by a positive body literal
+	CodeNegUnbound   = "LB-SAFE-002"  // variable occurs only in a negated literal
+	CodeBlankHead    = "LB-SAFE-003"  // blank variable in rule head
+	CodeAggUnbound   = "LB-SAFE-004"  // aggregation variable not bound by the body
+	CodeStratNeg     = "LB-STRAT-001" // negation through recursion
+	CodeStratAgg     = "LB-STRAT-002" // aggregation through recursion
+	CodeArity        = "LB-ARITY-001" // predicate used with inconsistent arities
+	CodeBuiltinArity = "LB-ARITY-002" // built-in called with the wrong arity
+)
+
+// Coder is implemented by errors that carry a stable diagnostic code from
+// the catalog in docs/DIAGNOSTICS.md. The serving layer uses it to ship
+// codes over the wire as a structured field.
+type Coder interface {
+	DiagnosticCode() string
+}
+
+// ErrCode extracts the diagnostic code from an error chain, or "" when no
+// error in the chain carries one.
+func ErrCode(err error) string {
+	var c Coder
+	if errors.As(err, &c) {
+		return c.DiagnosticCode()
+	}
+	return ""
+}
+
+// CheckError is a static-check failure (safety, stratification, arity)
+// with a stable code and, when the offending rule was parsed from source,
+// a position.
+type CheckError struct {
+	Code       string
+	Pos        Pos
+	RuleSource string // rendering of the offending rule, "" if unknown
+	Msg        string
+}
+
+func (e *CheckError) Error() string {
+	s := fmt.Sprintf("%s: %s", e.Code, e.Msg)
+	if e.Pos.IsValid() {
+		s = e.Pos.String() + ": " + s
+	}
+	if e.RuleSource != "" {
+		s += " (in " + e.RuleSource + ")"
+	}
+	return s
+}
+
+// DiagnosticCode returns the stable catalog code.
+func (e *CheckError) DiagnosticCode() string { return e.Code }
+
+// SyntaxError is a positioned lexical or syntax error (code LB-PARSE-001).
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("line %d:%d: %s", e.Pos.Line, e.Pos.Col, e.Msg)
+}
+
+// DiagnosticCode returns the stable catalog code.
+func (e *SyntaxError) DiagnosticCode() string { return CodeParse }

@@ -146,12 +146,32 @@ func (ev *Evaluator) checkConcrete(r *Rule) error {
 
 func (ev *Evaluator) recordArity(r *Rule) error {
 	rec := func(a *Atom) error {
-		if a.Pred == "" || ev.Builtins.Has(a.Pred) {
+		if a.Pred == "" {
 			return nil
 		}
+		pos := a.Pos
+		if !pos.IsValid() {
+			pos = r.Pos
+		}
 		n := a.Arity()
+		if b, ok := ev.Builtins.Get(a.Pred); ok {
+			if n != b.Arity {
+				return &CheckError{
+					Code:       CodeBuiltinArity,
+					Pos:        pos,
+					RuleSource: r.String(),
+					Msg:        fmt.Sprintf("built-in %s expects %d argument(s), called with %d", a.Pred, b.Arity, n),
+				}
+			}
+			return nil
+		}
 		if prev, ok := ev.arity[a.Pred]; ok && prev != n {
-			return fmt.Errorf("predicate %s used with arities %d and %d", a.Pred, prev, n)
+			return &CheckError{
+				Code:       CodeArity,
+				Pos:        pos,
+				RuleSource: r.String(),
+				Msg:        fmt.Sprintf("predicate %s used with arity %d here but arity %d elsewhere", a.Pred, n, prev),
+			}
 		}
 		ev.arity[a.Pred] = n
 		return nil

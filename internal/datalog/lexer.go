@@ -132,18 +132,8 @@ type lexer struct {
 
 func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
 
-// lexError is a positioned lexical or syntax error.
-type lexError struct {
-	Line, Col int
-	Msg       string
-}
-
-func (e *lexError) Error() string {
-	return fmt.Sprintf("line %d:%d: %s", e.Line, e.Col, e.Msg)
-}
-
 func (l *lexer) errf(format string, args ...any) error {
-	return &lexError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+	return &SyntaxError{Pos: Pos{Line: l.line, Col: l.col}, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (l *lexer) peekByte() byte {

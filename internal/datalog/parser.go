@@ -83,7 +83,7 @@ func (p *parser) expect(k tokKind) (token, error) {
 
 func (p *parser) errf(format string, args ...any) error {
 	t := p.peek()
-	return &lexError{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+	return &SyntaxError{Pos: Pos{Line: t.line, Col: t.col}, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (p *parser) freshBlank() Var {
@@ -174,6 +174,8 @@ func nnf(f formula, neg bool) formula {
 // ---- statements ------------------------------------------------------------
 
 func (p *parser) statement(prog *Program) error {
+	start := p.peek()
+	stmtPos := Pos{Line: start.line, Col: start.col}
 	label := ""
 	if p.peek().kind == tokIdent && p.peekAt(1).kind == tokColon {
 		label = p.advance().text
@@ -191,7 +193,11 @@ func (p *parser) statement(prog *Program) error {
 			return p.errf("invalid fact: %v", err)
 		}
 		for i := range heads {
-			prog.Rules = append(prog.Rules, &Rule{Label: label, Heads: []Atom{heads[i]}})
+			pos := heads[i].Pos
+			if !pos.IsValid() {
+				pos = stmtPos
+			}
+			prog.Rules = append(prog.Rules, &Rule{Label: label, Heads: []Atom{heads[i]}, Pos: pos})
 		}
 		return nil
 	case tokLeftArrow:
@@ -215,7 +221,7 @@ func (p *parser) statement(prog *Program) error {
 			return p.errf("invalid rule head: %v", err)
 		}
 		for _, alt := range dnf(body) {
-			r := &Rule{Label: label, Heads: heads, Body: alt, Agg: agg}
+			r := &Rule{Label: label, Heads: heads, Body: alt, Agg: agg, Pos: stmtPos}
 			prog.Rules = append(prog.Rules, r.Clone()) // clone: alternatives must not share terms
 		}
 		return nil
@@ -224,7 +230,7 @@ func (p *parser) statement(prog *Program) error {
 		if p.peek().kind == tokDot { // pure declaration
 			p.advance()
 			for _, alt := range dnf(lhs) {
-				prog.Constraints = append(prog.Constraints, &Constraint{Label: label, LHS: alt})
+				prog.Constraints = append(prog.Constraints, &Constraint{Label: label, LHS: alt, Pos: stmtPos})
 			}
 			return nil
 		}
@@ -237,7 +243,7 @@ func (p *parser) statement(prog *Program) error {
 		}
 		rhsAlts := dnf(rhs)
 		for _, alt := range dnf(lhs) {
-			prog.Constraints = append(prog.Constraints, &Constraint{Label: label, LHS: alt, RHS: rhsAlts})
+			prog.Constraints = append(prog.Constraints, &Constraint{Label: label, LHS: alt, RHS: rhsAlts, Pos: stmtPos})
 		}
 		return nil
 	}
@@ -298,6 +304,11 @@ func (p *parser) aggSpec() (*AggSpec, error) {
 	}
 	if _, err := p.expect(tokAggClose); err != nil {
 		return nil, err
+	}
+	// The canonical rendering separates the agg spec from the body with a
+	// comma; surface syntax traditionally omits it. Accept both.
+	if p.peek().kind == tokComma {
+		p.advance()
 	}
 	name := fn.text
 	if name == "sum" {
@@ -399,16 +410,16 @@ func (p *parser) literal() (Literal, error) {
 			if err != nil {
 				return Literal{}, err
 			}
-			return Literal{Atom: Atom{PredVar: name, Args: args, ArgStar: argStar}}, nil
+			return Literal{Atom: Atom{PredVar: name, Args: args, ArgStar: argStar, Pos: Pos{Line: t.line, Col: t.col}}}, nil
 		case tokStar: // A* rest-of-body
 			if k := p.peekAt(2).kind; k == tokComma || k == tokDot || k == tokQuoteClose || k == tokRParen {
 				name := p.advance().text
 				p.advance() // *
-				return Literal{Atom: Atom{AtomVar: name, Star: true}}, nil
+				return Literal{Atom: Atom{AtomVar: name, Star: true, Pos: Pos{Line: t.line, Col: t.col}}}, nil
 			}
 		case tokComma, tokDot, tokQuoteClose, tokRParen, tokSemi, tokLeftArrow, tokRightArrow:
 			name := p.advance().text
-			return Literal{Atom: Atom{AtomVar: name}}, nil
+			return Literal{Atom: Atom{AtomVar: name, Pos: Pos{Line: t.line, Col: t.col}}}, nil
 		}
 	}
 	// Otherwise: a term followed by a comparison operator.
@@ -438,7 +449,7 @@ func (p *parser) literal() (Literal, error) {
 	if err != nil {
 		return Literal{}, err
 	}
-	return Literal{Atom: Atom{Pred: op, Args: []Term{left, right}}}, nil
+	return Literal{Atom: Atom{Pred: op, Args: []Term{left, right}, Pos: Pos{Line: t.line, Col: t.col}}}, nil
 }
 
 // sizedTypes are type predicates that accept a bit-width suffix, e.g.
@@ -448,8 +459,9 @@ var sizedTypes = map[string]bool{"int": true, "uint": true, "float": true, "deci
 // atom parses a concrete atom: name, optional partition argument or size
 // suffix, and an argument list.
 func (p *parser) atom() (Atom, error) {
-	name := p.advance().text
-	a := Atom{Pred: name}
+	nameTok := p.advance()
+	name := nameTok.text
+	a := Atom{Pred: name, Pos: Pos{Line: nameTok.line, Col: nameTok.col}}
 	if p.peek().kind == tokLBracket {
 		// Disambiguate int[64](N) size suffixes from p[X](..) partitions.
 		if sizedTypes[name] && p.peekAt(1).kind == tokInt && p.peekAt(2).kind == tokRBracket {
@@ -637,9 +649,11 @@ func (p *parser) primaryTerm() (Term, error) {
 
 // quote parses a quoted code term [| heads [<- body] [.] |].
 func (p *parser) quote() (Term, error) {
-	if _, err := p.expect(tokQuoteOpen); err != nil {
+	open, err := p.expect(tokQuoteOpen)
+	if err != nil {
 		return nil, err
 	}
+	quotePos := Pos{Line: open.line, Col: open.col}
 	saved := p.inQuote
 	p.inQuote = true
 	defer func() { p.inQuote = saved }()
@@ -648,7 +662,7 @@ func (p *parser) quote() (Term, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Rule{}
+	r := &Rule{Pos: quotePos}
 	heads, err := headsOf(lhs)
 	if err != nil {
 		return nil, p.errf("invalid quoted head: %v", err)

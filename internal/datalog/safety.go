@@ -16,6 +16,9 @@ import (
 // Variables inside quoted-code head templates are exempt: unbound template
 // variables remain variables of the generated rule, per the paper's del1
 // and pull0 meta-rules.
+//
+// Failures are reported as *CheckError with codes LB-SAFE-001..004 and the
+// position of the offending atom when the rule was parsed from source.
 func CheckSafety(r *Rule, builtins *BuiltinSet) error {
 	positive := map[string]bool{}
 	for _, l := range r.Body {
@@ -43,13 +46,22 @@ func CheckSafety(r *Rule, builtins *BuiltinSet) error {
 	if r.Agg != nil {
 		positive[r.Agg.Result] = true
 		if !positive[r.Agg.Over] {
-			return fmt.Errorf("rule %s: aggregation variable %s not bound by body", r.Label, r.Agg.Over)
+			return &CheckError{
+				Code:       CodeAggUnbound,
+				Pos:        r.Pos,
+				RuleSource: r.String(),
+				Msg:        fmt.Sprintf("aggregation variable %s is not bound by the body", r.Agg.Over),
+			}
 		}
 	}
 	// Head variables.
 	for i := range r.Heads {
+		pos := r.Heads[i].Pos
+		if !pos.IsValid() {
+			pos = r.Pos
+		}
 		for _, t := range r.Heads[i].AllArgs() {
-			if err := checkHeadTerm(t, positive, r.Label); err != nil {
+			if err := checkHeadTerm(t, positive, r, pos); err != nil {
 				return err
 			}
 		}
@@ -63,12 +75,21 @@ func CheckSafety(r *Rule, builtins *BuiltinSet) error {
 		for _, t := range l.Atom.AllArgs() {
 			collectTopVars(t, vars)
 		}
+		pos := l.Atom.Pos
+		if !pos.IsValid() {
+			pos = r.Pos
+		}
 		for v := range vars {
 			if isBlank(v) {
 				continue
 			}
 			if !positive[v] {
-				return fmt.Errorf("rule %s: variable %s occurs only in negated literal %s", r.Label, v, l.Atom.String())
+				return &CheckError{
+					Code:       CodeNegUnbound,
+					Pos:        pos,
+					RuleSource: r.String(),
+					Msg:        fmt.Sprintf("variable %s occurs only in negated literal %s", v, l.Atom.String()),
+				}
 			}
 		}
 	}
@@ -95,22 +116,32 @@ func collectTopVars(t Term, into map[string]bool) {
 	}
 }
 
-func checkHeadTerm(t Term, positive map[string]bool, label string) error {
+func checkHeadTerm(t Term, positive map[string]bool, r *Rule, pos Pos) error {
 	switch t := t.(type) {
 	case Var:
 		if t.IsBlank() {
-			return fmt.Errorf("rule %s: blank variable in head", label)
+			return &CheckError{
+				Code:       CodeBlankHead,
+				Pos:        pos,
+				RuleSource: r.String(),
+				Msg:        "blank variable in rule head",
+			}
 		}
 		if !positive[string(t)] {
-			return fmt.Errorf("rule %s: head variable %s not bound by a positive body literal", label, t)
+			return &CheckError{
+				Code:       CodeUnboundHead,
+				Pos:        pos,
+				RuleSource: r.String(),
+				Msg:        fmt.Sprintf("head variable %s is not bound by a positive body literal", t),
+			}
 		}
 	case Arith:
-		if err := checkHeadTerm(t.L, positive, label); err != nil {
+		if err := checkHeadTerm(t.L, positive, r, pos); err != nil {
 			return err
 		}
-		return checkHeadTerm(t.R, positive, label)
+		return checkHeadTerm(t.R, positive, r, pos)
 	case TermPart:
-		return checkHeadTerm(t.Arg, positive, label)
+		return checkHeadTerm(t.Arg, positive, r, pos)
 	case Quote:
 		// Template: unbound variables are intentional.
 		return nil

@@ -3,6 +3,7 @@ package datalog
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Stratification partitions the rules of a program into strata such that
@@ -16,13 +17,22 @@ type Stratification struct {
 	PredStratum map[string]int
 }
 
+// depEdge is one dependency arc: `to` is defined by a rule whose body
+// mentions `from`. Negative arcs come from negated literals and from the
+// bodies of aggregating rules.
+type depEdge struct {
+	from, to string
+	negative bool
+	agg      bool  // negativity comes from aggregation, not negation
+	rule     *Rule // the rule that contributed the arc
+	pos      Pos   // position of the body literal (or the rule)
+}
+
 // Stratify computes a stratification of the rules, ignoring built-ins. It
-// returns an error if negation or aggregation occurs through recursion.
+// returns a *CheckError with code LB-STRAT-001 (negation through
+// recursion) or LB-STRAT-002 (aggregation through recursion), including
+// the offending dependency cycle, if no stratification exists.
 func Stratify(rules []*Rule, builtins *BuiltinSet) (*Stratification, error) {
-	type edge struct {
-		from, to string
-		negative bool
-	}
 	idb := map[string]bool{}
 	for _, r := range rules {
 		for i := range r.Heads {
@@ -31,7 +41,7 @@ func Stratify(rules []*Rule, builtins *BuiltinSet) (*Stratification, error) {
 			}
 		}
 	}
-	var edges []edge
+	var edges []depEdge
 	preds := map[string]bool{}
 	for p := range idb {
 		preds[p] = true
@@ -48,10 +58,20 @@ func Stratify(rules []*Rule, builtins *BuiltinSet) (*Stratification, error) {
 					continue
 				}
 				preds[name] = true
+				pos := l.Atom.Pos
+				if !pos.IsValid() {
+					pos = r.Pos
+				}
 				// Aggregation behaves like negation: the whole body must be
 				// complete before the aggregate is taken.
-				neg := l.Negated || r.Agg != nil
-				edges = append(edges, edge{from: name, to: head, negative: neg})
+				edges = append(edges, depEdge{
+					from:     name,
+					to:       head,
+					negative: l.Negated || r.Agg != nil,
+					agg:      !l.Negated && r.Agg != nil,
+					rule:     r,
+					pos:      pos,
+				})
 			}
 		}
 	}
@@ -61,13 +81,25 @@ func Stratify(rules []*Rule, builtins *BuiltinSet) (*Stratification, error) {
 		names = append(names, p)
 	}
 	sort.Strings(names)
+
+	// A program is stratifiable iff no negative arc lies inside a strongly
+	// connected component of the dependency graph. Finding the component
+	// first lets the error name the actual recursion cycle instead of just
+	// declaring failure.
+	comp := sccIDs(names, edges)
+	for _, e := range edges {
+		if e.negative && comp[e.from] == comp[e.to] {
+			return nil, stratifyError(e, edges, comp)
+		}
+	}
+
 	stratum := map[string]int{}
 	for _, p := range names {
 		stratum[p] = 0
 	}
 	// Bellman-Ford style iteration: stratum(head) >= stratum(body),
-	// strictly greater across negative edges. With n predicates, more than
-	// n*n improvements implies a negative cycle.
+	// strictly greater across negative edges. With no negative edge inside
+	// an SCC this converges; the iteration bound is a safety net.
 	maxIter := len(names)*len(names) + 1
 	for iter := 0; ; iter++ {
 		changed := false
@@ -85,7 +117,10 @@ func Stratify(rules []*Rule, builtins *BuiltinSet) (*Stratification, error) {
 			break
 		}
 		if iter > maxIter {
-			return nil, fmt.Errorf("datalog: program is not stratifiable (negation or aggregation through recursion)")
+			return nil, &CheckError{
+				Code: CodeStratNeg,
+				Msg:  "program is not stratifiable (negation or aggregation through recursion)",
+			}
 		}
 	}
 	maxS := 0
@@ -110,4 +145,123 @@ func Stratify(rules []*Rule, builtins *BuiltinSet) (*Stratification, error) {
 		st.Strata[s] = append(st.Strata[s], r)
 	}
 	return st, nil
+}
+
+// stratifyError builds the typed error for a negative arc e inside a
+// strongly connected component: it recovers a dependency path from e.to
+// back to e.from to show the recursion cycle.
+func stratifyError(e depEdge, edges []depEdge, comp map[string]int) *CheckError {
+	cycle := cyclePath(e, edges, comp)
+	code, what := CodeStratNeg, "negation"
+	if e.agg {
+		code, what = CodeStratAgg, "aggregation"
+	}
+	return &CheckError{
+		Code:       code,
+		Pos:        e.pos,
+		RuleSource: e.rule.String(),
+		Msg: fmt.Sprintf("%s through recursion: %s is defined using %s, which recursively depends on %s (cycle: %s)",
+			what, e.to, e.from, e.to, strings.Join(cycle, " -> ")),
+	}
+}
+
+// cyclePath returns the predicates of a recursion cycle that the negative
+// arc e closes: e.to, a shortest chain of arcs leading from e.to to
+// e.from inside their shared component, then back to e.to.
+func cyclePath(e depEdge, edges []depEdge, comp map[string]int) []string {
+	if e.from == e.to {
+		return []string{e.to, e.to}
+	}
+	adj := map[string][]string{}
+	for _, d := range edges {
+		if comp[d.from] == comp[d.to] && comp[d.from] == comp[e.from] {
+			adj[d.from] = append(adj[d.from], d.to)
+		}
+	}
+	for _, nexts := range adj {
+		sort.Strings(nexts)
+	}
+	// BFS from e.to to e.from along arcs u->v ("v is derived from u").
+	prev := map[string]string{e.to: e.to}
+	queue := []string{e.to}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == e.from {
+			break
+		}
+		for _, v := range adj[u] {
+			if _, seen := prev[v]; !seen {
+				prev[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	if _, ok := prev[e.from]; !ok {
+		return []string{e.to, e.from, e.to} // should not happen: same SCC
+	}
+	var rev []string
+	for p := e.from; p != e.to; p = prev[p] {
+		rev = append(rev, p)
+	}
+	path := []string{e.to}
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, rev[i])
+	}
+	return append(path, e.to)
+}
+
+// sccIDs assigns strongly-connected-component ids over the dependency
+// arcs (Tarjan's algorithm, deterministic over sorted names).
+func sccIDs(names []string, edges []depEdge) map[string]int {
+	adj := map[string][]string{}
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	for _, nexts := range adj {
+		sort.Strings(nexts)
+	}
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	comp := map[string]int{}
+	var stack []string
+	next, nComp := 0, 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = nComp
+				if w == v {
+					break
+				}
+			}
+			nComp++
+		}
+	}
+	for _, v := range names {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return comp
 }

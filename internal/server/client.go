@@ -56,6 +56,45 @@ func (c *Client) Principal() string {
 	return c.principal
 }
 
+// RemoteError is a failure reported by the server. Code is the
+// machine-readable diagnostic code from the err frame (see
+// docs/DIAGNOSTICS.md), or "" when the server reported no typed code.
+type RemoteError struct {
+	Code    string
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	if e.Code == "" {
+		return "server: " + e.Message
+	}
+	return "server: " + e.Code + ": " + e.Message
+}
+
+// DiagnosticCode implements datalog.Coder, so datalog.ErrCode sees
+// through a client error the same way it sees through a local one.
+func (e *RemoteError) DiagnosticCode() string { return e.Code }
+
+// parseErrPayload splits an err frame payload into its code field and
+// message ("-" means untyped). Payloads from pre-code servers have no
+// recognizable code field and come back whole as the message.
+func parseErrPayload(payload string) *RemoteError {
+	payload = strings.TrimSpace(payload)
+	code, msg, ok := strings.Cut(payload, " ")
+	if !ok {
+		code, msg = "", payload
+	}
+	switch {
+	case code == "-":
+		code = ""
+	case strings.HasPrefix(code, "LB-"):
+		// typed code, keep it
+	default:
+		code, msg = "", payload
+	}
+	return &RemoteError{Code: code, Message: strings.TrimSpace(msg)}
+}
+
 // roundTrip sends one request frame and decodes the status line of the
 // response. Caller holds c.mu.
 func (c *Client) roundTrip(req string) (status, payload string, err error) {
@@ -72,7 +111,7 @@ func (c *Client) roundTrip(req string) (status, payload string, err error) {
 		status, payload = s[:i], s[i+1:]
 	}
 	if status == "err" {
-		return status, "", fmt.Errorf("server: %s", strings.TrimSpace(payload))
+		return status, "", parseErrPayload(payload)
 	}
 	return status, payload, nil
 }
@@ -128,8 +167,34 @@ func (c *Client) Query(src string) ([]datalog.Tuple, error) {
 	return decodeRows(payload)
 }
 
-// Assert inserts a base fact in the authenticated principal's workspace.
-func (c *Client) Assert(fact string) error { return c.simple("assert " + fact) }
+// Assert installs a fact or rule in the authenticated principal's
+// workspace. Rules are statically analyzed server-side before install:
+// error-severity diagnostics refuse the write (the returned error is a
+// *RemoteError carrying the diagnostic code); warnings are dropped here —
+// use AssertChecked to surface them.
+func (c *Client) Assert(clause string) error {
+	_, err := c.AssertChecked(clause)
+	return err
+}
+
+// AssertChecked is Assert returning the analyzer's warning-severity
+// diagnostics for the installed clause, one rendered diagnostic per
+// entry.
+func (c *Client) AssertChecked(clause string) (warnings []string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	status, payload, err := c.roundTrip("assert " + clause)
+	if err != nil {
+		return nil, err
+	}
+	if status != "ok" {
+		return nil, fmt.Errorf("server: expected ok, got %q", status)
+	}
+	if payload = strings.TrimSpace(payload); payload != "" {
+		warnings = strings.Split(payload, "\n")
+	}
+	return warnings, nil
+}
 
 // Retract removes a base fact from the authenticated principal's
 // workspace.

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"lbtrust/internal/datalog"
+)
+
+// TestAssertRuleOverWire: the assert verb installs rules, not just facts,
+// and the rule participates in derivation afterwards.
+func TestAssertRuleOverWire(t *testing.T) {
+	sys, srv := newTestSystem(t, Options{})
+	alice := authedClient(t, sys, srv, "alice")
+	if err := alice.Assert(`parent(ann, bea)`); err != nil {
+		t.Fatalf("assert fact: %v", err)
+	}
+	warnings, err := alice.AssertChecked(`ancestor(X,Y) <- parent(X,Y)`)
+	if err != nil {
+		t.Fatalf("assert rule: %v", err)
+	}
+	// Nothing consumes ancestor yet, so the analyzer warns — and the
+	// warning crosses the wire without blocking the install.
+	found := false
+	for _, w := range warnings {
+		if strings.Contains(w, "LB-DEAD-002") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected an LB-DEAD-002 warning over the wire, got %v", warnings)
+	}
+	rows, err := alice.Query(`ancestor(X,Y)`)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rule did not fire: got %v", rows)
+	}
+}
+
+// TestAssertUnstratifiableRefusedWithCode: a rule that would make the
+// workspace unstratifiable is refused before the transaction starts, and
+// the refusal carries its LB-STRAT-001 code across the wire as a
+// structured field, not just message text.
+func TestAssertUnstratifiableRefusedWithCode(t *testing.T) {
+	sys, srv := newTestSystem(t, Options{})
+	alice := authedClient(t, sys, srv, "alice")
+	for _, pre := range []string{`item(a)`, `q(X) <- p(X)`} {
+		if err := alice.Assert(pre); err != nil {
+			t.Fatalf("assert %s: %v", pre, err)
+		}
+	}
+	err := alice.Assert(`p(X) <- item(X), !q(X)`)
+	if err == nil {
+		t.Fatal("unstratifiable rule was accepted")
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("error is %T, want *RemoteError: %v", err, err)
+	}
+	if re.Code != datalog.CodeStratNeg {
+		t.Errorf("code = %q, want %q (message %q)", re.Code, datalog.CodeStratNeg, re.Message)
+	}
+	if datalog.ErrCode(err) != datalog.CodeStratNeg {
+		t.Errorf("datalog.ErrCode does not see through RemoteError")
+	}
+	// The refused rule must not have landed.
+	rows, err := alice.Query(`p(X)`)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("refused rule derived %v", rows)
+	}
+}
+
+// TestUntypedErrorCode: failures without a diagnostic code travel as the
+// "-" code field and come back with an empty RemoteError.Code.
+func TestUntypedErrorCode(t *testing.T) {
+	_, srv := newTestSystem(t, Options{})
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	err = c.Assert(`color(red)`) // unauthenticated
+	if err == nil {
+		t.Fatal("unauthenticated assert succeeded")
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("error is %T, want *RemoteError: %v", err, err)
+	}
+	if re.Code != "" {
+		t.Errorf("untyped failure came back with code %q", re.Code)
+	}
+	if !strings.Contains(re.Message, "authenticated session") {
+		t.Errorf("message lost: %q", re.Message)
+	}
+}

@@ -16,7 +16,7 @@
 //	hello <principal>          begin challenge-response authentication
 //	auth <hex signature>       answer the pending challenge
 //	query <atom>               snapshot read in the session's context
-//	assert <fact>              transactional write (authenticated only)
+//	assert <fact or rule>      transactional write (authenticated only)
 //	retract <fact>             transactional retraction (authenticated only)
 //	say <to> <clause>          says(me, to, [| clause |]) (authenticated only)
 //	sync                       pump the distribution runtime to fixpoint
@@ -28,7 +28,18 @@
 //	challenge <hex nonce>
 //	rows <n>\n<canonical tuple per line>
 //	json <n>\n<n bytes of JSON>
-//	err <message>
+//	err <code> <message>
+//
+// The err frame's first field is a machine-readable diagnostic code from
+// the catalog in docs/DIAGNOSTICS.md (for example LB-STRAT-001 when an
+// asserted rule would make the workspace unstratifiable), or "-" when the
+// failure has no typed code. Clients surface it via RemoteError.Code.
+//
+// Asserting a rule (rather than a ground fact) runs the whole-program
+// static analyzer against the target workspace first: error-severity
+// diagnostics refuse the write with their code in the err frame, and
+// warning-severity diagnostics ride back one per line after the ok
+// status ("ok\n<warning per line>").
 package server
 
 import (
@@ -153,9 +164,15 @@ func decodeRows(payload string) ([]datalog.Tuple, error) {
 	return out, nil
 }
 
-// errFrame renders an error response. The message is flattened to one
-// line so the status line stays parseable.
+// errFrame renders an error response: "err <code> <message>". The code
+// field is the diagnostic code carried by the error (datalog.ErrCode),
+// or "-" when the error is untyped; the message is flattened to one line
+// so the status line stays parseable.
 func errFrame(err error) []byte {
+	code := datalog.ErrCode(err)
+	if code == "" {
+		code = "-"
+	}
 	msg := strings.ReplaceAll(err.Error(), "\n", " / ")
-	return []byte("err " + msg)
+	return []byte("err " + code + " " + msg)
 }

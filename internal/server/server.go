@@ -26,9 +26,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 
+	"lbtrust/internal/analysis"
 	"lbtrust/internal/core"
 	"lbtrust/internal/datalog"
 	"lbtrust/internal/dist"
@@ -311,23 +313,55 @@ func (s *Server) query(sess *session, src string) []byte {
 }
 
 // write runs an assert or retract transaction in the authenticated
-// principal's workspace.
+// principal's workspace. Asserting a rule (rather than a ground fact)
+// first runs the static analyzer against the target workspace: error
+// diagnostics refuse the write with their typed code in the err frame,
+// warning diagnostics ride back on the ok frame, one per line.
 func (s *Server) write(sess *session, verb, src string) []byte {
 	if sess.principal == nil {
 		atomic.AddInt64(&s.refused, 1)
 		return errFrame(fmt.Errorf("server: %s requires an authenticated session", verb))
 	}
 	atomic.AddInt64(&s.writes, 1)
-	err := sess.principal.Update(func(tx *workspace.Tx) error {
-		if verb == "assert" {
-			return tx.Assert(src)
+	if verb == "retract" {
+		if err := sess.principal.Update(func(tx *workspace.Tx) error { return tx.Retract(src) }); err != nil {
+			return errFrame(err)
 		}
-		return tx.Retract(src)
-	})
+		return []byte("ok")
+	}
+	clause, err := datalog.ParseClause(ensureDot(src))
 	if err != nil {
 		return errFrame(err)
 	}
-	return []byte("ok")
+	if clause.IsFact() {
+		if err := sess.principal.Update(func(tx *workspace.Tx) error { return tx.Assert(src) }); err != nil {
+			return errFrame(err)
+		}
+		return []byte("ok")
+	}
+	// The analyzer must run before Update: it snapshots the workspace
+	// under the same lock the transaction will take.
+	diags := sess.principal.Workspace().AnalyzeSource(ensureDot(src))
+	if analysis.HasErrors(diags) {
+		atomic.AddInt64(&s.refused, 1)
+		return errFrame(analysis.NewError(diags))
+	}
+	if err := sess.principal.Update(func(tx *workspace.Tx) error { return tx.AddRuleSrc(src) }); err != nil {
+		return errFrame(err)
+	}
+	resp := "ok"
+	for _, d := range diags {
+		resp += "\n" + d.String()
+	}
+	return []byte(resp)
+}
+
+// ensureDot appends the clause terminator if the source lacks one.
+func ensureDot(src string) string {
+	if t := strings.TrimSpace(src); !strings.HasSuffix(t, ".") {
+		return t + "."
+	}
+	return src
 }
 
 // say asserts says(me, to, [| clause |]) as the authenticated principal.

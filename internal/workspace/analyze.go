@@ -1,0 +1,43 @@
+package workspace
+
+import (
+	"lbtrust/internal/analysis"
+	"lbtrust/internal/datalog"
+)
+
+// analysisOptions snapshots the workspace as analyzer context: its
+// active rules are the trusted base, its predicate declarations are
+// known predicates, and its built-in registry resolves built-in calls.
+func (w *Workspace) analysisOptions() analysis.Options {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	base := &datalog.Program{}
+	for _, k := range w.activeOrder {
+		if e := w.active[k]; e != nil && e.source != nil {
+			base.Rules = append(base.Rules, e.source)
+		}
+	}
+	known := make([]analysis.PredInfo, 0, len(w.decls))
+	for _, d := range w.decls {
+		known = append(known, analysis.PredInfo{Name: d.Name, Arity: d.Arity, Partitioned: d.Partitioned})
+	}
+	return analysis.Options{
+		Builtins: w.builtins,
+		Base:     []*datalog.Program{base},
+		Known:    known,
+	}
+}
+
+// AnalyzeProgram runs the whole-program static analyzer over a parsed
+// program as it would load into this workspace. The workspace itself is
+// not modified.
+func (w *Workspace) AnalyzeProgram(prog *datalog.Program) []analysis.Diagnostic {
+	return analysis.Analyze(prog, w.analysisOptions())
+}
+
+// AnalyzeSource parses and analyzes program text against this workspace
+// (see AnalyzeProgram); parse failures come back as an LB-PARSE-001
+// diagnostic, and `% lint:entry` directives in the source are honored.
+func (w *Workspace) AnalyzeSource(src string) []analysis.Diagnostic {
+	return analysis.AnalyzeSource(src, w.analysisOptions())
+}

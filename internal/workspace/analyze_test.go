@@ -1,0 +1,85 @@
+package workspace
+
+import (
+	"strings"
+	"testing"
+
+	"lbtrust/internal/analysis"
+	"lbtrust/internal/datalog"
+)
+
+// TestLoadProgramRefusedByAnalyzer: the analyzer gates every program
+// load; an unstratifiable program is refused before anything touches
+// the workspace, and the refusal carries its typed code.
+func TestLoadProgramRefusedByAnalyzer(t *testing.T) {
+	w := New("me")
+	err := w.LoadProgram(`
+		item(a).
+		q(X) <- p(X).
+		p(X) <- item(X), !q(X).
+	`)
+	if err == nil {
+		t.Fatal("unstratifiable program loaded")
+	}
+	if code := datalog.ErrCode(err); code != datalog.CodeStratNeg {
+		t.Errorf("ErrCode = %q, want %q (err %v)", code, datalog.CodeStratNeg, err)
+	}
+	// Nothing from the refused program landed.
+	if n := w.Count("item"); n != 0 {
+		t.Errorf("refused program asserted %d item fact(s)", n)
+	}
+	if len(w.ActiveRules()) != 0 {
+		t.Errorf("refused program installed rules: %v", w.ActiveRules())
+	}
+}
+
+// TestLoadProgramWarningsDoNotBlock: warning-severity diagnostics are
+// advisory; a program with a dead rule still loads.
+func TestLoadProgramWarningsDoNotBlock(t *testing.T) {
+	w := New("me")
+	src := `
+		q(a).
+		helper(X) <- q(X).
+	`
+	diags := w.AnalyzeSource(src)
+	found := false
+	for _, d := range diags {
+		if d.Code == analysis.CodeDeadRule {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected an LB-DEAD-002 warning, got %v", diags)
+	}
+	if analysis.HasErrors(diags) {
+		t.Fatalf("warnings misclassified as errors: %v", diags)
+	}
+	if err := w.LoadProgram(src); err != nil {
+		t.Fatalf("warning-only program refused: %v", err)
+	}
+	rows, err := w.Query("helper(X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("helper not derived: %v", rows)
+	}
+}
+
+// TestAddRuleSrcUnsafeRefusedEagerly: Tx.AddRuleSrc checks safety before
+// the rule enters the transaction, with a positioned typed error.
+func TestAddRuleSrcUnsafeRefusedEagerly(t *testing.T) {
+	w := New("me")
+	err := w.Update(func(tx *Tx) error {
+		return tx.AddRuleSrc(`p(X,Y) <- q(X)`)
+	})
+	if err == nil {
+		t.Fatal("unsafe rule accepted")
+	}
+	if code := datalog.ErrCode(err); code != datalog.CodeUnboundHead {
+		t.Errorf("ErrCode = %q, want %q (err %v)", code, datalog.CodeUnboundHead, err)
+	}
+	if !strings.Contains(err.Error(), "Y") {
+		t.Errorf("error does not name the unbound variable: %v", err)
+	}
+}

@@ -196,11 +196,23 @@ func (tx *Tx) RetractTuple(pred string, tuple datalog.Tuple) error {
 // AddRule installs a rule owned by the local principal.
 func (tx *Tx) AddRule(r *datalog.Rule) error { return tx.AddRuleAs(r, tx.w.principal) }
 
-// AddRuleSrc parses and installs a rule given in surface syntax.
+// AddRuleSrc parses and installs a rule given in surface syntax. The
+// clause is safety-checked eagerly, so an unsafe rule is refused with
+// its typed, positioned diagnostic before it enters the transaction
+// (the flush would reject it too, but after the rest of the transaction
+// has been applied and must be rolled back).
 func (tx *Tx) AddRuleSrc(src string) error {
 	r, err := datalog.ParseClause(ensureDot(src))
 	if err != nil {
 		return err
+	}
+	specialized := substMe(r, tx.w.principal)
+	if t, terr := meta.TranslatePatterns(specialized); terr == nil {
+		for _, s := range t.SplitHeads() {
+			if err := datalog.CheckSafety(s, tx.w.builtins); err != nil {
+				return err
+			}
+		}
 	}
 	return tx.AddRule(r)
 }

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"lbtrust/internal/analysis"
 	"lbtrust/internal/datalog"
 	"lbtrust/internal/meta"
 )
@@ -400,10 +401,19 @@ func SpecializeCode(r *datalog.Rule, principal datalog.Sym) datalog.Code {
 // LoadProgram parses and installs a program: declarations register
 // predicates, ground facts are asserted, rules and constraints are added.
 // The whole load is one transaction; constraint violations roll it back.
+//
+// Before anything is installed the program is run through the static
+// analyzer against this workspace's active rules and declarations;
+// error-severity diagnostics refuse the load with an *analysis.Error
+// carrying the typed codes (warnings do not block — callers that want
+// them should run AnalyzeSource themselves).
 func (w *Workspace) LoadProgram(src string) error {
 	prog, err := datalog.ParseProgram(src)
 	if err != nil {
 		return err
+	}
+	if diags := w.AnalyzeProgram(prog); analysis.HasErrors(diags) {
+		return analysis.NewError(diags)
 	}
 	return w.Update(func(tx *Tx) error {
 		for _, c := range prog.Constraints {

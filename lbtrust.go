@@ -37,6 +37,7 @@
 package lbtrust
 
 import (
+	"lbtrust/internal/analysis"
 	"lbtrust/internal/binder"
 	"lbtrust/internal/core"
 	"lbtrust/internal/d1lp"
@@ -84,6 +85,33 @@ type FlushDelta = workspace.FlushDelta
 // ViolationError reports constraint violations that rolled a transaction
 // back.
 type ViolationError = workspace.ViolationError
+
+// Diagnostic is one static-analysis finding. The catalog of codes —
+// message, cause, and fix for each — is docs/DIAGNOSTICS.md. Workspaces
+// expose the analyzer via AnalyzeSource / AnalyzeProgram, and every
+// program load is gated on it: error-severity diagnostics refuse the
+// load, warnings do not.
+type Diagnostic = analysis.Diagnostic
+
+// Diagnostic severities.
+const (
+	SevWarning = analysis.SevWarning
+	SevError   = analysis.SevError
+)
+
+// HasDiagnosticErrors reports whether any diagnostic in the slice is
+// error severity (the condition under which loads are refused).
+func HasDiagnosticErrors(diags []Diagnostic) bool { return analysis.HasErrors(diags) }
+
+// ErrCode extracts the machine-readable diagnostic code carried by an
+// error ("" when the error is untyped). It sees through wrapped errors,
+// analyzer refusals, and RemoteError failures reported by a trust
+// service.
+func ErrCode(err error) string { return datalog.ErrCode(err) }
+
+// RemoteError is a typed failure reported by a trust service over the
+// wire; Code carries the diagnostic code of the refusal, if any.
+type RemoteError = server.RemoteError
 
 // Tuple is a row of runtime values.
 type Tuple = datalog.Tuple
