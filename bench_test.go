@@ -423,3 +423,55 @@ func TestServeReadScaling(t *testing.T) {
 		t.Fatalf("16-client throughput only %.2fx single-client, want >= %.1fx (readers serializing?)", r.ScalingX, want)
 	}
 }
+
+// ---- Storage engine ---------------------------------------------------------
+//
+// The chunked copy-on-write relation rework (see EXPERIMENTS.md, storage
+// section) is gated structurally, not on wall time: retained bytes per
+// tuple prove no per-row canonical key strings live in storage, and the
+// dirty-chunk count (measured from relation generation tags) proves
+// snapshot republication copies O(dirty chunks), not O(relation).
+
+func TestStorageRetentionGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heap measurement; skipped in -short")
+	}
+	pt := bench.RunStoragePoint(10000, 64, 5)
+	t.Logf("storage retention: %.1f bytes/tuple at base %d", pt.BytesPerTuple, pt.Base)
+	// A chunk slot is a 32 B Tuple header and the table adds ~1.6 12 B
+	// entries per row; 96 B leaves room for allocator slack but not for a
+	// retained canonical key string (>= 40 B at this tuple shape).
+	if pt.BytesPerTuple > 96 {
+		t.Fatalf("relation retains %.1f bytes/tuple, want <= 96 (per-row key strings back in storage?)", pt.BytesPerTuple)
+	}
+	if pt.BytesPerTuple <= 0 {
+		t.Fatalf("retention measurement broken: %.1f bytes/tuple", pt.BytesPerTuple)
+	}
+}
+
+func TestStorageRepublishTracksDirtyChunks(t *testing.T) {
+	small := bench.RunStoragePoint(1000, 64, 8)
+	big := bench.RunStoragePoint(20000, 64, 8)
+	t.Logf("dirty chunks per republication round: %.1f at base 1k, %.1f at base 20k", small.DirtyChunks, big.DirtyChunks)
+	// 64 tuples land in at most two 256-slot chunks (tail spill); allow
+	// slack for a table-growth round but never anything near O(chunks).
+	for _, pt := range []bench.StoragePoint{small, big} {
+		if pt.DirtyChunks > 4 {
+			t.Fatalf("republication at base %d copies %.1f chunks per round of %d writes, want O(dirty), not O(relation) (%d chunks)",
+				pt.Base, pt.DirtyChunks, pt.Dirty, pt.Chunks)
+		}
+	}
+}
+
+func BenchmarkStorageRepublish(b *testing.B) {
+	for _, base := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("base=%d", base), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pt := bench.RunStoragePoint(base, 64, 10)
+				b.ReportMetric(float64(pt.RepublishNs)/1e3, "repub-us")
+				b.ReportMetric(pt.DirtyChunks, "dirty-chunks")
+			}
+		})
+	}
+}

@@ -37,7 +37,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "comma-separated experiments: fig2, sync, constraints, wal, serve, ablations, all")
+	experiment := flag.String("experiment", "all", "comma-separated experiments: fig2, sync, constraints, wal, serve, storage, ablations, all")
 	maxMsgs := flag.Int("max", 10000, "fig2: maximum number of messages")
 	step := flag.Int("step", 1000, "fig2: message count step")
 	transport := flag.String("transport", "mem", "fig2/sync: wire layer, mem or tcp")
@@ -81,6 +81,8 @@ func main() {
 			reports = append(reports, runWAL(kind, *jsonOut, *short))
 		case "serve":
 			reports = append(reports, runServe(*jsonOut, *short))
+		case "storage":
+			reports = append(reports, runStorage(*jsonOut, *short))
 		case "ablations":
 			if *jsonOut {
 				fmt.Fprintln(os.Stderr, "ablations have no JSON shape; skipped in -json mode")
@@ -401,6 +403,86 @@ func runServe(jsonOut, short bool) any {
 		}
 		fmt.Println()
 	}
+	return report
+}
+
+// storageReport is the machine-readable shape of the storage experiment:
+// per base size, bytes retained per tuple and snapshot republication
+// cost, plus the workspace-level hot-writer A/B across base sizes.
+type storageReport struct {
+	Experiment string                 `json:"experiment"`
+	Short      bool                   `json:"short"`
+	Dirty      int                    `json:"dirty_per_round"`
+	Rounds     int                    `json:"rounds"`
+	Points     []storagePointJSON     `json:"points"`
+	HotWriter  []storageHotWriterJSON `json:"hot_writer"`
+}
+
+type storagePointJSON struct {
+	Base          int     `json:"base"`
+	BytesPerTuple float64 `json:"bytes_per_tuple"`
+	GCNs          int64   `json:"gc_ns"`
+	ColdPublishNs int64   `json:"cold_publish_ns"`
+	RepublishNs   int64   `json:"republish_ns"`
+	DirtyChunks   float64 `json:"dirty_chunks"`
+	Chunks        int     `json:"chunks"`
+}
+
+type storageHotWriterJSON struct {
+	Base       int   `json:"base"`
+	Writes     int   `json:"writes_per_round"`
+	PerRoundNs int64 `json:"per_round_ns"`
+	SnapshotNs int64 `json:"snapshot_ns"`
+}
+
+// runStorage measures the storage engine: retention and snapshot
+// republication must be flat in base size (the republication cost tracks
+// dirty chunks), and bytes/tuple must stay far below the old
+// map-of-strings design's per-row key strings. It returns the JSON
+// report document.
+func runStorage(jsonOut, short bool) any {
+	bases := []int{1000, 10000, 100000}
+	dirty, rounds := 64, 50
+	if short {
+		bases = []int{1000, 10000}
+		rounds = 10
+	}
+	r, err := bench.RunStorage(bases, dirty, rounds)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "storage: %v\n", err)
+		os.Exit(1)
+	}
+	report := storageReport{Experiment: "storage", Short: short, Dirty: dirty, Rounds: rounds}
+	for _, p := range r.Points {
+		report.Points = append(report.Points, storagePointJSON{
+			Base: p.Base, BytesPerTuple: p.BytesPerTuple, GCNs: p.GCNs,
+			ColdPublishNs: p.ColdPublishNs, RepublishNs: p.RepublishNs,
+			DirtyChunks: p.DirtyChunks, Chunks: p.Chunks,
+		})
+	}
+	for _, h := range r.Hot {
+		report.HotWriter = append(report.HotWriter, storageHotWriterJSON{
+			Base: h.Base, Writes: h.Writes, PerRoundNs: h.PerRoundNs, SnapshotNs: h.SnapshotNs,
+		})
+	}
+	if jsonOut {
+		return report
+	}
+	fmt.Printf("== Storage engine: retention + snapshot republication (dirty=%d/round, rounds=%d) ==\n", dirty, rounds)
+	fmt.Println("(bytes/tuple excludes the shared tuple values; republication must be flat in base)")
+	fmt.Println()
+	fmt.Printf("%10s %12s %10s %14s %14s %12s %8s\n", "base", "bytes/tuple", "gc(ms)", "cold-pub(us)", "repub(us)", "dirty-chunks", "chunks")
+	for _, p := range report.Points {
+		fmt.Printf("%10d %12.1f %10.2f %14.1f %14.1f %12.1f %8d\n", p.Base, p.BytesPerTuple,
+			float64(p.GCNs)/1e6, float64(p.ColdPublishNs)/1e3, float64(p.RepublishNs)/1e3, p.DirtyChunks, p.Chunks)
+	}
+	fmt.Println()
+	fmt.Printf("== Hot writer: %d facts committed + Snapshot() republished per round ==\n", dirty)
+	fmt.Printf("%10s %16s %16s\n", "base", "per-round(us)", "snapshot(us)")
+	for _, h := range report.HotWriter {
+		fmt.Printf("%10d %16.1f %16.1f\n", h.Base, float64(h.PerRoundNs)/1e3, float64(h.SnapshotNs)/1e3)
+	}
+	fmt.Println()
 	return report
 }
 

@@ -38,6 +38,7 @@ var Catalog = []Info{
 	{datalog.CodeStratAgg, SevError, "aggregation through recursion"},
 	{datalog.CodeArity, SevError, "predicate used with inconsistent arities"},
 	{datalog.CodeBuiltinArity, SevError, "built-in called with the wrong number of arguments"},
+	{datalog.CodeStoreArity, SevError, "stored relation accessed with a conflicting arity"},
 	{CodeMetaPattern, SevError, "unsupported quoted-code pattern"},
 	{CodeUnknownPred, SevWarning, "unknown predicate (close match exists)"},
 	{CodeUnreachable, SevWarning, "rule can never fire: body predicate is defined nowhere"},

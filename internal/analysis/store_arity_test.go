@@ -1,0 +1,53 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lbtrust/internal/analysis"
+	"lbtrust/internal/datalog"
+)
+
+// TestStoreArityGolden covers the one catalog code with no .lb fixture:
+// LB-ARITY-003 is raised by the storage engine at runtime (a stored
+// relation accessed with a conflicting arity), not by AnalyzeSource, so
+// this test provokes the panic directly and pins its rendering in
+// testdata/store_arity.golden through the same format and -update flow
+// as the static fixtures.
+func TestStoreArityGolden(t *testing.T) {
+	got := func() (s string) {
+		defer func() {
+			ce, ok := recover().(*datalog.CheckError)
+			if !ok {
+				t.Fatal("conflicting-arity access did not panic with *datalog.CheckError")
+			}
+			d := analysis.Diagnostic{
+				Code:       ce.Code,
+				Severity:   analysis.SevError,
+				Pos:        ce.Pos,
+				RuleSource: ce.RuleSource,
+				Message:    ce.Msg,
+			}
+			s = d.String() + "\n"
+		}()
+		db := datalog.NewDatabase()
+		db.Rel("edge", 2)
+		db.Rel("edge", 3)
+		return
+	}()
+	golden := filepath.Join("testdata", "store_arity.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run TestStoreArityGolden -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostic mismatch\ngot:\n%swant:\n%s", got, want)
+	}
+}

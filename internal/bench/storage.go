@@ -1,0 +1,193 @@
+// Storage-engine benchmark: the measurements that motivated the chunked
+// copy-on-write relation rework. Three questions, per base size:
+//
+//  1. Retention — how many bytes does the relation retain per stored
+//     tuple beyond the tuples themselves? The old map-of-strings design
+//     held a whole-tuple canonical key string per row (~60-100 B at this
+//     workload's shapes); the hash-keyed engine must hold none, which
+//     also bounds GC mark cost (the key strings were the only remaining
+//     base-size-dependent term in an incremental flush).
+//  2. Publication — what does publishing an immutable snapshot version
+//     cost, cold and in steady state? With copy-on-write sharing the
+//     steady-state cost must track the chunks the writer dirtied since
+//     the last publication, not the relation size.
+//  3. Hot writer — the end-to-end A/B: a workspace absorbing a constant
+//     write rate while republishing Workspace.Snapshot() every round.
+//     Per-round cost flat across base sizes is what restores the serve
+//     throughput lost under a hot writer.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"lbtrust/internal/datalog"
+	"lbtrust/internal/workspace"
+)
+
+// StoragePoint reports the relation-level measurements at one base size.
+type StoragePoint struct {
+	Base          int
+	BytesPerTuple float64 // heap retained by the relation per stored tuple (values excluded)
+	GCNs          int64   // one forced GC cycle with the relation live
+	ColdPublishNs int64   // first Clone+Freeze publication
+	Dirty         int     // tuples written between republications
+	RepublishNs   int64   // per round: write Dirty tuples, Clone+Freeze (avg)
+	DirtyChunks   float64 // chunks the writer actually copied per round (avg)
+	Chunks        int     // total chunks at the end of the run
+}
+
+// StorageHotWriter reports one arm of the workspace-level A/B: commit
+// writes, republish a snapshot, repeat.
+type StorageHotWriter struct {
+	Base        int
+	Rounds      int
+	Writes      int   // facts committed per round
+	PerRoundNs  int64 // commit + snapshot republication (avg)
+	SnapshotNs  int64 // snapshot republication alone (avg)
+	QueriesSeen int   // sanity: rows visible in the final snapshot
+}
+
+// StorageResult is the full storage experiment output.
+type StorageResult struct {
+	Points []StoragePoint
+	Hot    []StorageHotWriter
+}
+
+func storageTuple(i int) datalog.Tuple {
+	return datalog.NewTuple(
+		datalog.Sym(fmt.Sprintf("u%d", i)),
+		datalog.Sym(fmt.Sprintf("o%d", i%97)),
+		datalog.Int(int64(i)),
+	)
+}
+
+// RunStoragePoint measures the relation-level storage costs at one base
+// size: bytes retained per tuple, forced-GC time with the relation live,
+// and cold vs steady-state snapshot publication over rounds of dirty
+// writes.
+func RunStoragePoint(base, dirty, rounds int) StoragePoint {
+	// Allocate the tuples first so the retention delta counts only what
+	// the relation itself retains — chunks, table, index plumbing — and
+	// not the tuple values, which storage shares rather than copies. Any
+	// per-row canonical key string would land in this delta.
+	tuples := make([]datalog.Tuple, base+rounds*dirty)
+	for i := range tuples {
+		tuples[i] = storageTuple(i)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	rel := datalog.NewRelation("perm", 3)
+	for _, t := range tuples[:base] {
+		rel.Insert(t)
+	}
+	gcStart := time.Now()
+	runtime.GC()
+	gcDur := time.Since(gcStart)
+	runtime.ReadMemStats(&after)
+	pt := StoragePoint{
+		Base:          base,
+		BytesPerTuple: float64(after.HeapAlloc-before.HeapAlloc) / float64(base),
+		GCNs:          gcDur.Nanoseconds(),
+		Dirty:         dirty,
+	}
+
+	coldStart := time.Now()
+	published := rel.Clone()
+	published.Freeze()
+	pt.ColdPublishNs = time.Since(coldStart).Nanoseconds()
+
+	// Steady state: a writer dirties `dirty` tuples, then republishes.
+	// With copy-on-write this costs the copied chunks, not the base.
+	head := published.Clone()
+	seq := base
+	var repub time.Duration
+	var owned int
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		for k := 0; k < dirty; k++ {
+			head.Insert(tuples[seq])
+			seq++
+		}
+		owned += head.Stats().OwnedChunks
+		v := head.Clone()
+		v.Freeze()
+		repub += time.Since(start)
+		published = v
+	}
+	pt.RepublishNs = (repub / time.Duration(rounds)).Nanoseconds()
+	pt.DirtyChunks = float64(owned) / float64(rounds)
+	pt.Chunks = published.Stats().Chunks
+	runtime.KeepAlive(tuples)
+	return pt
+}
+
+// RunStorageHotWriter measures the workspace-level republication cycle:
+// per round, one transaction committing `writes` facts followed by a
+// Snapshot() publication, against a workspace already holding `base`
+// facts in the same relation.
+func RunStorageHotWriter(base, writes, rounds int) (StorageHotWriter, error) {
+	ws := workspace.New("alice")
+	if err := ws.Update(func(tx *workspace.Tx) error {
+		for i := 0; i < base; i++ {
+			if err := tx.AssertTuple("perm", storageTuple(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return StorageHotWriter{}, err
+	}
+	ws.Snapshot() // initial publication; later rounds republish deltas
+	seq := base
+	var total, snap time.Duration
+	for r := 0; r < rounds; r++ {
+		roundStart := time.Now()
+		if err := ws.Update(func(tx *workspace.Tx) error {
+			for k := 0; k < writes; k++ {
+				if err := tx.AssertTuple("perm", storageTuple(seq)); err != nil {
+					return err
+				}
+				seq++
+			}
+			return nil
+		}); err != nil {
+			return StorageHotWriter{}, err
+		}
+		snapStart := time.Now()
+		ws.Snapshot()
+		now := time.Now()
+		snap += now.Sub(snapStart)
+		total += now.Sub(roundStart)
+	}
+	rows, err := ws.Snapshot().Query("perm(U, O, N)")
+	if err != nil {
+		return StorageHotWriter{}, err
+	}
+	return StorageHotWriter{
+		Base:        base,
+		Rounds:      rounds,
+		Writes:      writes,
+		PerRoundNs:  (total / time.Duration(rounds)).Nanoseconds(),
+		SnapshotNs:  (snap / time.Duration(rounds)).Nanoseconds(),
+		QueriesSeen: len(rows),
+	}, nil
+}
+
+// RunStorage runs the full storage experiment across base sizes.
+func RunStorage(bases []int, dirty, rounds int) (*StorageResult, error) {
+	res := &StorageResult{}
+	for _, base := range bases {
+		res.Points = append(res.Points, RunStoragePoint(base, dirty, rounds))
+	}
+	for _, base := range bases {
+		hw, err := RunStorageHotWriter(base, dirty, rounds)
+		if err != nil {
+			return nil, err
+		}
+		res.Hot = append(res.Hot, hw)
+	}
+	return res, nil
+}

@@ -35,6 +35,7 @@ const (
 	CodeStratAgg     = "LB-STRAT-002" // aggregation through recursion
 	CodeArity        = "LB-ARITY-001" // predicate used with inconsistent arities
 	CodeBuiltinArity = "LB-ARITY-002" // built-in called with the wrong arity
+	CodeStoreArity   = "LB-ARITY-003" // stored relation accessed with a conflicting arity
 )
 
 // Coder is implemented by errors that carry a stable diagnostic code from

@@ -50,6 +50,74 @@ func FuzzParseRule(f *testing.F) {
 	})
 }
 
+// fuzzValue builds one value of each kind from fuzzed primitives.
+// PartRef predicates are stripped of brackets: canonical keys delimit the
+// partition argument with "[...]", so bracket-free predicates keep Key()
+// injective over this value space (the parser enforces the same for real
+// programs), which is what lets the fuzz target require that equal keys
+// imply equal hashes.
+func fuzzValue(kind uint8, s string, n int64) Value {
+	switch kind % 6 {
+	case 0:
+		return String(s)
+	case 1:
+		return Int(n)
+	case 2:
+		return Sym(s)
+	case 3:
+		return Entity{Sort: strings.ReplaceAll(s, ":", "_"), ID: n}
+	case 4:
+		pred := strings.Map(func(r rune) rune {
+			if r == '[' || r == ']' {
+				return -1
+			}
+			return r
+		}, s)
+		return PartRef{Pred: pred, Arg: Int(n)}
+	default:
+		return Code{} // zero Code: no rule, empty canonical form
+	}
+}
+
+// FuzzTupleHash checks the storage engine's identity contract on
+// adversarial values (NUL bytes, invalid UTF-8, empty strings): Hash()
+// and Key() never panic, hashing is deterministic, equal canonical keys
+// imply equal hashes (storage replaced string keys with hashes — a value
+// pair agreeing on Key but not Hash would make the new engine disagree
+// with the old one), and ValueEqual/Tuple.Equal agree with Key equality.
+func FuzzTupleHash(f *testing.F) {
+	f.Add(uint8(0), "hello", int64(1), uint8(1), "hello", int64(1))
+	f.Add(uint8(2), "sym", int64(0), uint8(2), "sym", int64(0))
+	f.Add(uint8(3), "node:1", int64(9), uint8(3), "node_1", int64(9))
+	f.Add(uint8(4), "box[x]", int64(-1), uint8(4), "box", int64(-1))
+	f.Add(uint8(5), "", int64(0), uint8(5), "\x00\xff", int64(1<<62))
+	f.Fuzz(func(t *testing.T, k1 uint8, s1 string, n1 int64, k2 uint8, s2 string, n2 int64) {
+		v1 := fuzzValue(k1, s1, n1)
+		v2 := fuzzValue(k2, s2, n2)
+		// Never panics, and hashing is a pure function of the value.
+		if v1.Hash() != fuzzValue(k1, s1, n1).Hash() {
+			t.Fatalf("hash of %v not deterministic", v1)
+		}
+		if ValueEqual(v1, v2) != (v1.Key() == v2.Key()) {
+			t.Fatalf("ValueEqual(%v, %v) = %v disagrees with Key equality", v1, v2, ValueEqual(v1, v2))
+		}
+		if v1.Key() == v2.Key() && v1.Hash() != v2.Hash() {
+			t.Fatalf("%v and %v share a key but not a hash", v1, v2)
+		}
+		if CompareValues(v1, v2) == 0 != (v1.Key() == v2.Key()) {
+			t.Fatalf("CompareValues(%v, %v) disagrees with Key equality", v1, v2)
+		}
+		t1 := TupleOf([]Value{v1, v2})
+		t2 := TupleOf([]Value{fuzzValue(k1, s1, n1), fuzzValue(k2, s2, n2)})
+		if t1.Hash() != t2.Hash() || !t1.Equal(t2) {
+			t.Fatalf("identically built tuples disagree: %v vs %v", t1, t2)
+		}
+		if swapped := TupleOf([]Value{v2, v1}); t1.Key() == swapped.Key() != t1.Equal(swapped) {
+			t.Fatalf("Tuple.Equal disagrees with Key equality for %v vs %v", t1, swapped)
+		}
+	})
+}
+
 func FuzzParseProgram(f *testing.F) {
 	seeds := []string{
 		"edge(a,b).\npath(X,Y) <- edge(X,Y).\npath(X,Z) <- edge(X,Y), path(Y,Z).",

@@ -7,18 +7,114 @@ import (
 	"sync/atomic"
 )
 
-// Relation is a set of tuples with a fixed arity, hash-keyed on the full
-// tuple and lazily indexed per column. Partitioned (curried) predicates
-// store the partition attribute as column 0 and are marked Partitioned so
-// the distribution layer can place their subsets on nodes (Sections 3.4 and
-// 3.5 of the paper).
+// Relation storage layout.
+//
+// Rows live in append-only chunks of up to chunkCap tuples; a tuple's ref
+// (chunk*chunkCap + slot) never changes while the chunk layout stands
+// (only Clear and compaction rebuild it). An open-addressing hash table
+// maps the tuple's memoized 64-bit hash to its ref; same-hash collisions
+// occupy later probe slots and are disambiguated by full value
+// comparison, so degenerate hashes degrade to a scan but never lose set
+// semantics. No canonical key strings are retained anywhere in storage.
+//
+// Both the chunks and the table are copy-on-write. Every relation carries
+// a generation; a chunk or table page is writable only by the relation
+// whose generation it carries. Clone() is O(1): it shares the chunk list
+// and the table and moves the parent to a fresh generation, so whichever
+// side mutates next copies exactly the dirty chunk (and the table's
+// touched pages) before writing. Freeze() marks a relation immutable —
+// mutations panic, reads need no lock — which is what makes snapshot
+// publication O(dirty chunks) instead of O(relation).
+const (
+	// chunkCap is the number of tuple slots per storage chunk.
+	chunkCap = 256
+	// pageSize is the number of table entries per copy-on-write page.
+	pageSize = 128
+)
+
+// Table entries store ref+2 so the zero value means "empty" and fresh
+// pages need no initialization; 1 is the deletion tombstone.
+const (
+	storedEmpty uint32 = 0
+	storedTomb  uint32 = 1
+)
+
+// genCounter issues globally unique relation generations; uniqueness is
+// what makes "chunk.gen == relation.gen" a sound ownership test.
+var genCounter atomic.Uint64
+
+func nextGen() uint64 { return genCounter.Add(1) }
+
+// chunk is one append-only block of rows. del marks tombstoned slots
+// (slots are never reused in place; compaction rebuilds the relation).
+type chunk struct {
+	gen  uint64
+	dead int
+	del  [chunkCap / 64]uint64
+	rows []Tuple // len is the append count; cap never exceeds chunkCap
+}
+
+func (c *chunk) deadAt(slot uint32) bool {
+	return c.del[slot/64]&(1<<(slot%64)) != 0
+}
+
+// tablePage is one copy-on-write span of the open-addressing table.
+type tablePage struct {
+	gen  uint64
+	hash [pageSize]uint64
+	ref  [pageSize]uint32
+}
+
+// table is the hash → ref index over the chunks. The pages slice is
+// itself copy-on-write (gen guards it, like a page's contents).
+type table struct {
+	gen   uint64
+	tombs int
+	pages []*tablePage
+}
+
+func (tb *table) capacity() int { return len(tb.pages) * pageSize }
+
+// cowPage returns the page containing entry i, copying it first if it is
+// not owned by gen.
+func (tb *table) cowPage(i uint32, gen uint64) (*tablePage, uint32) {
+	pi := i / pageSize
+	p := tb.pages[pi]
+	if p.gen != gen {
+		np := *p
+		np.gen = gen
+		p = &np
+		tb.pages[pi] = p
+	}
+	return p, i % pageSize
+}
+
+// colIndex is a lazily built hash index on one column: value hash →
+// refs. Deletions do not touch it (stale refs are skipped against the
+// chunk tombstones at lookup time); past a staleness threshold it is
+// rebuilt.
+type colIndex struct {
+	buckets map[uint64][]uint32
+	stale   int
+}
+
+// Relation is a set of tuples with a fixed arity, stored in chunked
+// copy-on-write tuple storage keyed by tuple hash (see the layout comment
+// above). Partitioned (curried) predicates store the partition attribute
+// as column 0 and are marked Partitioned so the distribution layer can
+// place their subsets on nodes (Sections 3.4 and 3.5 of the paper).
 type Relation struct {
 	Name        string
 	Arity       int
 	Partitioned bool
 
-	rows    map[string]Tuple
-	indexes map[int]map[string]map[string]Tuple // col -> value key -> row key -> tuple
+	gen    uint64
+	chunks []*chunk
+	tab    *table
+	live   int
+	dead   int
+
+	indexes map[int]*colIndex
 
 	// frozen marks the relation immutable: mutations panic, and any number
 	// of goroutines can read the relation concurrently. Snapshot reads
@@ -29,7 +125,7 @@ type Relation struct {
 	// republishes a copied map).
 	frozen    bool
 	idxMu     sync.Mutex
-	frozenIdx atomic.Pointer[map[int]map[string]map[string]Tuple]
+	frozenIdx atomic.Pointer[map[int]*colIndex]
 }
 
 // NewRelation creates an empty relation.
@@ -37,18 +133,158 @@ func NewRelation(name string, arity int) *Relation {
 	return &Relation{
 		Name:    name,
 		Arity:   arity,
-		rows:    map[string]Tuple{},
-		indexes: map[int]map[string]map[string]Tuple{},
+		gen:     nextGen(),
+		indexes: map[int]*colIndex{},
 	}
 }
 
 // Len reports the number of tuples.
-func (r *Relation) Len() int { return len(r.rows) }
+func (r *Relation) Len() int { return r.live }
+
+// tupleAt returns the row a ref points at, live or not.
+func (r *Relation) tupleAt(ref uint32) Tuple {
+	return r.chunks[ref/chunkCap].rows[ref%chunkCap]
+}
+
+// liveAt returns the row a ref points at if the slot is still live.
+// Index buckets may hold stale refs; the chunk tombstone decides.
+func (r *Relation) liveAt(ref uint32) (Tuple, bool) {
+	c := r.chunks[ref/chunkCap]
+	slot := ref % chunkCap
+	if c.deadAt(slot) {
+		return Tuple{}, false
+	}
+	return c.rows[slot], true
+}
+
+// find probes the table for the tuple. It returns the probe position (for
+// tombstoning) and the stored ref.
+func (r *Relation) find(h uint64, t Tuple) (pos, ref uint32, ok bool) {
+	tb := r.tab
+	if tb == nil {
+		return 0, 0, false
+	}
+	mask := uint32(tb.capacity() - 1)
+	i := uint32(h) & mask
+	for {
+		p := tb.pages[i/pageSize]
+		s := p.ref[i%pageSize]
+		if s == storedEmpty {
+			return 0, 0, false
+		}
+		if s != storedTomb && p.hash[i%pageSize] == h {
+			ref := s - 2
+			if r.tupleAt(ref).Equal(t) {
+				return i, ref, true
+			}
+		}
+		i = (i + 1) & mask
+	}
+}
 
 // Contains reports whether the tuple is present.
 func (r *Relation) Contains(t Tuple) bool {
-	_, ok := r.rows[t.Key()]
+	_, _, ok := r.find(t.Hash(), t)
 	return ok
+}
+
+// ensureOwned makes the relation's table struct, pages slice, and chunk
+// list privately writable. It is the one-time O(pages + chunks) pointer
+// copy a relation pays after a Clone shared its storage; individual pages
+// and chunks stay shared until actually written.
+func (r *Relation) ensureOwned() {
+	if r.tab == nil {
+		r.tab = &table{gen: r.gen, pages: []*tablePage{{gen: r.gen}}}
+		return
+	}
+	if r.tab.gen == r.gen {
+		return
+	}
+	nt := &table{gen: r.gen, tombs: r.tab.tombs}
+	nt.pages = append(make([]*tablePage, 0, len(r.tab.pages)), r.tab.pages...)
+	r.tab = nt
+	r.chunks = append(make([]*chunk, 0, len(r.chunks)+1), r.chunks...)
+}
+
+// cowChunk returns chunk ci, copying it first if it is not owned. The
+// tail chunk is copied with full capacity since it takes appends.
+func (r *Relation) cowChunk(ci int) *chunk {
+	c := r.chunks[ci]
+	if c.gen == r.gen {
+		return c
+	}
+	ncap := len(c.rows)
+	if ci == len(r.chunks)-1 && ncap < chunkCap {
+		ncap = chunkCap
+	}
+	nc := &chunk{gen: r.gen, dead: c.dead, del: c.del}
+	nc.rows = append(make([]Tuple, 0, ncap), c.rows...)
+	r.chunks[ci] = nc
+	return nc
+}
+
+// appendRow appends the tuple to the tail chunk and returns its ref.
+func (r *Relation) appendRow(t Tuple) uint32 {
+	if len(r.chunks) == 0 || len(r.chunks[len(r.chunks)-1].rows) == chunkCap {
+		r.chunks = append(r.chunks, &chunk{gen: r.gen})
+	}
+	ci := len(r.chunks) - 1
+	c := r.cowChunk(ci)
+	c.rows = append(c.rows, t)
+	return uint32(ci*chunkCap + len(c.rows) - 1)
+}
+
+// tabPut claims the first free probe slot for (h, ref). The caller has
+// already verified absence.
+func (r *Relation) tabPut(h uint64, ref uint32) {
+	tb := r.tab
+	mask := uint32(tb.capacity() - 1)
+	i := uint32(h) & mask
+	for {
+		p := tb.pages[i/pageSize]
+		s := p.ref[i%pageSize]
+		if s == storedEmpty || s == storedTomb {
+			p, si := tb.cowPage(i, r.gen)
+			p.hash[si] = h
+			p.ref[si] = ref + 2
+			if s == storedTomb {
+				tb.tombs--
+			}
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// grow rehashes into a table of newCap entries (a power of two, multiple
+// of pageSize), dropping tombstones. Refs are unchanged.
+func (r *Relation) grow(newCap int) {
+	pages := make([]*tablePage, newCap/pageSize)
+	for i := range pages {
+		pages[i] = &tablePage{gen: r.gen}
+	}
+	nt := &table{gen: r.gen, pages: pages}
+	mask := uint32(newCap - 1)
+	for _, p := range r.tab.pages {
+		for si := 0; si < pageSize; si++ {
+			s := p.ref[si]
+			if s == storedEmpty || s == storedTomb {
+				continue
+			}
+			h := p.hash[si]
+			i := uint32(h) & mask
+			for {
+				np := pages[i/pageSize]
+				if np.ref[i%pageSize] == storedEmpty {
+					np.hash[i%pageSize] = h
+					np.ref[i%pageSize] = s
+					break
+				}
+				i = (i + 1) & mask
+			}
+		}
+	}
+	r.tab = nt
 }
 
 // Insert adds a tuple, reporting whether it was new.
@@ -59,19 +295,20 @@ func (r *Relation) Insert(t Tuple) bool {
 	if t.Len() != r.Arity {
 		panic(fmt.Sprintf("datalog: arity mismatch inserting %v into %s/%d", t, r.Name, r.Arity))
 	}
-	k := t.Key()
-	if _, ok := r.rows[k]; ok {
+	h := t.Hash()
+	if _, _, ok := r.find(h, t); ok {
 		return false
 	}
-	r.rows[k] = t
+	r.ensureOwned()
+	if (r.live+r.tab.tombs+1)*4 >= r.tab.capacity()*3 {
+		r.grow(r.tab.capacity() * 2)
+	}
+	ref := r.appendRow(t)
+	r.tabPut(h, ref)
+	r.live++
 	for col, idx := range r.indexes {
-		vk := t.At(col).Key()
-		m := idx[vk]
-		if m == nil {
-			m = map[string]Tuple{}
-			idx[vk] = m
-		}
-		m[k] = t
+		vh := t.At(col).Hash()
+		idx.buckets[vh] = append(idx.buckets[vh], ref)
 	}
 	return true
 }
@@ -81,53 +318,111 @@ func (r *Relation) Delete(t Tuple) bool {
 	if r.frozen {
 		panic(fmt.Sprintf("datalog: delete from frozen relation %s", r.Name))
 	}
-	k := t.Key()
-	if _, ok := r.rows[k]; !ok {
+	h := t.Hash()
+	pos, ref, ok := r.find(h, t)
+	if !ok {
 		return false
 	}
-	delete(r.rows, k)
-	for col, idx := range r.indexes {
-		vk := t.At(col).Key()
-		if m := idx[vk]; m != nil {
-			delete(m, k)
-			if len(m) == 0 {
-				delete(idx, vk)
-			}
-		}
+	r.ensureOwned()
+	p, si := r.tab.cowPage(pos, r.gen)
+	p.ref[si] = storedTomb
+	r.tab.tombs++
+	ci := int(ref / chunkCap)
+	slot := ref % chunkCap
+	c := r.cowChunk(ci)
+	c.del[slot/64] |= 1 << (slot % 64)
+	c.rows[slot] = Tuple{} // release the row's values
+	c.dead++
+	r.live--
+	r.dead++
+	for _, idx := range r.indexes {
+		idx.stale++ // buckets are cleaned lazily (liveAt skips tombstones)
+	}
+	if r.dead > r.live && r.dead >= chunkCap {
+		r.compact()
 	}
 	return true
 }
 
-// Each calls fn for every tuple until fn returns false. The relation must
-// not be mutated during iteration.
+// compact rebuilds chunks and table with only the live rows. Refs change,
+// so the column indexes are dropped (they rebuild lazily).
+func (r *Relation) compact() {
+	old := r.chunks
+	r.chunks = nil
+	cap := pageSize
+	for cap*3 < (r.live+1)*4 {
+		cap *= 2
+	}
+	pages := make([]*tablePage, cap/pageSize)
+	for i := range pages {
+		pages[i] = &tablePage{gen: r.gen}
+	}
+	r.tab = &table{gen: r.gen, pages: pages}
+	r.live = 0
+	r.dead = 0
+	for _, c := range old {
+		for slot := 0; slot < len(c.rows); slot++ {
+			if c.deadAt(uint32(slot)) {
+				continue
+			}
+			t := c.rows[slot]
+			ref := r.appendRow(t)
+			r.tabPut(t.Hash(), ref)
+			r.live++
+		}
+	}
+	r.indexes = map[int]*colIndex{}
+}
+
+// Each calls fn for every tuple until fn returns false, in append order.
+// The relation must not be mutated during iteration.
 func (r *Relation) Each(fn func(Tuple) bool) {
-	for _, t := range r.rows {
-		if !fn(t) {
-			return
+	for _, c := range r.chunks {
+		if c.dead == 0 {
+			for _, t := range c.rows {
+				if !fn(t) {
+					return
+				}
+			}
+			continue
+		}
+		for slot := 0; slot < len(c.rows); slot++ {
+			if c.deadAt(uint32(slot)) {
+				continue
+			}
+			if !fn(c.rows[slot]) {
+				return
+			}
 		}
 	}
 }
 
-// All returns all tuples in unspecified order.
-func (r *Relation) All() []Tuple {
-	out := make([]Tuple, 0, len(r.rows))
-	for _, t := range r.rows {
-		out = append(out, t)
+// eachRef calls fn for every live tuple with its ref.
+func (r *Relation) eachRef(fn func(ref uint32, t Tuple)) {
+	for ci, c := range r.chunks {
+		for slot := 0; slot < len(c.rows); slot++ {
+			if c.dead > 0 && c.deadAt(uint32(slot)) {
+				continue
+			}
+			fn(uint32(ci*chunkCap+slot), c.rows[slot])
+		}
 	}
+}
+
+// All returns all tuples in append order.
+func (r *Relation) All() []Tuple {
+	out := make([]Tuple, 0, r.live)
+	r.Each(func(t Tuple) bool {
+		out = append(out, t)
+		return true
+	})
 	return out
 }
 
-// Sorted returns all tuples ordered by key, for deterministic output.
+// Sorted returns all tuples in the deterministic CompareTuples order.
 func (r *Relation) Sorted() []Tuple {
 	out := r.All()
-	sort.Slice(out, func(i, j int) bool {
-		for k := 0; k < out[i].Len() && k < out[j].Len(); k++ {
-			if c := CompareValues(out[i].At(k), out[j].At(k)); c != 0 {
-				return c < 0
-			}
-		}
-		return false
-	})
+	SortTuples(out)
 	return out
 }
 
@@ -135,8 +430,9 @@ func (r *Relation) Sorted() []Tuple {
 // relation the index map is published atomically: the hot path is one
 // atomic load with no lock; a missing index is built under idxMu and
 // republished as a copied map, and once published an index is never
-// mutated again.
-func (r *Relation) ensureIndex(col int) map[string]map[string]Tuple {
+// mutated again. On a mutable relation an index past the staleness
+// threshold (half its refs deleted) is rebuilt.
+func (r *Relation) ensureIndex(col int) *colIndex {
 	if r.frozen {
 		if m := r.frozenIdx.Load(); m != nil {
 			if idx, ok := (*m)[col]; ok {
@@ -145,7 +441,7 @@ func (r *Relation) ensureIndex(col int) map[string]map[string]Tuple {
 		}
 		r.idxMu.Lock()
 		defer r.idxMu.Unlock()
-		var prev map[int]map[string]map[string]Tuple
+		var prev map[int]*colIndex
 		if m := r.frozenIdx.Load(); m != nil {
 			prev = *m
 			if idx, ok := prev[col]; ok {
@@ -153,7 +449,7 @@ func (r *Relation) ensureIndex(col int) map[string]map[string]Tuple {
 			}
 		}
 		idx := r.buildIndex(col)
-		next := make(map[int]map[string]map[string]Tuple, len(prev)+1)
+		next := make(map[int]*colIndex, len(prev)+1)
 		for c, i := range prev {
 			next[c] = i
 		}
@@ -162,69 +458,65 @@ func (r *Relation) ensureIndex(col int) map[string]map[string]Tuple {
 		return idx
 	}
 	if idx, ok := r.indexes[col]; ok {
-		return idx
+		if idx.stale <= r.live/2 {
+			return idx
+		}
 	}
 	idx := r.buildIndex(col)
 	r.indexes[col] = idx
 	return idx
 }
 
-// buildIndex constructs the column's hash index from the rows.
-func (r *Relation) buildIndex(col int) map[string]map[string]Tuple {
-	idx := map[string]map[string]Tuple{}
-	for k, t := range r.rows {
-		vk := t.At(col).Key()
-		m := idx[vk]
-		if m == nil {
-			m = map[string]Tuple{}
-			idx[vk] = m
-		}
-		m[k] = t
-	}
+// buildIndex constructs the column's hash index from the live rows.
+func (r *Relation) buildIndex(col int) *colIndex {
+	idx := &colIndex{buckets: map[uint64][]uint32{}}
+	r.eachRef(func(ref uint32, t Tuple) {
+		h := t.At(col).Hash()
+		idx.buckets[h] = append(idx.buckets[h], ref)
+	})
 	return idx
 }
 
 // MatchEach iterates tuples whose columns equal the given bound values
 // (nil entries are wildcards). Among the bound columns it scans the most
 // selective index bucket, which keeps joins on partitioned relations
-// (whose partition column is a single huge bucket) linear overall.
+// (whose partition column is a single huge bucket) linear overall. The
+// bound values' hashes are consulted once per call; candidate rows verify
+// by direct value comparison, so the match loop allocates nothing.
 func (r *Relation) MatchEach(bound []Value, fn func(Tuple) bool) {
-	bestCol, bestSize := -1, -1
+	bestCol := -1
+	var bestBucket []uint32
 	for col, v := range bound {
 		if v == nil {
 			continue
 		}
 		idx := r.ensureIndex(col)
-		size := len(idx[v.Key()])
-		if bestCol < 0 || size < bestSize {
-			bestCol, bestSize = col, size
-		}
-		if size == 0 {
+		b := idx.buckets[v.Hash()]
+		if len(b) == 0 {
 			return // no tuple can match
 		}
-	}
-	match := func(t Tuple) bool {
-		for col, v := range bound {
-			if v != nil && t.At(col).Key() != v.Key() {
-				return false
-			}
+		if bestCol < 0 || len(b) < len(bestBucket) {
+			bestCol, bestBucket = col, b
 		}
-		return true
 	}
 	if bestCol < 0 {
-		for _, t := range r.rows {
-			if !fn(t) {
-				return
-			}
-		}
+		r.Each(fn)
 		return
 	}
-	idx := r.ensureIndex(bestCol)
-	for _, t := range idx[bound[bestCol].Key()] {
-		if match(t) {
-			if !fn(t) {
-				return
+	for _, ref := range bestBucket {
+		t, ok := r.liveAt(ref)
+		if !ok {
+			continue // stale index entry
+		}
+		match := true
+		for col, v := range bound {
+			if v != nil && !ValueEqual(t.At(col), v) {
+				match = false
+				break
 			}
+		}
+		if match && !fn(t) {
+			return
 		}
 	}
 }
@@ -234,17 +526,34 @@ func (r *Relation) Clear() {
 	if r.frozen {
 		panic(fmt.Sprintf("datalog: clear of frozen relation %s", r.Name))
 	}
-	r.rows = map[string]Tuple{}
-	r.indexes = map[int]map[string]map[string]Tuple{}
+	r.chunks = nil
+	r.tab = nil
+	r.live = 0
+	r.dead = 0
+	r.indexes = map[int]*colIndex{}
 }
 
-// Clone deep-copies the relation's rows (tuples are shared; they are
-// immutable). The clone starts unfrozen with no indexes.
+// Clone returns a copy-on-write copy sharing the receiver's chunks and
+// table: O(1) regardless of relation size. Both sides then copy exactly
+// the storage they dirty before writing it (tuples themselves are shared
+// outright; they are immutable). The clone starts unfrozen with no
+// indexes.
 func (r *Relation) Clone() *Relation {
-	c := NewRelation(r.Name, r.Arity)
-	c.Partitioned = r.Partitioned
-	for k, t := range r.rows {
-		c.rows[k] = t
+	c := &Relation{
+		Name:        r.Name,
+		Arity:       r.Arity,
+		Partitioned: r.Partitioned,
+		gen:         nextGen(),
+		chunks:      r.chunks,
+		tab:         r.tab,
+		live:        r.live,
+		dead:        r.dead,
+		indexes:     map[int]*colIndex{},
+	}
+	if !r.frozen {
+		// Move the parent off the shared generation too: its next write
+		// copies the dirty chunk/page instead of mutating shared storage.
+		r.gen = nextGen()
 	}
 	return c
 }
@@ -258,7 +567,7 @@ func (r *Relation) Freeze() {
 		return
 	}
 	if len(r.indexes) > 0 {
-		seed := make(map[int]map[string]map[string]Tuple, len(r.indexes))
+		seed := make(map[int]*colIndex, len(r.indexes))
 		for c, i := range r.indexes {
 			seed[c] = i
 		}
@@ -269,6 +578,39 @@ func (r *Relation) Freeze() {
 
 // Frozen reports whether the relation has been frozen.
 func (r *Relation) Frozen() bool { return r.frozen }
+
+// StorageStats describes a relation's physical layout, for benchmarks
+// and tests that assert copy-on-write behavior.
+type StorageStats struct {
+	Chunks      int // total chunks referenced
+	OwnedChunks int // chunks this relation may write in place
+	Live        int // live rows
+	Dead        int // tombstoned rows awaiting compaction
+	TableCap    int // open-addressing table capacity (entries)
+	OwnedPages  int // table pages this relation may write in place
+}
+
+// Stats reports the relation's storage layout. After a Clone, OwnedChunks
+// and OwnedPages count exactly the storage this side has dirtied.
+func (r *Relation) Stats() StorageStats {
+	st := StorageStats{Chunks: len(r.chunks), Live: r.live, Dead: r.dead}
+	for _, c := range r.chunks {
+		if c.gen == r.gen {
+			st.OwnedChunks++
+		}
+	}
+	if r.tab != nil {
+		st.TableCap = r.tab.capacity()
+		if r.tab.gen == r.gen {
+			for _, p := range r.tab.pages {
+				if p.gen == r.gen {
+					st.OwnedPages++
+				}
+			}
+		}
+	}
+	return st
+}
 
 // Database is a set of relations keyed by predicate name. It is the
 // "workspace" storage of Section 3.1; the transactional layer lives in
@@ -281,12 +623,15 @@ type Database struct {
 func NewDatabase() *Database { return &Database{rels: map[string]*Relation{}} }
 
 // Rel returns the relation for name, creating it with the given arity if
-// absent. It panics if the name exists with a different arity, which
-// indicates a schema error upstream.
+// absent. It panics with a *CheckError (code LB-ARITY-003) if the name
+// exists with a different arity, which indicates a schema error upstream.
 func (db *Database) Rel(name string, arity int) *Relation {
 	if r, ok := db.rels[name]; ok {
 		if r.Arity != arity {
-			panic(fmt.Sprintf("datalog: predicate %s used with arity %d and %d", name, r.Arity, arity))
+			panic(&CheckError{
+				Code: CodeStoreArity,
+				Msg:  fmt.Sprintf("predicate %s stored with arity %d but accessed with arity %d", name, r.Arity, arity),
+			})
 		}
 		return r
 	}
@@ -331,7 +676,7 @@ func (db *Database) Shallow() *Database {
 	return c
 }
 
-// Clone deep-copies the database.
+// Clone copies the database; each relation is a copy-on-write clone.
 func (db *Database) Clone() *Database {
 	c := NewDatabase()
 	for n, r := range db.rels {

@@ -12,7 +12,9 @@ package datalog
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
+	"strings"
 )
 
 // Kind enumerates the kinds of runtime values in the LBTrust universe.
@@ -49,14 +51,50 @@ func (k Kind) String() string {
 
 // Value is a runtime constant. Implementations are immutable; Key returns a
 // canonical representation that is unique across all kinds and is used for
-// hashing, equality, and signing.
+// equality and signing, while Hash returns a 64-bit digest of the same
+// canonical form that relation storage uses so it never has to retain the
+// key strings themselves.
 type Value interface {
 	Kind() Kind
 	// Key is the canonical identity of the value. Two values are equal
 	// exactly when their keys are equal.
 	Key() string
+	// Hash is a 64-bit hash of the canonical identity: equal values have
+	// equal hashes. It must be allocation-free; storage layers call it per
+	// row instead of materializing Key.
+	Hash() uint64
 	// String renders the value in surface syntax.
 	String() string
+}
+
+// FNV-1a parameters; value and tuple hashing folds canonical bytes through
+// them so hashes agree with Key() equality without building the string.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 {
+	h ^= uint64(b)
+	h *= fnvPrime
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+func fnvUint64(h uint64, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
 }
 
 // String is a string literal value.
@@ -68,6 +106,9 @@ func (s String) Kind() Kind { return KindString }
 // Key returns the canonical identity of the string.
 func (s String) Key() string { return "s:" + string(s) }
 
+// Hash returns the 64-bit digest of the canonical identity.
+func (s String) Hash() uint64 { return fnvString(fnvByte(fnvOffset, 's'), string(s)) }
+
 func (s String) String() string { return strconv.Quote(string(s)) }
 
 // Int is a 64-bit integer value.
@@ -78,6 +119,9 @@ func (i Int) Kind() Kind { return KindInt }
 
 // Key returns the canonical identity of the integer.
 func (i Int) Key() string { return "i:" + strconv.FormatInt(int64(i), 10) }
+
+// Hash returns the 64-bit digest of the canonical identity.
+func (i Int) Hash() uint64 { return fnvUint64(fnvByte(fnvOffset, 'i'), uint64(i)) }
 
 func (i Int) String() string { return strconv.FormatInt(int64(i), 10) }
 
@@ -91,6 +135,9 @@ func (s Sym) Kind() Kind { return KindSym }
 
 // Key returns the canonical identity of the symbol.
 func (s Sym) Key() string { return "y:" + string(s) }
+
+// Hash returns the 64-bit digest of the canonical identity.
+func (s Sym) Hash() uint64 { return fnvString(fnvByte(fnvOffset, 'y'), string(s)) }
 
 func (s Sym) String() string { return string(s) }
 
@@ -112,6 +159,11 @@ func (e Entity) Kind() Kind { return KindEntity }
 // Key returns the canonical identity of the entity.
 func (e Entity) Key() string { return "e:" + e.Sort + ":" + strconv.FormatInt(e.ID, 10) }
 
+// Hash returns the 64-bit digest of the canonical identity.
+func (e Entity) Hash() uint64 {
+	return fnvUint64(fnvString(fnvByte(fnvOffset, 'e'), e.Sort), uint64(e.ID))
+}
+
 func (e Entity) String() string { return "#" + e.Sort + strconv.FormatInt(e.ID, 10) }
 
 // Code is a quoted rule or fact: the R in says(U1,U2,R). Identity is the
@@ -121,11 +173,15 @@ func (e Entity) String() string { return "#" + e.Sort + strconv.FormatInt(e.ID, 
 type Code struct {
 	rule *Rule
 	key  string
+	hash uint64
 }
 
 // NewCode canonicalizes a clause into a Code value. The clause is not
 // copied; callers must not mutate it afterwards.
-func NewCode(r *Rule) Code { return Code{rule: r, key: canonRule(r)} }
+func NewCode(r *Rule) Code {
+	key := canonRule(r)
+	return Code{rule: r, key: key, hash: fnvString(fnvByte(fnvOffset, 'c'), key)}
+}
 
 // Rule returns the underlying clause.
 func (c Code) Rule() *Rule { return c.rule }
@@ -135,6 +191,15 @@ func (c Code) Kind() Kind { return KindCode }
 
 // Key returns the canonical identity of the quoted clause.
 func (c Code) Key() string { return "c:" + c.key }
+
+// Hash returns the 64-bit digest of the canonical identity, memoized at
+// construction.
+func (c Code) Hash() uint64 {
+	if c.hash == 0 && c.key == "" {
+		return fnvByte(fnvOffset, 'c') // zero Code
+	}
+	return c.hash
+}
 
 // Canonical returns the canonical byte representation, the input to
 // signature generation and verification.
@@ -156,36 +221,51 @@ func (p PartRef) Kind() Kind { return KindPart }
 // Key returns the canonical identity of the partition reference.
 func (p PartRef) Key() string { return "p:" + p.Pred + "[" + p.Arg.Key() + "]" }
 
-func (p PartRef) String() string { return p.Pred + "[" + p.Arg.String() + "]" }
-
-// Tuple is an immutable row of values. The canonical key — the
-// concatenation of the value keys that identifies the tuple in relations,
-// indexes, shipped-tuple sets, and the write-ahead log — is computed once
-// at construction and memoized, so the hot paths that repeatedly consult
-// it (relation inserts, delta routing, constraint dedup, WAL encoding) do
-// no per-call string building. Construct tuples with NewTuple or TupleOf;
-// the zero Tuple is the empty tuple.
-type Tuple struct {
-	vals []Value
-	key  string
+// Hash returns the 64-bit digest of the canonical identity.
+func (p PartRef) Hash() uint64 {
+	h := fnvString(fnvByte(fnvOffset, 'p'), p.Pred)
+	if p.Arg != nil {
+		h = fnvUint64(h, p.Arg.Hash())
+	}
+	return h
 }
 
-// NewTuple builds a tuple from values, memoizing its canonical key.
+func (p PartRef) String() string { return p.Pred + "[" + p.Arg.String() + "]" }
+
+// Tuple is an immutable row of values. Identity is carried by a 64-bit
+// hash of the canonical form, memoized at construction: relation storage,
+// indexes and equality work entirely from the hash plus value comparison,
+// so no per-row canonical key string is ever retained by storage. Key()
+// still renders the canonical string for the layers that need it (ship
+// dedup records, signing, violation dedup), computed on demand. Construct
+// tuples with NewTuple or TupleOf; the zero Tuple is the empty tuple.
+type Tuple struct {
+	vals []Value
+	hash uint64
+}
+
+// testTupleHash, when non-nil, replaces tuple hashing. It exists for
+// tests that force hash collisions to exercise the relation's collision
+// buckets; production code must leave it nil.
+var testTupleHash func(vs []Value) uint64
+
+// NewTuple builds a tuple from values, memoizing its canonical hash.
 func NewTuple(vs ...Value) Tuple { return TupleOf(vs) }
 
 // TupleOf builds a tuple taking ownership of the slice (callers must not
-// mutate it afterwards), memoizing its canonical key.
+// mutate it afterwards), memoizing its canonical hash.
 func TupleOf(vs []Value) Tuple {
-	n := 0
-	for _, v := range vs {
-		n += len(v.Key()) + 1
+	if len(vs) == 0 {
+		return Tuple{}
 	}
-	b := make([]byte, 0, n)
-	for _, v := range vs {
-		b = append(b, v.Key()...)
-		b = append(b, 0)
+	if testTupleHash != nil {
+		return Tuple{vals: vs, hash: testTupleHash(vs)}
 	}
-	return Tuple{vals: vs, key: string(b)}
+	h := fnvOffset
+	for _, v := range vs {
+		h = fnvUint64(h, v.Hash())
+	}
+	return Tuple{vals: vs, hash: h}
 }
 
 // Len reports the number of values in the tuple.
@@ -198,9 +278,29 @@ func (t Tuple) At(i int) Value { return t.vals[i] }
 // mutate it.
 func (t Tuple) Values() []Value { return t.vals }
 
-// Key returns the canonical identity of the tuple, used as the hash key in
-// relations. It is memoized at construction.
-func (t Tuple) Key() string { return t.key }
+// Hash returns the memoized 64-bit digest of the tuple's canonical form.
+// Equal tuples have equal hashes; relation storage keys rows by it.
+func (t Tuple) Hash() uint64 { return t.hash }
+
+// Key renders the canonical identity of the tuple: the value keys joined
+// by NUL bytes. It is computed on demand — storage no longer retains it —
+// for the layers that need a canonical string (shipped-tuple records,
+// constraint-violation dedup, provenance keys).
+func (t Tuple) Key() string {
+	if len(t.vals) == 0 {
+		return ""
+	}
+	n := 0
+	for _, v := range t.vals {
+		n += len(v.Key()) + 1
+	}
+	b := make([]byte, 0, n)
+	for _, v := range t.vals {
+		b = append(b, v.Key()...)
+		b = append(b, 0)
+	}
+	return string(b)
+}
 
 func (t Tuple) String() string {
 	s := "("
@@ -213,14 +313,47 @@ func (t Tuple) String() string {
 	return s + ")"
 }
 
-// Equal reports whether two tuples have identical values. Keys are unique
-// across values, so the memoized tuple keys decide equality directly.
-func (t Tuple) Equal(o Tuple) bool { return t.key == o.key }
+// Equal reports whether two tuples have identical values: the memoized
+// hashes reject fast, then values compare one by one (so forced hash
+// collisions still resolve correctly).
+func (t Tuple) Equal(o Tuple) bool {
+	if t.hash != o.hash || len(t.vals) != len(o.vals) {
+		return false
+	}
+	for i := range t.vals {
+		if !ValueEqual(t.vals[i], o.vals[i]) {
+			return false
+		}
+	}
+	return true
+}
 
-// ValueEqual reports whether two values are equal.
+// ValueEqual reports whether two values are equal. The built-in kinds
+// compare without materializing keys; unknown Value implementations fall
+// back to key comparison.
 func ValueEqual(a, b Value) bool {
 	if a == nil || b == nil {
 		return a == nil && b == nil
+	}
+	switch x := a.(type) {
+	case String:
+		y, ok := b.(String)
+		return ok && x == y
+	case Int:
+		y, ok := b.(Int)
+		return ok && x == y
+	case Sym:
+		y, ok := b.(Sym)
+		return ok && x == y
+	case Entity:
+		y, ok := b.(Entity)
+		return ok && x == y
+	case Code:
+		y, ok := b.(Code)
+		return ok && x.key == y.key
+	case PartRef:
+		y, ok := b.(PartRef)
+		return ok && x.Pred == y.Pred && ValueEqual(x.Arg, y.Arg)
 	}
 	return a.Key() == b.Key()
 }
@@ -242,6 +375,22 @@ func CompareValues(a, b Value) int {
 		}
 		return 0
 	}
+	// Same-kind fast paths compare without building key strings; the
+	// resulting order is identical to key order (the prefixes agree).
+	switch x := a.(type) {
+	case String:
+		if y, ok := b.(String); ok {
+			return strings.Compare(string(x), string(y))
+		}
+	case Sym:
+		if y, ok := b.(Sym); ok {
+			return strings.Compare(string(x), string(y))
+		}
+	case Code:
+		if y, ok := b.(Code); ok {
+			return strings.Compare(x.key, y.key)
+		}
+	}
 	ak, bk := a.Key(), b.Key()
 	switch {
 	case ak < bk:
@@ -250,6 +399,23 @@ func CompareValues(a, b Value) int {
 		return 1
 	}
 	return 0
+}
+
+// CompareTuples orders two tuples column-wise by CompareValues; a shared
+// prefix breaks ties by length. It is the deterministic order used by
+// Relation.Sorted and the serving layer's wire responses.
+func CompareTuples(a, b Tuple) int {
+	for k := 0; k < a.Len() && k < b.Len(); k++ {
+		if c := CompareValues(a.At(k), b.At(k)); c != 0 {
+			return c
+		}
+	}
+	return a.Len() - b.Len()
+}
+
+// SortTuples sorts tuples into the deterministic CompareTuples order.
+func SortTuples(ts []Tuple) {
+	sort.Slice(ts, func(i, j int) bool { return CompareTuples(ts[i], ts[j]) < 0 })
 }
 
 // FormatValue renders a value using surface syntax, e.g. for dumps.

@@ -44,7 +44,6 @@ package server
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"lbtrust/internal/datalog"
@@ -128,12 +127,13 @@ func parseRequest(data []byte) (request, error) {
 	return req, nil
 }
 
-// encodeRows renders a result-tuple response frame. Rows are sorted by
-// canonical key: queries evaluate in map-iteration order, and the wire
-// answer must be deterministic (the restart smoke literally diffs two
-// servers' outputs).
+// encodeRows renders a result-tuple response frame. Rows are sorted into
+// the canonical value order (the same order Relation.Sorted uses): the
+// wire answer must be deterministic (the restart smoke literally diffs
+// two servers' outputs), and sorting by value comparison avoids
+// materializing a canonical key string per row.
 func encodeRows(rows []datalog.Tuple) []byte {
-	sort.Slice(rows, func(i, j int) bool { return rows[i].Key() < rows[j].Key() })
+	datalog.SortTuples(rows)
 	var b strings.Builder
 	fmt.Fprintf(&b, "rows %d", len(rows))
 	for _, t := range rows {

@@ -60,9 +60,14 @@ func checkStatePred(name string) bool {
 // CaptureState snapshots the workspace's full state. Tuples are shared
 // with the live database (they are immutable); relation contents are
 // sorted so identical states serialize identically.
+//
+// The workspace lock is held only for the O(1)-per-relation copy-on-write
+// clones plus the schema copies — materializing and sorting the tuples
+// (the expensive part, proportional to total database size) happens after
+// the lock is released, so a large snapshot capture no longer stalls
+// concurrent flushes.
 func (w *Workspace) CaptureState() *WorkspaceState {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	st := &WorkspaceState{
 		Principal: string(w.principal),
 		AuxSeq:    w.auxSeq,
@@ -78,21 +83,38 @@ func (w *Workspace) CaptureState() *WorkspaceState {
 	for _, cc := range w.constraints {
 		st.Constraints = append(st.Constraints, ConstraintChange{AuxID: cc.auxID, Label: cc.label, Source: cc.source})
 	}
+	type capturedRel struct {
+		name string
+		rel  *datalog.Relation // COW clone, private to the capture
+		base *datalog.Relation // COW clone of the base overlay, derived pass only
+	}
+	var baseRels, derivedRels []capturedRel
 	for _, name := range w.base.Names() {
 		rel, _ := w.base.Get(name)
-		st.Base = append(st.Base, RelationState{
-			Name: name, Arity: rel.Arity, Partitioned: rel.Partitioned, Tuples: rel.Sorted(),
-		})
+		baseRels = append(baseRels, capturedRel{name: name, rel: rel.Clone()})
 	}
 	for _, name := range w.db.Names() {
 		if checkStatePred(name) {
 			continue
 		}
 		rel, _ := w.db.Get(name)
-		base, _ := w.base.Get(name)
+		cr := capturedRel{name: name, rel: rel.Clone()}
+		if base, ok := w.base.Get(name); ok {
+			cr.base = base.Clone()
+		}
+		derivedRels = append(derivedRels, cr)
+	}
+	w.mu.Unlock()
+
+	for _, cr := range baseRels {
+		st.Base = append(st.Base, RelationState{
+			Name: cr.name, Arity: cr.rel.Arity, Partitioned: cr.rel.Partitioned, Tuples: cr.rel.Sorted(),
+		})
+	}
+	for _, cr := range derivedRels {
 		var tuples []datalog.Tuple
-		for _, t := range rel.Sorted() {
-			if base != nil && base.Contains(t) {
+		for _, t := range cr.rel.Sorted() {
+			if cr.base != nil && cr.base.Contains(t) {
 				continue
 			}
 			tuples = append(tuples, t)
@@ -101,7 +123,7 @@ func (w *Workspace) CaptureState() *WorkspaceState {
 			continue
 		}
 		st.Derived = append(st.Derived, RelationState{
-			Name: name, Arity: rel.Arity, Partitioned: rel.Partitioned, Tuples: tuples,
+			Name: cr.name, Arity: cr.rel.Arity, Partitioned: cr.rel.Partitioned, Tuples: tuples,
 		})
 	}
 	return st
