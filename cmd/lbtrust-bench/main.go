@@ -30,6 +30,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"lbtrust/internal/bench"
 	"lbtrust/internal/core"
@@ -37,7 +38,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "comma-separated experiments: fig2, sync, constraints, wal, serve, storage, ablations, all")
+	experiment := flag.String("experiment", "all", "comma-separated experiments: fig2, sync, constraints, wal, serve, storage, overload, ablations, all")
 	maxMsgs := flag.Int("max", 10000, "fig2: maximum number of messages")
 	step := flag.Int("step", 1000, "fig2: message count step")
 	transport := flag.String("transport", "mem", "fig2/sync: wire layer, mem or tcp")
@@ -83,6 +84,8 @@ func main() {
 			reports = append(reports, runServe(*jsonOut, *short))
 		case "storage":
 			reports = append(reports, runStorage(*jsonOut, *short))
+		case "overload":
+			reports = append(reports, runOverload(*jsonOut, *short))
 		case "ablations":
 			if *jsonOut {
 				fmt.Fprintln(os.Stderr, "ablations have no JSON shape; skipped in -json mode")
@@ -483,6 +486,64 @@ func runStorage(jsonOut, short bool) any {
 		fmt.Printf("%10d %16.1f %16.1f\n", h.Base, float64(h.PerRoundNs)/1e3, float64(h.SnapshotNs)/1e3)
 	}
 	fmt.Println()
+	return report
+}
+
+// overloadReport is the machine-readable shape of the overload
+// experiment: a budgeted, admission-controlled server under a hostile
+// mix, reporting how many requests were served vs killed by a budget vs
+// refused at admission, and what the storm did to control-read tails.
+type overloadReport struct {
+	Experiment string  `json:"experiment"`
+	Short      bool    `json:"short"`
+	Base       int     `json:"base"`
+	DurationNs int64   `json:"duration_ns"`
+	Served     int64   `json:"served"`
+	Tripped    int64   `json:"tripped"`
+	Refused    int64   `json:"refused"`
+	Auths      int64   `json:"auths"`
+	P50Ns      int64   `json:"control_p50_ns"`
+	P99Ns      int64   `json:"control_p99_ns"`
+	SrvTripped int64   `json:"server_limit_tripped"`
+	SrvRefused int64   `json:"server_overloaded"`
+	ServedQPS  float64 `json:"served_qps"`
+}
+
+// runOverload storms a budgeted server with mixed read/write/adversarial
+// load and reports tripped-vs-served counts with control-read latency.
+func runOverload(jsonOut, short bool) any {
+	opts := bench.OverloadOptions{Base: 10000, Duration: 3 * time.Second}
+	if short {
+		opts = bench.OverloadOptions{Base: 2000, Duration: time.Second}
+	}
+	r, err := bench.RunOverload(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "overload: %v\n", err)
+		os.Exit(1)
+	}
+	report := overloadReport{
+		Experiment: "overload", Short: short, Base: r.Base,
+		DurationNs: r.Duration.Nanoseconds(),
+		Served:     r.Served, Tripped: r.Tripped, Refused: r.Refused, Auths: r.Auths,
+		P50Ns: r.P50.Nanoseconds(), P99Ns: r.P99.Nanoseconds(),
+		SrvTripped: r.Stats.LimitTripped, SrvRefused: r.Stats.Overloaded,
+		ServedQPS: float64(r.Served) / r.Duration.Seconds(),
+	}
+	if jsonOut {
+		return report
+	}
+	fmt.Printf("== Overload: budgeted server under a hostile mix (%d-fact base, %.1fs) ==\n",
+		r.Base, r.Duration.Seconds())
+	fmt.Println("(every adversarial request must die with a typed LB-LIMIT-* error;")
+	fmt.Println(" control reads keep completing through the storm)")
+	fmt.Println()
+	fmt.Printf("%12s %12s %12s %10s %14s %12s %12s\n",
+		"served", "tripped", "refused", "auths", "served-qps", "p50(us)", "p99(us)")
+	fmt.Printf("%12d %12d %12d %10d %14.0f %12.1f %12.1f\n",
+		report.Served, report.Tripped, report.Refused, report.Auths, report.ServedQPS,
+		float64(report.P50Ns)/1e3, float64(report.P99Ns)/1e3)
+	fmt.Printf("\nserver counters: limit_tripped=%d overloaded=%d\n\n",
+		report.SrvTripped, report.SrvRefused)
 	return report
 }
 

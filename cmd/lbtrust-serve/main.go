@@ -18,6 +18,13 @@
 // to <dir>/<name>.key (0600) so out-of-process clients can authenticate
 // (see `lbtrust -connect`). -anon names a principal whose context answers
 // queries from unauthenticated sessions.
+//
+// Resource governance: -query-gas/-query-timeout and
+// -write-gas/-write-timeout/-write-tuples/-write-mem bound what any one
+// request may spend evaluating (tripped requests fail with LB-LIMIT-*
+// codes and roll back; see docs/DIAGNOSTICS.md), -max-inflight and
+// -max-per-principal refuse work beyond the configured concurrency, and
+// -idle-timeout reaps stalled or half-open connections.
 package main
 
 import (
@@ -52,6 +59,15 @@ func run() error {
 	exportKeys := flag.String("export-keys", "", "write each principal's private key DER to DIR/<name>.key (0600)")
 	program := flag.String("program", "", "LBTrust program file loaded into every created principal")
 	addrFile := flag.String("addr-file", "", "write the bound listen address to this file (for scripts using :0)")
+	queryGas := flag.Int64("query-gas", 0, "per-query gas budget in evaluation steps (0 = unlimited; trips LB-LIMIT-001)")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-query wall-clock deadline (0 = none; trips LB-LIMIT-002)")
+	writeGas := flag.Int64("write-gas", 0, "per-write flush gas budget in evaluation steps (0 = unlimited)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-write flush wall-clock deadline (0 = none)")
+	writeTuples := flag.Int64("write-tuples", 0, "per-write derived-tuple cap (0 = unlimited; trips LB-LIMIT-003)")
+	writeMem := flag.Int64("write-mem", 0, "per-write derived-tuple memory cap in bytes (0 = unlimited; trips LB-LIMIT-004)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent heavy requests node-wide (0 = unlimited; refusals get LB-LIMIT-005)")
+	maxPerPrin := flag.Int("max-per-principal", 0, "max concurrent heavy requests per principal (0 = unlimited)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "close connections that do not complete a request frame within this window (0 = never)")
 	flag.Parse()
 
 	var sys *lbtrust.System
@@ -127,7 +143,14 @@ func run() error {
 		}
 	}
 
-	srv, err := lbtrust.Serve(sys, *listen, lbtrust.ServerOptions{Anonymous: *anon})
+	srv, err := lbtrust.Serve(sys, *listen, lbtrust.ServerOptions{
+		Anonymous:       *anon,
+		QueryLimits:     lbtrust.Limits{Gas: *queryGas, Timeout: *queryTimeout},
+		WriteLimits:     lbtrust.Limits{Gas: *writeGas, Timeout: *writeTimeout, Tuples: *writeTuples, MemBytes: *writeMem},
+		MaxInflight:     *maxInflight,
+		MaxPerPrincipal: *maxPerPrin,
+		IdleTimeout:     *idleTimeout,
+	})
 	if err != nil {
 		return err
 	}

@@ -48,6 +48,15 @@ var Catalog = []Info{
 	{CodeRecGrowth, SevWarning, "value growth through recursion without a bound"},
 	{CodeConsAlways, SevError, "constraint violation asserted unconditionally"},
 	{CodeConsFloat, SevWarning, "constraint right-hand side unrelated to its left-hand side"},
+	// Resource-limit codes are raised at runtime by the evaluation budget
+	// (internal/datalog/budget.go) and the serving layer's admission
+	// control, not by AnalyzeSource; they are cataloged here so the error
+	// surface stays documented in one place.
+	{datalog.CodeLimitGas, SevError, "evaluation gas budget exhausted"},
+	{datalog.CodeLimitDeadline, SevError, "evaluation deadline exceeded"},
+	{datalog.CodeLimitTuples, SevError, "derived-tuple budget exhausted"},
+	{datalog.CodeLimitMem, SevError, "evaluation memory budget exhausted"},
+	{datalog.CodeLimitLoad, SevError, "server overloaded: admission refused"},
 }
 
 // catalogSeverity returns the cataloged severity for a code, defaulting

@@ -1,0 +1,84 @@
+package analysis_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"lbtrust/internal/analysis"
+	"lbtrust/internal/datalog"
+)
+
+// limitDiag renders a provoked *datalog.LimitError in the catalog's
+// diagnostic format (no position: limit errors name a request, not a
+// source location).
+func limitDiag(t *testing.T, err error) string {
+	t.Helper()
+	var le *datalog.LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v (%T), want *datalog.LimitError", err, err)
+	}
+	d := analysis.Diagnostic{
+		Code:     le.Code,
+		Severity: analysis.SevError,
+		Message:  le.Msg,
+	}
+	return d.String() + "\n"
+}
+
+// limitEval runs a cartesian-product workload under the given limits and
+// returns its rendered trip.
+func limitEval(t *testing.T, n int, limits datalog.Limits) string {
+	t.Helper()
+	db := datalog.NewDatabase()
+	rel := db.Rel("a", 1)
+	for i := 0; i < n; i++ {
+		rel.Insert(datalog.NewTuple(datalog.Sym(fmt.Sprintf("s%03d", i))))
+	}
+	ev := datalog.NewEvaluator(db, datalog.NewBuiltinSet())
+	prog, err := datalog.ParseProgram(`p(X,Y) <- a(X), a(Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.SetRules(prog.Rules); err != nil {
+		t.Fatal(err)
+	}
+	ev.Budget = limits.NewBudget()
+	return limitDiag(t, ev.Run())
+}
+
+// TestLimitsGolden covers the runtime resource-limit codes: like
+// LB-ARITY-003 they are raised during evaluation (or at the server's
+// admission gate), not by AnalyzeSource, so this test provokes each one
+// and pins its rendering in testdata/limits.golden through the same
+// format and -update flow as the static fixtures.
+func TestLimitsGolden(t *testing.T) {
+	var got string
+	got += limitEval(t, 100, datalog.Limits{Gas: 500})
+	got += limitEval(t, 64, datalog.Limits{Timeout: time.Nanosecond})
+	got += limitEval(t, 50, datalog.Limits{Tuples: 100})
+	got += limitEval(t, 50, datalog.Limits{MemBytes: 1 << 10})
+	// LB-LIMIT-005 is raised by the serving layer's admission gate
+	// (internal/server); the error value is the same *LimitError shape.
+	got += limitDiag(t, &datalog.LimitError{
+		Code: datalog.CodeLimitLoad,
+		Msg:  "server overloaded: 64 requests in flight (limit 64)",
+	})
+	golden := filepath.Join("testdata", "limits.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run TestLimitsGolden -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostic mismatch\ngot:\n%swant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,339 @@
+// Overload benchmark: a budgeted, admission-controlled server under a
+// hostile mix — control readers, RSA-signing writers, adversarial
+// sessions whose every request trips a budget, and an authentication
+// storm — measuring that governed refusal is cheap: adversarial work is
+// killed with typed errors while control reads keep their tail latency.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lbtrust/internal/core"
+	"lbtrust/internal/datalog"
+	"lbtrust/internal/server"
+	"lbtrust/internal/workspace"
+)
+
+// OverloadOptions configures RunOverload.
+type OverloadOptions struct {
+	// Base is the number of loaded facts in alice's workspace. The query
+	// gas budget is set to Base/2: point reads are thousands of times
+	// under it, full scans are always over it.
+	Base int
+	// Duration is how long the storm runs.
+	Duration time.Duration
+	// Readers / ScanReaders / Writers / TripWriters / AuthClients size
+	// each arm of the mix (see OverloadResult for what each arm counts).
+	Readers     int
+	ScanReaders int
+	Writers     int
+	TripWriters int
+	AuthClients int
+	// MaxInflight bounds concurrent heavy requests server-side; with the
+	// storm sized above it, some requests are refused with LB-LIMIT-005
+	// and retried by the workers.
+	MaxInflight int
+}
+
+// OverloadResult aggregates the storm.
+type OverloadResult struct {
+	Base     int
+	Duration time.Duration
+	// Served counts requests that completed normally (control reads,
+	// writes, and the queries of the auth arm).
+	Served int64
+	// Tripped counts requests killed by an evaluation budget
+	// (LB-LIMIT-001..004): every adversarial scan and runaway write.
+	Tripped int64
+	// Refused counts admission refusals (LB-LIMIT-005); the worker
+	// retried each one.
+	Refused int64
+	// Auths counts completed authentication handshakes (always admitted).
+	Auths int64
+	// P50/P99 are control-read latencies measured through the storm.
+	P50, P99 time.Duration
+	// Stats is the server's own view, for cross-checking: LimitTripped
+	// and Overloaded must match Tripped and Refused.
+	Stats server.Stats
+}
+
+// runawayProgram is the adversarial write workload: unbounded value
+// recursion (the paper's dd3 depth rule without its bounding
+// comparison). The rule alone is inert; each d(x, 0) assert detonates
+// it, trips the write gas budget, and rolls back.
+const runawayProgram = `
+grow: d(X, N+1) <- d(X, N), step(X).
+step(x).
+`
+
+// overloadSystem builds alice (base facts, RSA-signing says), bob (a
+// destination), and mallory (the runaway program pre-loaded, before
+// budgets arm) behind a budgeted server.
+func overloadSystem(opts OverloadOptions) (*core.System, *server.Server, error) {
+	sys := core.NewSystem()
+	fail := func(err error) (*core.System, *server.Server, error) {
+		sys.Close()
+		return nil, nil, err
+	}
+	for _, name := range []string{"alice", "bob", "mallory"} {
+		if _, err := sys.AddPrincipal(name); err != nil {
+			return fail(err)
+		}
+		if err := sys.EstablishRSA(name); err != nil {
+			return fail(err)
+		}
+	}
+	alice, _ := sys.Principal("alice")
+	if err := alice.UseScheme(core.SchemeRSA); err != nil {
+		return fail(err)
+	}
+	if err := alice.Update(func(tx *workspace.Tx) error {
+		for i := 0; i < opts.Base; i++ {
+			t := datalog.NewTuple(
+				datalog.Sym(fmt.Sprintf("u%d", i)),
+				datalog.Sym(fmt.Sprintf("o%d", i%97)),
+				datalog.Sym("read"),
+			)
+			if err := tx.AssertTuple("perm", t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return fail(err)
+	}
+	mallory, _ := sys.Principal("mallory")
+	if err := mallory.LoadProgram(runawayProgram); err != nil {
+		return fail(err)
+	}
+	srv, err := server.Serve(sys, "127.0.0.1:0", server.Options{
+		QueryLimits: datalog.Limits{Gas: int64(opts.Base) / 2},
+		WriteLimits: datalog.Limits{Gas: 20000},
+		MaxInflight: opts.MaxInflight,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	return sys, srv, nil
+}
+
+// classify routes one request outcome into the storm's counters.
+// Unexpected errors abort the run; refused requests are retried by the
+// caller looping.
+func classify(err error, served, tripped, refused *int64) error {
+	if err == nil {
+		atomic.AddInt64(served, 1)
+		return nil
+	}
+	var re *server.RemoteError
+	if !errors.As(err, &re) {
+		return err
+	}
+	switch re.Code {
+	case datalog.CodeLimitLoad:
+		atomic.AddInt64(refused, 1)
+	case datalog.CodeLimitGas, datalog.CodeLimitDeadline,
+		datalog.CodeLimitTuples, datalog.CodeLimitMem:
+		atomic.AddInt64(tripped, 1)
+	default:
+		return err
+	}
+	return nil
+}
+
+// RunOverload storms a budgeted server and reports served vs tripped vs
+// refused counts plus control-read tail latency.
+func RunOverload(opts OverloadOptions) (*OverloadResult, error) {
+	if opts.Base <= 0 {
+		opts.Base = 10000
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 2 * time.Second
+	}
+	if opts.Readers <= 0 {
+		opts.Readers = 4
+	}
+	if opts.ScanReaders <= 0 {
+		opts.ScanReaders = 2
+	}
+	if opts.Writers <= 0 {
+		opts.Writers = 1
+	}
+	if opts.TripWriters <= 0 {
+		opts.TripWriters = 1
+	}
+	if opts.AuthClients <= 0 {
+		opts.AuthClients = 1
+	}
+	if opts.MaxInflight <= 0 {
+		// One slot: the harshest admission setting. On a single-core CI
+		// runner requests rarely overlap server-side, so anything looser
+		// measures no refusals at all; with one slot every genuine
+		// overlap is refused and the workers' retry cost lands in the
+		// control-read tail.
+		opts.MaxInflight = 1
+	}
+	sys, srv, err := overloadSystem(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		srv.Close()
+		sys.Close()
+	}()
+
+	session := func(name string) (*server.Client, error) {
+		p, _ := sys.Principal(name)
+		c, err := server.Dial(srv.Addr())
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Authenticate(name, p.Keys()); err != nil {
+			c.Close()
+			return nil, err
+		}
+		return c, nil
+	}
+
+	res := &OverloadResult{Base: opts.Base}
+	var wg sync.WaitGroup
+	errCh := make(chan error, opts.Readers+opts.ScanReaders+opts.Writers+opts.TripWriters+opts.AuthClients)
+	lats := make([][]time.Duration, opts.Readers)
+	start := make(chan struct{})
+	deadline := time.Time{} // set after start so every arm sees the same window
+
+	arm := func(n int, fn func(i int) error) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if err := fn(i); err != nil {
+					errCh <- err
+				}
+			}(i)
+		}
+	}
+	// Control readers: cheap point queries, latency recorded.
+	arm(opts.Readers, func(i int) error {
+		c, err := session("alice")
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		lat := make([]time.Duration, 0, 4096)
+		<-start
+		for q := 0; time.Now().Before(deadline); q++ {
+			t0 := time.Now()
+			_, err := c.Query(fmt.Sprintf("perm(u%d, O, M)", (i*7919+q)%opts.Base))
+			d := time.Since(t0)
+			if err := classify(err, &res.Served, &res.Tripped, &res.Refused); err != nil {
+				return fmt.Errorf("control reader: %w", err)
+			}
+			if err == nil {
+				lat = append(lat, d)
+			}
+		}
+		lats[i] = lat
+		return nil
+	})
+	// Adversarial readers: full scans, always over the query gas budget.
+	arm(opts.ScanReaders, func(int) error {
+		c, err := session("alice")
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		<-start
+		for time.Now().Before(deadline) {
+			_, err := c.Query("perm(U, O, M)")
+			if err == nil {
+				return fmt.Errorf("full scan of %d facts evaded the gas budget", opts.Base)
+			}
+			if err := classify(err, &res.Served, &res.Tripped, &res.Refused); err != nil {
+				return fmt.Errorf("scan reader: %w", err)
+			}
+		}
+		return nil
+	})
+	// Writers: RSA-signed says batches, the legitimate heavy load.
+	arm(opts.Writers, func(i int) error {
+		c, err := session("alice")
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		<-start
+		for seq := 0; time.Now().Before(deadline); seq++ {
+			err := c.Say("bob", fmt.Sprintf("note(w%d_%d).", i, seq))
+			if err := classify(err, &res.Served, &res.Tripped, &res.Refused); err != nil {
+				return fmt.Errorf("writer: %w", err)
+			}
+		}
+		return nil
+	})
+	// Adversarial writers: every assert detonates the runaway recursion,
+	// trips the write budget, and rolls back.
+	arm(opts.TripWriters, func(int) error {
+		c, err := session("mallory")
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		<-start
+		for time.Now().Before(deadline) {
+			err := c.Assert("d(x, 0)")
+			if err == nil {
+				return errors.New("runaway recursion evaded the write gas budget")
+			}
+			if err := classify(err, &res.Served, &res.Tripped, &res.Refused); err != nil {
+				return fmt.Errorf("trip writer: %w", err)
+			}
+		}
+		return nil
+	})
+	// Auth storm: fresh handshakes, exempt from admission, then one
+	// point query each.
+	arm(opts.AuthClients, func(int) error {
+		<-start
+		for time.Now().Before(deadline) {
+			c, err := session("bob")
+			if err != nil {
+				return fmt.Errorf("auth storm: %w", err)
+			}
+			atomic.AddInt64(&res.Auths, 1)
+			_, qerr := c.Query("prin(alice)")
+			c.Close()
+			if err := classify(qerr, &res.Served, &res.Tripped, &res.Refused); err != nil {
+				return fmt.Errorf("auth storm query: %w", err)
+			}
+		}
+		return nil
+	})
+
+	deadline = time.Now().Add(opts.Duration)
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	res.Duration = time.Since(t0)
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) > 0 {
+		res.P50 = all[int(0.50*float64(len(all)-1))]
+		res.P99 = all[int(0.99*float64(len(all)-1))]
+	}
+	res.Stats = srv.Stats()
+	return res, nil
+}

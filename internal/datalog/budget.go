@@ -1,0 +1,152 @@
+package datalog
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Limits configures resource budgets for one evaluation or query. The zero
+// value means "no limits"; any field left zero is individually unlimited.
+// Limits is a plain value — it can be copied freely and stored in configs —
+// while Budget (see NewBudget) is the mutable per-request counter armed on
+// an Evaluator.
+type Limits struct {
+	// Gas bounds evaluation work: one unit is consumed per tuple
+	// enumerated while solving rule bodies or scanning a query. It is the
+	// deterministic limit — the same program and database trip at the
+	// same point on every machine.
+	Gas int64
+	// Tuples bounds the number of new tuples evaluation may derive.
+	Tuples int64
+	// MemBytes bounds the estimated retained size of newly derived
+	// tuples, using the storage engine's ~(64 + 16*arity) bytes/tuple
+	// cost model.
+	MemBytes int64
+	// Timeout is a wall-clock bound checked every 1024 gas steps.
+	Timeout time.Duration
+}
+
+// Enabled reports whether any limit is set.
+func (l Limits) Enabled() bool {
+	return l.Gas > 0 || l.Tuples > 0 || l.MemBytes > 0 || l.Timeout > 0
+}
+
+// NewBudget returns a fresh counter for one request under these limits, or
+// nil when no limit is set (a nil *Budget is "unlimited" everywhere).
+func (l Limits) NewBudget() *Budget {
+	if !l.Enabled() {
+		return nil
+	}
+	b := &Budget{gas: l.Gas, tuples: l.Tuples, mem: l.MemBytes}
+	if l.Timeout > 0 {
+		b.deadline = time.Now().Add(l.Timeout)
+	}
+	return b
+}
+
+// Budget is the mutable per-request resource counter. Arm one on
+// Evaluator.Budget before Run/RunDelta/Query; when a limit trips, the
+// evaluation returns a *LimitError carrying the matching LB-LIMIT-* code
+// and the evaluator stops where it stood. A Budget is not safe for
+// concurrent use; give each request its own.
+type Budget struct {
+	gas      int64
+	steps    int64
+	tuples   int64
+	derived  int64
+	mem      int64
+	memUsed  int64
+	deadline time.Time
+}
+
+// step consumes one unit of gas and periodically checks the deadline.
+func (b *Budget) step() error {
+	b.steps++
+	if b.gas > 0 && b.steps > b.gas {
+		return &LimitError{
+			Code: CodeLimitGas,
+			Msg:  fmt.Sprintf("gas budget exhausted: %d evaluation steps used", b.gas),
+		}
+	}
+	if !b.deadline.IsZero() && b.steps&1023 == 0 && time.Now().After(b.deadline) {
+		return b.deadlineErr()
+	}
+	return nil
+}
+
+// derive accounts one newly inserted derived tuple against the tuple and
+// memory caps.
+func (b *Budget) derive(t Tuple) error {
+	b.derived++
+	if b.tuples > 0 && b.derived > b.tuples {
+		return &LimitError{
+			Code: CodeLimitTuples,
+			Msg:  fmt.Sprintf("derived-tuple budget exhausted: %d tuples derived", b.tuples),
+		}
+	}
+	b.memUsed += 64 + 16*int64(t.Len())
+	if b.mem > 0 && b.memUsed > b.mem {
+		return &LimitError{
+			Code: CodeLimitMem,
+			Msg:  fmt.Sprintf("memory budget exhausted: ~%d bytes of derived tuples (limit %d)", b.memUsed, b.mem),
+		}
+	}
+	return nil
+}
+
+// CheckDeadline reports a LimitError if the wall-clock deadline has
+// passed. Evaluation checks it every 1024 steps; callers driving long
+// loops outside the evaluator (e.g. the workspace meta loop) may call it
+// directly.
+func (b *Budget) CheckDeadline() error {
+	if b == nil || b.deadline.IsZero() || !time.Now().After(b.deadline) {
+		return nil
+	}
+	return b.deadlineErr()
+}
+
+func (b *Budget) deadlineErr() error {
+	return &LimitError{
+		Code: CodeLimitDeadline,
+		Msg:  fmt.Sprintf("evaluation deadline exceeded after %d steps", b.steps),
+	}
+}
+
+// Steps returns the gas consumed so far (for stats and tests).
+func (b *Budget) Steps() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.steps
+}
+
+// Derived returns the number of derived tuples accounted so far.
+func (b *Budget) Derived() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.derived
+}
+
+// LimitError is a tripped resource budget: the request exceeded a
+// configured gas, deadline, tuple, or memory limit (or was refused by
+// server admission control). It carries a stable LB-LIMIT-* code from the
+// catalog in docs/DIAGNOSTICS.md and travels over the serve protocol like
+// any other coded diagnostic.
+type LimitError struct {
+	Code string
+	Msg  string
+}
+
+func (e *LimitError) Error() string { return e.Code + ": " + e.Msg }
+
+// DiagnosticCode returns the stable catalog code.
+func (e *LimitError) DiagnosticCode() string { return e.Code }
+
+// IsLimit reports whether err (anywhere in its chain) is a tripped
+// resource limit or admission refusal.
+func IsLimit(err error) bool {
+	var le *LimitError
+	return errors.As(err, &le)
+}

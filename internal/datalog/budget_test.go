@@ -1,0 +1,132 @@
+package datalog
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// budgetEval builds an evaluator over n unary a-facts with the given rules
+// installed (not yet run) and the given limits armed.
+func budgetEval(t *testing.T, ruleSrc string, n int, limits Limits) *Evaluator {
+	t.Helper()
+	db := NewDatabase()
+	rel := db.Rel("a", 1)
+	for i := 0; i < n; i++ {
+		rel.Insert(NewTuple(Sym(fmt.Sprintf("s%03d", i))))
+	}
+	ev := NewEvaluator(db, NewBuiltinSet())
+	prog, err := ParseProgram(ruleSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := ev.SetRules(prog.Rules); err != nil {
+		t.Fatalf("set rules: %v", err)
+	}
+	ev.Budget = limits.NewBudget()
+	return ev
+}
+
+const productRule = `p(X,Y) <- a(X), a(Y).`
+
+func TestBudgetGasTrips(t *testing.T) {
+	// 100 x 100 cartesian product wants >10k enumeration steps.
+	ev := budgetEval(t, productRule, 100, Limits{Gas: 500})
+	err := ev.Run()
+	if err == nil {
+		t.Fatal("run under a 500-step gas budget must trip")
+	}
+	var le *LimitError
+	if !errors.As(err, &le) || le.Code != CodeLimitGas {
+		t.Fatalf("err = %v, want *LimitError with %s", err, CodeLimitGas)
+	}
+	// The rendering is pinned: docs/DIAGNOSTICS.md shows this message.
+	if got, want := err.Error(), "LB-LIMIT-001: gas budget exhausted: 500 evaluation steps used"; got != want {
+		t.Errorf("rendering = %q, want %q", got, want)
+	}
+	if ErrCode(err) != CodeLimitGas {
+		t.Errorf("ErrCode = %q", ErrCode(err))
+	}
+}
+
+func TestBudgetTuplesTrip(t *testing.T) {
+	ev := budgetEval(t, productRule, 50, Limits{Tuples: 100})
+	err := ev.Run()
+	if ErrCode(err) != CodeLimitTuples {
+		t.Fatalf("err = %v, want code %s", err, CodeLimitTuples)
+	}
+}
+
+func TestBudgetMemTrips(t *testing.T) {
+	// Each derived p/2 tuple is charged ~96 bytes; 1 KiB caps it fast.
+	ev := budgetEval(t, productRule, 50, Limits{MemBytes: 1 << 10})
+	err := ev.Run()
+	if ErrCode(err) != CodeLimitMem {
+		t.Fatalf("err = %v, want code %s", err, CodeLimitMem)
+	}
+}
+
+func TestBudgetDeadlineTrips(t *testing.T) {
+	// The deadline is checked every 1024 steps: 64 x 64 = 4096+ steps with
+	// an already-expired deadline must trip on the first check.
+	ev := budgetEval(t, productRule, 64, Limits{Timeout: time.Nanosecond})
+	err := ev.Run()
+	if ErrCode(err) != CodeLimitDeadline {
+		t.Fatalf("err = %v, want code %s", err, CodeLimitDeadline)
+	}
+}
+
+func TestBudgetDisabledIsNil(t *testing.T) {
+	if b := (Limits{}).NewBudget(); b != nil {
+		t.Fatalf("zero limits must produce a nil budget, got %+v", b)
+	}
+	ev := budgetEval(t, productRule, 30, Limits{})
+	if ev.Budget != nil {
+		t.Fatal("evaluator armed with a budget despite no limits")
+	}
+	if err := ev.Run(); err != nil {
+		t.Fatalf("unbudgeted run: %v", err)
+	}
+	if rel, _ := ev.DB.Get("p"); rel.Len() != 900 {
+		t.Fatalf("p has %d tuples, want 900", rel.Len())
+	}
+}
+
+func TestBudgetGenerousLimitPasses(t *testing.T) {
+	ev := budgetEval(t, productRule, 30, Limits{Gas: 1 << 20, Tuples: 1 << 20, MemBytes: 1 << 30, Timeout: time.Minute})
+	if err := ev.Run(); err != nil {
+		t.Fatalf("run under generous limits: %v", err)
+	}
+	if rel, _ := ev.DB.Get("p"); rel.Len() != 900 {
+		t.Fatalf("p has %d tuples, want 900", rel.Len())
+	}
+	if ev.Budget.Steps() == 0 || ev.Budget.Derived() != 900 {
+		t.Fatalf("accounting: steps=%d derived=%d", ev.Budget.Steps(), ev.Budget.Derived())
+	}
+}
+
+func TestQueryGasTrips(t *testing.T) {
+	ev := budgetEval(t, productRule, 200, Limits{Gas: 50})
+	rows, err := ev.Query(&Atom{Pred: "a", Args: []Term{Var("X")}})
+	if ErrCode(err) != CodeLimitGas {
+		t.Fatalf("query err = %v (rows %d), want code %s", err, len(rows), CodeLimitGas)
+	}
+}
+
+func TestBudgetAggRuleGas(t *testing.T) {
+	ev := budgetEval(t, `t(N) <- agg<<N = count(X)>> a(X).`, 100, Limits{Gas: 20})
+	err := ev.Run()
+	if ErrCode(err) != CodeLimitGas {
+		t.Fatalf("agg err = %v, want code %s", err, CodeLimitGas)
+	}
+}
+
+func TestIsLimit(t *testing.T) {
+	if !IsLimit(fmt.Errorf("wrapping: %w", &LimitError{Code: CodeLimitGas, Msg: "x"})) {
+		t.Error("IsLimit must see through wrapping")
+	}
+	if IsLimit(errors.New("plain")) {
+		t.Error("IsLimit on a plain error")
+	}
+}

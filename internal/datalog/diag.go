@@ -36,6 +36,15 @@ const (
 	CodeArity        = "LB-ARITY-001" // predicate used with inconsistent arities
 	CodeBuiltinArity = "LB-ARITY-002" // built-in called with the wrong arity
 	CodeStoreArity   = "LB-ARITY-003" // stored relation accessed with a conflicting arity
+
+	// Resource-limit codes, carried by *LimitError (budget.go). Unlike the
+	// static-check codes above they are emitted at runtime, when a request
+	// exceeds a configured budget or the server refuses admission.
+	CodeLimitGas      = "LB-LIMIT-001" // evaluation gas budget exhausted
+	CodeLimitDeadline = "LB-LIMIT-002" // evaluation wall-clock deadline exceeded
+	CodeLimitTuples   = "LB-LIMIT-003" // derived-tuple budget exhausted
+	CodeLimitMem      = "LB-LIMIT-004" // evaluation memory budget exhausted
+	CodeLimitLoad     = "LB-LIMIT-005" // server overloaded: admission refused
 )
 
 // Coder is implemented by errors that carry a stable diagnostic code from

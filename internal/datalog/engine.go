@@ -55,6 +55,14 @@ type Evaluator struct {
 	// re-evaluates all rules against the full database. It exists for the
 	// ablation benchmarks; leave it false otherwise.
 	Naive bool
+	// Budget, when non-nil, bounds the work this evaluator may do: one
+	// gas unit per tuple enumerated while solving bodies or queries, plus
+	// derived-tuple and memory accounting on every new insertion. When a
+	// limit trips, Run/RunDelta/Query return a *LimitError and evaluation
+	// stops where it stood (the database may hold a partial fixpoint —
+	// callers that need atomicity must roll back, as the workspace does).
+	// The counter is owned by the caller: arm a fresh one per request.
+	Budget *Budget
 
 	rules []*compiledRule
 	strat *Stratification
@@ -308,6 +316,11 @@ func (ev *Evaluator) runStratum(s int, seed map[string]*Relation) error {
 			if !rel.Insert(t) {
 				return nil
 			}
+			if ev.Budget != nil {
+				if err := ev.Budget.derive(t); err != nil {
+					return err
+				}
+			}
 			d := newDelta[pred]
 			if d == nil {
 				d = NewRelation(pred, t.Len())
@@ -454,6 +467,7 @@ func (ev *Evaluator) evalRule(cr *compiledRule, order []int, forced int, delta *
 	en := newEnv()
 	var premises []Premise
 	collect := ev.Trace != nil || ev.OnDerive != nil
+	bud := ev.Budget
 
 	var step func(k int) error
 	step = func(k int) error {
@@ -506,6 +520,12 @@ func (ev *Evaluator) evalRule(cr *compiledRule, order []int, forced int, delta *
 		}
 		var iterErr error
 		rel.MatchEach(bound, func(t Tuple) bool {
+			if bud != nil {
+				if err := bud.step(); err != nil {
+					iterErr = err
+					return false
+				}
+			}
 			mark := en.mark()
 			ok := true
 			for i, at := range args {
@@ -647,6 +667,7 @@ func (ev *Evaluator) evalAggRule(cr *compiledRule, out func(Tuple, []Premise) er
 	}
 	groups := map[string]*group{}
 	en := newEnv()
+	bud := ev.Budget
 
 	var step func(k int) error
 	step = func(k int) error {
@@ -706,6 +727,12 @@ func (ev *Evaluator) evalAggRule(cr *compiledRule, out func(Tuple, []Premise) er
 		}
 		var iterErr error
 		rel.MatchEach(bound, func(t Tuple) bool {
+			if bud != nil {
+				if err := bud.step(); err != nil {
+					iterErr = err
+					return false
+				}
+			}
 			mark := en.mark()
 			ok := true
 			for i, at := range args {
@@ -806,7 +833,14 @@ func (ev *Evaluator) Query(a *Atom) ([]Tuple, error) {
 	}
 	var out []Tuple
 	var iterErr error
+	bud := ev.Budget
 	rel.MatchEach(bound, func(t Tuple) bool {
+		if bud != nil {
+			if err := bud.step(); err != nil {
+				iterErr = err
+				return false
+			}
+		}
 		mark := en.mark()
 		ok := true
 		for i, at := range args {

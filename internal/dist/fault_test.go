@@ -1,0 +1,142 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// faultPlanForSoak is the mix used by the fault soak: lost messages, lost
+// acks (delivered-but-failed, forcing duplicate resends), and duplicating
+// paths, all from one fixed seed.
+var faultPlanForSoak = FaultPlan{
+	Seed:      42,
+	Drop:      0.15,
+	FailAfter: 0.15,
+	Duplicate: 0.10,
+}
+
+// driveFaultSends pushes n envelopes through a fault-wrapped mem network
+// into a counting receiver and returns the per-send error pattern plus the
+// delivery count.
+func driveFaultSends(t *testing.T, plan FaultPlan, n int) ([]bool, int, FaultStats) {
+	t.Helper()
+	ft := NewFaultTransport(NewMemNetwork(), plan)
+	src, err := ft.Endpoint("src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := ft.Endpoint("dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	dst.SetReceiver(func(env *Envelope) error { delivered++; return nil })
+	pattern := make([]bool, n)
+	for i := 0; i < n; i++ {
+		env := &Envelope{From: "src", To: "dst", Sender: "alice", Principal: "bob", Pred: "inbox"}
+		err := src.Send("dst", env)
+		pattern[i] = err != nil
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("send %d: non-injected error %v", i, err)
+		}
+	}
+	return pattern, delivered, ft.Stats()
+}
+
+func TestFaultTransportDeterministic(t *testing.T) {
+	// The same plan over the same send sequence must fault identically.
+	p1, d1, s1 := driveFaultSends(t, faultPlanForSoak, 200)
+	p2, d2, s2 := driveFaultSends(t, faultPlanForSoak, 200)
+	if d1 != d2 || s1 != s2 {
+		t.Fatalf("two identical runs diverged: %d/%+v vs %d/%+v", d1, s1, d2, s2)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("fault pattern diverged at send %d", i)
+		}
+	}
+	// Delivery accounting: drop loses the envelope, duplicate delivers it
+	// twice, fail-after delivers once despite the error.
+	want := 200 - int(s1.Dropped) + int(s1.Duplicated)
+	if d1 != want {
+		t.Errorf("deliveries = %d, want %d (stats %+v)", d1, want, s1)
+	}
+	if s1.Dropped == 0 || s1.FailedAfter == 0 || s1.Duplicated == 0 {
+		t.Errorf("plan did not exercise every fault kind: %+v", s1)
+	}
+}
+
+func TestSyncExactlyOnceUnderFaults(t *testing.T) {
+	// Alice ships many tuples to bob through a faulty transport. Sync
+	// surfaces each injected failure; retrying must deliver every tuple
+	// exactly once — drops are requeued and resent, lost acks cause
+	// duplicate sends that the idempotent delivery path absorbs.
+	ft := NewFaultTransport(NewMemNetwork(), faultPlanForSoak)
+	rt, alice, bob := buildTwoNode(t, ft)
+
+	// Interleave asserts with syncs so the pump ships many small
+	// envelopes instead of batching everything into one: each envelope is
+	// a separate fault decision.
+	const total = 60
+	var syncErrs int
+	syncUntilClean := func() {
+		for attempt := 0; ; attempt++ {
+			if attempt > 500 {
+				t.Fatalf("sync did not converge after %d attempts (%d injected failures)", attempt, syncErrs)
+			}
+			err := rt.Sync(1000)
+			if err == nil {
+				return
+			}
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("sync: non-injected error %v", err)
+			}
+			syncErrs++
+		}
+	}
+	for i := 0; i < total; i++ {
+		send(t, alice, fmt.Sprintf("box[bob](alice, m%d)", i))
+		syncUntilClean()
+	}
+
+	got := bob.Facts("inbox")
+	if len(got) != total {
+		t.Fatalf("bob received %d tuples, want exactly %d", len(got), total)
+	}
+	seen := map[string]bool{}
+	for _, tu := range got {
+		if seen[tu.Key()] {
+			t.Fatalf("duplicate tuple in bob's inbox: %v", tu)
+		}
+		seen[tu.Key()] = true
+	}
+
+	// Requeue/SendFailures accounting: every injected send error (drop or
+	// lost ack) is one recorded failure, nothing else failed.
+	fs := ft.Stats()
+	injected := fs.Dropped + fs.FailedAfter
+	if injected == 0 {
+		t.Fatalf("soak injected no faults (stats %+v) — plan or seed regressed", fs)
+	}
+	rs := rt.Stats()
+	if rs.SendFailures != injected {
+		t.Errorf("runtime send failures = %d, want %d (fault stats %+v)", rs.SendFailures, injected, fs)
+	}
+	if int64(syncErrs) != injected {
+		t.Errorf("sync surfaced %d failures, transport injected %d", syncErrs, injected)
+	}
+}
+
+func TestFaultTransportDelay(t *testing.T) {
+	// Delayed sends still deliver (slowly); nothing is lost.
+	plan := FaultPlan{Seed: 7, Delay: 1.0, MaxDelay: time.Millisecond}
+	_, delivered, stats := driveFaultSends(t, plan, 20)
+	if delivered != 20 {
+		t.Fatalf("delay faults lost envelopes: delivered %d/20", delivered)
+	}
+	if stats.Delayed != 20 {
+		t.Fatalf("delayed = %d, want 20", stats.Delayed)
+	}
+}

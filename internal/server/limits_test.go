@@ -1,0 +1,350 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lbtrust/internal/core"
+	"lbtrust/internal/datalog"
+	"lbtrust/internal/dist"
+	"lbtrust/internal/workspace"
+)
+
+// dumpWS renders every relation of a workspace, sorted, so tests can
+// assert that a budget-tripped request left the state byte-identical.
+func dumpWS(w *workspace.Workspace) string {
+	names := w.DB().Names()
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		for _, t := range w.Facts(name) {
+			fmt.Fprintf(&b, "%s%s\n", name, t.Key())
+		}
+	}
+	return b.String()
+}
+
+// remoteCode extracts the diagnostic code the err frame carried.
+func remoteCode(t *testing.T, err error) string {
+	t.Helper()
+	if err == nil {
+		t.Fatal("request must fail with a limit error, got nil")
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v (%T), want *RemoteError", err, err)
+	}
+	return re.Code
+}
+
+// controlQuery asserts the node still answers a cheap read.
+func controlQuery(t *testing.T, c *Client) {
+	t.Helper()
+	if _, err := c.Query("prin(X)"); err != nil {
+		t.Fatalf("control query on a healthy node failed: %v", err)
+	}
+}
+
+// The adversarial corpus: each program class trips its intended
+// LB-LIMIT-* code over the wire, rolls back byte-identically, and the
+// node keeps answering.
+
+func TestAdversarialRecursionTripsGas(t *testing.T) {
+	sys, srv := newTestSystem(t, Options{WriteLimits: datalog.Limits{Gas: 20000}})
+	alice := authedClient(t, sys, srv, "alice")
+	bobC := authedClient(t, sys, srv, "bob")
+
+	// Unbounded value recursion (the paper's dd3 depth rule without its
+	// bounding comparison): the flush would never terminate.
+	if err := alice.Assert(`grow: d(X, N+1) <- d(X, N), step(X).`); err != nil {
+		t.Fatalf("installing recursion rule: %v", err)
+	}
+	if err := alice.Assert(`step(x)`); err != nil {
+		t.Fatalf("step fact: %v", err)
+	}
+	aliceP, _ := sys.Principal("alice")
+	pre := dumpWS(aliceP.Workspace())
+
+	err := alice.Assert(`d(x, 0)`)
+	if code := remoteCode(t, err); code != datalog.CodeLimitGas {
+		t.Fatalf("runaway recursion code = %q, want %s", code, datalog.CodeLimitGas)
+	}
+	if got := dumpWS(aliceP.Workspace()); got != pre {
+		t.Fatal("tripped flush did not roll back byte-identically")
+	}
+	controlQuery(t, bobC)
+	// The session that tripped is still usable too.
+	if err := alice.Assert(`hello(world)`); err != nil {
+		t.Fatalf("benign write on the tripped session: %v", err)
+	}
+	if st, err := alice.Stats(); err != nil || st.LimitTripped == 0 {
+		t.Fatalf("stats after trip: %+v err=%v, want limit_tripped > 0", st, err)
+	}
+}
+
+func TestAdversarialCartesianTripsTupleCap(t *testing.T) {
+	sys, srv := newTestSystem(t, Options{WriteLimits: datalog.Limits{Tuples: 2000}})
+	alice := authedClient(t, sys, srv, "alice")
+	bobC := authedClient(t, sys, srv, "bob")
+
+	if err := alice.Assert(`blow: p(X,Y,Z) <- a(X), a(Y), a(Z).`); err != nil {
+		t.Fatalf("installing product rule: %v", err)
+	}
+	aliceP, _ := sys.Principal("alice")
+	tripped := false
+	for i := 0; i < 40 && !tripped; i++ {
+		pre := dumpWS(aliceP.Workspace())
+		if err := alice.Assert(fmt.Sprintf("a(s%03d)", i)); err != nil {
+			if code := remoteCode(t, err); code != datalog.CodeLimitTuples {
+				t.Fatalf("cartesian blowup code = %q, want %s", code, datalog.CodeLimitTuples)
+			}
+			if got := dumpWS(aliceP.Workspace()); got != pre {
+				t.Fatal("tripped flush did not roll back byte-identically")
+			}
+			tripped = true
+		}
+	}
+	if !tripped {
+		t.Fatal("40 inserts under a 2000-tuple cap never tripped the cubic product")
+	}
+	controlQuery(t, bobC)
+}
+
+func TestAdversarialDelegationChainTripsMem(t *testing.T) {
+	// A deep delegation chain whose transitive closure is asked for in
+	// one request: quadratically many reach pairs blow the memory cap.
+	sys := core.NewSystem()
+	for _, name := range []string{"alice", "bob"} {
+		if _, err := sys.AddPrincipal(name); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.EstablishRSA(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	aliceP, _ := sys.Principal("alice")
+	// The chain itself loads unbudgeted (before Serve installs limits).
+	var chain strings.Builder
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&chain, "next(s%03d, s%03d).\n", i, i+1)
+	}
+	if err := aliceP.LoadProgram(chain.String()); err != nil {
+		t.Fatalf("loading chain: %v", err)
+	}
+	srv, err := Serve(sys, "127.0.0.1:0", Options{WriteLimits: datalog.Limits{MemBytes: 64 << 10}})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	t.Cleanup(func() { srv.Close(); sys.Close() })
+
+	alice := authedClient(t, sys, srv, "alice")
+	if err := alice.Assert(`seed: reach(X,Y) <- next(X,Y).`); err != nil {
+		t.Fatalf("seed rule: %v", err)
+	}
+	pre := dumpWS(aliceP.Workspace())
+	err = alice.Assert(`tc: reach(X,Z) <- reach(X,Y), next(Y,Z).`)
+	if code := remoteCode(t, err); code != datalog.CodeLimitMem {
+		t.Fatalf("closure code = %q, want %s", code, datalog.CodeLimitMem)
+	}
+	if got := dumpWS(aliceP.Workspace()); got != pre {
+		t.Fatal("tripped closure did not roll back byte-identically")
+	}
+	controlQuery(t, alice)
+}
+
+func TestRunawayTripsWhileControlSessionsComplete(t *testing.T) {
+	// The acceptance criterion: adversarial requests trip their budgets
+	// while concurrent sessions keep completing. Run under -race in CI.
+	sys, srv := newTestSystem(t, Options{
+		QueryLimits: datalog.Limits{Gas: 500},
+		WriteLimits: datalog.Limits{Gas: 20000},
+	})
+	bobP, _ := sys.Principal("bob")
+	if err := bobP.Update(func(tx *workspace.Tx) error {
+		for i := 0; i < 1200; i++ {
+			if err := tx.Assert(fmt.Sprintf("greeting(g%04d)", i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("seeding bob: %v", err)
+	}
+
+	alice := authedClient(t, sys, srv, "alice")
+	if err := alice.Assert(`grow: d(X, N+1) <- d(X, N), step(X).`); err != nil {
+		t.Fatalf("recursion rule: %v", err)
+	}
+	if err := alice.Assert(`step(x)`); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	// Control sessions: cheap point queries must all complete.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := authedClient(t, sys, srv, "bob")
+			for i := 0; i < 25; i++ {
+				if _, err := c.Query("greeting(g0001)"); err != nil {
+					errs <- fmt.Errorf("control query: %w", err)
+					return
+				}
+			}
+		}()
+	}
+	// Adversarial write session: every attempt trips, nothing sticks.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := authedClient(t, sys, srv, "alice")
+		for i := 0; i < 10; i++ {
+			err := c.Assert(`d(x, 0)`)
+			var re *RemoteError
+			if !errors.As(err, &re) || re.Code != datalog.CodeLimitGas {
+				errs <- fmt.Errorf("runaway write %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	// Adversarial read session: full scans past the query gas budget.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := authedClient(t, sys, srv, "bob")
+		for i := 0; i < 10; i++ {
+			_, err := c.Query("greeting(X)")
+			var re *RemoteError
+			if !errors.As(err, &re) || re.Code != datalog.CodeLimitGas {
+				errs <- fmt.Errorf("runaway query %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := srv.Stats()
+	if st.LimitTripped < 20 {
+		t.Errorf("limit_tripped = %d, want >= 20", st.LimitTripped)
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	sys, srv := newTestSystem(t, Options{
+		Anonymous:       "bob",
+		MaxInflight:     2,
+		MaxPerPrincipal: 1,
+	})
+
+	// Deterministic slot accounting, same package: one principal cannot
+	// take a second slot, a second principal can, and the total bound
+	// refuses the third.
+	if err := srv.admit("alice"); err != nil {
+		t.Fatalf("first slot: %v", err)
+	}
+	if err := srv.admit("alice"); datalog.ErrCode(err) != datalog.CodeLimitLoad {
+		t.Fatalf("per-principal refusal = %v, want %s", err, datalog.CodeLimitLoad)
+	}
+	if err := srv.admit("bob"); err != nil {
+		t.Fatalf("second principal must still find room: %v", err)
+	}
+	if err := srv.admit("carol"); datalog.ErrCode(err) != datalog.CodeLimitLoad {
+		t.Fatalf("total-bound refusal = %v, want %s", err, datalog.CodeLimitLoad)
+	}
+
+	// Over the wire: with every slot held, a request is refused with the
+	// typed code; stats is exempt from admission so the operator can see
+	// the overload; releasing a slot readmits.
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	_, qerr := c.Query("prin(X)")
+	var re *RemoteError
+	if !errors.As(qerr, &re) || re.Code != datalog.CodeLimitLoad {
+		t.Fatalf("overloaded query = %v, want RemoteError %s", qerr, datalog.CodeLimitLoad)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("stats during overload: %v", err)
+	}
+	if st.Overloaded < 3 {
+		t.Errorf("overloaded = %d, want >= 3", st.Overloaded)
+	}
+	srv.release("alice")
+	srv.release("bob")
+	if _, err := c.Query("prin(X)"); err != nil {
+		t.Fatalf("query after slots freed: %v", err)
+	}
+	_ = sys
+}
+
+func TestSlowLorisReapedWithoutHurtingLiveSessions(t *testing.T) {
+	const idle = 250 * time.Millisecond
+	sys, srv := newTestSystem(t, Options{Anonymous: "bob", IdleTimeout: idle})
+
+	// A half-open client: connects, sends nothing, holds the socket.
+	stalled, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer stalled.Close()
+	// A slow-loris client: starts a frame and trickles nothing more, so a
+	// naive per-read deadline would keep resetting.
+	loris, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer loris.Close()
+	if _, err := loris.Write([]byte{0, 0}); err != nil {
+		t.Fatalf("partial frame: %v", err)
+	}
+
+	// A live session keeps querying with think time inside the window.
+	live := authedClient(t, sys, srv, "bob")
+	deadline := time.Now().Add(3 * idle)
+	for time.Now().Before(deadline) {
+		if _, err := live.Query("prin(X)"); err != nil {
+			t.Fatalf("live session broken while stalled peers were reaped: %v", err)
+		}
+		time.Sleep(idle / 5)
+	}
+
+	// Both stalled connections must be closed by now: draining them hits
+	// EOF once the greeting bytes are consumed.
+	for name, conn := range map[string]net.Conn{"half-open": stalled, "slow-loris": loris} {
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		buf := make([]byte, 4096)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				if ne, ok := err.(net.Error); ok && ne.Timeout() {
+					t.Errorf("%s connection still open after 3x idle timeout", name)
+				}
+				break
+			}
+		}
+	}
+	if st := srv.Stats(); st.IdleReaped < 2 {
+		t.Errorf("idle_reaped = %d, want >= 2", st.IdleReaped)
+	}
+	// And the live session still works.
+	if _, err := live.Query("prin(X)"); err != nil {
+		t.Fatalf("live session after reaping: %v", err)
+	}
+}
+
+// ErrInjected reference keeps the dist import honest if the soak helpers
+// move; the fault soak itself lives in internal/dist.
+var _ = dist.ErrInjected

@@ -40,6 +40,28 @@
 // diagnostics refuse the write with their code in the err frame, and
 // warning-severity diagnostics ride back one per line after the ok
 // status ("ok\n<warning per line>").
+//
+// # Resource limits
+//
+// A server started with budgets (Options.QueryLimits /
+// Options.WriteLimits, or the corresponding lbtrust-serve flags)
+// bounds each request independently: queries run under the query
+// budget, and the flush triggered by assert/retract/say/sync runs
+// under the write budget. A tripped budget fails exactly that request
+// with an err frame carrying an LB-LIMIT-* code (gas LB-LIMIT-001,
+// deadline LB-LIMIT-002, derived tuples LB-LIMIT-003, memory
+// LB-LIMIT-004); a tripped write rolls the workspace back to its
+// pre-request state before the frame is sent, so a failed request is
+// never partially visible. Budgets are per-request: the next request
+// on the same session starts fresh.
+//
+// Admission control (Options.MaxInflight / Options.MaxPerPrincipal)
+// refuses — never queues — work beyond the configured concurrency with
+// LB-LIMIT-005. hello, auth, and stats are always admitted so an
+// overloaded node can still be authenticated against and inspected.
+// Options.IdleTimeout bounds how long the server waits for a complete
+// request frame; a stalled or half-open connection is closed (counted
+// in ServeStats.IdleReaped) without affecting other sessions.
 package server
 
 import (

@@ -24,11 +24,13 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lbtrust/internal/analysis"
 	"lbtrust/internal/core"
@@ -47,6 +49,33 @@ type Options struct {
 	// behavior the snapshot path exists to remove. Only the serve
 	// benchmark's A/B comparison sets it.
 	LockedReads bool
+
+	// QueryLimits bounds read-side evaluation and WriteLimits bounds
+	// write-side (flush) evaluation for every principal workspace the
+	// system holds when Serve is called (principals added later keep
+	// whatever limits their workspace carries). Zero values mean
+	// unlimited. A tripped budget fails exactly the one request with a
+	// typed LB-LIMIT-* err frame; the session and the node keep serving,
+	// and a tripped write rolls the workspace back to its pre-request
+	// state.
+	QueryLimits datalog.Limits
+	WriteLimits datalog.Limits
+	// MaxInflight bounds the number of concurrently executing requests
+	// (admission control; 0 = unbounded). A request beyond the bound is
+	// refused immediately with LB-LIMIT-005 rather than queued.
+	MaxInflight int
+	// MaxPerPrincipal bounds the concurrently executing requests of any
+	// one principal context (0 = unbounded), so a storming client cannot
+	// occupy every admission slot: other principals' requests still find
+	// room under MaxInflight.
+	MaxPerPrincipal int
+	// IdleTimeout reaps stalled connections: each request frame must
+	// arrive, and each response frame be written, within this window
+	// (0 = no deadline). Half-open or slow-loris peers are disconnected;
+	// a live session that simply pauses between requests is also closed
+	// and must reconnect, so pick a window comfortably above client
+	// think time.
+	IdleTimeout time.Duration
 }
 
 // Stats is a snapshot of the server's counters.
@@ -59,6 +88,13 @@ type Stats struct {
 	Writes       int64 `json:"writes"` // asserts + retracts + says
 	Syncs        int64 `json:"syncs"`
 	Refused      int64 `json:"refused"` // requests denied for missing authentication
+	// LimitTripped counts requests killed by a resource budget
+	// (LB-LIMIT-001..004); Overloaded counts requests refused by
+	// admission control (LB-LIMIT-005); IdleReaped counts connections
+	// closed by the idle deadline.
+	LimitTripped int64 `json:"limit_tripped"`
+	Overloaded   int64 `json:"overloaded"`
+	IdleReaped   int64 `json:"idle_reaped"`
 	// Dist carries the distribution runtime's counters, so one stats call
 	// shows the whole system.
 	Dist dist.Stats `json:"dist"`
@@ -75,8 +111,17 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	sessions, active, authOK, authFail int64
-	queries, writes, syncs, refused    int64
+	sessions, active, authOK, authFail   int64
+	queries, writes, syncs, refused      int64
+	limitTripped, overloaded, idleReaped int64
+
+	// Admission state: the count of requests currently executing, total
+	// and per principal context. Guarded by admitMu (not s.mu: admission
+	// is on every request's path and must not contend with connection
+	// bookkeeping).
+	admitMu  sync.Mutex
+	inflight int
+	perPrin  map[string]int
 }
 
 // Serve starts a server for the system on the given TCP address (e.g.
@@ -86,10 +131,63 @@ func Serve(sys *core.System, addr string, opts Options) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
 	}
-	s := &Server{sys: sys, opts: opts, ln: ln, conns: map[net.Conn]struct{}{}}
+	s := &Server{sys: sys, opts: opts, ln: ln, conns: map[net.Conn]struct{}{}, perPrin: map[string]int{}}
+	// Install the configured evaluation budgets on every principal
+	// workspace the system holds right now. Limits are a property of the
+	// workspace (they also bind embedded callers), so principals created
+	// after Serve keep whatever limits their creator set.
+	if opts.QueryLimits.Enabled() || opts.WriteLimits.Enabled() {
+		for _, name := range sys.Principals() {
+			if p, ok := sys.Principal(name); ok {
+				p.Workspace().SetLimits(opts.QueryLimits, opts.WriteLimits)
+			}
+		}
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// admit reserves an execution slot for one request in the given principal
+// context ("" for unauthenticated). It refuses — with the typed
+// LB-LIMIT-005 error, never by queuing — when the server or the principal
+// is at its concurrency bound.
+func (s *Server) admit(who string) error {
+	if s.opts.MaxInflight <= 0 && s.opts.MaxPerPrincipal <= 0 {
+		return nil
+	}
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	if s.opts.MaxInflight > 0 && s.inflight >= s.opts.MaxInflight {
+		atomic.AddInt64(&s.overloaded, 1)
+		return &datalog.LimitError{
+			Code: datalog.CodeLimitLoad,
+			Msg:  fmt.Sprintf("server overloaded: %d requests in flight (limit %d)", s.inflight, s.opts.MaxInflight),
+		}
+	}
+	if s.opts.MaxPerPrincipal > 0 && s.perPrin[who] >= s.opts.MaxPerPrincipal {
+		atomic.AddInt64(&s.overloaded, 1)
+		return &datalog.LimitError{
+			Code: datalog.CodeLimitLoad,
+			Msg:  fmt.Sprintf("principal %q at its concurrency limit (%d requests in flight)", who, s.opts.MaxPerPrincipal),
+		}
+	}
+	s.inflight++
+	s.perPrin[who]++
+	return nil
+}
+
+// release returns the slot taken by admit.
+func (s *Server) release(who string) {
+	if s.opts.MaxInflight <= 0 && s.opts.MaxPerPrincipal <= 0 {
+		return
+	}
+	s.admitMu.Lock()
+	s.inflight--
+	if s.perPrin[who]--; s.perPrin[who] <= 0 {
+		delete(s.perPrin, who)
+	}
+	s.admitMu.Unlock()
 }
 
 // Addr returns the bound listen address.
@@ -110,6 +208,9 @@ func (s *Server) Stats() Stats {
 		Writes:       atomic.LoadInt64(&s.writes),
 		Syncs:        atomic.LoadInt64(&s.syncs),
 		Refused:      atomic.LoadInt64(&s.refused),
+		LimitTripped: atomic.LoadInt64(&s.limitTripped),
+		Overloaded:   atomic.LoadInt64(&s.overloaded),
+		IdleReaped:   atomic.LoadInt64(&s.idleReaped),
 		Dist:         s.sys.Stats(),
 	}
 }
@@ -180,23 +281,51 @@ func (s *Server) serve(conn net.Conn) {
 		atomic.AddInt64(&s.active, -1)
 		s.wg.Done()
 	}()
+	idle := s.opts.IdleTimeout
+	if idle > 0 {
+		conn.SetWriteDeadline(time.Now().Add(idle))
+	}
 	if err := dist.WriteFrame(conn, []byte(Magic+" system")); err != nil {
 		return
 	}
 	sess := &session{}
 	for {
+		// One deadline spans the whole frame read, so a slow-loris peer
+		// trickling a byte at a time is reaped just like a silent one: the
+		// clock does not reset on partial progress.
+		if idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		}
 		data, err := dist.ReadFrameLimit(conn, maxRequestFrame)
 		if err != nil {
-			return // EOF, oversized/mid-frame request, or broken peer
+			if isTimeout(err) {
+				atomic.AddInt64(&s.idleReaped, 1)
+			}
+			return // EOF, timeout, oversized/mid-frame request, or broken peer
 		}
 		resp := s.handle(sess, data)
+		if idle > 0 {
+			conn.SetWriteDeadline(time.Now().Add(idle))
+		}
 		if err := dist.WriteFrame(conn, resp); err != nil {
+			if isTimeout(err) {
+				atomic.AddInt64(&s.idleReaped, 1)
+			}
 			return
 		}
 	}
 }
 
+// isTimeout reports whether the wire error is an expired I/O deadline.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // handle dispatches one request frame and returns the response frame.
+// Heavy verbs (query, writes, sync) pass admission control first;
+// authentication and stats are always admitted, so an operator can still
+// inspect an overloaded node.
 func (s *Server) handle(sess *session, data []byte) []byte {
 	req, err := parseRequest(data)
 	if err != nil {
@@ -207,22 +336,33 @@ func (s *Server) handle(sess *session, data []byte) []byte {
 		return s.hello(sess, req.text)
 	case "auth":
 		return s.auth(sess, req.text)
-	case "query":
-		return s.query(sess, req.text)
-	case "assert", "retract":
-		return s.write(sess, req.verb, req.text)
-	case "say":
-		return s.say(sess, req.to, req.text)
-	case "sync":
-		if sess.principal == nil {
-			atomic.AddInt64(&s.refused, 1)
-			return errFrame(fmt.Errorf("server: sync requires an authenticated session"))
+	case "query", "assert", "retract", "say", "sync":
+		who := ""
+		if sess.principal != nil {
+			who = sess.principal.Name()
 		}
-		atomic.AddInt64(&s.syncs, 1)
-		if err := s.sys.Sync(); err != nil {
+		if err := s.admit(who); err != nil {
 			return errFrame(err)
 		}
-		return []byte("ok")
+		defer s.release(who)
+		switch req.verb {
+		case "query":
+			return s.query(sess, req.text)
+		case "assert", "retract":
+			return s.write(sess, req.verb, req.text)
+		case "say":
+			return s.say(sess, req.to, req.text)
+		default: // sync
+			if sess.principal == nil {
+				atomic.AddInt64(&s.refused, 1)
+				return errFrame(fmt.Errorf("server: sync requires an authenticated session"))
+			}
+			atomic.AddInt64(&s.syncs, 1)
+			if err := s.sys.Sync(); err != nil {
+				return s.evalErrFrame(err)
+			}
+			return []byte("ok")
+		}
 	case "stats":
 		blob, err := json.Marshal(s.Stats())
 		if err != nil {
@@ -231,6 +371,15 @@ func (s *Server) handle(sess *session, data []byte) []byte {
 		return append([]byte(fmt.Sprintf("json %d\n", len(blob))), blob...)
 	}
 	return errFrame(fmt.Errorf("server: unknown verb %q", req.verb))
+}
+
+// evalErrFrame is errFrame plus accounting: evaluation failures caused by
+// a tripped resource budget count in Stats.LimitTripped.
+func (s *Server) evalErrFrame(err error) []byte {
+	if datalog.IsLimit(err) {
+		atomic.AddInt64(&s.limitTripped, 1)
+	}
+	return errFrame(err)
 }
 
 // hello begins challenge–response authentication: the claimed principal
@@ -307,7 +456,7 @@ func (s *Server) query(sess *session, src string) []byte {
 		rows, err = p.Workspace().Snapshot().Query(src)
 	}
 	if err != nil {
-		return errFrame(err)
+		return s.evalErrFrame(err)
 	}
 	return encodeRows(rows)
 }
@@ -325,7 +474,7 @@ func (s *Server) write(sess *session, verb, src string) []byte {
 	atomic.AddInt64(&s.writes, 1)
 	if verb == "retract" {
 		if err := sess.principal.Update(func(tx *workspace.Tx) error { return tx.Retract(src) }); err != nil {
-			return errFrame(err)
+			return s.evalErrFrame(err)
 		}
 		return []byte("ok")
 	}
@@ -335,7 +484,7 @@ func (s *Server) write(sess *session, verb, src string) []byte {
 	}
 	if clause.IsFact() {
 		if err := sess.principal.Update(func(tx *workspace.Tx) error { return tx.Assert(src) }); err != nil {
-			return errFrame(err)
+			return s.evalErrFrame(err)
 		}
 		return []byte("ok")
 	}
@@ -347,7 +496,7 @@ func (s *Server) write(sess *session, verb, src string) []byte {
 		return errFrame(analysis.NewError(diags))
 	}
 	if err := sess.principal.Update(func(tx *workspace.Tx) error { return tx.AddRuleSrc(src) }); err != nil {
-		return errFrame(err)
+		return s.evalErrFrame(err)
 	}
 	resp := "ok"
 	for _, d := range diags {
@@ -374,7 +523,7 @@ func (s *Server) say(sess *session, to, clause string) []byte {
 	}
 	atomic.AddInt64(&s.writes, 1)
 	if err := sess.principal.Say(to, clause); err != nil {
-		return errFrame(err)
+		return s.evalErrFrame(err)
 	}
 	return []byte("ok")
 }

@@ -33,6 +33,7 @@ type Snapshot struct {
 	db        *datalog.Database
 	builtins  *datalog.BuiltinSet
 	version   uint64
+	limits    datalog.Limits // query limits captured at publication
 }
 
 // Version identifies the publication: it increments each time Snapshot()
@@ -66,9 +67,11 @@ func (s *Snapshot) Query(src string) ([]datalog.Tuple, error) {
 		return nil, err
 	}
 	if !atomHasQuote(atom) {
-		return datalog.NewEvaluator(s.db, s.builtins).Query(atom)
+		ev := datalog.NewEvaluator(s.db, s.builtins)
+		ev.Budget = s.limits.NewBudget()
+		return ev.Query(atom)
 	}
-	return queryPattern(s.db, s.builtins, atom)
+	return queryPattern(s.db, s.builtins, atom, s.limits)
 }
 
 // Facts returns the sorted tuples of a predicate in the snapshot.
@@ -158,6 +161,7 @@ func (w *Workspace) Snapshot() *Snapshot {
 		db:        db,
 		builtins:  w.builtins,
 		version:   w.snapVer,
+		limits:    w.queryLimits,
 	}
 	// Publish for the lock-free fast path: pointer first, then the clean
 	// flag, so a reader that observes clean=true loads this (or a newer)
@@ -195,7 +199,7 @@ func (w *Workspace) markSnapStaleLocked(changed map[string][]datalog.Tuple, rebu
 // the given database. The overlay keeps the transient result relation out
 // of the shared database, so the same code serves the locked live path
 // and lock-free snapshot reads.
-func queryPattern(db *datalog.Database, builtins *datalog.BuiltinSet, a *datalog.Atom) ([]datalog.Tuple, error) {
+func queryPattern(db *datalog.Database, builtins *datalog.BuiltinSet, a *datalog.Atom, limits datalog.Limits) ([]datalog.Tuple, error) {
 	// Blank variables cannot appear in rule heads; name them apart.
 	q := *a
 	q.Args = append([]datalog.Term{}, a.Args...)
@@ -228,6 +232,7 @@ func queryPattern(db *datalog.Database, builtins *datalog.BuiltinSet, a *datalog
 	tr.Heads[0].Args = tr.Body[0].Atom.AllArgs()
 	overlay := db.Shallow()
 	ev := datalog.NewEvaluator(overlay, builtins)
+	ev.Budget = limits.NewBudget()
 	if err := ev.SetRules([]*datalog.Rule{tr}); err != nil {
 		return nil, err
 	}

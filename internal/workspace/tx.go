@@ -56,7 +56,19 @@ func (w *Workspace) Update(fn func(tx *Tx) error) error {
 	w.flushActivated = nil
 	err := fn(tx)
 	if err == nil {
+		// Arm the flush budget on the workspace (rebuildDerivedLocked
+		// re-attaches it when it replaces the evaluators) and on both
+		// evaluators, then disarm before any rollback: restoring the
+		// pre-transaction state must never itself be budgeted.
+		if b := w.flushLimits.NewBudget(); b != nil {
+			w.flushBudget = b
+			w.userEv.Budget = b
+			w.checkEv.Budget = b
+		}
 		err = w.flushLocked(tx)
+		w.flushBudget = nil
+		w.userEv.Budget = nil
+		w.checkEv.Budget = nil
 	}
 	if err != nil {
 		w.flushNew, w.flushRebuilt, w.flushActivated = nil, false, nil
@@ -501,6 +513,12 @@ func (w *Workspace) runFixpointLocked(delta map[string][]datalog.Tuple) error {
 		if iter > maxMetaIterations {
 			return fmt.Errorf("workspace: meta-evaluation did not converge after %d iterations (non-terminating code generation?)", maxMetaIterations)
 		}
+		// The evaluator checks the wall clock every 1024 gas steps; meta
+		// iterations that activate rules with little enumeration in
+		// between would dodge it, so check between rounds too.
+		if err := w.flushBudget.CheckDeadline(); err != nil {
+			return err
+		}
 		changed := false
 		if facts := w.reifyFreshCodesLocked(scanCursor); len(facts) > 0 {
 			// Code values arriving inside derived tuples reify here; their
@@ -654,6 +672,10 @@ func (w *Workspace) rebuildDerivedLocked() error {
 	w.userEv = datalog.NewEvaluator(fresh, w.builtins)
 	w.userEv.OnNew = w.recordDerived
 	w.checkEv = newCheckEvaluator(fresh, w.builtins)
+	if w.flushBudget != nil {
+		w.userEv.Budget = w.flushBudget
+		w.checkEv.Budget = w.flushBudget
+	}
 	if w.prov != nil {
 		w.prov.Reset()
 		w.userEv.Trace = w.prov.record

@@ -121,6 +121,17 @@ type Workspace struct {
 	snapVer    uint64
 	snapPtr    atomic.Pointer[Snapshot]
 	snapClean  atomic.Bool
+
+	// queryLimits bounds read-side work (Workspace.Query and snapshots
+	// published after SetLimits); flushLimits bounds write-side evaluation
+	// (the flush fixpoint, meta loop, and constraint checks inside
+	// Update). flushBudget is the counter armed for the current flush —
+	// held on the workspace, not just the evaluators, because
+	// rebuildDerivedLocked replaces the evaluators mid-flush and must
+	// re-attach it.
+	queryLimits datalog.Limits
+	flushLimits datalog.Limits
+	flushBudget *datalog.Budget
 }
 
 // RuleChange records one active-rule addition for journal observers and
@@ -271,6 +282,31 @@ func newCheckEvaluator(db *datalog.Database, builtins *datalog.BuiltinSet) *data
 	ev := datalog.NewEvaluator(db, builtins)
 	ev.SafeNeg = func(pred string) bool { return strings.HasPrefix(pred, auxPredPrefix) }
 	return ev
+}
+
+// SetLimits installs resource limits: query bounds read-side evaluation
+// (Workspace.Query and every snapshot published from now on), flush bounds
+// write-side evaluation inside Update (rule fixpoint, meta loop, and
+// constraint checks). Zero-value Limits mean unlimited. A tripped flush
+// budget fails the transaction with a *datalog.LimitError and the
+// workspace rolls back to its pre-transaction state exactly as any other
+// flush failure does; the rollback itself is never budgeted.
+func (w *Workspace) SetLimits(query, flush datalog.Limits) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.queryLimits = query
+	w.flushLimits = flush
+	// Already-published snapshots carry the old query limits; force the
+	// next Snapshot() call to publish a fresh view.
+	w.snapAll = true
+	w.snapClean.Store(false)
+}
+
+// Limits returns the currently configured (query, flush) limits.
+func (w *Workspace) Limits() (query, flush datalog.Limits) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.queryLimits, w.flushLimits
 }
 
 // SetIncrementalChecks toggles the delta-seeded constraint check path
@@ -468,6 +504,10 @@ func (w *Workspace) Query(src string) ([]datalog.Tuple, error) {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if b := w.queryLimits.NewBudget(); b != nil {
+		w.userEv.Budget = b
+		defer func() { w.userEv.Budget = nil }()
+	}
 	if !atomHasQuote(atom) {
 		return w.userEv.Query(atom)
 	}
@@ -487,7 +527,7 @@ func atomHasQuote(a *datalog.Atom) bool {
 // patterns against the current database. The shared overlay-based helper
 // (see snapshot.go) keeps the transient result relation out of w.db.
 func (w *Workspace) queryPatternLocked(a *datalog.Atom) ([]datalog.Tuple, error) {
-	return queryPattern(w.db, w.builtins, a)
+	return queryPattern(w.db, w.builtins, a, w.queryLimits)
 }
 
 // BaseFacts returns the sorted asserted (non-derived) tuples of a

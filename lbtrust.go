@@ -229,9 +229,19 @@ type Snapshot = workspace.Snapshot
 // writes land as the proven principal's statements.
 type Server = server.Server
 
-// ServerOptions configures Serve (the anonymous-query principal, and the
-// locked-reads A/B switch the serve benchmark uses).
+// ServerOptions configures Serve (the anonymous-query principal,
+// per-request evaluation budgets, admission control, idle deadlines,
+// and the locked-reads A/B switch the serve benchmark uses).
 type ServerOptions = server.Options
+
+// Limits bounds what one request may spend during evaluation: gas
+// (tuples enumerated), wall-clock time, derived tuples, and estimated
+// derived-tuple memory. The zero value means unlimited. Arm limits per
+// workspace with Workspace.SetLimits, or server-wide with
+// ServerOptions.QueryLimits / ServerOptions.WriteLimits; a tripped
+// budget fails that one request with an LB-LIMIT-* error
+// (docs/DIAGNOSTICS.md) and a tripped write rolls back.
+type Limits = datalog.Limits
 
 // ServeStats is a snapshot of a server's session and request counters.
 type ServeStats = server.Stats
