@@ -18,15 +18,18 @@
 // loopback sockets); the protocol and results are identical, only time
 // and wire cost differ. The -json flag switches the sync and constraints
 // experiments to machine-readable output — one JSON array of report
-// documents on stdout, so CI can archive the perf trajectory across
-// commits (experiments without a JSON shape are skipped with a note on
-// stderr); -short shrinks the workloads to a smoke test.
+// documents, so CI can archive the perf trajectory across commits
+// (experiments without a JSON shape are skipped with a note on stderr);
+// -short shrinks the workloads to a smoke test. JSON lands in the file
+// named by -out, defaulting to BENCH_<experiment>.json in the current
+// directory ("-out -" writes to stdout).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -38,12 +41,13 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "comma-separated experiments: fig2, sync, constraints, wal, serve, storage, overload, ablations, all")
+	experiment := flag.String("experiment", "all", "comma-separated experiments: fig2, sync, constraints, wal, serve, storage, overload, obs, ablations, all")
 	maxMsgs := flag.Int("max", 10000, "fig2: maximum number of messages")
 	step := flag.Int("step", 1000, "fig2: message count step")
 	transport := flag.String("transport", "mem", "fig2/sync: wire layer, mem or tcp")
 	jsonOut := flag.Bool("json", false, "sync/constraints: emit a machine-readable JSON array instead of tables")
 	short := flag.Bool("short", false, "sync/constraints: small workloads (CI smoke test)")
+	out := flag.String("out", "", `with -json: output file; default BENCH_<experiment>.json, "-" for stdout`)
 	flag.Parse()
 
 	kind := bench.TransportKind(*transport)
@@ -86,6 +90,8 @@ func main() {
 			reports = append(reports, runStorage(*jsonOut, *short))
 		case "overload":
 			reports = append(reports, runOverload(*jsonOut, *short))
+		case "obs":
+			reports = append(reports, runObs(*jsonOut, *short))
 		case "ablations":
 			if *jsonOut {
 				fmt.Fprintln(os.Stderr, "ablations have no JSON shape; skipped in -json mode")
@@ -98,7 +104,30 @@ func main() {
 		}
 	}
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		dest := *out
+		if dest == "" {
+			// Default artifact name: BENCH_<experiment>.json next to the
+			// working directory, the convention CI archives (commas become
+			// underscores for multi-experiment runs).
+			dest = "BENCH_" + strings.ReplaceAll(*experiment, ",", "_") + ".json"
+		}
+		var w io.Writer = os.Stdout
+		if dest != "-" {
+			f, err := os.Create(dest)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer func() {
+				if err := f.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}()
+			w = f
+			fmt.Fprintf(os.Stderr, "writing JSON reports to %s\n", dest)
+		}
+		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(reports); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -544,6 +573,64 @@ func runOverload(jsonOut, short bool) any {
 		float64(report.P50Ns)/1e3, float64(report.P99Ns)/1e3)
 	fmt.Printf("\nserver counters: limit_tripped=%d overloaded=%d\n\n",
 		report.SrvTripped, report.SrvRefused)
+	return report
+}
+
+// obsReport is the machine-readable shape of the observability-overhead
+// experiment: the same serve workload with instrumentation off vs on,
+// so CI can alert when telemetry cost drifts past the <5% budget.
+type obsReport struct {
+	Experiment string `json:"experiment"`
+	Short      bool   `json:"short"`
+	Base       int    `json:"base"`
+	PerClient  int    `json:"per_client"`
+	Clients    int    `json:"clients"`
+	Rounds     int    `json:"rounds"`
+
+	NilQPS         []float64 `json:"nil_qps"`
+	NilMedianQPS   float64   `json:"nil_median_qps"`
+	ObsQPS         []float64 `json:"instrumented_qps"`
+	ObsMedianQPS   float64   `json:"instrumented_median_qps"`
+	NilP50Ns       int64     `json:"nil_p50_ns"`
+	NilP99Ns       int64     `json:"nil_p99_ns"`
+	ObsP50Ns       int64     `json:"instrumented_p50_ns"`
+	ObsP99Ns       int64     `json:"instrumented_p99_ns"`
+	OverheadPct    float64   `json:"overhead_pct"`
+	OverheadBudget float64   `json:"overhead_budget_pct"`
+}
+
+func runObs(jsonOut, short bool) any {
+	opts := bench.ObsOptions{Base: 10000, PerClient: 1000, Clients: 4, Rounds: 7}
+	if short {
+		opts = bench.ObsOptions{Base: 1000, PerClient: 500, Clients: 4, Rounds: 7}
+	}
+	r, err := bench.RunObs(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obs: %v\n", err)
+		os.Exit(1)
+	}
+	report := obsReport{
+		Experiment: "obs", Short: short,
+		Base: r.Base, PerClient: r.PerClient, Clients: r.Clients, Rounds: r.Rounds,
+		NilQPS: r.Nil.QPS, NilMedianQPS: r.Nil.MedianQPS,
+		ObsQPS: r.Obs.QPS, ObsMedianQPS: r.Obs.MedianQPS,
+		NilP50Ns: r.Nil.P50.Nanoseconds(), NilP99Ns: r.Nil.P99.Nanoseconds(),
+		ObsP50Ns: r.Obs.P50.Nanoseconds(), ObsP99Ns: r.Obs.P99.Nanoseconds(),
+		OverheadPct: r.OverheadPct, OverheadBudget: 5,
+	}
+	if jsonOut {
+		return report
+	}
+	fmt.Printf("== Observability overhead: serve workload, instrumentation off vs on ==\n")
+	fmt.Printf("(%d-fact workspace, %d clients x %d queries, %d rounds per arm)\n\n",
+		r.Base, r.Clients, r.PerClient, r.Rounds)
+	fmt.Printf("%14s %14s %12s %12s\n", "mode", "median-qps", "p50(us)", "p99(us)")
+	fmt.Printf("%14s %14.0f %12.1f %12.1f\n", "nil", report.NilMedianQPS,
+		float64(report.NilP50Ns)/1e3, float64(report.NilP99Ns)/1e3)
+	fmt.Printf("%14s %14.0f %12.1f %12.1f\n", "instrumented", report.ObsMedianQPS,
+		float64(report.ObsP50Ns)/1e3, float64(report.ObsP99Ns)/1e3)
+	fmt.Printf("\noverhead: %.2f%% of median throughput (budget: <%.0f%%)\n\n",
+		report.OverheadPct, report.OverheadBudget)
 	return report
 }
 

@@ -25,11 +25,23 @@
 // codes and roll back; see docs/DIAGNOSTICS.md), -max-inflight and
 // -max-per-principal refuse work beyond the configured concurrency, and
 // -idle-timeout reaps stalled or half-open connections.
+//
+// Observability: -admin-addr starts the operator HTTP endpoint
+// (/metrics in Prometheus text format, /healthz, /debug/pprof) on its
+// own listener and instruments every layer of the served system —
+// request counts and latency per verb, evaluator gas, workspace flush
+// timings, distribution wire traffic, WAL commit latency — plus
+// structured logs on stderr (-log-level debug for per-request lines)
+// and a per-request trace ID that follows syncs across nodes. See
+// docs/OBSERVABILITY.md. On SIGINT/SIGTERM the server drains in-flight
+// requests for up to -shutdown-timeout before closing, then flushes
+// the WAL.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -68,7 +80,29 @@ func run() error {
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent heavy requests node-wide (0 = unlimited; refusals get LB-LIMIT-005)")
 	maxPerPrin := flag.Int("max-per-principal", 0, "max concurrent heavy requests per principal (0 = unlimited)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "close connections that do not complete a request frame within this window (0 = never)")
+	adminAddr := flag.String("admin-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty = observability off)")
+	adminAddrFile := flag.String("admin-addr-file", "", "write the bound admin address to this file (for scripts using :0)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, or error")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 5*time.Second, "how long SIGINT/SIGTERM waits for in-flight requests to drain")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("-log-level: %w", err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	var bundle *lbtrust.Obs
+	var admin *lbtrust.AdminServer
+	if *adminAddr != "" {
+		reg := lbtrust.NewMetricsRegistry()
+		bundle = &lbtrust.Obs{Registry: reg, Log: logger, Tracer: lbtrust.NewTracer(4096)}
+		var err error
+		if admin, err = lbtrust.ServeAdmin(*adminAddr, reg); err != nil {
+			return err
+		}
+		defer admin.Close()
+	}
 
 	var sys *lbtrust.System
 	if *dataDir != "" {
@@ -150,6 +184,7 @@ func run() error {
 		MaxInflight:     *maxInflight,
 		MaxPerPrincipal: *maxPerPrin,
 		IdleTimeout:     *idleTimeout,
+		Obs:             bundle,
 	})
 	if err != nil {
 		return err
@@ -160,13 +195,24 @@ func run() error {
 			return err
 		}
 	}
+	if admin != nil {
+		logger.Info("admin endpoint up", "addr", admin.Addr())
+		if *adminAddrFile != "" {
+			if err := os.WriteFile(*adminAddrFile, []byte(admin.Addr()), 0o644); err != nil {
+				return err
+			}
+		}
+	}
 	fmt.Printf("serving on %s (%d principals)\n", srv.Addr(), len(sys.Principals()))
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Println("shutting down")
-	// Give in-flight requests a beat before the deferred closes run.
-	time.Sleep(50 * time.Millisecond)
+	got := <-sig
+	logger.Info("shutting down", "signal", got.String(), "drain_timeout", shutdownTimeout.String())
+	if err := srv.Shutdown(*shutdownTimeout); err != nil {
+		logger.Warn("shutdown", "err", err)
+	}
+	// The deferred sys.Close flushes the WAL; closing here too would
+	// double-close, so just fall through to the defers.
 	return nil
 }

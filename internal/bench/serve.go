@@ -69,6 +69,12 @@ const contentionWindow = 2 * time.Second
 // says) and a server in front of it. bob exists as a destination for the
 // contention writer's statements.
 func serveSystem(base int, locked bool) (*core.System, *server.Server, error) {
+	return serveSystemOpts(base, server.Options{LockedReads: locked})
+}
+
+// serveSystemOpts is serveSystem with full control of the server
+// options (the obs experiment passes an observability bundle through).
+func serveSystemOpts(base int, opts server.Options) (*core.System, *server.Server, error) {
 	sys := core.NewSystem()
 	p, err := sys.AddPrincipal("alice")
 	if err != nil {
@@ -103,7 +109,7 @@ func serveSystem(base int, locked bool) (*core.System, *server.Server, error) {
 		sys.Close()
 		return nil, nil, err
 	}
-	srv, err := server.Serve(sys, "127.0.0.1:0", server.Options{LockedReads: locked})
+	srv, err := server.Serve(sys, "127.0.0.1:0", opts)
 	if err != nil {
 		sys.Close()
 		return nil, nil, err

@@ -8,6 +8,7 @@ import (
 	"lbtrust/internal/datalog"
 	"lbtrust/internal/dist"
 	"lbtrust/internal/lbcrypto"
+	"lbtrust/internal/obs"
 	"lbtrust/internal/store"
 	"lbtrust/internal/workspace"
 )
@@ -28,6 +29,9 @@ type System struct {
 	// durable is non-nil for systems opened with OpenSystem: the store
 	// that logs flushes, distribution events, and key material.
 	durable *durableState
+	// obs is the observability bundle attached via SetObs, remembered so
+	// principals added later inherit it.
+	obs *obs.Obs
 }
 
 // Principal is one LBTrust context: a workspace plus cryptographic
@@ -199,6 +203,9 @@ func (s *System) AddPrincipalOn(name string, node *dist.Node) (*Principal, error
 	}
 	s.principals[name] = p
 	s.order = append(s.order, name)
+	if s.obs != nil {
+		p.ws.SetObs(s.obs)
+	}
 	node.AddPrincipal(p.ws)
 	return p, nil
 }

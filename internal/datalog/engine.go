@@ -63,6 +63,10 @@ type Evaluator struct {
 	// callers that need atomicity must roll back, as the workspace does).
 	// The counter is owned by the caller: arm a fresh one per request.
 	Budget *Budget
+	// Metrics, when non-nil, aggregates run counts, gas, and derived
+	// tuples into an obs registry at each Run/RunDelta/Query boundary
+	// (see NewEvalMetrics). Accounting is per evaluation, not per tuple.
+	Metrics *EvalMetrics
 
 	rules []*compiledRule
 	strat *Stratification
@@ -204,6 +208,9 @@ func (ev *Evaluator) Run() error {
 	if ev.strat == nil {
 		return nil
 	}
+	if m := ev.Metrics; m != nil {
+		defer m.sample(ev.Budget, m.fullRuns)()
+	}
 	for s := range ev.strat.Strata {
 		if err := ev.runStratum(s, nil); err != nil {
 			return err
@@ -219,6 +226,9 @@ func (ev *Evaluator) Run() error {
 func (ev *Evaluator) RunDelta(changed map[string][]Tuple) error {
 	if ev.strat == nil || len(changed) == 0 {
 		return nil
+	}
+	if m := ev.Metrics; m != nil {
+		defer m.sample(ev.Budget, m.deltaRuns)()
 	}
 	affected := ev.affectedPreds(changed)
 	for _, cr := range ev.rules {
@@ -815,6 +825,9 @@ func (ev *Evaluator) evalAggRule(cr *compiledRule, out func(Tuple, []Premise) er
 // matching tuples. Terms may contain constants and variables; variables
 // with the same name join.
 func (ev *Evaluator) Query(a *Atom) ([]Tuple, error) {
+	if m := ev.Metrics; m != nil {
+		defer m.sample(ev.Budget, m.queries)()
+	}
 	rel, ok := ev.DB.Get(a.Pred)
 	if !ok {
 		return nil, nil

@@ -1,0 +1,58 @@
+package datalog
+
+import "lbtrust/internal/obs"
+
+// EvalMetrics aggregates evaluator work into an obs registry: runs by
+// mode (full fixpoint, delta propagation, point query), gas steps
+// consumed, and tuples derived. Accounting happens once per evaluation —
+// the per-tuple counters are sampled from the armed Budget at the run
+// boundary, so attaching metrics adds no per-tuple work. A nil
+// *EvalMetrics disables everything at the cost of one branch per run.
+//
+// Gas and derived-tuple totals are only visible when a Budget is armed
+// (the Budget is where per-tuple counting already happens): flushes
+// always get one (the workspace arms an unlimited metrics-only Budget
+// for them), while point queries count gas only when the operator
+// configured query limits — keeping the unbudgeted read hot path free
+// of per-tuple accounting.
+type EvalMetrics struct {
+	fullRuns, deltaRuns, queries *obs.Counter
+	steps, derived               *obs.Counter
+}
+
+// NewEvalMetrics registers the evaluator metric family on r (nil r
+// returns nil — the disabled configuration).
+func NewEvalMetrics(r *obs.Registry) *EvalMetrics {
+	if r == nil {
+		return nil
+	}
+	const runsHelp = "evaluator runs by mode (full fixpoint, delta propagation, point query)"
+	return &EvalMetrics{
+		fullRuns:  r.Counter("lb_eval_runs_total", runsHelp, "mode", "full"),
+		deltaRuns: r.Counter("lb_eval_runs_total", runsHelp, "mode", "delta"),
+		queries:   r.Counter("lb_eval_runs_total", runsHelp, "mode", "query"),
+		steps:     r.Counter("lb_eval_gas_steps_total", "evaluation gas consumed (tuples enumerated solving bodies and queries)"),
+		derived:   r.Counter("lb_eval_derived_tuples_total", "tuples newly derived by evaluation"),
+	}
+}
+
+// sample counts one run and snapshots the budget's per-tuple counters;
+// the returned func folds the deltas in at run end (call it exactly
+// once, typically via defer).
+func (m *EvalMetrics) sample(b *Budget, runs *obs.Counter) func() {
+	runs.Inc()
+	steps0, derived0 := b.Steps(), b.Derived()
+	return func() {
+		m.steps.Add(b.Steps() - steps0)
+		m.derived.Add(b.Derived() - derived0)
+	}
+}
+
+// LimitCodes lists every LB-LIMIT-* code a tripped Budget or admission
+// refusal can carry, in catalog order. The serving layer pre-registers
+// one limit-trip counter child per code so the metric surface is
+// complete before any trip happens, and a lockstep test holds this list
+// to analysis.Catalog.
+func LimitCodes() []string {
+	return []string{CodeLimitGas, CodeLimitDeadline, CodeLimitTuples, CodeLimitMem, CodeLimitLoad}
+}

@@ -16,9 +16,17 @@ import (
 // line-safe and byte-stable across nodes: the bytes MemNetwork counts are
 // exactly the bytes TCPNetwork writes to the socket.
 //
-//	lbtrust/1 <from> <to> <sender> <principal> <pred> <count>
+//	lbtrust/1 <from> <to> <sender> <principal> <pred> <count> [k=v ...]
 //	t(<v1>,<v2>,...)
 //	...
+//
+// Fields after the tuple count are optional key=value extensions; a
+// decoder ignores keys it does not recognize, so new fields are
+// backward compatible without a magic bump. The only extension today is
+// trace=<id>, carrying the request trace ID of an instrumented Sync
+// (see internal/obs). Envelopes without a trace omit the field
+// entirely, keeping untraced runs byte-identical to the original
+// format.
 
 // wireMagic versions the envelope encoding.
 const wireMagic = "lbtrust/1"
@@ -37,6 +45,10 @@ func EncodeEnvelope(env *Envelope) []byte {
 	}
 	b.WriteByte(' ')
 	b.WriteString(strconv.Itoa(len(env.Tuples)))
+	if env.Trace != "" {
+		b.WriteString(" trace=")
+		b.WriteString(env.Trace)
+	}
 	b.WriteByte('\n')
 	for _, t := range env.Tuples {
 		b.WriteString(EncodeTuple(t))
@@ -52,12 +64,24 @@ func DecodeEnvelope(data []byte) (*Envelope, error) {
 		return nil, fmt.Errorf("dist: empty envelope")
 	}
 	header := strings.Fields(lines[0])
-	if len(header) != 7 || header[0] != wireMagic {
+	if len(header) < 7 || header[0] != wireMagic {
 		return nil, fmt.Errorf("dist: malformed envelope header %q", lines[0])
 	}
 	count, err := strconv.Atoi(header[6])
 	if err != nil || count < 0 {
 		return nil, fmt.Errorf("dist: bad tuple count %q", header[6])
+	}
+	trace := ""
+	for _, f := range header[7:] {
+		// Extensions are key=value pairs; unknown keys are skipped so old
+		// decoders of this version stay compatible with newer senders.
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return nil, fmt.Errorf("dist: malformed envelope extension %q", f)
+		}
+		if k == "trace" {
+			trace = v
+		}
 	}
 	if len(lines) < count+1 {
 		return nil, fmt.Errorf("dist: envelope truncated: %d tuples declared, %d lines", count, len(lines)-1)
@@ -68,6 +92,7 @@ func DecodeEnvelope(data []byte) (*Envelope, error) {
 		Sender:    header[3],
 		Principal: header[4],
 		Pred:      header[5],
+		Trace:     trace,
 		Tuples:    make([]datalog.Tuple, 0, count),
 	}
 	for i := 0; i < count; i++ {

@@ -33,10 +33,14 @@ package dist
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"lbtrust/internal/datalog"
+	"lbtrust/internal/obs"
 	"lbtrust/internal/workspace"
 )
 
@@ -74,6 +78,18 @@ type Runtime struct {
 	delta    int64 // fresh tuples accepted from flush deltas
 	scanned  int64 // tuples examined by pump rounds (deltas + rescans)
 	suppress int64 // tuples skipped by the shipped set
+
+	// activeTrace is the trace ID of the in-flight traced Sync, stamped
+	// onto every envelope pump builds (guarded by rt.mu). Concurrent
+	// traced Syncs interleave last-writer-wins; Sync is effectively
+	// serialized by its callers.
+	activeTrace string
+
+	// Observability attachments (see SetObs in metrics.go). Stored
+	// atomically because receive paths read them off the runtime lock.
+	obsMetrics atomic.Pointer[Metrics]
+	obsLog     atomic.Pointer[slog.Logger]
+	obsTracer  atomic.Pointer[obs.Tracer]
 
 	dirtyMu sync.Mutex
 	dirty   map[string]struct{}                   // principals with unpumped changes
@@ -274,6 +290,7 @@ func (rt *Runtime) noteFlush(principal string, d workspace.FlushDelta) {
 		}
 	}
 	var fresh map[string][]datalog.Tuple
+	accepted := int64(0)
 	if !rescan {
 		for src := range rt.delivery {
 			if tuples := d.Changed[src]; len(tuples) > 0 {
@@ -282,10 +299,16 @@ func (rt *Runtime) noteFlush(principal string, d workspace.FlushDelta) {
 				}
 				fresh[src] = tuples
 				rt.delta += int64(len(tuples))
+				accepted += int64(len(tuples))
 			}
 		}
 	}
 	rt.mu.Unlock()
+	if accepted > 0 {
+		if m := rt.obsMetrics.Load(); m != nil {
+			m.deltaTuples.Add(accepted)
+		}
+	}
 	if rescan {
 		rt.markRescan(principal)
 		return
@@ -339,23 +362,57 @@ func (rt *Runtime) takeWork() ([]string, map[string]map[string][]datalog.Tuple, 
 // delivered (the round is counted, Stats().SendFailures records the
 // failure) and the unsent tuples are requeued for the next Sync.
 func (rt *Runtime) Sync(maxRounds int) error {
+	return rt.SyncTraced(maxRounds, "")
+}
+
+// SyncTraced is Sync carrying a request trace: the trace ID is stamped
+// onto every envelope this sync ships (traveling as the optional trace=
+// wire header field, see codec.go), a span covering the whole sync is
+// recorded on the runtime's tracer, and each receiving node records its
+// own delivery span and log line under the same ID — so a trace minted on
+// one node is observable on its peers. An empty trace behaves exactly
+// like Sync.
+func (rt *Runtime) SyncTraced(maxRounds int, trace obs.TraceID) error {
+	m := rt.obsMetrics.Load()
+	var start time.Time
+	if m != nil {
+		m.syncs.Inc()
+		start = time.Now()
+	}
+	span := rt.obsTracer.Load().StartSpan(trace, "", "dist.sync", "")
 	rt.mu.Lock()
 	rt.syncs++
 	rt.shipped.bump()
+	rt.activeTrace = string(trace)
 	rt.mu.Unlock()
-	for moving := 0; ; {
-		moved, err := rt.pump()
-		if err != nil {
-			return err
+	err := func() error {
+		for moving := 0; ; {
+			moved, perr := rt.pump()
+			if perr != nil {
+				return perr
+			}
+			if !moved {
+				return nil
+			}
+			moving++
+			if moving > maxRounds {
+				return fmt.Errorf("dist: sync did not quiesce within %d rounds", maxRounds)
+			}
 		}
-		if !moved {
-			return nil
-		}
-		moving++
-		if moving > maxRounds {
-			return fmt.Errorf("dist: sync did not quiesce within %d rounds", maxRounds)
-		}
+	}()
+	rt.mu.Lock()
+	rt.activeTrace = ""
+	nodes := make([]*Node, 0, len(rt.nodeOrder))
+	for _, name := range rt.nodeOrder {
+		nodes = append(nodes, rt.nodes[name])
 	}
+	rt.mu.Unlock()
+	span.End()
+	if m != nil {
+		m.syncSeconds.Observe(time.Since(start))
+		m.sampleWire(nodes)
+	}
+	return err
 }
 
 // routeKey identifies one delivery batch. The source predicate is part
@@ -398,7 +455,10 @@ func (rt *Runtime) pump() (bool, error) {
 	// journalShips accumulates the shipped records this round adds, for
 	// the durability journal (emitted once per round, outside the lock).
 	var journalShips []ShipState
+	m := rt.obsMetrics.Load()
 	rt.mu.Lock()
+	scanned0, suppress0 := rt.scanned, rt.suppress
+	trace := rt.activeTrace
 	srcPreds := make([]string, 0, len(rt.delivery))
 	for p := range rt.delivery {
 		srcPreds = append(srcPreds, p)
@@ -503,6 +563,7 @@ func (rt *Runtime) pump() (bool, error) {
 						Sender:    sender,
 						Principal: string(target),
 						Pred:      dstPred,
+						Trace:     trace,
 					}
 					batches[rk] = env
 					srcNodes[rk] = srcNode
@@ -514,7 +575,12 @@ func (rt *Runtime) pump() (bool, error) {
 			}
 		}
 	}
+	scannedD, suppressD := rt.scanned-scanned0, rt.suppress-suppress0
 	rt.mu.Unlock()
+	if m != nil {
+		m.scannedTuples.Add(scannedD)
+		m.suppressedTuples.Add(suppressD)
+	}
 
 	if len(order) == 0 {
 		rt.emitShips(journalShips) // unroutable refusals still suppress
@@ -531,13 +597,23 @@ func (rt *Runtime) pump() (bool, error) {
 			rt.mu.Lock()
 			rt.failures++
 			rt.mu.Unlock()
+			requeued := int64(0)
 			rt.dirtyMu.Lock()
 			for _, failed := range order[i:] {
 				for _, t := range batches[failed].Tuples {
 					rt.enqueueLocked(failed.sender, failed.src, t)
+					requeued++
 				}
 			}
 			rt.dirtyMu.Unlock()
+			if m != nil {
+				m.sendFailures.Inc()
+				m.requeued.Add(requeued)
+			}
+			if log := rt.obsLog.Load(); log != nil {
+				log.Debug("send failed; tuples requeued",
+					"from", env.From, "to", env.To, "pred", env.Pred, "requeued", requeued, "error", err)
+			}
 			rt.emitShips(journalShips)
 			return true, fmt.Errorf("dist: %s -> %s: %w", env.From, env.To, err)
 		}
@@ -546,6 +622,9 @@ func (rt *Runtime) pump() (bool, error) {
 			// A round counts once something actually moved.
 			rt.rounds++
 			counted = true
+			if m != nil {
+				m.rounds.Inc()
+			}
 		}
 		for _, key := range keys[rk] {
 			rt.shipped.add(key, rk.sender, rk.target)
@@ -561,6 +640,18 @@ func (rt *Runtime) pump() (bool, error) {
 // n. Constraint rejections are recorded per tuple; only routing and decode
 // problems surface as transport errors.
 func (rt *Runtime) deliver(n *Node, env *Envelope) error {
+	// A traced envelope carries the sender's trace ID across the wire;
+	// record the receiving node's span and log line under the same ID so
+	// one request is followable end to end across nodes.
+	if env.Trace != "" {
+		span := rt.obsTracer.Load().StartSpan(obs.TraceID(env.Trace), "", "dist.deliver", n.name)
+		defer span.End()
+		if log := rt.obsLog.Load(); log != nil {
+			log.Debug("delivering envelope", "trace", env.Trace, "node", n.name,
+				"from", env.From, "sender", env.Sender, "principal", env.Principal,
+				"pred", env.Pred, "tuples", len(env.Tuples))
+		}
+	}
 	rt.mu.Lock()
 	ws := rt.wss[env.Principal]
 	hosted := rt.placement[env.Principal]

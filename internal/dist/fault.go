@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"lbtrust/internal/obs"
 )
 
 // ErrInjected is the error returned by a faulted Send. Tests match on it
@@ -59,6 +61,32 @@ type FaultTransport struct {
 	mu    sync.Mutex
 	rng   *rand.Rand
 	stats FaultStats
+	m     *faultMetrics
+}
+
+// faultMetrics mirrors FaultStats onto an obs registry, labeling each
+// injection by kind. Nil disables the mirror.
+type faultMetrics struct {
+	sends                             *obs.Counter
+	drop, failAfter, duplicate, delay *obs.Counter
+}
+
+// SetMetrics mirrors the injected-fault counters onto r (nil r detaches).
+func (f *FaultTransport) SetMetrics(r *obs.Registry) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if r == nil {
+		f.m = nil
+		return
+	}
+	const help = "transport faults injected by FaultTransport, by kind"
+	f.m = &faultMetrics{
+		sends:     r.Counter("lb_dist_fault_sends_total", "Send calls observed by FaultTransport"),
+		drop:      r.Counter("lb_dist_fault_injections_total", help, "kind", "drop"),
+		failAfter: r.Counter("lb_dist_fault_injections_total", help, "kind", "fail_after"),
+		duplicate: r.Counter("lb_dist_fault_injections_total", help, "kind", "duplicate"),
+		delay:     r.Counter("lb_dist_fault_injections_total", help, "kind", "delay"),
+	}
 }
 
 // NewFaultTransport wraps inner with the given plan.
@@ -103,24 +131,51 @@ func (f *FaultTransport) decide() (faultKind, time.Duration) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.stats.Sends++
+	f.m.sendObserved()
 	x := f.rng.Float64()
 	p := f.plan
 	switch {
 	case x < p.Drop:
 		f.stats.Dropped++
+		f.m.injected(faultDrop)
 		return faultDrop, 0
 	case x < p.Drop+p.FailAfter:
 		f.stats.FailedAfter++
+		f.m.injected(faultFailAfter)
 		return faultFailAfter, 0
 	case x < p.Drop+p.FailAfter+p.Duplicate:
 		f.stats.Duplicated++
+		f.m.injected(faultDuplicate)
 		return faultDuplicate, 0
 	case x < p.Drop+p.FailAfter+p.Duplicate+p.Delay:
 		f.stats.Delayed++
+		f.m.injected(faultDelay)
 		d := time.Duration(f.rng.Float64() * float64(p.MaxDelay))
 		return faultDelay, d
 	}
 	return faultNone, 0
+}
+
+func (m *faultMetrics) sendObserved() {
+	if m != nil {
+		m.sends.Inc()
+	}
+}
+
+func (m *faultMetrics) injected(k faultKind) {
+	if m == nil {
+		return
+	}
+	switch k {
+	case faultDrop:
+		m.drop.Inc()
+	case faultFailAfter:
+		m.failAfter.Inc()
+	case faultDuplicate:
+		m.duplicate.Inc()
+	case faultDelay:
+		m.delay.Inc()
+	}
 }
 
 type faultEndpoint struct {
@@ -132,6 +187,10 @@ func (ep *faultEndpoint) Name() string            { return ep.inner.Name() }
 func (ep *faultEndpoint) SetReceiver(fn Receiver) { ep.inner.SetReceiver(fn) }
 func (ep *faultEndpoint) Stats() TransferStats    { return ep.inner.Stats() }
 func (ep *faultEndpoint) Close() error            { return ep.inner.Close() }
+
+// TransportKind attributes wire traffic to the wrapped transport: faults
+// are an overlay, not a wire.
+func (ep *faultEndpoint) TransportKind() string { return transportKind(ep.inner) }
 
 func (ep *faultEndpoint) Send(to string, env *Envelope) error {
 	kind, delay := ep.f.decide()

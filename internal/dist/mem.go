@@ -99,4 +99,7 @@ func (ep *memEndpoint) receive(bytes int, env *Envelope) error {
 
 func (ep *memEndpoint) Stats() TransferStats { return ep.stats.snapshot() }
 
+// TransportKind labels wire metrics for this endpoint (see metrics.go).
+func (ep *memEndpoint) TransportKind() string { return "mem" }
+
 func (ep *memEndpoint) Close() error { return nil }

@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"sync"
+
+	"lbtrust/internal/obs"
+)
+
+// Metrics aggregates distribution-runtime observability: sync/round/
+// failure counters mirroring Stats(), delivery outcomes, and per-transport
+// wire traffic sampled from endpoint TransferStats after each Sync. A nil
+// *Metrics disables everything; instrumented sites pay one pointer load
+// and a branch.
+type Metrics struct {
+	reg *obs.Registry
+
+	syncs        *obs.Counter
+	rounds       *obs.Counter
+	sendFailures *obs.Counter
+	requeued     *obs.Counter
+
+	deltaTuples      *obs.Counter
+	scannedTuples    *obs.Counter
+	suppressedTuples *obs.Counter
+	deliveredTuples  *obs.Counter
+	rejectedTuples   *obs.Counter
+
+	syncSeconds *obs.Histogram
+
+	// lastWire remembers each node's endpoint totals at the previous
+	// sample, so per-Sync sampling adds only the deltas.
+	wireMu   sync.Mutex
+	lastWire map[string]TransferStats
+}
+
+// NewMetrics registers the dist metric families on r (nil r returns nil —
+// the disabled configuration).
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		reg:          r,
+		syncs:        r.Counter("lb_dist_syncs_total", "Sync calls on the distribution runtime"),
+		rounds:       r.Counter("lb_dist_rounds_total", "delivery rounds that moved at least one tuple"),
+		sendFailures: r.Counter("lb_dist_send_failures_total", "envelope sends that returned a transport error"),
+		requeued:     r.Counter("lb_dist_requeued_tuples_total", "tuples requeued for the next Sync after a send failure"),
+		deltaTuples: r.Counter("lb_dist_delta_tuples_total",
+			"fresh tuples accepted from workspace flush deltas"),
+		scannedTuples: r.Counter("lb_dist_scanned_tuples_total",
+			"tuples examined by pump rounds (deltas plus rescans)"),
+		suppressedTuples: r.Counter("lb_dist_suppressed_tuples_total",
+			"tuples skipped because the shipped set already delivered them"),
+		deliveredTuples: r.Counter("lb_dist_delivered_tuples_total",
+			"tuples applied by receiving workspaces"),
+		rejectedTuples: r.Counter("lb_dist_rejected_tuples_total",
+			"tuples refused (constraint rollback, unroutable, or unplaced target)"),
+		syncSeconds: r.Histogram("lb_dist_sync_seconds", "Sync latency (all rounds until quiescence)"),
+		lastWire:    map[string]TransferStats{},
+	}
+}
+
+const (
+	wireMsgsHelp  = "envelopes moved on the wire, by direction and transport"
+	wireBytesHelp = "encoded envelope bytes moved on the wire, by direction and transport"
+)
+
+// sampleWire folds each node's endpoint transfer totals into the wire
+// counters, attributing the delta since the last sample to the endpoint's
+// transport kind. Called once per Sync — cost is O(nodes), not O(sends).
+func (m *Metrics) sampleWire(nodes []*Node) {
+	if m == nil {
+		return
+	}
+	m.wireMu.Lock()
+	defer m.wireMu.Unlock()
+	for _, n := range nodes {
+		cur := n.ep.Stats()
+		prev := m.lastWire[n.name]
+		m.lastWire[n.name] = cur
+		kind := transportKind(n.ep)
+		if d := cur.MessagesSent - prev.MessagesSent; d > 0 {
+			m.reg.Counter("lb_dist_wire_messages_total", wireMsgsHelp, "direction", "sent", "transport", kind).Add(d)
+		}
+		if d := cur.MessagesReceived - prev.MessagesReceived; d > 0 {
+			m.reg.Counter("lb_dist_wire_messages_total", wireMsgsHelp, "direction", "received", "transport", kind).Add(d)
+		}
+		if d := cur.BytesSent - prev.BytesSent; d > 0 {
+			m.reg.Counter("lb_dist_wire_bytes_total", wireBytesHelp, "direction", "sent", "transport", kind).Add(d)
+		}
+		if d := cur.BytesReceived - prev.BytesReceived; d > 0 {
+			m.reg.Counter("lb_dist_wire_bytes_total", wireBytesHelp, "direction", "received", "transport", kind).Add(d)
+		}
+	}
+}
+
+// transportKind names an endpoint's transport for wire-metric labels.
+// Endpoints advertise their kind through the optional TransportKind
+// method; wrappers (FaultTransport) delegate to the wrapped endpoint so
+// traffic attributes to the real transport.
+func transportKind(ep Endpoint) string {
+	if k, ok := ep.(interface{ TransportKind() string }); ok {
+		return k.TransportKind()
+	}
+	return "unknown"
+}
+
+// SetObs attaches observability to the runtime: counters register on o's
+// registry, log lines go to a dist-scoped logger, and traced Syncs record
+// spans on o's tracer. A nil Obs detaches everything. The fields are
+// stored atomically because receive paths (TCP accept goroutines) read
+// them without holding the runtime lock.
+func (rt *Runtime) SetObs(o *obs.Obs) {
+	rt.obsMetrics.Store(NewMetrics(o.Reg()))
+	rt.obsTracer.Store(o.Trace())
+	if o == nil || o.Log == nil {
+		rt.obsLog.Store(nil)
+	} else {
+		rt.obsLog.Store(o.Logger("dist"))
+	}
+}

@@ -83,6 +83,13 @@ func (n *Node) SetRejectionCap(cap int) {
 }
 
 func (n *Node) reject(r Rejection) {
+	if m := n.rt.obsMetrics.Load(); m != nil {
+		m.rejectedTuples.Inc()
+	}
+	if log := n.rt.obsLog.Load(); log != nil {
+		log.Debug("delivery rejected", "node", r.Node, "sender", r.Sender,
+			"target", r.Target, "pred", r.Pred, "error", r.Err)
+	}
 	n.mu.Lock()
 	cap := n.rejCap
 	if cap <= 0 {
@@ -110,6 +117,9 @@ func (n *Node) rejectedLocked() []Rejection {
 }
 
 func (n *Node) delivered(count int64) {
+	if m := n.rt.obsMetrics.Load(); m != nil {
+		m.deliveredTuples.Add(count)
+	}
 	n.mu.Lock()
 	n.nDeliv += count
 	n.mu.Unlock()

@@ -144,6 +144,9 @@ func (ep *tcpEndpoint) SetReceiver(fn Receiver) {
 
 func (ep *tcpEndpoint) Stats() TransferStats { return ep.stats.snapshot() }
 
+// TransportKind labels wire metrics for this endpoint (see metrics.go).
+func (ep *tcpEndpoint) TransportKind() string { return "tcp" }
+
 func (ep *tcpEndpoint) Close() error {
 	var err error
 	ep.closeOnce.Do(func() {

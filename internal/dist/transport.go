@@ -19,7 +19,12 @@ type Envelope struct {
 	Sender    string // sending principal
 	Principal string // receiving principal
 	Pred      string // destination predicate (post delivery-map)
-	Tuples    []datalog.Tuple
+	// Trace, when non-empty, is the request trace ID the delivery belongs
+	// to. It travels as an optional trailing header field (see codec.go);
+	// envelopes without a trace encode byte-identically to the pre-trace
+	// wire format, and decoders ignore unknown trailing fields.
+	Trace  string
+	Tuples []datalog.Tuple
 }
 
 // Receiver consumes inbound envelopes on a node. The returned error is

@@ -1,0 +1,44 @@
+package obs
+
+import "log/slog"
+
+// Obs bundles the three observability primitives a layer is handed:
+// where metrics register, where logs go, and where spans land. The nil
+// *Obs is the fully disabled configuration — every accessor returns the
+// matching no-op — so layers store one pointer and never branch beyond
+// the nil checks built into the primitives.
+type Obs struct {
+	// Registry receives the layer's metrics; nil disables them.
+	Registry *Registry
+	// Log is the root structured logger; nil discards all logging.
+	Log *slog.Logger
+	// Tracer receives finished spans; nil disables tracing.
+	Tracer *Tracer
+}
+
+// Reg returns the registry (nil on a nil Obs).
+func (o *Obs) Reg() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Registry
+}
+
+// Trace returns the tracer (nil on a nil Obs).
+func (o *Obs) Trace() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}
+
+// Logger returns a component-scoped logger: the root logger with a
+// "component" attribute, or a discard logger when none is configured —
+// callers always get a usable *slog.Logger and disabled levels
+// short-circuit inside slog.
+func (o *Obs) Logger(component string) *slog.Logger {
+	if o == nil || o.Log == nil {
+		return slog.New(slog.DiscardHandler)
+	}
+	return o.Log.With("component", component)
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"math/rand/v2"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// TraceID correlates every span and log line of one request, across
+// processes: the distribution codec carries it as the optional
+// "trace=<id>" envelope header field, so a request entering one node can
+// be followed through the Sync rounds it triggers on its peers.
+type TraceID string
+
+// NewTraceID mints a fresh 64-bit random trace ID (16 hex chars). IDs
+// come from math/rand/v2's ChaCha8 generator (itself OS-entropy
+// seeded): trace IDs need collision resistance across a fleet, not
+// unpredictability, and skipping the per-request getrandom syscall
+// keeps minting off the request latency profile.
+func NewTraceID() TraceID {
+	return TraceID(hex16(rand.Uint64()))
+}
+
+// hex16 formats v as exactly 16 lowercase hex characters.
+func hex16(v uint64) string {
+	var b [16]byte
+	s := strconv.AppendUint(b[:0], v, 16)
+	pad := len(b) - len(s)
+	copy(b[pad:], s)
+	for i := 0; i < pad; i++ {
+		b[i] = '0'
+	}
+	return string(b[:])
+}
+
+// ValidTraceID reports whether s has the exact wire shape of a trace ID
+// (16 lowercase hex chars) — the decoder's gate against junk header
+// fields.
+func ValidTraceID(s string) bool {
+	if len(s) != 16 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Span is one finished timed operation within a trace.
+type Span struct {
+	Trace    TraceID
+	ID       string // 16 hex chars, unique within the trace
+	Parent   string // parent span ID, "" for a root span
+	Name     string
+	Node     string // principal/node the span ran on, when known
+	Start    time.Time
+	Duration time.Duration
+}
+
+// ActiveSpan is a span still running; End finishes it into the tracer's
+// ring. The nil *ActiveSpan (from a nil tracer) is a no-op.
+type ActiveSpan struct {
+	t    *Tracer
+	span Span
+}
+
+// ID returns the span's ID ("" on nil) for use as a child's parent.
+func (s *ActiveSpan) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.span.ID
+}
+
+// End finishes the span and records it.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.span.Duration = time.Since(s.span.Start)
+	s.t.record(s.span)
+}
+
+// Tracer collects finished spans in a bounded ring — enough for tests
+// and the admin endpoint to inspect recent request flow without
+// unbounded retention. The nil *Tracer is a no-op and hands out nil
+// spans.
+type Tracer struct {
+	mu    sync.Mutex
+	cap   int
+	spans []Span
+	next  int
+	full  bool
+}
+
+// NewTracer creates a tracer retaining the last capacity finished spans
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{cap: capacity, spans: make([]Span, capacity)}
+}
+
+// StartSpan begins a span in the given trace. Returns nil on a nil
+// tracer or empty trace ID, so untraced paths cost one branch.
+func (t *Tracer) StartSpan(trace TraceID, parent, name, node string) *ActiveSpan {
+	if t == nil || trace == "" {
+		return nil
+	}
+	return &ActiveSpan{t: t, span: Span{
+		Trace: trace, ID: hex16(rand.Uint64()), Parent: parent,
+		Name: name, Node: node, Start: time.Now(),
+	}}
+}
+
+// record appends a finished span to the ring.
+func (t *Tracer) record(s Span) {
+	t.mu.Lock()
+	t.spans[t.next] = s
+	t.next++
+	if t.next == t.cap {
+		t.next, t.full = 0, true
+	}
+	t.mu.Unlock()
+}
+
+// Spans snapshots the retained finished spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Span
+	if t.full {
+		out = append(out, t.spans[t.next:]...)
+	}
+	out = append(out, t.spans[:t.next]...)
+	return out
+}
+
+// SpansFor returns the retained spans belonging to one trace.
+func (t *Tracer) SpansFor(trace TraceID) []Span {
+	var out []Span
+	for _, s := range t.Spans() {
+		if s.Trace == trace {
+			out = append(out, s)
+		}
+	}
+	return out
+}

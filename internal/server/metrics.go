@@ -1,0 +1,140 @@
+package server
+
+import (
+	"time"
+
+	"lbtrust/internal/datalog"
+	"lbtrust/internal/obs"
+)
+
+// verbs is every request verb the protocol knows, in exposition order.
+// Metric children are pre-registered for all of them (plus "unknown" for
+// unparseable verbs) so the /metrics surface is stable from the first
+// scrape — a golden-file test relies on that.
+var verbs = []string{"hello", "auth", "query", "assert", "retract", "say", "sync", "stats"}
+
+// Metrics aggregates server-level observability: per-verb request counts
+// and latency, inflight and session gauges, admission refusals, and
+// limit trips by LB-LIMIT code. A nil *Metrics disables everything;
+// instrumented sites pay one branch.
+type Metrics struct {
+	requests   map[string]*obs.Counter
+	reqSeconds map[string]*obs.Histogram
+
+	inflight       *obs.Gauge
+	activeSessions *obs.Gauge
+	sessions       *obs.Counter
+
+	authOK     *obs.Counter
+	authFail   *obs.Counter
+	refused    *obs.Counter
+	overloaded *obs.Counter
+	idleReaped *obs.Counter
+
+	limitTrips map[string]*obs.Counter // by LB-LIMIT code
+}
+
+// NewMetrics registers the server metric families on r (nil r returns
+// nil — the disabled configuration).
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	m := &Metrics{
+		requests:   map[string]*obs.Counter{},
+		reqSeconds: map[string]*obs.Histogram{},
+		inflight:   r.Gauge("lb_server_inflight_requests", "requests currently executing"),
+		activeSessions: r.Gauge("lb_server_active_sessions",
+			"connections currently open"),
+		sessions: r.Counter("lb_server_sessions_total", "connections accepted"),
+		authOK:   r.Counter("lb_server_auth_total", "authentication outcomes", "outcome", "ok"),
+		authFail: r.Counter("lb_server_auth_total", "authentication outcomes", "outcome", "fail"),
+		refused: r.Counter("lb_server_refused_total",
+			"requests denied for missing authentication or failed static analysis"),
+		overloaded: r.Counter("lb_server_admission_refusals_total",
+			"requests refused by admission control (LB-LIMIT-005)"),
+		idleReaped: r.Counter("lb_server_idle_reaped_total",
+			"connections closed by the idle deadline"),
+		limitTrips: map[string]*obs.Counter{},
+	}
+	const reqHelp = "requests handled, by verb"
+	const latHelp = "request handling latency, by verb"
+	for _, v := range append(append([]string{}, verbs...), "unknown") {
+		m.requests[v] = r.Counter("lb_server_requests_total", reqHelp, "verb", v)
+		m.reqSeconds[v] = r.Histogram("lb_server_request_seconds", latHelp, "verb", v)
+	}
+	// Every typed resource-limit code gets its child up front, so a code
+	// that never fires still shows a zero series (and the lockstep test
+	// against analysis.Catalog sees the full set).
+	for _, code := range datalog.LimitCodes() {
+		m.limitTrips[code] = r.Counter("lb_server_limit_trips_total",
+			"requests killed by a resource budget, by LB-LIMIT code", "code", code)
+	}
+	return m
+}
+
+// observe records one handled request. Unknown verbs (parse failures,
+// unrecognized words) land in the "unknown" child rather than minting
+// unbounded label values from attacker-controlled input.
+func (m *Metrics) observe(verb string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	c, ok := m.requests[verb]
+	if !ok {
+		verb = "unknown"
+		c = m.requests[verb]
+	}
+	c.Inc()
+	m.reqSeconds[verb].Observe(d)
+}
+
+// Nil-safe single-counter mirrors for the Stats counters, so mutation
+// sites stay one line.
+
+func (m *Metrics) authOKInc() {
+	if m != nil {
+		m.authOK.Inc()
+	}
+}
+
+func (m *Metrics) authFailInc() {
+	if m != nil {
+		m.authFail.Inc()
+	}
+}
+
+func (m *Metrics) refusedInc() {
+	if m != nil {
+		m.refused.Inc()
+	}
+}
+
+func (m *Metrics) idleReapedInc() {
+	if m != nil {
+		m.idleReaped.Inc()
+	}
+}
+
+func (m *Metrics) sessionStart() {
+	if m != nil {
+		m.sessions.Inc()
+		m.activeSessions.Inc()
+	}
+}
+
+func (m *Metrics) sessionEnd() {
+	if m != nil {
+		m.activeSessions.Dec()
+	}
+}
+
+// limitTrip records one budget-killed request under its LB-LIMIT code.
+func (m *Metrics) limitTrip(code string) {
+	if m == nil {
+		return
+	}
+	if c, ok := m.limitTrips[code]; ok {
+		c.Inc()
+	}
+}

@@ -62,6 +62,20 @@
 // Options.IdleTimeout bounds how long the server waits for a complete
 // request frame; a stalled or half-open connection is closed (counted
 // in ServeStats.IdleReaped) without affecting other sessions.
+//
+// # Request tracing
+//
+// A server with observability attached (Options.Obs, or lbtrust-serve
+// -admin-addr) mints a 16-hex-character trace ID per request. The ID
+// labels the request's span and log line, and for the sync verb it rides
+// inside every inter-node envelope the sync ships, as the optional
+// trailing "trace=<id>" field of the dist wire header (see
+// internal/dist/codec.go). The field is a backward-compatible extension:
+// envelopes without a trace encode byte-identically to the pre-trace
+// format, and decoders skip key=value extensions they do not recognize,
+// so traced and untraced peers interoperate. Receiving nodes record
+// their delivery spans and log lines under the sender's trace ID, which
+// is what makes one client request followable across node boundaries.
 package server
 
 import (

@@ -21,11 +21,13 @@
 package server
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"strings"
 	"sync"
@@ -36,6 +38,7 @@ import (
 	"lbtrust/internal/core"
 	"lbtrust/internal/datalog"
 	"lbtrust/internal/dist"
+	"lbtrust/internal/obs"
 	"lbtrust/internal/workspace"
 )
 
@@ -76,6 +79,13 @@ type Options struct {
 	// and must reconnect, so pick a window comfortably above client
 	// think time.
 	IdleTimeout time.Duration
+
+	// Obs attaches observability: per-verb request metrics, session
+	// logs, and per-request trace IDs (a sync request's trace propagates
+	// to peer nodes over the wire). Serve also threads the bundle into
+	// the served system (runtime, workspaces, store), so one Options
+	// field instruments the whole stack. Nil disables everything.
+	Obs *obs.Obs
 }
 
 // Stats is a snapshot of the server's counters.
@@ -110,10 +120,21 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+	// reqWG tracks requests currently executing in handle, so Shutdown
+	// can drain in-flight work before closing connections.
+	reqWG sync.WaitGroup
 
-	sessions, active, authOK, authFail   int64
-	queries, writes, syncs, refused      int64
-	limitTripped, overloaded, idleReaped int64
+	// Counters are typed atomics: Stats() may be hammered concurrently
+	// with every mutation site, and the type makes a torn plain-int64
+	// access impossible to write by accident.
+	sessions, active, authOK, authFail   atomic.Int64
+	queries, writes, syncs, refused      atomic.Int64
+	limitTripped, overloaded, idleReaped atomic.Int64
+
+	// Observability (nil when Options.Obs is nil).
+	obs     *obs.Obs
+	metrics *Metrics
+	log     *slog.Logger
 
 	// Admission state: the count of requests currently executing, total
 	// and per principal context. Guarded by admitMu (not s.mu: admission
@@ -132,6 +153,16 @@ func Serve(sys *core.System, addr string, opts Options) (*Server, error) {
 		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
 	}
 	s := &Server{sys: sys, opts: opts, ln: ln, conns: map[net.Conn]struct{}{}, perPrin: map[string]int{}}
+	if opts.Obs != nil {
+		s.obs = opts.Obs
+		s.metrics = NewMetrics(opts.Obs.Reg())
+		if opts.Obs.Log != nil {
+			s.log = opts.Obs.Logger("server")
+		}
+		// One Options field instruments the whole stack: runtime,
+		// workspaces, and store inherit the same bundle.
+		sys.SetObs(opts.Obs)
+	}
 	// Install the configured evaluation budgets on every principal
 	// workspace the system holds right now. Limits are a property of the
 	// workspace (they also bind embedded callers), so principals created
@@ -159,14 +190,22 @@ func (s *Server) admit(who string) error {
 	s.admitMu.Lock()
 	defer s.admitMu.Unlock()
 	if s.opts.MaxInflight > 0 && s.inflight >= s.opts.MaxInflight {
-		atomic.AddInt64(&s.overloaded, 1)
+		s.overloaded.Add(1)
+		if s.metrics != nil {
+			s.metrics.overloaded.Inc()
+			s.metrics.limitTrip(datalog.CodeLimitLoad)
+		}
 		return &datalog.LimitError{
 			Code: datalog.CodeLimitLoad,
 			Msg:  fmt.Sprintf("server overloaded: %d requests in flight (limit %d)", s.inflight, s.opts.MaxInflight),
 		}
 	}
 	if s.opts.MaxPerPrincipal > 0 && s.perPrin[who] >= s.opts.MaxPerPrincipal {
-		atomic.AddInt64(&s.overloaded, 1)
+		s.overloaded.Add(1)
+		if s.metrics != nil {
+			s.metrics.overloaded.Inc()
+			s.metrics.limitTrip(datalog.CodeLimitLoad)
+		}
 		return &datalog.LimitError{
 			Code: datalog.CodeLimitLoad,
 			Msg:  fmt.Sprintf("principal %q at its concurrency limit (%d requests in flight)", who, s.opts.MaxPerPrincipal),
@@ -200,17 +239,17 @@ func (s *Server) System() *core.System { return s.sys }
 // touched beyond its own stats snapshot).
 func (s *Server) Stats() Stats {
 	return Stats{
-		Sessions:     atomic.LoadInt64(&s.sessions),
-		Active:       atomic.LoadInt64(&s.active),
-		AuthOK:       atomic.LoadInt64(&s.authOK),
-		AuthFailures: atomic.LoadInt64(&s.authFail),
-		Queries:      atomic.LoadInt64(&s.queries),
-		Writes:       atomic.LoadInt64(&s.writes),
-		Syncs:        atomic.LoadInt64(&s.syncs),
-		Refused:      atomic.LoadInt64(&s.refused),
-		LimitTripped: atomic.LoadInt64(&s.limitTripped),
-		Overloaded:   atomic.LoadInt64(&s.overloaded),
-		IdleReaped:   atomic.LoadInt64(&s.idleReaped),
+		Sessions:     s.sessions.Load(),
+		Active:       s.active.Load(),
+		AuthOK:       s.authOK.Load(),
+		AuthFailures: s.authFail.Load(),
+		Queries:      s.queries.Load(),
+		Writes:       s.writes.Load(),
+		Syncs:        s.syncs.Load(),
+		Refused:      s.refused.Load(),
+		LimitTripped: s.limitTripped.Load(),
+		Overloaded:   s.overloaded.Load(),
+		IdleReaped:   s.idleReaped.Load(),
 		Dist:         s.sys.Stats(),
 	}
 }
@@ -234,6 +273,53 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Shutdown is the graceful variant of Close: it stops accepting new
+// sessions, lets requests already executing finish (up to the bounded
+// drain deadline; 0 means no waiting), then closes every connection —
+// idle sessions would otherwise hold the server open forever — and waits
+// for the session handlers to return. Requests still in flight when the
+// deadline expires are cut off mid-connection, exactly as under Close.
+// The served system stays open (the caller owns it, and flushes its WAL
+// on its own Close).
+func (s *Server) Shutdown(drain time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	s.mu.Unlock()
+	if s.log != nil {
+		s.log.Info("shutdown: draining in-flight requests", "deadline", drain)
+	}
+	if drain > 0 {
+		done := make(chan struct{})
+		go func() {
+			s.reqWG.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(drain):
+			if s.log != nil {
+				s.log.Warn("shutdown: drain deadline expired with requests still in flight")
+			}
+		}
+	}
+	s.mu.Lock()
+	open := len(s.conns)
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	if s.log != nil {
+		s.log.Info("shutdown complete", "sessions_closed", open)
+	}
+	return err
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -250,8 +336,9 @@ func (s *Server) acceptLoop() {
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
-		atomic.AddInt64(&s.sessions, 1)
-		atomic.AddInt64(&s.active, 1)
+		s.sessions.Add(1)
+		s.active.Add(1)
+		s.metrics.sessionStart()
 		go s.serve(conn)
 	}
 }
@@ -278,9 +365,14 @@ func (s *Server) serve(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
-		atomic.AddInt64(&s.active, -1)
+		s.active.Add(-1)
+		s.metrics.sessionEnd()
 		s.wg.Done()
 	}()
+	if s.log != nil {
+		s.log.Debug("session opened", "remote", conn.RemoteAddr().String())
+		defer s.log.Debug("session closed", "remote", conn.RemoteAddr().String())
+	}
 	idle := s.opts.IdleTimeout
 	if idle > 0 {
 		conn.SetWriteDeadline(time.Now().Add(idle))
@@ -299,7 +391,8 @@ func (s *Server) serve(conn net.Conn) {
 		data, err := dist.ReadFrameLimit(conn, maxRequestFrame)
 		if err != nil {
 			if isTimeout(err) {
-				atomic.AddInt64(&s.idleReaped, 1)
+				s.idleReaped.Add(1)
+				s.metrics.idleReapedInc()
 			}
 			return // EOF, timeout, oversized/mid-frame request, or broken peer
 		}
@@ -309,7 +402,8 @@ func (s *Server) serve(conn net.Conn) {
 		}
 		if err := dist.WriteFrame(conn, resp); err != nil {
 			if isTimeout(err) {
-				atomic.AddInt64(&s.idleReaped, 1)
+				s.idleReaped.Add(1)
+				s.metrics.idleReapedInc()
 			}
 			return
 		}
@@ -327,10 +421,48 @@ func isTimeout(err error) bool {
 // authentication and stats are always admitted, so an operator can still
 // inspect an overloaded node.
 func (s *Server) handle(sess *session, data []byte) []byte {
+	s.reqWG.Add(1)
+	defer s.reqWG.Done()
 	req, err := parseRequest(data)
 	if err != nil {
+		if s.metrics != nil {
+			s.metrics.observe("unknown", 0)
+		}
 		return errFrame(err)
 	}
+	// Each request gets its own trace ID when observability is attached:
+	// it labels this request's span and log line, and a sync request
+	// propagates it to peer nodes inside the shipped envelopes.
+	var trace obs.TraceID
+	if s.obs != nil {
+		trace = obs.NewTraceID()
+		span := s.obs.Trace().StartSpan(trace, "", "server."+req.verb, "")
+		if span != nil {
+			defer span.End()
+		}
+		if s.metrics != nil {
+			s.metrics.inflight.Inc()
+			start := time.Now()
+			defer func() {
+				s.metrics.inflight.Dec()
+				s.metrics.observe(req.verb, time.Since(start))
+			}()
+		}
+		// Enabled gate first: at info level the per-request line must not
+		// even assemble its argument list.
+		if s.log != nil && s.log.Enabled(context.Background(), slog.LevelDebug) {
+			who := ""
+			if sess.principal != nil {
+				who = sess.principal.Name()
+			}
+			s.log.Debug("request", "trace", trace, "verb", req.verb, "principal", who)
+		}
+	}
+	return s.dispatch(sess, req, trace)
+}
+
+// dispatch routes one parsed request to its verb handler.
+func (s *Server) dispatch(sess *session, req request, trace obs.TraceID) []byte {
 	switch req.verb {
 	case "hello":
 		return s.hello(sess, req.text)
@@ -354,11 +486,12 @@ func (s *Server) handle(sess *session, data []byte) []byte {
 			return s.say(sess, req.to, req.text)
 		default: // sync
 			if sess.principal == nil {
-				atomic.AddInt64(&s.refused, 1)
+				s.refused.Add(1)
+				s.metrics.refusedInc()
 				return errFrame(fmt.Errorf("server: sync requires an authenticated session"))
 			}
-			atomic.AddInt64(&s.syncs, 1)
-			if err := s.sys.Sync(); err != nil {
+			s.syncs.Add(1)
+			if err := s.sys.SyncTraced(trace); err != nil {
 				return s.evalErrFrame(err)
 			}
 			return []byte("ok")
@@ -377,7 +510,13 @@ func (s *Server) handle(sess *session, data []byte) []byte {
 // a tripped resource budget count in Stats.LimitTripped.
 func (s *Server) evalErrFrame(err error) []byte {
 	if datalog.IsLimit(err) {
-		atomic.AddInt64(&s.limitTripped, 1)
+		s.limitTripped.Add(1)
+		if s.metrics != nil {
+			var le *datalog.LimitError
+			if errors.As(err, &le) {
+				s.metrics.limitTrip(le.Code)
+			}
+		}
 	}
 	return errFrame(err)
 }
@@ -389,11 +528,13 @@ func (s *Server) hello(sess *session, principal string) []byte {
 	sess.claim, sess.nonce, sess.principal = "", "", nil
 	p, ok := s.sys.Principal(principal)
 	if !ok {
-		atomic.AddInt64(&s.authFail, 1)
+		s.authFail.Add(1)
+		s.metrics.authFailInc()
 		return errFrame(fmt.Errorf("server: unknown principal %q", principal))
 	}
 	if _, ok := p.Keys().RSAKey(principal); !ok {
-		atomic.AddInt64(&s.authFail, 1)
+		s.authFail.Add(1)
+		s.metrics.authFailInc()
 		return errFrame(fmt.Errorf("server: principal %q has no established key", principal))
 	}
 	var nonce [32]byte
@@ -413,21 +554,25 @@ func (s *Server) auth(sess *session, sigHex string) []byte {
 	claim, nonce := sess.claim, sess.nonce
 	sess.claim, sess.nonce = "", ""
 	if claim == "" {
-		atomic.AddInt64(&s.authFail, 1)
+		s.authFail.Add(1)
+		s.metrics.authFailInc()
 		return errFrame(fmt.Errorf("server: auth without a pending hello"))
 	}
 	p, ok := s.sys.Principal(claim)
 	if !ok {
-		atomic.AddInt64(&s.authFail, 1)
+		s.authFail.Add(1)
+		s.metrics.authFailInc()
 		return errFrame(fmt.Errorf("server: unknown principal %q", claim))
 	}
 	key, ok := p.Keys().RSAKey(claim)
 	if !ok || !p.Keys().VerifyRSA(authMessage(nonce), sigHex, &key.PublicKey) {
-		atomic.AddInt64(&s.authFail, 1)
+		s.authFail.Add(1)
+		s.metrics.authFailInc()
 		return errFrame(fmt.Errorf("server: signature does not prove %q", claim))
 	}
 	sess.principal = p
-	atomic.AddInt64(&s.authOK, 1)
+	s.authOK.Add(1)
+	s.metrics.authOKInc()
 	return []byte("ok " + claim)
 }
 
@@ -438,7 +583,8 @@ func (s *Server) query(sess *session, src string) []byte {
 	p := sess.principal
 	if p == nil {
 		if s.opts.Anonymous == "" {
-			atomic.AddInt64(&s.refused, 1)
+			s.refused.Add(1)
+			s.metrics.refusedInc()
 			return errFrame(fmt.Errorf("server: queries require authentication (no anonymous principal configured)"))
 		}
 		anon, ok := s.sys.Principal(s.opts.Anonymous)
@@ -447,7 +593,7 @@ func (s *Server) query(sess *session, src string) []byte {
 		}
 		p = anon
 	}
-	atomic.AddInt64(&s.queries, 1)
+	s.queries.Add(1)
 	var rows []datalog.Tuple
 	var err error
 	if s.opts.LockedReads {
@@ -468,10 +614,11 @@ func (s *Server) query(sess *session, src string) []byte {
 // warning diagnostics ride back on the ok frame, one per line.
 func (s *Server) write(sess *session, verb, src string) []byte {
 	if sess.principal == nil {
-		atomic.AddInt64(&s.refused, 1)
+		s.refused.Add(1)
+		s.metrics.refusedInc()
 		return errFrame(fmt.Errorf("server: %s requires an authenticated session", verb))
 	}
-	atomic.AddInt64(&s.writes, 1)
+	s.writes.Add(1)
 	if verb == "retract" {
 		if err := sess.principal.Update(func(tx *workspace.Tx) error { return tx.Retract(src) }); err != nil {
 			return s.evalErrFrame(err)
@@ -492,7 +639,8 @@ func (s *Server) write(sess *session, verb, src string) []byte {
 	// under the same lock the transaction will take.
 	diags := sess.principal.Workspace().AnalyzeSource(ensureDot(src))
 	if analysis.HasErrors(diags) {
-		atomic.AddInt64(&s.refused, 1)
+		s.refused.Add(1)
+		s.metrics.refusedInc()
 		return errFrame(analysis.NewError(diags))
 	}
 	if err := sess.principal.Update(func(tx *workspace.Tx) error { return tx.AddRuleSrc(src) }); err != nil {
@@ -518,10 +666,11 @@ func ensureDot(src string) string {
 // proven principal, full stop.
 func (s *Server) say(sess *session, to, clause string) []byte {
 	if sess.principal == nil {
-		atomic.AddInt64(&s.refused, 1)
+		s.refused.Add(1)
+		s.metrics.refusedInc()
 		return errFrame(fmt.Errorf("server: say requires an authenticated session"))
 	}
-	atomic.AddInt64(&s.writes, 1)
+	s.writes.Add(1)
 	if err := sess.principal.Say(to, clause); err != nil {
 		return s.evalErrFrame(err)
 	}

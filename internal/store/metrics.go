@@ -1,0 +1,54 @@
+package store
+
+import (
+	"lbtrust/internal/obs"
+)
+
+// Metrics aggregates durability-layer observability: WAL append volume,
+// group-commit and fsync latency, and checkpoint cost. A nil *Metrics
+// disables everything; instrumented sites pay one pointer load and a
+// branch, so the append hot path is unchanged when observability is off.
+type Metrics struct {
+	walAppends     *obs.Counter
+	walAppendBytes *obs.Counter
+	walCommits     *obs.Counter
+	walCommitSecs  *obs.Histogram
+	walFsyncSecs   *obs.Histogram
+
+	checkpoints    *obs.Counter
+	checkpointSecs *obs.Histogram
+}
+
+// NewMetrics registers the store metric families on r (nil r returns nil
+// — the disabled configuration).
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		walAppends:     r.Counter("lb_store_wal_appends_total", "records queued on the write-ahead log"),
+		walAppendBytes: r.Counter("lb_store_wal_append_bytes_total", "framed bytes queued on the write-ahead log"),
+		walCommits:     r.Counter("lb_store_wal_commits_total", "group commits (write+flush+fsync batches) of the log"),
+		walCommitSecs: r.Histogram("lb_store_wal_commit_seconds",
+			"group-commit latency: buffered writes, flush, and fsync of one batch"),
+		walFsyncSecs: r.Histogram("lb_store_wal_fsync_seconds",
+			"fsync portion of a group commit (absent under -fsync off)"),
+		checkpoints: r.Counter("lb_store_checkpoints_total", "checkpoints taken (snapshot written, log rotated)"),
+		checkpointSecs: r.Histogram("lb_store_checkpoint_seconds",
+			"checkpoint duration: drain, rotate, capture, snapshot write, GC"),
+	}
+}
+
+// SetObs attaches observability to the store. Metrics land on o's
+// registry and log lines on a store-scoped logger; the active WAL
+// appender (and every appender a later checkpoint rotation creates)
+// shares the same metrics through the store's atomic slot, so SetObs can
+// be called while commits are in flight.
+func (s *Store) SetObs(o *obs.Obs) {
+	s.obsM.Store(NewMetrics(o.Reg()))
+	if o == nil || o.Log == nil {
+		s.obsLog.Store(nil)
+	} else {
+		s.obsLog.Store(o.Logger("store"))
+	}
+}

@@ -27,10 +27,12 @@ package store
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lbtrust/internal/datalog"
@@ -64,6 +66,11 @@ type Store struct {
 	wal     *walAppender
 	tipSize int64 // recovered byte length of the tip segment at open
 	closed  bool
+
+	// Observability attachments (see SetObs in metrics.go). Atomic so
+	// the commit goroutine and appenders read them without s.mu.
+	obsM   atomic.Pointer[Metrics]
+	obsLog atomic.Pointer[slog.Logger]
 }
 
 // Recovered is what Open found on disk: the newest valid snapshot (nil on
@@ -201,7 +208,7 @@ func Open(dir string, opts Options) (*Store, *Recovered, error) {
 		tip = f
 		s.tipSize = valid
 	}
-	s.wal = newWALAppender(tip, opts.Fsync, opts.FsyncInterval)
+	s.wal = newWALAppender(tip, opts.Fsync, opts.FsyncInterval, &s.obsM)
 	s.wal.setSize(s.tipSize)
 	return s, rec, nil
 }
@@ -383,6 +390,16 @@ func (s *Store) LogShips(ships []ShipRecord) error {
 func (s *Store) Checkpoint(capture func() (*Snapshot, error)) error {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
+	if m := s.obsM.Load(); m != nil {
+		start := time.Now()
+		defer func() {
+			m.checkpoints.Inc()
+			m.checkpointSecs.Observe(time.Since(start))
+			if log := s.obsLog.Load(); log != nil {
+				log.Debug("checkpoint finished", "seq", s.Seq(), "duration", time.Since(start))
+			}
+		}()
+	}
 
 	s.mu.Lock()
 	if s.closed {
@@ -410,7 +427,7 @@ func (s *Store) Checkpoint(capture func() (*Snapshot, error)) error {
 			return fmt.Errorf("store: rotating log: %w", err)
 		}
 		old = s.wal
-		s.wal = newWALAppender(f, s.opts.Fsync, s.opts.FsyncInterval)
+		s.wal = newWALAppender(f, s.opts.Fsync, s.opts.FsyncInterval, &s.obsM)
 		s.seq = newSeq
 	}
 	s.mu.Unlock()

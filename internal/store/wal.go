@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -128,17 +129,25 @@ type walAppender struct {
 	kickC   chan struct{} // oversized-buffer nudge, no ack
 	closeC  chan struct{}
 	done    chan struct{}
+
+	// m is the owning store's metrics slot (shared across rotations, so
+	// SetObs reaches every appender); nil for standalone appenders.
+	m *atomic.Pointer[Metrics]
 }
 
 // walBufCap hands an oversized pending buffer to the file inline (still
 // no fsync), bounding memory between ticks under bursts.
 const walBufCap = 4 << 20
 
-func newWALAppender(f *os.File, policy FsyncPolicy, interval time.Duration) *walAppender {
+func newWALAppender(f *os.File, policy FsyncPolicy, interval time.Duration, m *atomic.Pointer[Metrics]) *walAppender {
 	if interval <= 0 {
 		interval = 50 * time.Millisecond
 	}
+	if m == nil {
+		m = new(atomic.Pointer[Metrics])
+	}
 	w := &walAppender{
+		m:        m,
 		f:        f,
 		bw:       bufio.NewWriterSize(f, 1<<18),
 		policy:   policy,
@@ -176,6 +185,11 @@ func (w *walAppender) commit() error {
 	w.spare = nil
 	w.mu.Unlock()
 
+	m := w.m.Load()
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	var err error
 	if len(buf) > 0 {
 		_, err = w.bw.Write(buf)
@@ -184,9 +198,20 @@ func (w *walAppender) commit() error {
 		err = ferr
 	}
 	if w.policy != FsyncOff {
+		var syncStart time.Time
+		if m != nil {
+			syncStart = time.Now()
+		}
 		if serr := w.f.Sync(); err == nil {
 			err = serr
 		}
+		if m != nil {
+			m.walFsyncSecs.Observe(time.Since(syncStart))
+		}
+	}
+	if m != nil {
+		m.walCommits.Inc()
+		m.walCommitSecs.Observe(time.Since(start))
 	}
 	w.mu.Lock()
 	w.setErrLocked(err)
@@ -282,6 +307,10 @@ func (w *walAppender) Append(payload []byte, wait bool) error {
 func (w *walAppender) AppendNoSync(payload []byte) error { return w.enqueue(payload) }
 
 func (w *walAppender) enqueue(payload []byte) error {
+	if m := w.m.Load(); m != nil {
+		m.walAppends.Inc()
+		m.walAppendBytes.Add(frameHeaderSize + int64(len(payload)))
+	}
 	w.mu.Lock()
 	w.buf = appendFrame(w.buf, payload)
 	w.size += frameHeaderSize + int64(len(payload))

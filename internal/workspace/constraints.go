@@ -227,6 +227,9 @@ func (w *Workspace) checkConstraintsLocked(delta map[string][]datalog.Tuple, can
 		// clear loop, and the evaluator run entirely. constraintsChanged is
 		// left as-is so a later AddConstraint still recompiles.
 		w.checkStats.Skipped++
+		if w.metrics != nil {
+			w.metrics.checkSkipped.Inc()
+		}
 		return nil
 	}
 	if w.constraintsChanged {
@@ -244,6 +247,9 @@ func (w *Workspace) checkConstraintsLocked(delta map[string][]datalog.Tuple, can
 			// No predicate of the delta occurs in any check-rule body: the
 			// flush cannot have created a violation or a new aux fact.
 			w.checkStats.Skipped++
+			if w.metrics != nil {
+				w.metrics.checkSkipped.Inc()
+			}
 			return nil
 		}
 		violations, err := w.runChecksLocked(filtered)
@@ -255,10 +261,16 @@ func (w *Workspace) checkConstraintsLocked(delta map[string][]datalog.Tuple, can
 			return fmt.Errorf("workspace: checking constraints: %w", err)
 		default:
 			w.checkStats.Incremental++
+			if w.metrics != nil {
+				w.metrics.checkIncremental.Inc()
+			}
 			return violationError(violations)
 		}
 	}
 	w.checkStats.Full++
+	if w.metrics != nil {
+		w.metrics.checkFull.Inc()
+	}
 	// Full re-evaluation: clear previous check results and recompute from
 	// scratch (fail/aux predicates never feed user rules).
 	for _, cc := range w.constraints {

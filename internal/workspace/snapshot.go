@@ -19,6 +19,7 @@ package workspace
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"lbtrust/internal/datalog"
 	"lbtrust/internal/meta"
@@ -34,6 +35,9 @@ type Snapshot struct {
 	builtins  *datalog.BuiltinSet
 	version   uint64
 	limits    datalog.Limits // query limits captured at publication
+	// eval carries the workspace's evaluator metrics at publication, so
+	// lock-free snapshot reads count as query runs like locked reads do.
+	eval *datalog.EvalMetrics
 }
 
 // Version identifies the publication: it increments each time Snapshot()
@@ -68,10 +72,11 @@ func (s *Snapshot) Query(src string) ([]datalog.Tuple, error) {
 	}
 	if !atomHasQuote(atom) {
 		ev := datalog.NewEvaluator(s.db, s.builtins)
+		ev.Metrics = s.eval
 		ev.Budget = s.limits.NewBudget()
 		return ev.Query(atom)
 	}
-	return queryPattern(s.db, s.builtins, atom, s.limits)
+	return queryPattern(s.db, s.builtins, atom, s.limits, s.eval)
 }
 
 // Facts returns the sorted tuples of a predicate in the snapshot.
@@ -115,6 +120,11 @@ func (w *Workspace) Snapshot() *Snapshot {
 	if w.snapCached != nil && !w.snapAll && len(w.snapStale) == 0 {
 		return w.snapCached
 	}
+	var pubStart time.Time
+	cloned := 0
+	if w.metrics != nil {
+		pubStart = time.Now()
+	}
 	if w.snapAll {
 		// Rebuild (or first publication): every relation version is stale,
 		// and relations dropped from the live database must leave the view.
@@ -127,6 +137,7 @@ func (w *Workspace) Snapshot() *Snapshot {
 			c := rel.Clone()
 			c.Freeze()
 			fresh[name] = c
+			cloned++
 		}
 		w.snapRels = fresh
 	} else {
@@ -145,6 +156,7 @@ func (w *Workspace) Snapshot() *Snapshot {
 			c := rel.Clone()
 			c.Freeze()
 			w.snapRels[pred] = c
+			cloned++
 		}
 	}
 	w.snapAll = false
@@ -162,6 +174,11 @@ func (w *Workspace) Snapshot() *Snapshot {
 		builtins:  w.builtins,
 		version:   w.snapVer,
 		limits:    w.queryLimits,
+		eval:      w.metrics.evalMetrics(),
+	}
+	if w.metrics != nil {
+		w.metrics.snapPublishSeconds.Observe(time.Since(pubStart))
+		w.metrics.snapRelsCloned.Add(int64(cloned))
 	}
 	// Publish for the lock-free fast path: pointer first, then the clean
 	// flag, so a reader that observes clean=true loads this (or a newer)
@@ -199,7 +216,7 @@ func (w *Workspace) markSnapStaleLocked(changed map[string][]datalog.Tuple, rebu
 // the given database. The overlay keeps the transient result relation out
 // of the shared database, so the same code serves the locked live path
 // and lock-free snapshot reads.
-func queryPattern(db *datalog.Database, builtins *datalog.BuiltinSet, a *datalog.Atom, limits datalog.Limits) ([]datalog.Tuple, error) {
+func queryPattern(db *datalog.Database, builtins *datalog.BuiltinSet, a *datalog.Atom, limits datalog.Limits, em *datalog.EvalMetrics) ([]datalog.Tuple, error) {
 	// Blank variables cannot appear in rule heads; name them apart.
 	q := *a
 	q.Args = append([]datalog.Term{}, a.Args...)
@@ -232,6 +249,7 @@ func queryPattern(db *datalog.Database, builtins *datalog.BuiltinSet, a *datalog
 	tr.Heads[0].Args = tr.Body[0].Atom.AllArgs()
 	overlay := db.Shallow()
 	ev := datalog.NewEvaluator(overlay, builtins)
+	ev.Metrics = em
 	ev.Budget = limits.NewBudget()
 	if err := ev.SetRules([]*datalog.Rule{tr}); err != nil {
 		return nil, err

@@ -3,6 +3,7 @@ package workspace
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"lbtrust/internal/datalog"
 	"lbtrust/internal/meta"
@@ -59,13 +60,22 @@ func (w *Workspace) Update(fn func(tx *Tx) error) error {
 		// Arm the flush budget on the workspace (rebuildDerivedLocked
 		// re-attaches it when it replaces the evaluators) and on both
 		// evaluators, then disarm before any rollback: restoring the
-		// pre-transaction state must never itself be budgeted.
-		if b := w.flushLimits.NewBudget(); b != nil {
+		// pre-transaction state must never itself be budgeted. A metered
+		// workspace arms an unlimited metrics-only budget when no flush
+		// limits are configured, so gas/derived counts stay visible.
+		if b := w.metricsBudget(w.flushLimits.NewBudget()); b != nil {
 			w.flushBudget = b
 			w.userEv.Budget = b
 			w.checkEv.Budget = b
 		}
+		var flushStart time.Time
+		if w.metrics != nil {
+			flushStart = time.Now()
+		}
 		err = w.flushLocked(tx)
+		if w.metrics != nil {
+			w.metrics.flushSeconds.Observe(time.Since(flushStart))
+		}
 		w.flushBudget = nil
 		w.userEv.Budget = nil
 		w.checkEv.Budget = nil
@@ -74,6 +84,9 @@ func (w *Workspace) Update(fn func(tx *Tx) error) error {
 		w.flushNew, w.flushRebuilt, w.flushActivated = nil, false, nil
 		if rerr := w.restoreLocked(snap, tx); rerr != nil {
 			err = errors.Join(err, fmt.Errorf("workspace: rollback: %w", rerr))
+		}
+		if w.log != nil {
+			w.log.Debug("flush rolled back", "error", err)
 		}
 		w.mu.Unlock()
 		return err
@@ -672,6 +685,8 @@ func (w *Workspace) rebuildDerivedLocked() error {
 	w.userEv = datalog.NewEvaluator(fresh, w.builtins)
 	w.userEv.OnNew = w.recordDerived
 	w.checkEv = newCheckEvaluator(fresh, w.builtins)
+	w.userEv.Metrics = w.metrics.evalMetrics()
+	w.checkEv.Metrics = w.metrics.evalMetrics()
 	if w.flushBudget != nil {
 		w.userEv.Budget = w.flushBudget
 		w.checkEv.Budget = w.flushBudget

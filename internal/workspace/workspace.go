@@ -11,6 +11,7 @@
 package workspace
 
 import (
+	"log/slog"
 	"sort"
 	"strings"
 	"sync"
@@ -132,6 +133,12 @@ type Workspace struct {
 	queryLimits datalog.Limits
 	flushLimits datalog.Limits
 	flushBudget *datalog.Budget
+
+	// metrics and log are the workspace's observability attachment (see
+	// SetObs). Both are nil by default: every instrumented site costs one
+	// branch when observability is off.
+	metrics *Metrics
+	log     *slog.Logger
 }
 
 // RuleChange records one active-rule addition for journal observers and
@@ -527,7 +534,7 @@ func atomHasQuote(a *datalog.Atom) bool {
 // patterns against the current database. The shared overlay-based helper
 // (see snapshot.go) keeps the transient result relation out of w.db.
 func (w *Workspace) queryPatternLocked(a *datalog.Atom) ([]datalog.Tuple, error) {
-	return queryPattern(w.db, w.builtins, a, w.queryLimits)
+	return queryPattern(w.db, w.builtins, a, w.queryLimits, w.metrics.evalMetrics())
 }
 
 // BaseFacts returns the sorted asserted (non-derived) tuples of a

@@ -44,6 +44,7 @@ import (
 	"lbtrust/internal/datalog"
 	"lbtrust/internal/dist"
 	"lbtrust/internal/lbcrypto"
+	"lbtrust/internal/obs"
 	"lbtrust/internal/sendlog"
 	"lbtrust/internal/server"
 	"lbtrust/internal/store"
@@ -265,6 +266,44 @@ func Serve(sys *System, addr string, opts ServerOptions) (*Server, error) {
 
 // Dial connects to a served trust system.
 func Dial(addr string) (*Client, error) { return server.Dial(addr) }
+
+// ---- observability ----------------------------------------------------------
+
+// Obs bundles the observability backends threaded through a system or
+// server: a metrics registry, a structured logger, and a trace recorder.
+// Every field is optional (nil disables that signal); pass the bundle
+// via ServerOptions.Obs or System.SetObs. See docs/OBSERVABILITY.md.
+type Obs = obs.Obs
+
+// MetricsRegistry collects named counters, gauges, and histograms and
+// renders them in Prometheus text exposition format.
+type MetricsRegistry = obs.Registry
+
+// Tracer records request spans in a bounded in-memory ring.
+type Tracer = obs.Tracer
+
+// TraceID identifies one request across node boundaries (16 hex chars).
+type TraceID = obs.TraceID
+
+// Span is one recorded operation of a trace.
+type Span = obs.Span
+
+// AdminServer is the operator HTTP endpoint: /metrics, /healthz, and
+// /debug/pprof on a dedicated listener.
+type AdminServer = obs.AdminServer
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer creates a span recorder keeping the most recent capacity
+// spans.
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// ServeAdmin starts the admin endpoint (lbtrust-serve exposes it via
+// -admin-addr).
+func ServeAdmin(addr string, reg *MetricsRegistry) (*AdminServer, error) {
+	return obs.ServeAdmin(addr, reg)
+}
 
 // NewBinderContext wraps a principal as a Binder context.
 func NewBinderContext(p *Principal) *BinderContext { return binder.NewContext(p) }

@@ -2,7 +2,8 @@
 # Serve smoke: build both binaries, start a durable lbtrust-serve, drive
 # three concurrent authenticated clients against it over real sockets,
 # and assert the statements landed. Exercises the full out-of-process
-# path: key export, challenge-response auth, say/sync/query, durability.
+# path: key export, challenge-response auth, say/sync/query, durability,
+# and the -admin-addr observability endpoint (/healthz, /metrics).
 set -euo pipefail
 
 workdir=$(mktemp -d)
@@ -11,20 +12,36 @@ trap 'kill $server_pid 2>/dev/null || true; rm -rf "$workdir"' EXIT
 go build -o "$workdir/lbtrust" ./cmd/lbtrust
 go build -o "$workdir/lbtrust-serve" ./cmd/lbtrust-serve
 
+# fetch URL > file, with whichever of curl/wget the runner has.
+fetch() {
+  if command -v curl >/dev/null; then curl -fsS "$1"
+  else wget -qO- "$1"
+  fi
+}
+
 "$workdir/lbtrust-serve" \
   -listen 127.0.0.1:0 -addr-file "$workdir/addr" \
+  -admin-addr 127.0.0.1:0 -admin-addr-file "$workdir/admin_addr" \
   -data-dir "$workdir/trust.db" \
   -principals alice,bob,carol -trust-all \
   -export-keys "$workdir/keys" &
 server_pid=$!
 
 for _ in $(seq 1 100); do
-  [ -s "$workdir/addr" ] && break
+  [ -s "$workdir/addr" ] && [ -s "$workdir/admin_addr" ] && break
   kill -0 $server_pid || { echo "server died during startup"; exit 1; }
   sleep 0.1
 done
 addr=$(cat "$workdir/addr")
-echo "server at $addr"
+admin=$(cat "$workdir/admin_addr")
+echo "server at $addr (admin at $admin)"
+
+# The admin endpoint answers before any traffic: health and a zeroed
+# metric surface.
+[ "$(fetch "http://$admin/healthz")" = "ok" ] || { echo "healthz not ok"; exit 1; }
+fetch "http://$admin/metrics" > "$workdir/metrics.before"
+grep -q '^lb_server_requests_total{verb="query"} 0$' "$workdir/metrics.before" \
+  || { echo "expected zero query counter before traffic"; exit 1; }
 
 # Three concurrent authenticated clients: alice and carol each say a
 # greeting to bob while bob polls with queries.
@@ -47,12 +64,33 @@ grep -q "(alice)" "$workdir/prin.out" || { echo "bob cannot see principals"; exi
 grep -q "(from_alice)" "$workdir/greetings.out" || { echo "alice's greeting missing"; cat "$workdir/greetings.out"; exit 1; }
 grep -q "(from_carol)" "$workdir/greetings.out" || { echo "carol's greeting missing"; cat "$workdir/greetings.out"; exit 1; }
 
+# The traffic above must have moved the counters: queries and syncs
+# were handled, auth succeeded, the workspace flushed, the distribution
+# runtime pumped, and every scrape is a fresh snapshot of those counts.
+fetch "http://$admin/metrics" > "$workdir/metrics.after"
+assert_moved() {
+  before=$(awk -v m="$1" '$1 == m {print $2}' "$workdir/metrics.before")
+  after=$(awk -v m="$1" '$1 == m {print $2}' "$workdir/metrics.after")
+  [ -n "$after" ] || { echo "metric $1 missing from /metrics"; exit 1; }
+  awk -v b="${before:-0}" -v a="$after" 'BEGIN { exit !(a > b) }' \
+    || { echo "metric $1 did not move (before=${before:-0} after=$after)"; exit 1; }
+}
+assert_moved 'lb_server_requests_total{verb="query"}'
+assert_moved 'lb_server_requests_total{verb="sync"}'
+assert_moved 'lb_server_auth_total{outcome="ok"}'
+assert_moved 'lb_workspace_flush_seconds_count'
+assert_moved 'lb_dist_syncs_total'
+echo "metrics moved with traffic"
+
 # Wrong-key sessions are rejected: bob's key cannot prove alice.
 if "$workdir/lbtrust" -connect "$addr" -principal alice -key "$workdir/keys/bob.key" \
     -say 'bob: forged(x).' 2>"$workdir/forge.err"; then
   echo "forged authentication was accepted"; exit 1
 fi
 grep -q "does not prove" "$workdir/forge.err" || { echo "unexpected rejection:"; cat "$workdir/forge.err"; exit 1; }
+fetch "http://$admin/metrics" > "$workdir/metrics.forged"
+grep -q '^lb_server_auth_total{outcome="fail"} [1-9]' "$workdir/metrics.forged" \
+  || { echo "failed auth not counted"; exit 1; }
 
 # Restart the server on the same data dir: state and keys recover, the
 # same client keys still authenticate, and the greetings are still there.
