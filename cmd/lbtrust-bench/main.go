@@ -41,7 +41,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "comma-separated experiments: fig2, sync, constraints, wal, serve, storage, overload, obs, ablations, all")
+	experiment := flag.String("experiment", "all", "comma-separated experiments: fig2, sync, constraints, wal, serve, storage, overload, obs, provenance, ablations, all")
 	maxMsgs := flag.Int("max", 10000, "fig2: maximum number of messages")
 	step := flag.Int("step", 1000, "fig2: message count step")
 	transport := flag.String("transport", "mem", "fig2/sync: wire layer, mem or tcp")
@@ -92,6 +92,8 @@ func main() {
 			reports = append(reports, runOverload(*jsonOut, *short))
 		case "obs":
 			reports = append(reports, runObs(*jsonOut, *short))
+		case "provenance":
+			reports = append(reports, runProvenance(*jsonOut, *short))
 		case "ablations":
 			if *jsonOut {
 				fmt.Fprintln(os.Stderr, "ablations have no JSON shape; skipped in -json mode")
@@ -631,6 +633,76 @@ func runObs(jsonOut, short bool) any {
 		float64(report.ObsP50Ns)/1e3, float64(report.ObsP99Ns)/1e3)
 	fmt.Printf("\noverhead: %.2f%% of median throughput (budget: <%.0f%%)\n\n",
 		report.OverheadPct, report.OverheadBudget)
+	return report
+}
+
+// provenanceReport is the machine-readable shape of the
+// provenance-overhead experiment: the sync-heavy serve workload with
+// derivation capture off (twice, bounding the noise floor) vs on, so CI
+// can alert when capture cost drifts past the <10% budget.
+type provenanceReport struct {
+	Experiment string `json:"experiment"`
+	Short      bool   `json:"short"`
+	Base       int    `json:"base"`
+	PerClient  int    `json:"per_client"`
+	Clients    int    `json:"clients"`
+	Rounds     int    `json:"rounds"`
+
+	OffAQPS        []float64 `json:"off_a_qps"`
+	OffAMedianQPS  float64   `json:"off_a_median_qps"`
+	OffBQPS        []float64 `json:"off_b_qps"`
+	OffBMedianQPS  float64   `json:"off_b_median_qps"`
+	OnQPS          []float64 `json:"on_qps"`
+	OnMedianQPS    float64   `json:"on_median_qps"`
+	OffAP50Ns      int64     `json:"off_a_p50_ns"`
+	OffAP99Ns      int64     `json:"off_a_p99_ns"`
+	OnP50Ns        int64     `json:"on_p50_ns"`
+	OnP99Ns        int64     `json:"on_p99_ns"`
+	NoisePct       float64   `json:"noise_pct"`
+	OverheadPct    float64   `json:"overhead_pct"`
+	OverheadBudget float64   `json:"overhead_budget_pct"`
+	RecordedFacts  int       `json:"recorded_facts"`
+	RecordedBytes  int64     `json:"recorded_bytes"`
+	Dropped        int64     `json:"dropped"`
+}
+
+func runProvenance(jsonOut, short bool) any {
+	opts := bench.ProvenanceOptions{Base: 10000, PerClient: 1000, Clients: 4, Rounds: 5, Window: 2 * time.Second}
+	if short {
+		opts = bench.ProvenanceOptions{Base: 1000, PerClient: 500, Clients: 4, Rounds: 3, Window: time.Second}
+	}
+	r, err := bench.RunProvenance(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "provenance: %v\n", err)
+		os.Exit(1)
+	}
+	report := provenanceReport{
+		Experiment: "provenance", Short: short,
+		Base: r.Base, PerClient: r.PerClient, Clients: r.Clients, Rounds: r.Rounds,
+		OffAQPS: r.OffA.QPS, OffAMedianQPS: r.OffA.MedianQPS,
+		OffBQPS: r.OffB.QPS, OffBMedianQPS: r.OffB.MedianQPS,
+		OnQPS: r.On.QPS, OnMedianQPS: r.On.MedianQPS,
+		OffAP50Ns: r.OffA.P50.Nanoseconds(), OffAP99Ns: r.OffA.P99.Nanoseconds(),
+		OnP50Ns: r.On.P50.Nanoseconds(), OnP99Ns: r.On.P99.Nanoseconds(),
+		NoisePct: r.NoisePct, OverheadPct: r.OverheadPct, OverheadBudget: 10,
+		RecordedFacts: r.RecordedFacts, RecordedBytes: r.RecordedBytes, Dropped: r.Dropped,
+	}
+	if jsonOut {
+		return report
+	}
+	fmt.Printf("== Provenance overhead: sync-heavy serve workload, capture off vs on ==\n")
+	fmt.Printf("(%d-fact workspace, %d clients, %d rounds per arm, continuous says+sync writer)\n\n",
+		r.Base, r.Clients, r.Rounds)
+	fmt.Printf("%10s %14s %12s %12s\n", "mode", "median-qps", "p50(us)", "p99(us)")
+	fmt.Printf("%10s %14.0f %12.1f %12.1f\n", "off-a", report.OffAMedianQPS,
+		float64(report.OffAP50Ns)/1e3, float64(report.OffAP99Ns)/1e3)
+	fmt.Printf("%10s %14.0f %12s %12s\n", "off-b", report.OffBMedianQPS, "-", "-")
+	fmt.Printf("%10s %14.0f %12.1f %12.1f\n", "on", report.OnMedianQPS,
+		float64(report.OnP50Ns)/1e3, float64(report.OnP99Ns)/1e3)
+	fmt.Printf("\nnoise floor (off vs off): %.2f%%   capture overhead: %.2f%% (budget: <%.0f%%)\n",
+		report.NoisePct, report.OverheadPct, report.OverheadBudget)
+	fmt.Printf("captured: %d facts, %d bytes, %d dropped by cap\n\n",
+		report.RecordedFacts, report.RecordedBytes, report.Dropped)
 	return report
 }
 

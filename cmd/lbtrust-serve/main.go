@@ -27,15 +27,19 @@
 // -idle-timeout reaps stalled or half-open connections.
 //
 // Observability: -admin-addr starts the operator HTTP endpoint
-// (/metrics in Prometheus text format, /healthz, /debug/pprof) on its
-// own listener and instruments every layer of the served system —
-// request counts and latency per verb, evaluator gas, workspace flush
-// timings, distribution wire traffic, WAL commit latency — plus
-// structured logs on stderr (-log-level debug for per-request lines)
-// and a per-request trace ID that follows syncs across nodes. See
-// docs/OBSERVABILITY.md. On SIGINT/SIGTERM the server drains in-flight
-// requests for up to -shutdown-timeout before closing, then flushes
-// the WAL.
+// (/metrics in Prometheus text format, /healthz, /debug/pprof, and the
+// authorization audit ring at /debug/audit) on its own listener and
+// instruments every layer of the served system — request counts and
+// latency per verb, evaluator gas, workspace flush timings,
+// distribution wire traffic, WAL commit latency — plus structured logs
+// on stderr (-log-level debug for per-request lines) and a per-request
+// trace ID that follows syncs across nodes. -provenance enables
+// derivation capture (bounded by -provenance-mem), which the protocol's
+// explain verb needs to answer proof trees; -slow-query logs any
+// request slower than the threshold with its trace ID, principal, and
+// gas spent. See docs/OBSERVABILITY.md. On SIGINT/SIGTERM the server
+// drains in-flight requests for up to -shutdown-timeout before closing,
+// then flushes the WAL.
 package main
 
 import (
@@ -80,7 +84,10 @@ func run() error {
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent heavy requests node-wide (0 = unlimited; refusals get LB-LIMIT-005)")
 	maxPerPrin := flag.Int("max-per-principal", 0, "max concurrent heavy requests per principal (0 = unlimited)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "close connections that do not complete a request frame within this window (0 = never)")
-	adminAddr := flag.String("admin-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty = observability off)")
+	provEnable := flag.Bool("provenance", false, "capture derivation provenance in every workspace (required by the explain verb)")
+	provMem := flag.Int64("provenance-mem", 0, "per-workspace provenance memory cap in bytes (0 = 16 MiB default)")
+	slowQuery := flag.Duration("slow-query", 0, "log requests slower than this threshold with trace ID, principal, and gas (0 = off)")
+	adminAddr := flag.String("admin-addr", "", "serve /metrics, /healthz, /debug/pprof, and /debug/audit on this address (empty = observability off)")
 	adminAddrFile := flag.String("admin-addr-file", "", "write the bound admin address to this file (for scripts using :0)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, or error")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 5*time.Second, "how long SIGINT/SIGTERM waits for in-flight requests to drain")
@@ -96,9 +103,10 @@ func run() error {
 	var admin *lbtrust.AdminServer
 	if *adminAddr != "" {
 		reg := lbtrust.NewMetricsRegistry()
-		bundle = &lbtrust.Obs{Registry: reg, Log: logger, Tracer: lbtrust.NewTracer(4096)}
+		audit := lbtrust.NewAuditLog(0, logger)
+		bundle = &lbtrust.Obs{Registry: reg, Log: logger, Tracer: lbtrust.NewTracer(4096), AuditLog: audit}
 		var err error
-		if admin, err = lbtrust.ServeAdmin(*adminAddr, reg); err != nil {
+		if admin, err = lbtrust.ServeAdminAudit(*adminAddr, reg, audit); err != nil {
 			return err
 		}
 		defer admin.Close()
@@ -178,13 +186,16 @@ func run() error {
 	}
 
 	srv, err := lbtrust.Serve(sys, *listen, lbtrust.ServerOptions{
-		Anonymous:       *anon,
-		QueryLimits:     lbtrust.Limits{Gas: *queryGas, Timeout: *queryTimeout},
-		WriteLimits:     lbtrust.Limits{Gas: *writeGas, Timeout: *writeTimeout, Tuples: *writeTuples, MemBytes: *writeMem},
-		MaxInflight:     *maxInflight,
-		MaxPerPrincipal: *maxPerPrin,
-		IdleTimeout:     *idleTimeout,
-		Obs:             bundle,
+		Anonymous:          *anon,
+		QueryLimits:        lbtrust.Limits{Gas: *queryGas, Timeout: *queryTimeout},
+		WriteLimits:        lbtrust.Limits{Gas: *writeGas, Timeout: *writeTimeout, Tuples: *writeTuples, MemBytes: *writeMem},
+		MaxInflight:        *maxInflight,
+		MaxPerPrincipal:    *maxPerPrin,
+		IdleTimeout:        *idleTimeout,
+		Provenance:         *provEnable,
+		ProvenanceMemBytes: *provMem,
+		SlowQuery:          *slowQuery,
+		Obs:                bundle,
 	})
 	if err != nil {
 		return err

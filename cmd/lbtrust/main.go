@@ -23,6 +23,15 @@
 //	    -say 'bob: greeting(hello).' -sync
 //	lbtrust -connect 127.0.0.1:7461 -principal bob -key keys/bob.key \
 //	    -query 'greeting(X)'
+//
+// Against a server running with -provenance, -explain prints the proof
+// tree of every match — each derived fact with the rule that produced it,
+// down to asserted base facts and tuples that arrived from other nodes
+// (with the origin node, the principal that said them, and the envelope
+// trace ID):
+//
+//	lbtrust -connect 127.0.0.1:7461 -principal bob -key keys/bob.key \
+//	    -explain 'greeting(X)'
 package main
 
 import (
@@ -54,10 +63,11 @@ func run() error {
 	say := flag.String("say", "", "with -connect: 'to: clause' said as the authenticated principal")
 	assert := flag.String("assert", "", "with -connect: fact asserted in the principal's workspace")
 	doSync := flag.Bool("sync", false, "with -connect: pump the service's distribution runtime")
+	explain := flag.String("explain", "", "with -connect: atom whose matches are explained as proof trees (server needs -provenance)")
 	flag.Parse()
 
 	if *connect != "" {
-		return runConnect(*connect, *principal, *keyFile, *say, *assert, *doSync, *query)
+		return runConnect(*connect, *principal, *keyFile, *say, *assert, *doSync, *query, *explain)
 	}
 
 	if *dataDir == "" && flag.NArg() != 1 {
@@ -150,8 +160,8 @@ func run() error {
 }
 
 // runConnect drives a running trust service: authenticate (when a key is
-// given), then say / assert / sync / query in that order.
-func runConnect(addr, principal, keyFile, say, assert string, doSync bool, query string) error {
+// given), then say / assert / sync / query / explain in that order.
+func runConnect(addr, principal, keyFile, say, assert string, doSync bool, query, explain string) error {
 	c, err := lbtrust.Dial(addr)
 	if err != nil {
 		return err
@@ -198,6 +208,16 @@ func runConnect(addr, principal, keyFile, say, assert string, doSync bool, query
 			fmt.Println(r.String())
 		}
 		fmt.Fprintf(os.Stderr, "%d row(s)\n", len(rows))
+	}
+	if explain != "" {
+		proofs, err := c.Explain(explain)
+		if err != nil {
+			return fmt.Errorf("explain: %w", err)
+		}
+		for _, p := range proofs {
+			fmt.Print(p.Render())
+		}
+		fmt.Fprintf(os.Stderr, "%d proof(s)\n", len(proofs))
 	}
 	return nil
 }

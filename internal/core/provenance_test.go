@@ -1,0 +1,97 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lbtrust/internal/dist"
+	"lbtrust/internal/obs"
+	"lbtrust/internal/provenance"
+)
+
+// findRemote walks a proof tree for a remote-delivery leaf.
+func findRemote(p *provenance.Proof) *provenance.Remote {
+	if p == nil {
+		return nil
+	}
+	if p.Remote != nil {
+		return p.Remote
+	}
+	for _, prem := range p.Premises {
+		if r := findRemote(prem); r != nil {
+			return r
+		}
+	}
+	return findRemote(p.Activation)
+}
+
+// TestExplainAcrossTCPSync proves provenance spans processes: alice on
+// one TCP node says a greeting to bob on another, the traced sync ships
+// it over a real socket, and bob's proof of the received fact bottoms
+// out at a remote leaf naming the origin node, the asserting principal,
+// and the envelope's trace ID — and still verifies step by step against
+// bob's loaded rules.
+func TestExplainAcrossTCPSync(t *testing.T) {
+	sys, err := NewSystemWith(dist.NewTCPNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	n1, err := sys.AddNode("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := sys.AddNode("n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := sys.AddPrincipalOn("alice", n1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := sys.AddPrincipalOn("bob", n2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.TrustAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Workspace().EnableProvenance(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Say("bob", "greeting(hello)."); err != nil {
+		t.Fatal(err)
+	}
+	trace := obs.TraceID("cafe0123abcd4567")
+	if err := sys.SyncTraced(trace); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := bob.Query("greeting(X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("bob sees %d greetings, want 1", len(rows))
+	}
+
+	proof, err := bob.Workspace().Explain("greeting", rows[0])
+	if err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	remote := findRemote(proof)
+	if remote == nil {
+		t.Fatalf("proof has no remote leaf; the delivery's origin was lost:\n%s", proof.Render())
+	}
+	if remote.Node != "n1" || remote.Sender != "alice" || remote.Trace != string(trace) {
+		t.Fatalf("remote leaf = %+v, want node n1, sender alice, trace %s", remote, trace)
+	}
+	if err := bob.Workspace().VerifyProof(proof); err != nil {
+		t.Fatalf("cross-node proof does not verify: %v\n%s", err, proof.Render())
+	}
+	rendered := proof.Render()
+	for _, want := range []string{"from node n1", "said by alice", "trace " + string(trace)} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("rendered proof missing %q:\n%s", want, rendered)
+		}
+	}
+}

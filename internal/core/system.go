@@ -427,11 +427,20 @@ func (p *Principal) LoadProgram(src string) error { return p.ws.LoadProgram(src)
 // fact to another principal. The active scheme signs and exports it on the
 // next Sync.
 func (p *Principal) Say(to string, clause string) error {
+	_, err := p.SayTraced(to, clause, "")
+	return err
+}
+
+// SayTraced is Say under a request trace ID: the flush's rollback log line
+// (if any) carries the trace, and the returned stats report the gas the
+// flush spent (Gas -1 when the workspace runs unmetered). The serving
+// layer uses it for slow-request attribution.
+func (p *Principal) SayTraced(to, clause, trace string) (workspace.EvalStats, error) {
 	r, err := datalog.ParseClause(clause)
 	if err != nil {
-		return err
+		return workspace.EvalStats{Gas: -1, Derived: -1}, err
 	}
-	return p.ws.Update(func(tx *workspace.Tx) error {
+	return p.ws.UpdateTraced(trace, func(tx *workspace.Tx) error {
 		return tx.AssertAtom(&datalog.Atom{
 			Pred: "says",
 			Args: []datalog.Term{

@@ -75,6 +75,13 @@ func (b *Budget) step() error {
 	return nil
 }
 
+// TupleCost is the estimated retained size of one stored tuple under the
+// storage engine's cost model (~64 bytes of chunk/index overhead plus 16
+// per argument slot). It is the unit both the evaluator's memory budget
+// and the provenance store's per-workspace cap account in, so "bytes" mean
+// the same thing across every knob.
+func TupleCost(t Tuple) int64 { return 64 + 16*int64(t.Len()) }
+
 // derive accounts one newly inserted derived tuple against the tuple and
 // memory caps.
 func (b *Budget) derive(t Tuple) error {
@@ -85,7 +92,7 @@ func (b *Budget) derive(t Tuple) error {
 			Msg:  fmt.Sprintf("derived-tuple budget exhausted: %d tuples derived", b.tuples),
 		}
 	}
-	b.memUsed += 64 + 16*int64(t.Len())
+	b.memUsed += TupleCost(t)
 	if b.mem > 0 && b.memUsed > b.mem {
 		return &LimitError{
 			Code: CodeLimitMem,

@@ -1,0 +1,197 @@
+package datalog
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrReplayUnsupported marks a derivation step that cannot be checked in
+// isolation: aggregation rules summarize an entire group of body
+// solutions, so verifying one requires the full database, not a premise
+// list. Callers treat such steps as "accepted, not independently
+// verified".
+var ErrReplayUnsupported = errors.New("datalog: aggregation steps cannot be replayed from premises alone")
+
+// ReplayDerivation independently checks one provenance step: that the
+// tuple t for predicate pred really follows from rule r when its positive
+// body literals are satisfied by exactly the recorded premises. It is the
+// proof-checking half of the provenance subsystem — capture happens
+// inside the evaluator, but anything claiming to be a proof must be
+// re-derivable by this function without trusting the evaluator's state.
+//
+// The check succeeds when some assignment of the premise multiset to the
+// rule's positive non-builtin body literals unifies, every builtin
+// literal evaluates successfully under the resulting bindings, and the
+// instantiated head equals t. Negated literals are skipped: they assert
+// absence against a database snapshot that no longer exists, so a replay
+// can only validate the positive support (the same limitation any
+// recorded proof has once the database moves on).
+//
+// Premises arrive in whatever order the evaluator's join planner visited
+// the body, so assignment is a backtracking search over permutations, not
+// a positional match.
+func ReplayDerivation(builtins *BuiltinSet, pred string, t Tuple, r *Rule, premises []Premise) error {
+	if r == nil {
+		return errors.New("datalog: replay of a base fact (no rule)")
+	}
+	if builtins == nil {
+		builtins = NewBuiltinSet()
+	}
+	if r.Agg != nil {
+		return ErrReplayUnsupported
+	}
+	head := -1
+	for i := range r.Heads {
+		if r.Heads[i].Pred == pred {
+			head = i
+			break
+		}
+	}
+	if head < 0 {
+		return fmt.Errorf("datalog: rule %s has no head for predicate %s", r.Label, pred)
+	}
+
+	// Split the body: positive relational literals consume premises,
+	// builtins evaluate under bindings, negations are skipped.
+	var positives []*Literal
+	var others []*Literal // builtins (positive or negated)
+	for i := range r.Body {
+		l := &r.Body[i]
+		if builtins.Has(l.Atom.Pred) {
+			others = append(others, l)
+			continue
+		}
+		if l.Negated {
+			continue
+		}
+		positives = append(positives, l)
+	}
+	if len(positives) != len(premises) {
+		return fmt.Errorf("datalog: rule %s has %d positive body literals but the step records %d premises",
+			r.Label, len(positives), len(premises))
+	}
+
+	en := newEnv()
+	used := make([]bool, len(premises))
+
+	// evalBuiltins resolves every builtin literal under the current
+	// bindings, deferring ones whose inputs are not ground yet (the join
+	// planner orders them after their producers; body order may not).
+	// Builtins may bind variables, so resolution iterates to a fixpoint.
+	var evalBuiltins func(pending []*Literal) bool
+	evalBuiltins = func(pending []*Literal) bool {
+		if len(pending) == 0 {
+			got, err := instantiateHeadEnv(&r.Heads[head], en)
+			return err == nil && got.Equal(t)
+		}
+		for i, lit := range pending {
+			b, _ := builtins.Get(lit.Atom.Pred)
+			args := lit.Atom.AllArgs()
+			if len(args) != b.Arity {
+				return false
+			}
+			in := make([]Value, len(args))
+			for j, at := range args {
+				v, ground, err := evalTerm(at, en)
+				if err != nil {
+					return false
+				}
+				if ground {
+					in[j] = v
+				}
+			}
+			rows, err := b.Eval(in)
+			if err != nil {
+				continue // inputs not ground yet: defer to a later pass
+			}
+			rest := make([]*Literal, 0, len(pending)-1)
+			rest = append(rest, pending[:i]...)
+			rest = append(rest, pending[i+1:]...)
+			if lit.Negated {
+				if len(rows) != 0 {
+					return false
+				}
+				return evalBuiltins(rest)
+			}
+			for _, row := range rows {
+				mark := en.mark()
+				ok := true
+				for j, at := range args {
+					m, err := matchTerm(at, row[j], en)
+					if err != nil || !m {
+						ok = false
+						break
+					}
+				}
+				if ok && evalBuiltins(rest) {
+					en.undo(mark)
+					return true
+				}
+				en.undo(mark)
+			}
+			return false
+		}
+		return false // every pending builtin deferred: no progress possible
+	}
+
+	// match assigns premises to positive literals, backtracking over
+	// which premise satisfies which literal.
+	var match func(k int) bool
+	match = func(k int) bool {
+		if k == len(positives) {
+			return evalBuiltins(others)
+		}
+		lit := positives[k]
+		args := lit.Atom.AllArgs()
+		for i, p := range premises {
+			if used[i] || p.Pred != lit.Atom.Pred || p.Tuple.Len() != len(args) {
+				continue
+			}
+			mark := en.mark()
+			ok := true
+			for j, at := range args {
+				m, err := matchTerm(at, p.Tuple.At(j), en)
+				if err != nil || !m {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				used[i] = true
+				if match(k + 1) {
+					used[i] = false
+					en.undo(mark)
+					return true
+				}
+				used[i] = false
+			}
+			en.undo(mark)
+		}
+		return false
+	}
+
+	if !match(0) {
+		return fmt.Errorf("datalog: %s%s does not follow from rule %s with the recorded premises",
+			pred, t.String(), r.Label)
+	}
+	return nil
+}
+
+// instantiateHeadEnv grounds a head atom under an environment. It is the
+// replay-side twin of Evaluator.instantiateHead, which needs no evaluator
+// state beyond the bindings.
+func instantiateHeadEnv(a *Atom, en *env) (Tuple, error) {
+	args := a.AllArgs()
+	vs := make([]Value, len(args))
+	for i, at := range args {
+		v, ground, err := evalTerm(at, en)
+		if err != nil {
+			return Tuple{}, err
+		}
+		if !ground {
+			return Tuple{}, fmt.Errorf("head argument %s not bound", at.String())
+		}
+		vs[i] = v
+	}
+	return TupleOf(vs), nil
+}

@@ -522,7 +522,7 @@ func (rt *Runtime) pump() (bool, error) {
 					// Unroutable: never retryable, suppress it for good.
 					rt.shipped.add(key, sender, "")
 					journalShips = append(journalShips, ShipState{Key: key, Sender: sender, Gen: rt.shipped.gen})
-					srcNode.reject(Rejection{Node: srcNode.name, Sender: sender, Pred: srcPred, Tuple: tuple,
+					srcNode.reject(Rejection{Node: srcNode.name, Sender: sender, Pred: srcPred, Tuple: tuple, Trace: trace,
 						Err: fmt.Errorf("dist: partition column of %s%s is not a principal symbol", srcPred, tuple)})
 					continue
 				}
@@ -549,7 +549,7 @@ func (rt *Runtime) pump() (bool, error) {
 						recorded = true
 					}
 					if recorded || !senderKnown {
-						srcNode.reject(Rejection{Node: srcNode.name, Sender: sender, Target: string(target), Pred: srcPred, Tuple: tuple,
+						srcNode.reject(Rejection{Node: srcNode.name, Sender: sender, Target: string(target), Pred: srcPred, Tuple: tuple, Trace: trace,
 							Err: fmt.Errorf("dist: principal %s is not placed on any node", target)})
 					}
 					continue
@@ -663,7 +663,7 @@ func (rt *Runtime) deliver(n *Node, env *Envelope) error {
 		return fmt.Errorf("principal %q lives on node %q, not %q", env.Principal, hosted.name, n.name)
 	}
 	assert := func(tuples []datalog.Tuple) error {
-		return ws.Update(func(tx *workspace.Tx) error {
+		_, err := ws.UpdateTraced(env.Trace, func(tx *workspace.Tx) error {
 			for _, t := range tuples {
 				if err := tx.AssertTuple(env.Pred, t); err != nil {
 					return err
@@ -671,6 +671,17 @@ func (rt *Runtime) deliver(n *Node, env *Envelope) error {
 			}
 			return nil
 		})
+		if err == nil {
+			// Accepted tuples get remote-origin leaf provenance: the proof
+			// of anything derived from them bottoms out at "delivered by
+			// Sync from <node>, said by <sender>" instead of a bare base
+			// fact, and the trace ID lets an operator resume the proof on
+			// the origin node. No-op when provenance is disabled.
+			for _, t := range tuples {
+				ws.RecordRemoteLeaf(env.Pred, t, env.From, env.Sender, env.Trace)
+			}
+		}
+		return err
 	}
 	if err := assert(env.Tuples); err == nil {
 		n.delivered(int64(len(env.Tuples)))
@@ -680,7 +691,7 @@ func (rt *Runtime) deliver(n *Node, env *Envelope) error {
 	// statement does not censor its cohort, and record each refusal.
 	for _, t := range env.Tuples {
 		if err := assert([]datalog.Tuple{t}); err != nil {
-			n.reject(Rejection{Node: n.name, Sender: env.Sender, Target: env.Principal, Pred: env.Pred, Tuple: t, Err: err})
+			n.reject(Rejection{Node: n.name, Sender: env.Sender, Target: env.Principal, Pred: env.Pred, Tuple: t, Trace: env.Trace, Err: err})
 		} else {
 			n.delivered(1)
 		}

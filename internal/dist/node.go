@@ -51,10 +51,14 @@ type Rejection struct {
 	Target string // receiving principal ("" when routing failed pre-target)
 	Pred   string // destination predicate
 	Tuple  datalog.Tuple
+	Trace  string // trace ID of the Sync that shipped the tuple ("" untraced)
 	Err    error
 }
 
 func (r Rejection) String() string {
+	if r.Trace != "" {
+		return fmt.Sprintf("%s -> %s: %s%s [trace %s]: %v", r.Sender, r.Target, r.Pred, r.Tuple.String(), r.Trace, r.Err)
+	}
 	return fmt.Sprintf("%s -> %s: %s%s: %v", r.Sender, r.Target, r.Pred, r.Tuple.String(), r.Err)
 }
 
@@ -88,7 +92,7 @@ func (n *Node) reject(r Rejection) {
 	}
 	if log := n.rt.obsLog.Load(); log != nil {
 		log.Debug("delivery rejected", "node", r.Node, "sender", r.Sender,
-			"target", r.Target, "pred", r.Pred, "error", r.Err)
+			"target", r.Target, "pred", r.Pred, "trace", r.Trace, "error", r.Err)
 	}
 	n.mu.Lock()
 	cap := n.rejCap

@@ -21,11 +21,20 @@ type AdminServer struct {
 // The pprof handlers are mounted on this private mux explicitly —
 // nothing is registered on http.DefaultServeMux.
 func ServeAdmin(addr string, reg *Registry) (*AdminServer, error) {
+	return ServeAdminAudit(addr, reg, nil)
+}
+
+// ServeAdminAudit is ServeAdmin additionally mounting the authorization
+// audit ring at /debug/audit (omitted when audit is nil).
+func ServeAdminAudit(addr string, reg *Registry, audit *AuditLog) (*AdminServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
+	if audit != nil {
+		mux.Handle("/debug/audit", audit.Handler())
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// DefaultAuditCap bounds the audit ring when the caller does not choose a
+// capacity.
+const DefaultAuditCap = 4096
+
+// AuditEntry is one authorization-relevant event: an authenticated
+// request (query, assert, explain, …) recorded with who did it, under
+// which trace, and which proof roots it touched. Entries are what
+// /debug/audit serves, newest last.
+type AuditEntry struct {
+	Time      time.Time `json:"time"`
+	Trace     string    `json:"trace,omitempty"`
+	Principal string    `json:"principal"`
+	Verb      string    `json:"verb"`
+	// Detail is the request in one line (the query atom, the asserted
+	// fact, …), pre-truncated by the recorder.
+	Detail string `json:"detail,omitempty"`
+	// Roots are the proof roots the request touched: the predicates (with
+	// match counts) a query read, or the facts an assert introduced.
+	Roots []string `json:"roots,omitempty"`
+	// Outcome is "ok" or the error code/summary for refused requests.
+	Outcome string `json:"outcome"`
+}
+
+// AuditLog is a bounded in-memory ring of audit entries with an optional
+// structured-log mirror: every Record also emits one slog line on the
+// configured logger, so long-term audit retention can ride the log
+// pipeline while the ring serves recent history on /debug/audit. A nil
+// *AuditLog disables everything (one branch per site).
+type AuditLog struct {
+	mu      sync.Mutex
+	entries []AuditEntry
+	next    int
+	full    bool
+	total   uint64
+	log     *slog.Logger
+}
+
+// NewAuditLog creates an audit ring holding the last cap entries (<= 0
+// selects DefaultAuditCap). logger, when non-nil, receives one Info line
+// per recorded entry.
+func NewAuditLog(cap int, logger *slog.Logger) *AuditLog {
+	if cap <= 0 {
+		cap = DefaultAuditCap
+	}
+	return &AuditLog{entries: make([]AuditEntry, cap), log: logger}
+}
+
+// Record appends one entry (stamping Time when unset) and mirrors it to
+// the structured log channel.
+func (a *AuditLog) Record(e AuditEntry) {
+	if a == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	a.mu.Lock()
+	a.entries[a.next] = e
+	a.next++
+	if a.next == len(a.entries) {
+		a.next = 0
+		a.full = true
+	}
+	a.total++
+	a.mu.Unlock()
+	if a.log != nil {
+		a.log.Info("audit",
+			"principal", e.Principal,
+			"verb", e.Verb,
+			"trace", e.Trace,
+			"detail", e.Detail,
+			"roots", e.Roots,
+			"outcome", e.Outcome,
+		)
+	}
+}
+
+// Entries returns the retained entries, oldest first.
+func (a *AuditLog) Entries() []AuditEntry {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.full {
+		out := make([]AuditEntry, a.next)
+		copy(out, a.entries[:a.next])
+		return out
+	}
+	out := make([]AuditEntry, 0, len(a.entries))
+	out = append(out, a.entries[a.next:]...)
+	out = append(out, a.entries[:a.next]...)
+	return out
+}
+
+// Total returns the number of entries ever recorded (the ring may retain
+// fewer).
+func (a *AuditLog) Total() uint64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// Handler serves the retained entries as a JSON document:
+// {"total": N, "entries": [...]}, oldest entry first.
+func (a *AuditLog) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		doc := struct {
+			Total   uint64       `json:"total"`
+			Entries []AuditEntry `json:"entries"`
+		}{Total: a.Total(), Entries: a.Entries()}
+		if doc.Entries == nil {
+			doc.Entries = []AuditEntry{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc) // ResponseWriter errors surface client-side
+	})
+}

@@ -14,6 +14,9 @@ type Obs struct {
 	Log *slog.Logger
 	// Tracer receives finished spans; nil disables tracing.
 	Tracer *Tracer
+	// AuditLog receives authorization audit entries (authenticated
+	// queries and writes); nil disables auditing.
+	AuditLog *AuditLog
 }
 
 // Reg returns the registry (nil on a nil Obs).
@@ -30,6 +33,14 @@ func (o *Obs) Trace() *Tracer {
 		return nil
 	}
 	return o.Tracer
+}
+
+// Audit returns the audit log (nil on a nil Obs).
+func (o *Obs) Audit() *AuditLog {
+	if o == nil {
+		return nil
+	}
+	return o.AuditLog
 }
 
 // Logger returns a component-scoped logger: the root logger with a

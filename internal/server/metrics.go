@@ -11,7 +11,7 @@ import (
 // Metric children are pre-registered for all of them (plus "unknown" for
 // unparseable verbs) so the /metrics surface is stable from the first
 // scrape — a golden-file test relies on that.
-var verbs = []string{"hello", "auth", "query", "assert", "retract", "say", "sync", "stats"}
+var verbs = []string{"hello", "auth", "query", "explain", "assert", "retract", "say", "sync", "stats"}
 
 // Metrics aggregates server-level observability: per-verb request counts
 // and latency, inflight and session gauges, admission refusals, and
@@ -25,11 +25,12 @@ type Metrics struct {
 	activeSessions *obs.Gauge
 	sessions       *obs.Counter
 
-	authOK     *obs.Counter
-	authFail   *obs.Counter
-	refused    *obs.Counter
-	overloaded *obs.Counter
-	idleReaped *obs.Counter
+	authOK      *obs.Counter
+	authFail    *obs.Counter
+	refused     *obs.Counter
+	overloaded  *obs.Counter
+	idleReaped  *obs.Counter
+	slowQueries *obs.Counter
 
 	limitTrips map[string]*obs.Counter // by LB-LIMIT code
 }
@@ -55,6 +56,8 @@ func NewMetrics(r *obs.Registry) *Metrics {
 			"requests refused by admission control (LB-LIMIT-005)"),
 		idleReaped: r.Counter("lb_server_idle_reaped_total",
 			"connections closed by the idle deadline"),
+		slowQueries: r.Counter("lb_server_slow_queries_total",
+			"requests slower than the configured slow-query threshold"),
 		limitTrips: map[string]*obs.Counter{},
 	}
 	const reqHelp = "requests handled, by verb"
@@ -113,6 +116,12 @@ func (m *Metrics) refusedInc() {
 func (m *Metrics) idleReapedInc() {
 	if m != nil {
 		m.idleReaped.Inc()
+	}
+}
+
+func (m *Metrics) slowQueryInc() {
+	if m != nil {
+		m.slowQueries.Inc()
 	}
 }
 

@@ -16,6 +16,7 @@
 //	hello <principal>          begin challenge-response authentication
 //	auth <hex signature>       answer the pending challenge
 //	query <atom>               snapshot read in the session's context
+//	explain <atom>             proof trees for the atom's matches (see below)
 //	assert <fact or rule>      transactional write (authenticated only)
 //	retract <fact>             transactional retraction (authenticated only)
 //	say <to> <clause>          says(me, to, [| clause |]) (authenticated only)
@@ -62,6 +63,24 @@
 // Options.IdleTimeout bounds how long the server waits for a complete
 // request frame; a stalled or half-open connection is closed (counted
 // in ServeStats.IdleReaped) without affecting other sessions.
+//
+// # Explain
+//
+// The explain verb is query's proof-carrying sibling: it evaluates the
+// atom in the session's principal context and answers with the
+// derivation tree of every match, as a "json <n>\n<body>" frame whose
+// body is a JSON array of proof nodes (one per matching tuple, sorted by
+// predicate then canonical tuple key, so the framing is byte-stable
+// across servers holding the same state). Each node carries the fact
+// ("pred" plus the canonical "tuple" encoding of dist.EncodeTuple), how
+// it came to hold — "rule" and "label" for derived facts, "base" for
+// asserted leaves, "origin" {node, sender, trace} for tuples that
+// arrived over an inter-node sync — and its premise subtrees under
+// "premises". "cycle" marks a fact already expanded on the same path
+// (recursive rules); "truncated" marks entries the provenance memory cap
+// dropped. Explain requires the server to run with provenance capture
+// enabled (Options.Provenance / lbtrust-serve -provenance); otherwise
+// the request fails with an err frame.
 //
 // # Request tracing
 //
@@ -139,7 +158,7 @@ func parseRequest(data []byte) (request, error) {
 	}
 	req := request{verb: verb}
 	switch verb {
-	case "hello", "auth", "query", "assert", "retract":
+	case "hello", "auth", "query", "explain", "assert", "retract":
 		req.text = strings.TrimSpace(rest)
 		if req.text == "" {
 			return req, fmt.Errorf("server: %s needs an argument", verb)

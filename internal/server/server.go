@@ -80,6 +80,23 @@ type Options struct {
 	// think time.
 	IdleTimeout time.Duration
 
+	// Provenance enables derivation capture on every principal workspace
+	// the system holds when Serve is called, which the explain verb
+	// requires: without it, explain requests fail with an err frame.
+	// Principals created after Serve keep whatever provenance setting
+	// their creator chose (exactly like limits).
+	Provenance bool
+	// ProvenanceMemBytes caps each workspace's derivation DAG, in
+	// datalog.TupleCost bytes (0 selects provenance.DefaultMemBytes).
+	// Past the cap new derivations are dropped — proofs then bottom out
+	// early, marked truncated — rather than growing without bound.
+	ProvenanceMemBytes int64
+	// SlowQuery logs any query/explain/write/sync slower than this
+	// threshold at warn level — with the request's trace ID, principal,
+	// duration, and evaluator gas spent — and counts it in
+	// lb_server_slow_queries_total. 0 disables.
+	SlowQuery time.Duration
+
 	// Obs attaches observability: per-verb request metrics, session
 	// logs, and per-request trace IDs (a sync request's trace propagates
 	// to peer nodes over the wire). Serve also threads the bundle into
@@ -171,6 +188,20 @@ func Serve(sys *core.System, addr string, opts Options) (*Server, error) {
 		for _, name := range sys.Principals() {
 			if p, ok := sys.Principal(name); ok {
 				p.Workspace().SetLimits(opts.QueryLimits, opts.WriteLimits)
+			}
+		}
+	}
+	// Provenance is enabled the same way limits are: on every workspace
+	// the system holds right now. EnableProvenance re-runs evaluation to
+	// capture derivations for already-loaded state, so a server started
+	// over a recovered store explains its recovered facts too.
+	if opts.Provenance {
+		for _, name := range sys.Principals() {
+			if p, ok := sys.Principal(name); ok {
+				if err := p.Workspace().EnableProvenance(opts.ProvenanceMemBytes); err != nil {
+					ln.Close()
+					return nil, fmt.Errorf("server: enabling provenance for %q: %w", name, err)
+				}
 			}
 		}
 	}
@@ -458,17 +489,49 @@ func (s *Server) handle(sess *session, data []byte) []byte {
 			s.log.Debug("request", "trace", trace, "verb", req.verb, "principal", who)
 		}
 	}
-	return s.dispatch(sess, req, trace)
+	rs := &reqStats{gas: -1}
+	var start time.Time
+	if s.opts.SlowQuery > 0 {
+		start = time.Now()
+	}
+	resp := s.dispatch(sess, req, trace, rs)
+	if s.opts.SlowQuery > 0 {
+		if d := time.Since(start); d >= s.opts.SlowQuery {
+			switch req.verb {
+			case "query", "explain", "assert", "retract", "say", "sync":
+				s.metrics.slowQueryInc()
+				if s.log != nil {
+					who := ""
+					if sess.principal != nil {
+						who = sess.principal.Name()
+					}
+					s.log.Warn("slow request", "verb", req.verb, "principal", who,
+						"trace", trace, "duration", d, "gas", rs.gas)
+				}
+			}
+		}
+	}
+	return resp
 }
 
-// dispatch routes one parsed request to its verb handler.
-func (s *Server) dispatch(sess *session, req request, trace obs.TraceID) []byte {
+// reqStats carries per-request evaluation facts from the verb handlers
+// back to handle and the audit log: the evaluator gas the request spent
+// (-1 when unknown or unmetered) and the proof roots it touched.
+type reqStats struct {
+	gas   int64
+	roots []string
+}
+
+// dispatch routes one parsed request to its verb handler. Heavy verbs
+// additionally land on the authorization audit log when the session is
+// authenticated.
+func (s *Server) dispatch(sess *session, req request, trace obs.TraceID, rs *reqStats) []byte {
 	switch req.verb {
 	case "hello":
 		return s.hello(sess, req.text)
 	case "auth":
 		return s.auth(sess, req.text)
-	case "query", "assert", "retract", "say", "sync":
+	case "query", "explain", "assert", "retract", "say", "sync":
 		who := ""
 		if sess.principal != nil {
 			who = sess.principal.Name()
@@ -477,13 +540,16 @@ func (s *Server) dispatch(sess *session, req request, trace obs.TraceID) []byte 
 			return errFrame(err)
 		}
 		defer s.release(who)
+		var resp []byte
 		switch req.verb {
 		case "query":
-			return s.query(sess, req.text)
+			resp = s.query(sess, req.text, rs)
+		case "explain":
+			resp = s.explain(sess, req.text, rs)
 		case "assert", "retract":
-			return s.write(sess, req.verb, req.text)
+			resp = s.write(sess, req.verb, req.text, trace, rs)
 		case "say":
-			return s.say(sess, req.to, req.text)
+			resp = s.say(sess, req.to, req.text, trace, rs)
 		default: // sync
 			if sess.principal == nil {
 				s.refused.Add(1)
@@ -492,10 +558,13 @@ func (s *Server) dispatch(sess *session, req request, trace obs.TraceID) []byte 
 			}
 			s.syncs.Add(1)
 			if err := s.sys.SyncTraced(trace); err != nil {
-				return s.evalErrFrame(err)
+				resp = s.evalErrFrame(err)
+			} else {
+				resp = []byte("ok")
 			}
-			return []byte("ok")
 		}
+		s.audit(sess, req, trace, rs, resp)
+		return resp
 	case "stats":
 		blob, err := json.Marshal(s.Stats())
 		if err != nil {
@@ -504,6 +573,40 @@ func (s *Server) dispatch(sess *session, req request, trace obs.TraceID) []byte 
 		return append([]byte(fmt.Sprintf("json %d\n", len(blob))), blob...)
 	}
 	return errFrame(fmt.Errorf("server: unknown verb %q", req.verb))
+}
+
+// audit records one authenticated request on the authorization audit log:
+// who did what, under which trace ID, touching which proof roots, and how
+// it ended (ok, or the typed error code). Unauthenticated requests are
+// not audited — they cannot write, and anonymous reads carry no principal
+// identity. A server without an audit log pays one nil branch.
+func (s *Server) audit(sess *session, req request, trace obs.TraceID, rs *reqStats, resp []byte) {
+	if sess.principal == nil || s.obs.Audit() == nil {
+		return
+	}
+	outcome := "ok"
+	if r := string(resp); strings.HasPrefix(r, "err ") {
+		outcome = "err"
+		if fields := strings.Fields(r); len(fields) >= 2 && strings.HasPrefix(fields[1], "LB-") {
+			outcome = fields[1]
+		}
+	}
+	detail := req.text
+	if req.verb == "say" {
+		detail = req.to + " " + req.text
+	}
+	const maxDetail = 200
+	if len(detail) > maxDetail {
+		detail = detail[:maxDetail] + "..."
+	}
+	s.obs.Audit().Record(obs.AuditEntry{
+		Trace:     string(trace),
+		Principal: sess.principal.Name(),
+		Verb:      req.verb,
+		Detail:    detail,
+		Roots:     rs.roots,
+		Outcome:   outcome,
+	})
 }
 
 // evalErrFrame is errFrame plus accounting: evaluation failures caused by
@@ -576,35 +679,82 @@ func (s *Server) auth(sess *session, sigHex string) []byte {
 	return []byte("ok " + claim)
 }
 
+// readPrincipal resolves the principal context a read runs in: the
+// authenticated principal, or the configured anonymous principal for
+// unauthenticated sessions. The second return value is the refusal frame
+// when neither applies.
+func (s *Server) readPrincipal(sess *session) (*core.Principal, []byte) {
+	if sess.principal != nil {
+		return sess.principal, nil
+	}
+	if s.opts.Anonymous == "" {
+		s.refused.Add(1)
+		s.metrics.refusedInc()
+		return nil, errFrame(fmt.Errorf("server: queries require authentication (no anonymous principal configured)"))
+	}
+	anon, ok := s.sys.Principal(s.opts.Anonymous)
+	if !ok {
+		return nil, errFrame(fmt.Errorf("server: anonymous principal %q does not exist", s.opts.Anonymous))
+	}
+	return anon, nil
+}
+
+// predOf extracts the predicate name from an atom or fact's source text,
+// for audit roots. Best effort: the text up to the first parenthesis.
+func predOf(src string) string {
+	if i := strings.IndexByte(src, '('); i >= 0 {
+		return strings.TrimSpace(src[:i])
+	}
+	return strings.TrimSpace(src)
+}
+
 // query answers a read in the session's principal context — the
 // authenticated principal, or the configured anonymous principal for
 // unauthenticated sessions.
-func (s *Server) query(sess *session, src string) []byte {
-	p := sess.principal
-	if p == nil {
-		if s.opts.Anonymous == "" {
-			s.refused.Add(1)
-			s.metrics.refusedInc()
-			return errFrame(fmt.Errorf("server: queries require authentication (no anonymous principal configured)"))
-		}
-		anon, ok := s.sys.Principal(s.opts.Anonymous)
-		if !ok {
-			return errFrame(fmt.Errorf("server: anonymous principal %q does not exist", s.opts.Anonymous))
-		}
-		p = anon
+func (s *Server) query(sess *session, src string, rs *reqStats) []byte {
+	p, refusal := s.readPrincipal(sess)
+	if refusal != nil {
+		return refusal
 	}
 	s.queries.Add(1)
 	var rows []datalog.Tuple
+	var stats workspace.EvalStats
 	var err error
 	if s.opts.LockedReads {
-		rows, err = p.Workspace().Query(src)
+		rows, stats, err = p.Workspace().QueryStats(src)
 	} else {
-		rows, err = p.Workspace().Snapshot().Query(src)
+		rows, stats, err = p.Workspace().Snapshot().QueryStats(src)
 	}
+	rs.gas = stats.Gas
 	if err != nil {
 		return s.evalErrFrame(err)
 	}
+	rs.roots = []string{fmt.Sprintf("%s/%d", predOf(src), len(rows))}
 	return encodeRows(rows)
+}
+
+// explain is query's proof-carrying sibling: it evaluates the atom in the
+// session's principal context and answers with the derivation tree of
+// every match, down to base facts and remote-delivery leaves. Requires
+// the server to run with provenance capture enabled.
+func (s *Server) explain(sess *session, src string, rs *reqStats) []byte {
+	p, refusal := s.readPrincipal(sess)
+	if refusal != nil {
+		return refusal
+	}
+	s.queries.Add(1)
+	proofs, err := p.Workspace().ExplainQuery(src)
+	if err != nil {
+		return s.evalErrFrame(err)
+	}
+	for _, pr := range proofs {
+		rs.roots = append(rs.roots, pr.Pred+pr.Tuple.String())
+	}
+	frame, err := encodeProofs(proofs)
+	if err != nil {
+		return errFrame(err)
+	}
+	return frame
 }
 
 // write runs an assert or retract transaction in the authenticated
@@ -612,38 +762,46 @@ func (s *Server) query(sess *session, src string) []byte {
 // first runs the static analyzer against the target workspace: error
 // diagnostics refuse the write with their typed code in the err frame,
 // warning diagnostics ride back on the ok frame, one per line.
-func (s *Server) write(sess *session, verb, src string) []byte {
+func (s *Server) write(sess *session, verb, src string, trace obs.TraceID, rs *reqStats) []byte {
 	if sess.principal == nil {
 		s.refused.Add(1)
 		s.metrics.refusedInc()
 		return errFrame(fmt.Errorf("server: %s requires an authenticated session", verb))
 	}
 	s.writes.Add(1)
+	ws := sess.principal.Workspace()
+	run := func(fn func(tx *workspace.Tx) error) error {
+		stats, err := ws.UpdateTraced(string(trace), fn)
+		rs.gas = stats.Gas
+		return err
+	}
 	if verb == "retract" {
-		if err := sess.principal.Update(func(tx *workspace.Tx) error { return tx.Retract(src) }); err != nil {
+		if err := run(func(tx *workspace.Tx) error { return tx.Retract(src) }); err != nil {
 			return s.evalErrFrame(err)
 		}
+		rs.roots = []string{predOf(src)}
 		return []byte("ok")
 	}
 	clause, err := datalog.ParseClause(ensureDot(src))
 	if err != nil {
 		return errFrame(err)
 	}
+	rs.roots = []string{predOf(src)}
 	if clause.IsFact() {
-		if err := sess.principal.Update(func(tx *workspace.Tx) error { return tx.Assert(src) }); err != nil {
+		if err := run(func(tx *workspace.Tx) error { return tx.Assert(src) }); err != nil {
 			return s.evalErrFrame(err)
 		}
 		return []byte("ok")
 	}
 	// The analyzer must run before Update: it snapshots the workspace
 	// under the same lock the transaction will take.
-	diags := sess.principal.Workspace().AnalyzeSource(ensureDot(src))
+	diags := ws.AnalyzeSource(ensureDot(src))
 	if analysis.HasErrors(diags) {
 		s.refused.Add(1)
 		s.metrics.refusedInc()
 		return errFrame(analysis.NewError(diags))
 	}
-	if err := sess.principal.Update(func(tx *workspace.Tx) error { return tx.AddRuleSrc(src) }); err != nil {
+	if err := run(func(tx *workspace.Tx) error { return tx.AddRuleSrc(src) }); err != nil {
 		return s.evalErrFrame(err)
 	}
 	resp := "ok"
@@ -664,15 +822,18 @@ func ensureDot(src string) string {
 // say asserts says(me, to, [| clause |]) as the authenticated principal.
 // The session cannot speak for anyone else: the sender identity is the
 // proven principal, full stop.
-func (s *Server) say(sess *session, to, clause string) []byte {
+func (s *Server) say(sess *session, to, clause string, trace obs.TraceID, rs *reqStats) []byte {
 	if sess.principal == nil {
 		s.refused.Add(1)
 		s.metrics.refusedInc()
 		return errFrame(fmt.Errorf("server: say requires an authenticated session"))
 	}
 	s.writes.Add(1)
-	if err := sess.principal.Say(to, clause); err != nil {
+	stats, err := sess.principal.SayTraced(to, clause, string(trace))
+	rs.gas = stats.Gas
+	if err != nil {
 		return s.evalErrFrame(err)
 	}
+	rs.roots = []string{"says -> " + to}
 	return []byte("ok")
 }

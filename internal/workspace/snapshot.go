@@ -79,6 +79,31 @@ func (s *Snapshot) Query(src string) ([]datalog.Tuple, error) {
 	return queryPattern(s.db, s.builtins, atom, s.limits, s.eval)
 }
 
+// QueryStats is Query additionally reporting the read's evaluation cost.
+// A counting budget is always armed — unlimited when no query limits are
+// configured — so gas is measured even on otherwise unmetered reads; the
+// server's slow-query log relies on that.
+func (s *Snapshot) QueryStats(src string) ([]datalog.Tuple, EvalStats, error) {
+	atom, err := parseQueryAtom(src, s.principal)
+	if err != nil {
+		return nil, EvalStats{Gas: -1, Derived: -1}, err
+	}
+	b := s.limits.NewBudget()
+	if b == nil {
+		b = new(datalog.Budget)
+	}
+	var rows []datalog.Tuple
+	if !atomHasQuote(atom) {
+		ev := datalog.NewEvaluator(s.db, s.builtins)
+		ev.Metrics = s.eval
+		ev.Budget = b
+		rows, err = ev.Query(atom)
+	} else {
+		rows, err = queryPatternBudget(s.db, s.builtins, atom, b, s.eval)
+	}
+	return rows, EvalStats{Gas: b.Steps(), Derived: b.Derived()}, err
+}
+
 // Facts returns the sorted tuples of a predicate in the snapshot.
 func (s *Snapshot) Facts(pred string) []datalog.Tuple {
 	rel, ok := s.db.Get(pred)
@@ -217,6 +242,12 @@ func (w *Workspace) markSnapStaleLocked(changed map[string][]datalog.Tuple, rebu
 // of the shared database, so the same code serves the locked live path
 // and lock-free snapshot reads.
 func queryPattern(db *datalog.Database, builtins *datalog.BuiltinSet, a *datalog.Atom, limits datalog.Limits, em *datalog.EvalMetrics) ([]datalog.Tuple, error) {
+	return queryPatternBudget(db, builtins, a, limits.NewBudget(), em)
+}
+
+// queryPatternBudget is queryPattern with the caller owning the budget
+// (possibly nil), so stats-reporting paths can read the counters back.
+func queryPatternBudget(db *datalog.Database, builtins *datalog.BuiltinSet, a *datalog.Atom, bud *datalog.Budget, em *datalog.EvalMetrics) ([]datalog.Tuple, error) {
 	// Blank variables cannot appear in rule heads; name them apart.
 	q := *a
 	q.Args = append([]datalog.Term{}, a.Args...)
@@ -250,7 +281,7 @@ func queryPattern(db *datalog.Database, builtins *datalog.BuiltinSet, a *datalog
 	overlay := db.Shallow()
 	ev := datalog.NewEvaluator(overlay, builtins)
 	ev.Metrics = em
-	ev.Budget = limits.NewBudget()
+	ev.Budget = bud
 	if err := ev.SetRules([]*datalog.Rule{tr}); err != nil {
 		return nil, err
 	}

@@ -42,10 +42,28 @@ type factRef struct {
 	retract bool
 }
 
+// EvalStats reports the evaluation cost of one flush or query: gas steps
+// consumed and tuples derived, sampled from the armed budget. Both are -1
+// when no budget was armed (unlimited, unmetered work is not counted).
+type EvalStats struct {
+	Gas     int64
+	Derived int64
+}
+
 // Update runs fn inside a transaction, then flushes rules to fixpoint and
 // checks all constraints. On any error the workspace state is restored.
 func (w *Workspace) Update(fn func(tx *Tx) error) error {
+	_, err := w.UpdateTraced("", fn)
+	return err
+}
+
+// UpdateTraced is Update carrying a request trace ID: the ID labels the
+// rollback log line when the flush fails (so a rejected remote delivery
+// correlates with the sender's trace), and the returned EvalStats reports
+// the flush's budget consumption for slow-flush logging.
+func (w *Workspace) UpdateTraced(trace string, fn func(tx *Tx) error) (EvalStats, error) {
 	w.mu.Lock()
+	stats := EvalStats{Gas: -1, Derived: -1}
 	snap := w.snapshotLocked()
 	tx := &Tx{w: w, changed: map[string][]datalog.Tuple{}}
 	// The flush delta — every tuple that becomes newly present during the
@@ -76,6 +94,9 @@ func (w *Workspace) Update(fn func(tx *Tx) error) error {
 		if w.metrics != nil {
 			w.metrics.flushSeconds.Observe(time.Since(flushStart))
 		}
+		if b := w.flushBudget; b != nil {
+			stats = EvalStats{Gas: b.Steps(), Derived: b.Derived()}
+		}
 		w.flushBudget = nil
 		w.userEv.Budget = nil
 		w.checkEv.Budget = nil
@@ -86,10 +107,14 @@ func (w *Workspace) Update(fn func(tx *Tx) error) error {
 			err = errors.Join(err, fmt.Errorf("workspace: rollback: %w", rerr))
 		}
 		if w.log != nil {
-			w.log.Debug("flush rolled back", "error", err)
+			if trace != "" {
+				w.log.Debug("flush rolled back", "error", err, "trace", trace)
+			} else {
+				w.log.Debug("flush rolled back", "error", err)
+			}
 		}
 		w.mu.Unlock()
-		return err
+		return stats, err
 	}
 	delta := FlushDelta{Rebuilt: w.flushRebuilt, NewlyPartitioned: tx.newlyPartitioned}
 	if !delta.Rebuilt {
@@ -135,7 +160,7 @@ func (w *Workspace) Update(fn func(tx *Tx) error) error {
 	for _, h := range hooks {
 		h(delta)
 	}
-	return nil
+	return stats, nil
 }
 
 // Assert inserts a base fact given in surface syntax, e.g.
@@ -692,8 +717,13 @@ func (w *Workspace) rebuildDerivedLocked() error {
 		w.checkEv.Budget = w.flushBudget
 	}
 	if w.prov != nil {
-		w.prov.Reset()
-		w.userEv.Trace = w.prov.record
+		// Derivations recorded against the old database are void; remote
+		// leaves survive (a delivery happens once). The full evaluation run
+		// this rebuild forces (rulesChanged below) re-fires OnDerive for
+		// every still-derivable fact, re-capturing the DAG with no stale
+		// premises.
+		w.prov.ResetDerivations()
+		w.userEv.OnDerive = w.prov.Record
 	}
 	// Drop derived activations; they re-derive if still justified.
 	kept := w.activeOrder[:0]

@@ -20,6 +20,7 @@ import (
 	"lbtrust/internal/analysis"
 	"lbtrust/internal/datalog"
 	"lbtrust/internal/meta"
+	"lbtrust/internal/provenance"
 )
 
 // Decl records a predicate declaration from a type constraint such as
@@ -60,7 +61,7 @@ type Workspace struct {
 
 	rulesChanged       bool
 	constraintsChanged bool
-	prov               *Provenance
+	prov               *provenance.Store
 
 	// auxSeq issues workspace-lifetime-unique ids for constraint aux
 	// predicates; ids are never reused so persistent aux relations cannot
@@ -352,19 +353,6 @@ func (w *Workspace) Builtins() *datalog.BuiltinSet { return w.builtins }
 // DB exposes the underlying database for read-only inspection.
 func (w *Workspace) DB() *datalog.Database { return w.db }
 
-// EnableProvenance switches on derivation recording (Section 7 of the
-// paper lists provenance as ongoing work). It must be called before data is
-// loaded.
-func (w *Workspace) EnableProvenance() {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.prov = NewProvenance()
-	w.userEv.Trace = w.prov.record
-}
-
-// Provenance returns the derivation recorder, if enabled.
-func (w *Workspace) Provenance() *Provenance { return w.prov }
-
 // AddOnFlush registers a hook invoked after each successful flush with the
 // flush's delta (see FlushDelta).
 func (w *Workspace) AddOnFlush(fn func(FlushDelta)) {
@@ -519,6 +507,31 @@ func (w *Workspace) Query(src string) ([]datalog.Tuple, error) {
 		return w.userEv.Query(atom)
 	}
 	return w.queryPatternLocked(atom)
+}
+
+// QueryStats is Query additionally reporting the read's evaluation cost,
+// with a counting budget always armed (unlimited when no query limits are
+// configured); see Snapshot.QueryStats.
+func (w *Workspace) QueryStats(src string) ([]datalog.Tuple, EvalStats, error) {
+	atom, err := parseQueryAtom(src, w.principal)
+	if err != nil {
+		return nil, EvalStats{Gas: -1, Derived: -1}, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	b := w.queryLimits.NewBudget()
+	if b == nil {
+		b = new(datalog.Budget)
+	}
+	w.userEv.Budget = b
+	defer func() { w.userEv.Budget = nil }()
+	var rows []datalog.Tuple
+	if !atomHasQuote(atom) {
+		rows, err = w.userEv.Query(atom)
+	} else {
+		rows, err = queryPatternBudget(w.db, w.builtins, atom, b, w.metrics.evalMetrics())
+	}
+	return rows, EvalStats{Gas: b.Steps(), Derived: b.Derived()}, err
 }
 
 func atomHasQuote(a *datalog.Atom) bool {

@@ -339,7 +339,9 @@ func TestRemoveRule(t *testing.T) {
 
 func TestProvenance(t *testing.T) {
 	w := New("alice")
-	w.EnableProvenance()
+	if err := w.EnableProvenance(0); err != nil {
+		t.Fatalf("enable provenance: %v", err)
+	}
 	if err := w.LoadProgram(`
 		tc1: path(X,Y) <- edge(X,Y).
 		tc2: path(X,Z) <- path(X,Y), edge(Y,Z).
@@ -348,15 +350,49 @@ func TestProvenance(t *testing.T) {
 		t.Fatalf("load: %v", err)
 	}
 	tup := datalog.NewTuple(datalog.Sym("a"), datalog.Sym("c"))
-	ds := w.Provenance().Explain("path", tup)
-	if len(ds) == 0 {
-		t.Fatal("no derivations recorded for path(a,c)")
+	proof, err := w.Explain("path", tup)
+	if err != nil {
+		t.Fatalf("explain: %v", err)
 	}
-	why := w.Provenance().Why("path", tup)
+	if proof.Rule == nil || proof.Rule.Label != "tc2" {
+		t.Fatalf("path(a,c) should be derived by tc2, got %+v", proof)
+	}
+	why := proof.Render()
 	for _, want := range []string{"tc2", "edge(b, c)", "base fact"} {
 		if !strings.Contains(why, want) {
-			t.Errorf("Why output missing %q:\n%s", want, why)
+			t.Errorf("rendered proof missing %q:\n%s", want, why)
 		}
+	}
+	if err := w.VerifyProof(proof); err != nil {
+		t.Errorf("proof does not verify: %v\n%s", err, why)
+	}
+}
+
+// TestProvenanceLateEnable proves EnableProvenance captures state loaded
+// before the call: OnDerive fires on every instantiation, so the full run
+// at enable time rebuilds the DAG.
+func TestProvenanceLateEnable(t *testing.T) {
+	w := New("alice")
+	if err := w.LoadProgram(`
+		tc1: path(X,Y) <- edge(X,Y).
+		tc2: path(X,Z) <- path(X,Y), edge(Y,Z).
+		edge(a,b). edge(b,c).
+	`); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if err := w.EnableProvenance(0); err != nil {
+		t.Fatalf("enable provenance: %v", err)
+	}
+	tup := datalog.NewTuple(datalog.Sym("a"), datalog.Sym("c"))
+	proof, err := w.Explain("path", tup)
+	if err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	if proof.Rule == nil {
+		t.Fatal("late-enabled provenance recorded no derivation for path(a,c)")
+	}
+	if err := w.VerifyProof(proof); err != nil {
+		t.Errorf("proof does not verify: %v", err)
 	}
 }
 

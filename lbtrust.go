@@ -37,6 +37,8 @@
 package lbtrust
 
 import (
+	"log/slog"
+
 	"lbtrust/internal/analysis"
 	"lbtrust/internal/binder"
 	"lbtrust/internal/core"
@@ -45,6 +47,7 @@ import (
 	"lbtrust/internal/dist"
 	"lbtrust/internal/lbcrypto"
 	"lbtrust/internal/obs"
+	"lbtrust/internal/provenance"
 	"lbtrust/internal/sendlog"
 	"lbtrust/internal/server"
 	"lbtrust/internal/store"
@@ -304,6 +307,46 @@ func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
 func ServeAdmin(addr string, reg *MetricsRegistry) (*AdminServer, error) {
 	return obs.ServeAdmin(addr, reg)
 }
+
+// AuditLog is a bounded in-memory ring of authorization audit entries
+// with an optional structured-log mirror. A server records every
+// authenticated query and write on it (who, which verb, under which
+// trace ID, touching which proof roots, and the outcome), and the admin
+// endpoint serves the retained history at /debug/audit. Attach one via
+// Obs.AuditLog.
+type AuditLog = obs.AuditLog
+
+// AuditEntry is one recorded authorization event.
+type AuditEntry = obs.AuditEntry
+
+// NewAuditLog creates an audit ring keeping the last capacity entries
+// (<= 0 selects the default of 4096), mirroring each recorded entry to
+// logger at info level when logger is non-nil.
+func NewAuditLog(capacity int, logger *slog.Logger) *AuditLog {
+	return obs.NewAuditLog(capacity, logger)
+}
+
+// ServeAdminAudit is ServeAdmin additionally serving the authorization
+// audit ring at /debug/audit.
+func ServeAdminAudit(addr string, reg *MetricsRegistry, audit *AuditLog) (*AdminServer, error) {
+	return obs.ServeAdminAudit(addr, reg, audit)
+}
+
+// Proof is an explanation tree for one tuple, as built by
+// Workspace.Explain / Workspace.ExplainQuery from the workspace's
+// provenance store (Workspace.EnableProvenance): interior nodes carry
+// the rule that derived the fact and its premise subtrees; leaves are
+// asserted base facts, tuples delivered by a cross-node sync (with
+// origin node, sender, and envelope trace ID), recursion guards, or
+// entries dropped by the provenance memory cap.
+type Proof = provenance.Proof
+
+// ProofNode is the wire form of a proof-tree node, what Client.Explain
+// returns; Render formats the tree as indented text.
+type ProofNode = server.ProofNode
+
+// ProofOrigin is the wire form of a remote-delivery proof leaf.
+type ProofOrigin = server.ProofOrigin
 
 // NewBinderContext wraps a principal as a Binder context.
 func NewBinderContext(p *Principal) *BinderContext { return binder.NewContext(p) }

@@ -2,8 +2,9 @@
 # Serve smoke: build both binaries, start a durable lbtrust-serve, drive
 # three concurrent authenticated clients against it over real sockets,
 # and assert the statements landed. Exercises the full out-of-process
-# path: key export, challenge-response auth, say/sync/query, durability,
-# and the -admin-addr observability endpoint (/healthz, /metrics).
+# path: key export, challenge-response auth, say/sync/query, explain
+# proof trees, the audit ring, durability, and the -admin-addr
+# observability endpoint (/healthz, /metrics, /debug/audit).
 set -euo pipefail
 
 workdir=$(mktemp -d)
@@ -24,6 +25,7 @@ fetch() {
   -admin-addr 127.0.0.1:0 -admin-addr-file "$workdir/admin_addr" \
   -data-dir "$workdir/trust.db" \
   -principals alice,bob,carol -trust-all \
+  -provenance -slow-query 1h \
   -export-keys "$workdir/keys" &
 server_pid=$!
 
@@ -81,6 +83,21 @@ assert_moved 'lb_server_auth_total{outcome="ok"}'
 assert_moved 'lb_workspace_flush_seconds_count'
 assert_moved 'lb_dist_syncs_total'
 echo "metrics moved with traffic"
+
+# Explain round-trip: bob asks why the greetings hold, and each proof
+# must descend to a delivery leaf naming the principal that said it —
+# the out-of-process twin of the in-process provenance tests.
+"$workdir/lbtrust" -connect "$addr" -principal bob -key "$workdir/keys/bob.key" \
+  -explain 'greeting(X)' > "$workdir/proofs.out"
+grep -q "said by alice" "$workdir/proofs.out" || { echo "proof does not name alice"; cat "$workdir/proofs.out"; exit 1; }
+grep -q "said by carol" "$workdir/proofs.out" || { echo "proof does not name carol"; cat "$workdir/proofs.out"; exit 1; }
+grep -q "activated by:" "$workdir/proofs.out" || { echo "proof missing activation credential"; cat "$workdir/proofs.out"; exit 1; }
+echo "explain proofs name their asserting principals"
+
+# The audit ring saw the authenticated traffic.
+fetch "http://$admin/debug/audit" > "$workdir/audit.json"
+grep -q '"principal": "bob"' "$workdir/audit.json" || { echo "audit ring missing bob's requests"; exit 1; }
+grep -q '"verb": "explain"' "$workdir/audit.json" || { echo "audit ring missing the explain"; exit 1; }
 
 # Wrong-key sessions are rejected: bob's key cannot prove alice.
 if "$workdir/lbtrust" -connect "$addr" -principal alice -key "$workdir/keys/bob.key" \
